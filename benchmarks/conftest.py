@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Episode
+lengths default to a setting that finishes the whole suite in a few minutes;
+export ``LOTUS_BENCH_FRAMES`` / ``LOTUS_BENCH_TRAINING_FRAMES`` (e.g. 3000 /
+10000) to run the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # The harness prints the regenerated rows/series; make sure they are
+    # visible even without -s by reporting through the terminal writer at
+    # the end of the run (the helpers also persist them to benchmarks/results).
+    config.addinivalue_line("markers", "paper: reproduces a specific paper table/figure")
+
+
+@pytest.fixture(autouse=True)
+def _print_blank_line_between_benches(capsys):
+    yield

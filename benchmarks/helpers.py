@@ -1,0 +1,149 @@
+"""Utilities shared by the benchmark harness.
+
+The benchmarks favour a single deterministic run per experiment
+(``benchmark.pedantic(..., rounds=1, iterations=1)``): the quantity of
+interest is the regenerated table/figure, not the runtime of the simulator,
+and the learning-based methods are far too slow to repeat dozens of times.
+Every benchmark prints its output and also writes it to
+``benchmarks/results/<name>.txt`` so the numbers quoted in EXPERIMENTS.md
+can be regenerated and inspected after the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.experiments import ComparisonResult
+from repro.analysis.stats import reduction_percent
+from repro.env.metrics import EpisodeMetrics
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Evaluation episode length (frames) per method.  The paper uses 3000
+#: iterations on the Jetson and 1000 on the phone; the default here keeps
+#: the full suite within a few minutes.
+EVAL_FRAMES = int(os.environ.get("LOTUS_BENCH_FRAMES", "1000"))
+
+#: Online-training frames run before each evaluation episode for the
+#: learning-based methods (the paper trains for 10,000 iterations).
+TRAINING_FRAMES = int(os.environ.get("LOTUS_BENCH_TRAINING_FRAMES", "1800"))
+
+#: Frames used by the fixed-frequency profiling experiments (Fig. 1/2, §4.2).
+PROFILE_FRAMES = int(os.environ.get("LOTUS_BENCH_PROFILE_FRAMES", "300"))
+
+
+def phone_frames(frames: int) -> int:
+    """Episode length used for the Mi 11 Lite experiments.
+
+    The paper runs 1,000 iterations on the phone versus 3,000 on the Jetson.
+    The benchmarks keep the same length on both devices so that the phone's
+    slower thermal transient (larger heat capacity, frames ~3x longer) is
+    fully visible within the evaluation window.
+    """
+    return frames
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a benchmark's textual output under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's output and persist it."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    save_result(name, text)
+
+
+def method_summary_line(method: str, metrics: EpisodeMetrics) -> str:
+    """One formatted row of a comparison: mean / std / satisfaction / thermal."""
+    return (
+        f"{method:<22s} l={metrics.mean_latency_ms:8.1f} ms  "
+        f"sigma={metrics.latency_std_ms:7.1f} ms  "
+        f"R_L={metrics.satisfaction_rate * 100:5.1f} %  "
+        f"T_mean={metrics.mean_temperature_c:5.1f} C  "
+        f"T_max={metrics.max_temperature_c:5.1f} C  "
+        f"throttled={metrics.throttled_fraction * 100:4.1f} %"
+    )
+
+
+def comparison_block(title: str, comparison: ComparisonResult) -> str:
+    """Format a whole method comparison as text."""
+    lines = [title]
+    for method in comparison.methods():
+        lines.append(method_summary_line(method, comparison.metrics(method)))
+    return "\n".join(lines)
+
+
+def assert_paper_ordering(
+    metrics: Mapping[str, EpisodeMetrics],
+    latency_tolerance: float = 1.02,
+    std_tolerance: float = 1.0,
+) -> None:
+    """Assert the qualitative ordering the paper reports.
+
+    The robust claims checked on every table/figure reproduction:
+
+    * the learning-based controllers (zTT, Lotus) do not throttle more than
+      the default governors (and usually not at all);
+    * Lotus achieves a mean latency and a latency standard deviation no
+      worse than the default governor (within a small tolerance — the
+      learning agents are trained online for a few thousand frames only, so
+      individual runs carry some residual variance);
+    * Lotus does not exceed the default governor's peak temperature.
+
+    Absolute values are not asserted — the substrate is a simulator, not the
+    authors' hardware — only the direction of the comparisons.  The
+    quantitative margins (typically 10-30 % mean-latency and 30-80 %
+    variation reduction) are reported by the benches and in EXPERIMENTS.md.
+    """
+    default = metrics["default"]
+    lotus = metrics["lotus"]
+    assert lotus.throttled_fraction <= max(0.08, default.throttled_fraction), (
+        "Lotus should not throttle more than the default governor: "
+        f"lotus={lotus.throttled_fraction:.3f}, default={default.throttled_fraction:.3f}"
+    )
+    assert lotus.mean_latency_ms <= default.mean_latency_ms * latency_tolerance, (
+        "Lotus should not be slower than the default governor: "
+        f"lotus={lotus.mean_latency_ms:.1f}, default={default.mean_latency_ms:.1f}"
+    )
+    assert lotus.latency_std_ms <= default.latency_std_ms * std_tolerance, (
+        "Lotus should not increase the latency variation relative to the default governor: "
+        f"lotus={lotus.latency_std_ms:.1f}, default={default.latency_std_ms:.1f}"
+    )
+    assert lotus.max_temperature_c <= default.max_temperature_c + 3.0, (
+        "Lotus should not run hotter than the default governor: "
+        f"lotus={lotus.max_temperature_c:.1f}, default={default.max_temperature_c:.1f}"
+    )
+    if "ztt" in metrics:
+        ztt = metrics["ztt"]
+        assert ztt.throttled_fraction <= max(0.08, default.throttled_fraction), (
+            "zTT should not throttle more than the default governor"
+        )
+
+
+def improvement_summary(metrics: Mapping[str, EpisodeMetrics]) -> str:
+    """Paper-style improvement percentages of Lotus over the baselines."""
+    lotus = metrics["lotus"]
+    lines = []
+    for baseline_name in ("default", "ztt"):
+        if baseline_name not in metrics:
+            continue
+        baseline = metrics[baseline_name]
+        lines.append(
+            f"lotus vs {baseline_name:<8s}: "
+            f"latency {reduction_percent(baseline.mean_latency_ms, lotus.mean_latency_ms):+6.1f} % lower, "
+            f"variation {reduction_percent(baseline.latency_std_ms, lotus.latency_std_ms):+6.1f} % lower, "
+            f"satisfaction {100 * (lotus.satisfaction_rate - baseline.satisfaction_rate):+6.1f} points"
+        )
+    return "\n".join(lines)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+"""Fig. 1 — latency mean/variation and mAP of one- vs two-stage detectors.
+
+Regenerates the motivation figure: at fixed (maximum) frequency, the
+two-stage detectors (FasterRCNN, MaskRCNN) show a far larger latency
+variation than the one-stage YOLOv5, while achieving a higher mAP on both
+KITTI and VisDrone2019.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_detector_variation_study
+from repro.analysis.tables import format_table
+
+from benchmarks.helpers import PROFILE_FRAMES, emit, run_once
+
+
+@pytest.mark.paper
+def test_fig1_detector_latency_variation_and_accuracy(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_detector_variation_study(num_frames=PROFILE_FRAMES, seed=0),
+    )
+
+    table = format_table(
+        ["dataset", "detector", "mean latency (ms)", "latency std (ms)", "mAP@0.5"],
+        [
+            [
+                row.dataset,
+                row.detector,
+                f"{row.mean_latency_ms:.1f}",
+                f"{row.latency_std_ms:.1f}",
+                f"{row.map50:.1f}",
+            ]
+            for row in rows
+        ],
+    )
+    emit("fig1_detector_variation", table)
+
+    by_key = {(row.dataset, row.detector): row for row in rows}
+    for dataset in ("kitti", "visdrone2019"):
+        yolo = by_key[(dataset, "yolo_v5")]
+        for two_stage in ("faster_rcnn", "mask_rcnn"):
+            detector = by_key[(dataset, two_stage)]
+            # Two-stage detectors: higher accuracy, larger latency and far
+            # larger latency variation than the one-stage YOLOv5.
+            assert detector.map50 > yolo.map50
+            assert detector.mean_latency_ms > yolo.mean_latency_ms
+            assert detector.latency_std_ms > 3.0 * yolo.latency_std_ms
+        # VisDrone2019 (dense small objects) widens the accuracy gap.
+        assert (
+            by_key[("visdrone2019", "faster_rcnn")].map50
+            - by_key[("visdrone2019", "yolo_v5")].map50
+        ) > (
+            by_key[("kitti", "faster_rcnn")].map50 - by_key[("kitti", "yolo_v5")].map50
+        )

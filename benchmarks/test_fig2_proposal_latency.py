@@ -1,0 +1,44 @@
+"""Fig. 2 — second-stage latency versus the number of RPN proposals.
+
+Regenerates the proposal-count sweep at fixed maximum frequency for
+FasterRCNN and MaskRCNN.  The paper's observation: second-stage latency
+grows roughly linearly with the proposal count, reaching ≈100 ms at 600
+proposals for FasterRCNN and ≈200 ms at 300 proposals for MaskRCNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_proposal_latency_sweep
+from repro.analysis.tables import format_table
+
+from benchmarks.helpers import emit, run_once
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize(
+    "detector, expected_max_range",
+    [("faster_rcnn", (70.0, 180.0)), ("mask_rcnn", (150.0, 320.0))],
+)
+def test_fig2_second_stage_latency_vs_proposals(benchmark, detector, expected_max_range):
+    points = run_once(benchmark, lambda: run_proposal_latency_sweep(detector_name=detector))
+
+    table = format_table(
+        ["#proposals", "stage-2 latency (ms)"],
+        [[str(p.num_proposals), f"{p.stage2_latency_ms:.1f}"] for p in points],
+    )
+    emit(f"fig2_proposal_latency_{detector}", table)
+
+    proposals = np.array([p.num_proposals for p in points], dtype=float)
+    latencies = np.array([p.stage2_latency_ms for p in points], dtype=float)
+
+    # Latency grows monotonically and roughly linearly with the proposal count.
+    assert np.all(np.diff(latencies) >= 0)
+    correlation = np.corrcoef(proposals, latencies)[0, 1]
+    assert correlation > 0.99
+
+    # The latency at the post-NMS cap falls in the same ballpark the paper plots.
+    low, high = expected_max_range
+    assert low <= latencies[-1] <= high

@@ -1,0 +1,59 @@
+"""Fig. 4 — Jetson Orin Nano + FasterRCNN: temperature and latency traces.
+
+Regenerates the per-iteration device-temperature and latency series for the
+default governors, zTT and Lotus on both the VisDrone2019 and KITTI
+workloads, and checks the qualitative ordering the paper reports (Lotus:
+lower latency, smaller variation, no thermal throttling).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, run_comparison
+from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    assert_paper_ordering,
+    comparison_block,
+    emit,
+    improvement_summary,
+    run_once,
+)
+
+DEVICE = "jetson-orin-nano"
+DETECTOR = "faster_rcnn"
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("dataset", ["visdrone2019", "kitti"])
+def test_fig4_jetson_fasterrcnn_traces(benchmark, dataset):
+    setting = ExperimentSetting(
+        device=DEVICE,
+        detector=DETECTOR,
+        dataset=dataset,
+        num_frames=EVAL_FRAMES,
+        training_frames=TRAINING_FRAMES,
+        seed=0,
+    )
+    comparison = run_once(benchmark, lambda: run_comparison(setting))
+
+    series = []
+    for method in comparison.methods():
+        trace = comparison.trace(method)
+        series.append(trace_temperature_series(method, trace))
+        series.append(trace_latency_series(method, trace))
+    text = "\n".join(
+        [
+            comparison_block(f"Fig.4 ({DETECTOR} on {dataset}, {DEVICE})", comparison),
+            "",
+            series_to_text(series, max_points=15),
+            "",
+            improvement_summary({m: comparison.metrics(m) for m in comparison.methods()}),
+        ]
+    )
+    emit(f"fig4_jetson_fasterrcnn_{dataset}", text)
+
+    assert_paper_ordering({m: comparison.metrics(m) for m in comparison.methods()})

@@ -1,0 +1,58 @@
+"""Fig. 5 — Jetson Orin Nano + MaskRCNN: temperature and latency traces.
+
+Same protocol as Fig. 4 with the heavier MaskRCNN detector, whose
+per-proposal mask head makes the second-stage variation (and therefore the
+benefit of the mid-frame frequency decision) larger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, run_comparison
+from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    assert_paper_ordering,
+    comparison_block,
+    emit,
+    improvement_summary,
+    run_once,
+)
+
+DEVICE = "jetson-orin-nano"
+DETECTOR = "mask_rcnn"
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("dataset", ["visdrone2019", "kitti"])
+def test_fig5_jetson_maskrcnn_traces(benchmark, dataset):
+    setting = ExperimentSetting(
+        device=DEVICE,
+        detector=DETECTOR,
+        dataset=dataset,
+        num_frames=EVAL_FRAMES,
+        training_frames=TRAINING_FRAMES,
+        seed=0,
+    )
+    comparison = run_once(benchmark, lambda: run_comparison(setting))
+
+    series = []
+    for method in comparison.methods():
+        trace = comparison.trace(method)
+        series.append(trace_temperature_series(method, trace))
+        series.append(trace_latency_series(method, trace))
+    text = "\n".join(
+        [
+            comparison_block(f"Fig.5 ({DETECTOR} on {dataset}, {DEVICE})", comparison),
+            "",
+            series_to_text(series, max_points=15),
+            "",
+            improvement_summary({m: comparison.metrics(m) for m in comparison.methods()}),
+        ]
+    )
+    emit(f"fig5_jetson_maskrcnn_{dataset}", text)
+
+    assert_paper_ordering({m: comparison.metrics(m) for m in comparison.methods()})

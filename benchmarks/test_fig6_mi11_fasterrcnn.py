@@ -1,0 +1,62 @@
+"""Fig. 6 — Mi 11 Lite + FasterRCNN: temperature and latency traces.
+
+The phone has a much tighter (skin-temperature) thermal envelope and a far
+slower GPU than the Jetson; the paper's Fig. 6 shows the same qualitative
+picture as Figs. 4/5 at ~3x larger absolute latencies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, run_comparison
+from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    assert_paper_ordering,
+    comparison_block,
+    emit,
+    improvement_summary,
+    phone_frames,
+    run_once,
+)
+
+DEVICE = "mi11-lite"
+DETECTOR = "faster_rcnn"
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("dataset", ["visdrone2019", "kitti"])
+def test_fig6_mi11_fasterrcnn_traces(benchmark, dataset):
+    setting = ExperimentSetting(
+        device=DEVICE,
+        detector=DETECTOR,
+        dataset=dataset,
+        num_frames=phone_frames(EVAL_FRAMES),
+        training_frames=TRAINING_FRAMES,
+        seed=0,
+    )
+    comparison = run_once(benchmark, lambda: run_comparison(setting))
+
+    series = []
+    for method in comparison.methods():
+        trace = comparison.trace(method)
+        series.append(trace_temperature_series(method, trace))
+        series.append(trace_latency_series(method, trace))
+    text = "\n".join(
+        [
+            comparison_block(f"Fig.6 ({DETECTOR} on {dataset}, {DEVICE})", comparison),
+            "",
+            series_to_text(series, max_points=15),
+            "",
+            improvement_summary({m: comparison.metrics(m) for m in comparison.methods()}),
+        ]
+    )
+    emit(f"fig6_mi11_fasterrcnn_{dataset}", text)
+
+    assert_paper_ordering(
+        {m: comparison.metrics(m) for m in comparison.methods()},
+        latency_tolerance=1.05,
+    )

@@ -1,0 +1,76 @@
+"""Fig. 7a — robustness to environment-temperature changes.
+
+The device is moved between a 25 °C "warm zone" and a 0 °C "cold zone"
+during inference (warm → cold → warm), using MaskRCNN on VisDrone2019 as in
+the paper.  Lotus should adapt smoothly: lower temperature throughout,
+latency/variation no worse than the default governors, and exploitation of
+the cold zone (the cold-zone latency should not exceed the warm-zone one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, run_dynamic_ambient
+from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    assert_paper_ordering,
+    comparison_block,
+    emit,
+    run_once,
+)
+
+
+@pytest.mark.paper
+def test_fig7a_warm_cold_warm(benchmark):
+    setting = ExperimentSetting(
+        device="jetson-orin-nano",
+        detector="mask_rcnn",
+        dataset="visdrone2019",
+        num_frames=EVAL_FRAMES,
+        training_frames=TRAINING_FRAMES,
+        seed=0,
+    )
+    comparison = run_once(benchmark, lambda: run_dynamic_ambient(setting))
+
+    series = []
+    for method in comparison.methods():
+        trace = comparison.trace(method)
+        series.append(trace_temperature_series(method, trace))
+        series.append(trace_latency_series(method, trace))
+    text = "\n".join(
+        [
+            comparison_block("Fig.7a (warm zone -> cold zone -> warm zone)", comparison),
+            "",
+            series_to_text(series, max_points=15),
+        ]
+    )
+    emit("fig7a_temperature_changes", text)
+
+    metrics = {m: comparison.metrics(m) for m in comparison.methods()}
+    assert_paper_ordering(metrics, latency_tolerance=1.05, std_tolerance=1.1)
+
+    # The cold zone genuinely cools the device: compare the *end* of the cold
+    # zone against the end of the final warm zone, where both have reached
+    # their respective equilibria (the start of the first warm zone is a
+    # cold-start transient and not representative).
+    frames_per_zone = max(1, setting.num_frames // 3)
+    tail = max(10, frames_per_zone // 4)
+    for method in comparison.methods():
+        temps = comparison.trace(method).mean_temperatures_c()
+        cold_tail = float(np.mean(temps[2 * frames_per_zone - tail : 2 * frames_per_zone]))
+        warm_tail = float(np.mean(temps[-tail:]))
+        assert cold_tail < warm_tail - 2.0, f"{method}: cold zone should cool the device"
+
+    # Lotus exploits the better cooling: cold-zone latency does not regress
+    # relative to the (equilibrated) final warm zone.
+    lotus_latency = comparison.trace("lotus").latencies_ms()
+    cold_latency = float(
+        np.mean(lotus_latency[2 * frames_per_zone - tail : 2 * frames_per_zone])
+    )
+    warm_latency = float(np.mean(lotus_latency[-tail:]))
+    assert cold_latency <= warm_latency * 1.1

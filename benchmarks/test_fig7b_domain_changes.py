@@ -1,0 +1,68 @@
+"""Fig. 7b — robustness to domain changes (KITTI → VisDrone2019).
+
+The workload switches from KITTI to VisDrone2019 mid-run, together with the
+dataset-specific latency constraint, as in the paper's search-and-rescue
+scenario.  Lotus should keep a more stable inference than the default
+governors in both domains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_domain_switch
+from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
+from repro.env.metrics import summarize_trace
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    comparison_block,
+    emit,
+    run_once,
+)
+
+
+@pytest.mark.paper
+def test_fig7b_domain_switch(benchmark):
+    comparison = run_once(
+        benchmark,
+        lambda: run_domain_switch(
+            device="jetson-orin-nano",
+            detector="mask_rcnn",
+            datasets=("kitti", "visdrone2019"),
+            num_frames=EVAL_FRAMES,
+            training_frames=TRAINING_FRAMES,
+            seed=0,
+        ),
+    )
+
+    series = []
+    for method in comparison.methods():
+        trace = comparison.trace(method)
+        series.append(trace_temperature_series(method, trace))
+        series.append(trace_latency_series(method, trace))
+    lines = [comparison_block("Fig.7b (KITTI -> VisDrone2019 domain switch)", comparison)]
+    for method in comparison.methods():
+        for dataset in ("kitti", "visdrone2019"):
+            segment = comparison.trace(method).for_dataset(dataset)
+            metrics = summarize_trace(segment)
+            lines.append(
+                f"  {method:<10s} [{dataset:<12s}] l={metrics.mean_latency_ms:8.1f} ms "
+                f"sigma={metrics.latency_std_ms:7.1f} ms R_L={metrics.satisfaction_rate * 100:5.1f} %"
+            )
+    lines.append("")
+    lines.append(series_to_text(series, max_points=15))
+    emit("fig7b_domain_changes", "\n".join(lines))
+
+    # Per-domain qualitative check: Lotus never throttles and is more stable
+    # than the default governors in the (harder) VisDrone2019 segment.
+    default_visdrone = summarize_trace(comparison.trace("default").for_dataset("visdrone2019"))
+    lotus_visdrone = summarize_trace(comparison.trace("lotus").for_dataset("visdrone2019"))
+    lotus_overall = comparison.metrics("lotus")
+    default_overall = comparison.metrics("default")
+    assert lotus_overall.throttled_fraction <= max(
+        0.05, 0.5 * default_overall.throttled_fraction
+    )
+    assert lotus_visdrone.latency_std_ms <= default_visdrone.latency_std_ms
+    assert lotus_visdrone.mean_latency_ms <= default_visdrone.mean_latency_ms * 1.05

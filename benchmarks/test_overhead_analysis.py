@@ -1,0 +1,72 @@
+"""§4.4.2 overhead analysis — agent compute and agent/client transmission.
+
+The paper measures a Q-network latency of 0.42 ms, a socket transmission of
+1.92 ms per message and an overall overhead of ≈8.52 ms per inference.
+This benchmark measures the same quantities for the reproduction: the
+NumPy Q-network's decision latency (timed with pytest-benchmark, since this
+one *is* a real runtime number) and the simulated channel's per-message and
+per-frame overhead through the :class:`RemotePolicy` deployment wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting, make_environment, make_policy
+from repro.analysis.tables import format_table
+from repro.comms.channel import SimulatedChannel
+from repro.comms.server import RemotePolicy
+from repro.core.controller import build_lotus_agent
+from repro.env.episode import run_episode
+
+from benchmarks.helpers import emit
+
+
+@pytest.mark.paper
+def test_overhead_qnetwork_forward_latency(benchmark):
+    """Wall-clock latency of one Lotus Q-network decision (paper: 0.42 ms)."""
+    setting = ExperimentSetting(num_frames=10)
+    environment = make_environment(setting)
+    agent = build_lotus_agent(environment)
+    state = np.zeros(agent.encoder.dimension)
+
+    result = benchmark(lambda: agent.learner.greedy_action(state, width=1.0))
+    assert isinstance(result, int)
+    # The 4-layer MLP should evaluate in well under 5 ms even in NumPy.
+    assert benchmark.stats["mean"] < 5e-3
+
+
+@pytest.mark.paper
+def test_overhead_remote_deployment_per_inference(benchmark):
+    """Per-inference overhead of the remote agent deployment (paper: ≈8.5 ms)."""
+    setting = ExperimentSetting(num_frames=60, seed=3)
+    environment = make_environment(setting)
+    inner = make_policy("lotus", environment, num_frames=60, seed=3)
+    remote = RemotePolicy(inner, SimulatedChannel())
+
+    def run():
+        run_episode(environment, remote, num_frames=60)
+        return remote.overhead_report()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["frames", str(report.frames)],
+            ["agent compute per decision (ms)", f"{report.agent_compute_ms_per_decision:.3f}"],
+            ["channel latency per message (ms)", f"{report.channel_ms_per_message:.3f}"],
+            ["messages per frame", f"{report.messages_per_frame:.1f}"],
+            ["total overhead per frame (ms)", f"{report.total_overhead_ms_per_frame:.2f}"],
+        ],
+    )
+    emit("overhead_analysis", table)
+
+    # Two decisions per frame -> 4 messages (state up + action down, twice).
+    assert report.messages_per_frame == pytest.approx(4.0)
+    # Per-message latency reproduces the paper's 1.92 ms channel model.
+    assert report.channel_ms_per_message == pytest.approx(1.92, abs=0.1)
+    # Total per-frame overhead stays within the same order as the paper's
+    # 8.52 ms and remains negligible against a several-hundred-ms detector.
+    assert 7.0 <= report.total_overhead_ms_per_frame <= 60.0

@@ -1,0 +1,65 @@
+"""Table 1 — quantitative results on the Jetson Orin Nano.
+
+Regenerates the paper's Table 1: mean latency, latency standard deviation
+and satisfaction rate for FasterRCNN and MaskRCNN on KITTI and VisDrone2019
+under the default governors, zTT and Lotus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    comparison_metrics_map,
+    run_comparison,
+)
+from repro.analysis.tables import comparison_table
+
+from benchmarks.helpers import (
+    EVAL_FRAMES,
+    TRAINING_FRAMES,
+    assert_paper_ordering,
+    emit,
+    improvement_summary,
+    run_once,
+)
+
+DEVICE = "jetson-orin-nano"
+DATASETS = ("kitti", "visdrone2019")
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("detector", ["faster_rcnn", "mask_rcnn"])
+def test_table1_jetson_orin_nano(benchmark, detector):
+    def run_all():
+        results = {}
+        for dataset in DATASETS:
+            setting = ExperimentSetting(
+                device=DEVICE,
+                detector=detector,
+                dataset=dataset,
+                num_frames=EVAL_FRAMES,
+                training_frames=TRAINING_FRAMES,
+                seed=0,
+            )
+            results[dataset] = run_comparison(setting)
+        return results
+
+    results = run_once(benchmark, run_all)
+
+    table = comparison_table(
+        comparison_metrics_map(results),
+        datasets=list(DATASETS),
+        title=f"Table 1 (Jetson Orin Nano, {detector})",
+    )
+    summaries = []
+    for dataset, comparison in results.items():
+        summaries.append(f"[{dataset}]")
+        summaries.append(
+            improvement_summary({m: comparison.metrics(m) for m in comparison.methods()})
+        )
+    emit(f"table1_jetson_{detector}", table + "\n\n" + "\n".join(summaries))
+
+    for dataset, comparison in results.items():
+        assert_paper_ordering({m: comparison.metrics(m) for m in comparison.methods()})

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Autonomous-driving scenario: latency-constrained FasterRCNN on KITTI.
+
+A perception stack on an in-vehicle Jetson must deliver detections within a
+hard per-frame latency budget while the passively cooled module sits in a
+warm cabin.  The script sweeps several latency constraints, runs the default
+governors and Lotus under each, and reports the satisfaction rate — showing
+how Lotus trades frequency (and heat) for deadline compliance as the budget
+tightens.
+
+Run with::
+
+    python examples/autonomous_driving.py [--frames 900]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    default_latency_constraint,
+    run_comparison,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=900, help="evaluation frames")
+    parser.add_argument(
+        "--training-frames", type=int, default=1500, help="online training frames before evaluation"
+    )
+    args = parser.parse_args()
+
+    base_constraint = default_latency_constraint("jetson-orin-nano", "faster_rcnn", "kitti")
+    print("== Autonomous driving: FasterRCNN on KITTI (Jetson Orin Nano, 30 C cabin) ==")
+    print(f"reference latency constraint: {base_constraint:.0f} ms\n")
+
+    header = f"{'constraint':>12s} | {'method':<8s} | {'mean (ms)':>10s} | {'std (ms)':>9s} | {'satisfaction':>12s} | {'max T (C)':>9s}"
+    print(header)
+    print("-" * len(header))
+
+    for factor in (1.15, 1.0, 0.9):
+        constraint = base_constraint * factor
+        setting = ExperimentSetting(
+            device="jetson-orin-nano",
+            detector="faster_rcnn",
+            dataset="kitti",
+            num_frames=args.frames,
+            training_frames=args.training_frames,
+            latency_constraint_ms=constraint,
+            ambient_temperature_c=30.0,
+        )
+        comparison = run_comparison(setting, methods=("default", "lotus"))
+        for method in comparison.methods():
+            metrics = comparison.metrics(method)
+            print(
+                f"{constraint:9.0f} ms | {method:<8s} | {metrics.mean_latency_ms:10.1f} | "
+                f"{metrics.latency_std_ms:9.1f} | {metrics.satisfaction_rate * 100:11.1f}% | "
+                f"{metrics.max_temperature_c:9.1f}"
+            )
+        default = comparison.metrics("default")
+        lotus = comparison.metrics("lotus")
+        delta = (lotus.satisfaction_rate - default.satisfaction_rate) * 100
+        print(f"{'':>12s}   -> Lotus satisfaction-rate gain: {delta:+.1f} points\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Lotus reproduction: learning-based online thermal and latency variation
+management for two-stage detectors on edge devices (DAC 2024).
+
+The package is organised bottom-up:
+
+* :mod:`repro.hardware` — simulated edge devices (DVFS, power, RC thermal
+  network, throttling, sysfs).
+* :mod:`repro.detection` — two-stage detector cost models (FasterRCNN,
+  MaskRCNN, YOLOv5).
+* :mod:`repro.workload` — dataset profiles and frame streams (KITTI,
+  VisDrone2019, domain switches).
+* :mod:`repro.env` — the frame-by-frame inference environment with two
+  DVFS decision points per frame, the policy interface, traces and metrics.
+* :mod:`repro.governors` — the default operating-system governors.
+* :mod:`repro.rl` — the NumPy DQN substrate (slimmable MLP, Adam, replay).
+* :mod:`repro.core` — the Lotus agent, reward, cool-down and controller.
+* :mod:`repro.baselines` — the zTT learning-based baseline.
+* :mod:`repro.comms` — the simulated agent/client socket deployment.
+* :mod:`repro.analysis` — experiment runners, tables and figure series for
+  every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        ExperimentSetting, make_environment, LotusController, summarize_trace,
+    )
+
+    setting = ExperimentSetting(device="jetson-orin-nano",
+                                detector="faster_rcnn",
+                                dataset="kitti",
+                                num_frames=500)
+    environment = make_environment(setting)
+    controller = LotusController(environment)
+    trace = controller.run(setting.num_frames)
+    print(summarize_trace(trace))
+"""
+
+from repro.analysis.experiments import (
+    ExperimentSetting,
+    default_latency_constraint,
+    make_environment,
+    make_policy,
+    run_comparison,
+)
+from repro.baselines import ZttConfig, ZttPolicy
+from repro.core import LotusAgent, LotusConfig, LotusController
+from repro.detection import available_detectors, build_detector
+from repro.env import (
+    InferenceEnvironment,
+    Policy,
+    Trace,
+    run_episode,
+    summarize_trace,
+)
+from repro.errors import LotusError
+from repro.governors import build_default_governor
+from repro.hardware import available_devices, build_device
+from repro.workload import available_datasets, build_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentSetting",
+    "InferenceEnvironment",
+    "LotusAgent",
+    "LotusConfig",
+    "LotusController",
+    "LotusError",
+    "Policy",
+    "Trace",
+    "ZttConfig",
+    "ZttPolicy",
+    "available_datasets",
+    "available_detectors",
+    "available_devices",
+    "build_dataset",
+    "build_default_governor",
+    "build_detector",
+    "build_device",
+    "default_latency_constraint",
+    "make_environment",
+    "make_policy",
+    "run_comparison",
+    "run_episode",
+    "summarize_trace",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Experiment runners and result presentation.
+
+* :mod:`repro.analysis.stats` — summary statistics and improvement
+  percentages in the form the paper quotes ("reduces the latency by 30.8 %",
+  "variation reduced by 72.8 %").
+* :mod:`repro.analysis.tables` — render Table 1/2-style comparison tables.
+* :mod:`repro.analysis.figures` — latency / temperature series in the form
+  the paper's figures plot, exportable as text or CSV.
+* :mod:`repro.analysis.experiments` — one runner per paper experiment,
+  shared by the benchmark harness and the examples.
+"""
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    ExperimentSetting,
+    default_latency_constraint,
+    make_environment,
+    make_policy,
+    run_ablation,
+    run_comparison,
+    run_detector_variation_study,
+    run_domain_switch,
+    run_dynamic_ambient,
+    run_proposal_latency_sweep,
+    run_stage_profiling,
+)
+from repro.analysis.figures import FigureSeries, series_to_csv, series_to_text
+from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
+from repro.analysis.tables import comparison_table, format_table
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentSetting",
+    "FigureSeries",
+    "comparison_table",
+    "default_latency_constraint",
+    "format_table",
+    "improvement_percent",
+    "make_environment",
+    "make_policy",
+    "reduction_percent",
+    "run_ablation",
+    "run_comparison",
+    "run_detector_variation_study",
+    "run_domain_switch",
+    "run_dynamic_ambient",
+    "run_proposal_latency_sweep",
+    "run_stage_profiling",
+    "series_to_csv",
+    "series_to_text",
+    "summary_statistics",
+]

@@ -1,0 +1,77 @@
+"""Figure-series export.
+
+The paper's figures plot per-iteration latency and device temperature for
+each method.  :class:`FigureSeries` holds one named series; helpers render a
+set of series as aligned text columns (for benchmark output) or CSV (for
+plotting with any external tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.env.metrics import downsample_series
+from repro.env.trace import Trace
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One named data series of a figure.
+
+    Attributes:
+        label: Series label, e.g. ``"lotus latency (ms)"``.
+        values: The series values, one per iteration (or per bucket after
+            downsampling).
+    """
+
+    label: str
+    values: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", np.asarray(self.values, dtype=float))
+
+    def downsampled(self, max_points: int = 60) -> "FigureSeries":
+        """Return a copy averaged into at most ``max_points`` buckets."""
+        return FigureSeries(self.label, downsample_series(self.values, max_points))
+
+
+def trace_latency_series(label: str, trace: Trace) -> FigureSeries:
+    """Latency-vs-iteration series of a trace."""
+    return FigureSeries(f"{label} latency (ms)", trace.latencies_ms())
+
+
+def trace_temperature_series(label: str, trace: Trace) -> FigureSeries:
+    """Mean-device-temperature-vs-iteration series of a trace."""
+    return FigureSeries(f"{label} temperature (C)", trace.mean_temperatures_c())
+
+
+def series_to_csv(series: Sequence[FigureSeries]) -> str:
+    """Render series as CSV with an ``index`` column."""
+    if not series:
+        raise ExperimentError("at least one series is required")
+    length = max(s.values.size for s in series)
+    header = "index," + ",".join(s.label for s in series)
+    lines = [header]
+    for row in range(length):
+        cells = [str(row)]
+        for s in series:
+            cells.append(f"{s.values[row]:.3f}" if row < s.values.size else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def series_to_text(series: Sequence[FigureSeries], max_points: int = 20) -> str:
+    """Render series as a compact aligned text block for terminal output."""
+    if not series:
+        raise ExperimentError("at least one series is required")
+    downsampled = [s.downsampled(max_points) for s in series]
+    width = max(len(s.label) for s in downsampled)
+    lines = []
+    for s in downsampled:
+        values = " ".join(f"{v:8.1f}" for v in s.values)
+        lines.append(f"{s.label.ljust(width)} : {values}")
+    return "\n".join(lines)

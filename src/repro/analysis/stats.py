@@ -1,0 +1,71 @@
+"""Summary statistics and paper-style improvement percentages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Basic distribution summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Arithmetic mean.
+        std: Population standard deviation.
+        minimum / maximum: Extremes.
+        median: 50th percentile.
+        p95: 95th percentile.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+
+
+def summary_statistics(values: Sequence[float]) -> SummaryStatistics:
+    """Compute a :class:`SummaryStatistics` for a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ExperimentError("cannot summarise an empty sample")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+    )
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``.
+
+    The form used by the paper for latency and variation: "Lotus reduces the
+    latency by 30.8 % compared to the default" means
+    ``reduction_percent(default, lotus) == 30.8``.  Positive values mean the
+    improved quantity is smaller than the baseline.
+    """
+    if baseline == 0:
+        raise ExperimentError("baseline must be non-zero")
+    return (baseline - improved) / abs(baseline) * 100.0
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percentage-point style increase of ``improved`` over ``baseline``.
+
+    Used for the satisfaction rate ("improves the satisfaction rate by
+    35.9 %"): the paper reports the absolute difference of the two rates
+    expressed in percentage points.
+    """
+    return (improved - baseline) * 100.0

@@ -1,0 +1,87 @@
+"""Table rendering.
+
+Produces the Table 1/2 layout of the paper: one block per detector, one row
+per method, with mean latency, latency standard deviation and satisfaction
+rate per dataset.  Output is plain text so it can be printed by benchmarks
+and embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.env.metrics import EpisodeMetrics
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [str(cells[i]).ljust(widths[i]) if i < len(cells) else " " * widths[i] for i in range(columns)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def comparison_table(
+    results: Mapping[str, Mapping[str, Mapping[str, EpisodeMetrics]]],
+    datasets: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a paper-style quantitative comparison table.
+
+    Args:
+        results: Nested mapping ``detector -> method -> dataset -> metrics``.
+        datasets: Dataset column order (e.g. ``["kitti", "visdrone2019"]``).
+        title: Optional heading line.
+
+    Returns:
+        The formatted table as a string.
+    """
+    headers = ["Detector", "Method"]
+    for dataset in datasets:
+        headers.extend(
+            [f"{dataset} l(ms)", f"{dataset} sigma(ms)", f"{dataset} R_L"]
+        )
+    rows = []
+    for detector, methods in results.items():
+        for method, per_dataset in methods.items():
+            row = [detector, method]
+            for dataset in datasets:
+                metrics = per_dataset.get(dataset)
+                if metrics is None:
+                    row.extend(["-", "-", "-"])
+                else:
+                    row.extend(
+                        [
+                            f"{metrics.mean_latency_ms:.1f}",
+                            f"{metrics.latency_std_ms:.1f}",
+                            f"{metrics.satisfaction_rate * 100:.1f}%",
+                        ]
+                    )
+            rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def metrics_row(metrics: EpisodeMetrics) -> Dict[str, float]:
+    """Flatten the headline table quantities of one metrics object."""
+    return {
+        "mean_latency_ms": metrics.mean_latency_ms,
+        "latency_std_ms": metrics.latency_std_ms,
+        "satisfaction_rate": metrics.satisfaction_rate,
+        "mean_temperature_c": metrics.mean_temperature_c,
+        "max_temperature_c": metrics.max_temperature_c,
+        "throttled_fraction": metrics.throttled_fraction,
+    }

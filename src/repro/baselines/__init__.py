@@ -1,0 +1,11 @@
+"""Learning-based baselines.
+
+Currently this package contains the zTT baseline (Kim et al., MobiSys'21),
+the state-of-the-art learning-based thermal-aware DVFS governor the paper
+compares against.  The "default" operating-system baseline lives in
+:mod:`repro.governors`.
+"""
+
+from repro.baselines.ztt import ZttConfig, ZttPolicy
+
+__all__ = ["ZttConfig", "ZttPolicy"]

@@ -1,0 +1,26 @@
+"""Agent/client communication substrate.
+
+In the paper's implementation the Lotus agent runs on a workstation and
+controls the edge device over a socket; the measured overhead is 0.42 ms per
+Q-network evaluation and 1.92 ms per message, ≈8.52 ms per inference in
+total (paper §4.4.2).  This package provides a faithful, simulation-friendly
+stand-in: a message protocol, a channel with configurable per-message
+latency, and a remote-policy wrapper that routes decisions through the
+channel while accounting for the overhead — used by the overhead-analysis
+benchmark.
+"""
+
+from repro.comms.channel import ChannelStats, SimulatedChannel
+from repro.comms.protocol import Message, MessageKind, decode_message, encode_message
+from repro.comms.server import OverheadReport, RemotePolicy
+
+__all__ = [
+    "ChannelStats",
+    "Message",
+    "MessageKind",
+    "OverheadReport",
+    "RemotePolicy",
+    "SimulatedChannel",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,89 @@
+"""Simulated client/agent channel.
+
+Models the socket link between the edge device and the agent workstation as
+a fixed per-message latency (the paper measures 1.92 ms per message on their
+setup) plus a bandwidth-dependent term for large payloads.  The channel
+keeps aggregate statistics so the overhead-analysis benchmark can report the
+same quantities as §4.4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.comms.protocol import Message, decode_message, encode_message
+
+#: Per-message latency measured by the paper (milliseconds).
+DEFAULT_MESSAGE_LATENCY_MS = 1.92
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate statistics of a channel.
+
+    Attributes:
+        messages_sent: Number of messages transferred.
+        bytes_sent: Total encoded payload bytes.
+        total_latency_ms: Total time spent in transfers.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    total_latency_ms: float = 0.0
+
+    @property
+    def mean_message_latency_ms(self) -> float:
+        """Average per-message latency."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_latency_ms / self.messages_sent
+
+
+@dataclass
+class SimulatedChannel:
+    """A lossless in-process channel with configurable latency.
+
+    Attributes:
+        message_latency_ms: Fixed per-message latency.
+        bandwidth_mbps: Link bandwidth used for the payload-size-dependent
+            component; the default (100 Mbit/s Wi-Fi-class link) makes the
+            size term negligible for the small state/action payloads.
+    """
+
+    message_latency_ms: float = DEFAULT_MESSAGE_LATENCY_MS
+    bandwidth_mbps: float = 100.0
+    stats: ChannelStats = field(default_factory=ChannelStats)
+
+    def __post_init__(self) -> None:
+        if self.message_latency_ms < 0:
+            raise ProtocolError("message_latency_ms must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ProtocolError("bandwidth_mbps must be positive")
+
+    def transfer(self, message: Message) -> tuple[Message, float]:
+        """Send a message through the channel.
+
+        Returns:
+            ``(delivered_message, latency_ms)`` — the message after an
+            encode/decode round trip (guaranteeing it was serialisable) and
+            the time the transfer took.
+        """
+        encoded = encode_message(message)
+        size_bits = len(encoded) * 8
+        transfer_ms = size_bits / (self.bandwidth_mbps * 1e6) * 1e3
+        latency_ms = self.message_latency_ms + transfer_ms
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(encoded)
+        self.stats.total_latency_ms += latency_ms
+        return decode_message(encoded), latency_ms
+
+    def round_trip(self, request: Message, response: Message) -> float:
+        """Latency of a request/response exchange."""
+        _, up = self.transfer(request)
+        _, down = self.transfer(response)
+        return up + down
+
+    def reset_stats(self) -> None:
+        """Clear the aggregate statistics."""
+        self.stats = ChannelStats()

@@ -1,0 +1,76 @@
+"""Wire protocol between the edge client and the Lotus agent server.
+
+Messages are small JSON objects: the client sends the observed state, the
+server answers with the chosen frequency levels.  The encoding is kept
+deliberately simple (UTF-8 JSON with a kind tag) — the point of this module
+is to make the data actually serialisable, so the simulated channel measures
+a realistic payload size and a real socket deployment could reuse the same
+format unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+
+
+class MessageKind(str, enum.Enum):
+    """Kinds of messages exchanged between client and agent."""
+
+    STATE = "state"
+    ACTION = "action"
+    REWARD = "reward"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message.
+
+    Attributes:
+        kind: The message kind.
+        payload: JSON-serialisable dictionary carrying the message body.
+        sequence: Monotonic sequence number set by the sender.
+    """
+
+    kind: MessageKind
+    payload: Dict[str, Any]
+    sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ProtocolError("sequence number must be non-negative")
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a message to UTF-8 JSON bytes."""
+    try:
+        return json.dumps(
+            {
+                "kind": message.kind.value,
+                "sequence": message.sequence,
+                "payload": message.payload,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-serialisable: {exc}") from exc
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode UTF-8 JSON bytes into a message."""
+    try:
+        raw = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    try:
+        kind = MessageKind(raw["kind"])
+        sequence = int(raw["sequence"])
+        payload = dict(raw["payload"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"message missing required fields: {exc}") from exc
+    return Message(kind=kind, payload=payload, sequence=sequence)

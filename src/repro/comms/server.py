@@ -1,0 +1,125 @@
+"""Remote-agent deployment model.
+
+:class:`RemotePolicy` wraps any :class:`~repro.env.policy.Policy` and routes
+its observations and decisions through a :class:`SimulatedChannel`, exactly
+like the paper's deployment where the agent runs on a workstation GPU and
+the Jetson / phone is the client.  It measures both the channel time and the
+policy's own compute time, producing the per-inference overhead breakdown of
+§4.4.2 (Q-network ≈0.42 ms, 4 socket messages ≈1.92 ms each, ≈8.5 ms per
+inference in total).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.comms.channel import SimulatedChannel
+from repro.comms.protocol import Message, MessageKind
+from repro.env.environment import (
+    FrameResult,
+    FrameStartObservation,
+    MidFrameObservation,
+)
+from repro.env.policy import FrequencyDecision, Policy
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Per-inference overhead breakdown of the remote deployment.
+
+    Attributes:
+        frames: Number of frames the report covers.
+        agent_compute_ms_per_decision: Mean wall-clock time of one policy
+            decision (the "Q-network latency" of §4.4.2).
+        channel_ms_per_message: Mean per-message channel latency.
+        messages_per_frame: Messages exchanged per frame (state up + action
+            down, at each of the two decision points).
+        total_overhead_ms_per_frame: Mean total overhead added to one frame.
+    """
+
+    frames: int
+    agent_compute_ms_per_decision: float
+    channel_ms_per_message: float
+    messages_per_frame: float
+    total_overhead_ms_per_frame: float
+
+
+class RemotePolicy(Policy):
+    """Wrap a policy behind a simulated client/agent socket link."""
+
+    def __init__(self, inner: Policy, channel: SimulatedChannel | None = None):
+        self.inner = inner
+        self.channel = channel if channel is not None else SimulatedChannel()
+        self.name = f"remote({inner.name})"
+        self._sequence = 0
+        self._frames = 0
+        self._decisions = 0
+        self._agent_compute_ms = 0.0
+        self._overhead_ms = 0.0
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _exchange(self, payload: dict, decision: FrequencyDecision | None) -> float:
+        """Simulate the state-up / action-down exchange, returning its latency."""
+        self._sequence += 1
+        request = Message(kind=MessageKind.STATE, payload=payload, sequence=self._sequence)
+        self._sequence += 1
+        response_payload = (
+            {"cpu_level": decision.cpu_level, "gpu_level": decision.gpu_level}
+            if decision is not None
+            else {"noop": True}
+        )
+        response = Message(
+            kind=MessageKind.ACTION, payload=response_payload, sequence=self._sequence
+        )
+        return self.channel.round_trip(request, response)
+
+    def _observation_payload(self, observation) -> dict:
+        return {
+            "frame_index": observation.frame_index,
+            "cpu_temperature_c": round(observation.cpu_temperature_c, 3),
+            "gpu_temperature_c": round(observation.gpu_temperature_c, 3),
+            "cpu_level": observation.cpu_level,
+            "gpu_level": observation.gpu_level,
+            "remaining_budget_ms": round(observation.remaining_budget_ms, 3),
+            "num_proposals": getattr(observation, "num_proposals", None),
+        }
+
+    def _timed_decision(self, method, observation) -> FrequencyDecision | None:
+        start = time.perf_counter()
+        decision = method(observation)
+        self._agent_compute_ms += (time.perf_counter() - start) * 1e3
+        self._decisions += 1
+        self._overhead_ms += self._exchange(self._observation_payload(observation), decision)
+        return decision
+
+    # -- policy protocol -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def begin_frame(self, observation: FrameStartObservation) -> FrequencyDecision | None:
+        self._frames += 1
+        return self._timed_decision(self.inner.begin_frame, observation)
+
+    def mid_frame(self, observation: MidFrameObservation) -> FrequencyDecision | None:
+        return self._timed_decision(self.inner.mid_frame, observation)
+
+    def end_frame(self, result: FrameResult) -> None:
+        self.inner.end_frame(result)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def overhead_report(self) -> OverheadReport:
+        """Summarise the measured per-inference overhead."""
+        frames = max(self._frames, 1)
+        decisions = max(self._decisions, 1)
+        stats = self.channel.stats
+        return OverheadReport(
+            frames=self._frames,
+            agent_compute_ms_per_decision=self._agent_compute_ms / decisions,
+            channel_ms_per_message=stats.mean_message_latency_ms,
+            messages_per_frame=stats.messages_sent / frames,
+            total_overhead_ms_per_frame=(self._agent_compute_ms + self._overhead_ms) / frames,
+        )

@@ -1,0 +1,89 @@
+"""Joint CPU x GPU frequency action space.
+
+For a device with M CPU frequency levels and N GPU frequency levels the
+Lotus action space contains M*N actions, each corresponding to one
+``<f_cpu_m, f_gpu_n>`` pair (paper §4.3.1).  Both per-frame decisions use
+the same action set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import AgentError
+
+
+@dataclass(frozen=True)
+class JointActionSpace:
+    """Enumeration of all joint CPU/GPU frequency-level pairs.
+
+    Actions are indexed row-major: ``index = cpu_level * gpu_levels +
+    gpu_level``.
+
+    Attributes:
+        cpu_levels: Number of CPU frequency levels (M).
+        gpu_levels: Number of GPU frequency levels (N).
+    """
+
+    cpu_levels: int
+    gpu_levels: int
+
+    def __post_init__(self) -> None:
+        if self.cpu_levels <= 0 or self.gpu_levels <= 0:
+            raise AgentError("cpu_levels and gpu_levels must be positive")
+
+    @property
+    def size(self) -> int:
+        """Number of actions (M*N)."""
+        return self.cpu_levels * self.gpu_levels
+
+    def encode(self, cpu_level: int, gpu_level: int) -> int:
+        """Map a ``(cpu_level, gpu_level)`` pair to an action index."""
+        if not 0 <= cpu_level < self.cpu_levels:
+            raise AgentError(f"cpu_level {cpu_level} out of range [0, {self.cpu_levels - 1}]")
+        if not 0 <= gpu_level < self.gpu_levels:
+            raise AgentError(f"gpu_level {gpu_level} out of range [0, {self.gpu_levels - 1}]")
+        return cpu_level * self.gpu_levels + gpu_level
+
+    def decode(self, action_index: int) -> Tuple[int, int]:
+        """Map an action index to its ``(cpu_level, gpu_level)`` pair."""
+        if not 0 <= action_index < self.size:
+            raise AgentError(f"action index {action_index} out of range [0, {self.size - 1}]")
+        return divmod(action_index, self.gpu_levels)
+
+    def all_pairs(self) -> List[Tuple[int, int]]:
+        """All ``(cpu_level, gpu_level)`` pairs in index order."""
+        return [self.decode(i) for i in range(self.size)]
+
+    # -- cool-down support -------------------------------------------------------------
+
+    def cooler_actions(self, cpu_level: int, gpu_level: int) -> List[int]:
+        """Actions that do not raise either frequency and lower at least one.
+
+        This is the candidate set of the cool-down action selection: "a
+        random CPU and GPU frequency which is lower than the current status".
+        If the device is already at the lowest operating points the set is
+        empty and the caller should simply stay put.
+        """
+        if not 0 <= cpu_level < self.cpu_levels:
+            raise AgentError(f"cpu_level {cpu_level} out of range [0, {self.cpu_levels - 1}]")
+        if not 0 <= gpu_level < self.gpu_levels:
+            raise AgentError(f"gpu_level {gpu_level} out of range [0, {self.gpu_levels - 1}]")
+        actions = []
+        for cpu in range(cpu_level + 1):
+            for gpu in range(gpu_level + 1):
+                if cpu < cpu_level or gpu < gpu_level:
+                    actions.append(self.encode(cpu, gpu))
+        return actions
+
+    def random_cooler_action(
+        self, cpu_level: int, gpu_level: int, rng: np.random.Generator
+    ) -> int:
+        """A random action from :meth:`cooler_actions` (or stay put if none)."""
+        candidates = self.cooler_actions(cpu_level, gpu_level)
+        if not candidates:
+            return self.encode(cpu_level, gpu_level)
+        return int(rng.choice(candidates))

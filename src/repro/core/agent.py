@@ -1,0 +1,317 @@
+"""The Lotus DRL agent.
+
+One slimmable Q-network provides two frequency-scaling decisions per image
+frame (paper §4.3.4):
+
+* at the **start of the frame** the state has no proposal count, and the
+  Q-values are computed with only the first ``alpha x`` channels of every
+  hidden layer;
+* **after the RPN** the proposal count is appended to the state and the
+  Q-values use the full network width.
+
+Transitions from the two decision points are stored in two separate replay
+buffers; batches sampled from the first buffer update only the reduced-width
+slice of the network, batches from the second buffer update the full
+network.  Exploration is epsilon-greedy, overridden by the epsilon_t-greedy
+cool-down selection whenever the device is overheated.
+
+The agent implements the generic :class:`~repro.env.policy.Policy`
+interface, so the same episode runner that drives the default governors and
+zTT drives Lotus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import AgentError
+from repro.core.action import JointActionSpace
+from repro.core.config import LotusConfig
+from repro.core.cooldown import CooldownSelector
+from repro.core.reward import RewardCalculator
+from repro.core.state import StateEncoder
+from repro.env.environment import (
+    FrameResult,
+    FrameStartObservation,
+    MidFrameObservation,
+)
+from repro.env.policy import FrequencyDecision, Policy
+from repro.rl.dqn import DqnConfig, DqnLearner
+from repro.rl.optimizer import Adam
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.schedule import CosineDecaySchedule, LinearDecaySchedule
+from repro.rl.slimmable import SlimmableMLP
+
+
+class LotusAgent(Policy):
+    """Online thermal and latency variation management agent.
+
+    Args:
+        cpu_levels: Number of CPU frequency levels of the target device (M).
+        gpu_levels: Number of GPU frequency levels (N).
+        temperature_threshold_c: Throttling temperature used for state
+            normalisation, the reward and the cool-down trigger.
+        proposal_scale: Proposal count that normalises to 1.0 in the state
+            (typically the detector's post-NMS cap).
+        config: Hyper-parameters; defaults to :class:`LotusConfig`.
+        rng: Random generator (exploration, replay sampling, cool-down).
+    """
+
+    name = "lotus"
+
+    def __init__(
+        self,
+        cpu_levels: int,
+        gpu_levels: int,
+        temperature_threshold_c: float,
+        proposal_scale: float,
+        config: LotusConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config if config is not None else LotusConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(self.config.seed)
+        self.action_space = JointActionSpace(cpu_levels, gpu_levels)
+        self.temperature_threshold_c = (
+            self.config.temperature_threshold_c
+            if self.config.temperature_threshold_c is not None
+            else temperature_threshold_c
+        )
+        self.encoder = StateEncoder(
+            cpu_levels=cpu_levels,
+            gpu_levels=gpu_levels,
+            temperature_scale_c=self.temperature_threshold_c,
+            proposal_scale=proposal_scale,
+        )
+        widths = (1.0,) if self.config.single_decision else self.config.widths
+        self._start_width = 1.0 if self.config.single_decision else self.config.widths[0]
+        self.network = SlimmableMLP(
+            input_dim=self.encoder.dimension,
+            hidden_dims=self.config.hidden_dims,
+            output_dim=self.action_space.size,
+            widths=widths,
+            rng=self.rng,
+        )
+        self.learner = DqnLearner(
+            network=self.network,
+            config=DqnConfig(
+                discount=self.config.discount,
+                batch_size=self.config.batch_size,
+                target_sync_interval=self.config.target_sync_interval,
+            ),
+            optimizer=Adam(
+                learning_rate=self.config.learning_rate,
+                beta1=self.config.adam_beta1,
+                beta2=self.config.adam_beta2,
+            ),
+            learning_rate_schedule=CosineDecaySchedule(
+                initial=self.config.learning_rate,
+                decay_steps=self.config.lr_decay_steps,
+                final=self.config.learning_rate * 0.01,
+            ),
+        )
+        self._epsilon_schedule = LinearDecaySchedule(
+            initial=self.config.epsilon_start,
+            final=self.config.epsilon_end,
+            decay_steps=self.config.epsilon_decay_steps,
+        )
+        self.cooldown = CooldownSelector(
+            initial_epsilon=self.config.cooldown_epsilon,
+            decay_triggers=self.config.cooldown_decay_triggers,
+            final_epsilon=self.config.cooldown_epsilon_final,
+            always=self.config.always_cooldown,
+        )
+        self.reward_calculator = RewardCalculator(self.config.reward)
+
+        self.start_buffer = ReplayBuffer(self.config.replay_capacity)
+        self.mid_buffer = (
+            self.start_buffer if self.config.shared_buffer else ReplayBuffer(self.config.replay_capacity)
+        )
+
+        self.training = True
+        self._decision_count = 0
+        self._loss_history: List[float] = []
+        self._reward_history: List[float] = []
+
+        self._start_state: np.ndarray | None = None
+        self._start_action: int | None = None
+        self._mid_state: np.ndarray | None = None
+        self._mid_action: int | None = None
+        self._pending_transition: tuple[np.ndarray, int, float] | None = None
+
+    # -- public knobs -------------------------------------------------------------------
+
+    def set_training(self, training: bool) -> None:
+        """Enable/disable exploration and learning (evaluation mode)."""
+        self.training = training
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration epsilon (0 in evaluation mode)."""
+        if not self.training:
+            return 0.0
+        return self._epsilon_schedule.value(self._decision_count)
+
+    @property
+    def loss_history(self) -> List[float]:
+        """TD losses of every training step performed so far."""
+        return list(self._loss_history)
+
+    @property
+    def reward_history(self) -> List[float]:
+        """Per-frame rewards observed so far."""
+        return list(self._reward_history)
+
+    def reset(self) -> None:
+        """Reset per-episode bookkeeping (keeps learned weights and replay)."""
+        self.reward_calculator.reset()
+        self._start_state = None
+        self._start_action = None
+        self._mid_state = None
+        self._mid_action = None
+        self._pending_transition = None
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _select_action(
+        self,
+        state: np.ndarray,
+        width: float,
+        cpu_level: int,
+        gpu_level: int,
+        cpu_temperature_c: float,
+        gpu_temperature_c: float,
+    ) -> int:
+        """Cool-down-aware epsilon-greedy action selection."""
+        if self.training:
+            forced = self.cooldown.maybe_cooldown_action(
+                self.action_space,
+                cpu_level,
+                gpu_level,
+                cpu_temperature_c,
+                gpu_temperature_c,
+                self.temperature_threshold_c,
+                self.rng,
+            )
+            if forced is not None:
+                return forced
+        action = self.learner.select_action(state, self.epsilon, self.rng, width=width)
+        self._decision_count += 1
+        return action
+
+    def _maybe_train(self, buffer: ReplayBuffer, width: float) -> None:
+        if not self.training:
+            return
+        if len(buffer) < max(self.config.learning_starts, self.config.batch_size):
+            return
+        if self._decision_count % self.config.train_interval != 0:
+            return
+        batch = buffer.sample(self.config.batch_size, self.rng)
+        loss = self.learner.train_batch(batch, width=width)
+        self._loss_history.append(loss)
+
+    def _decision_from_action(self, action: int) -> FrequencyDecision:
+        cpu_level, gpu_level = self.action_space.decode(action)
+        return FrequencyDecision(cpu_level=cpu_level, gpu_level=gpu_level)
+
+    # -- policy protocol -----------------------------------------------------------------
+
+    def begin_frame(self, observation: FrameStartObservation) -> FrequencyDecision:
+        state = self.encoder.encode_start(observation)
+        # Complete the transition whose next state is this frame's start state:
+        # <s_{2i+1}, a_{2i+1}, r_{2i+1}, s_{2i+2}> in the two-decision setting,
+        # or the whole-frame transition in the single-decision ablation.
+        if self._pending_transition is not None and self.training:
+            prev_state, prev_action, prev_reward = self._pending_transition
+            # In the single-decision ablation there is only one kind of
+            # transition, stored in (and trained from) the start buffer.
+            buffer = self.start_buffer if self.config.single_decision else self.mid_buffer
+            buffer.push(
+                Transition(
+                    state=prev_state,
+                    action=prev_action,
+                    reward=prev_reward,
+                    next_state=state,
+                    next_width=self._start_width,
+                )
+            )
+        self._pending_transition = None
+        self._maybe_train(self.start_buffer, self._start_width)
+        action = self._select_action(
+            state,
+            self._start_width,
+            observation.cpu_level,
+            observation.gpu_level,
+            observation.cpu_temperature_c,
+            observation.gpu_temperature_c,
+        )
+        self._start_state = state
+        self._start_action = action
+        return self._decision_from_action(action)
+
+    def mid_frame(self, observation: MidFrameObservation) -> FrequencyDecision | None:
+        if self.config.single_decision:
+            return None
+        if self._start_state is None or self._start_action is None:
+            raise AgentError("mid_frame called before begin_frame")
+        state = self.encoder.encode_mid(observation)
+        self._maybe_train(self.mid_buffer, 1.0)
+        action = self._select_action(
+            state,
+            1.0,
+            observation.cpu_level,
+            observation.gpu_level,
+            observation.cpu_temperature_c,
+            observation.gpu_temperature_c,
+        )
+        self._mid_state = state
+        self._mid_action = action
+        return self._decision_from_action(action)
+
+    def end_frame(self, result: FrameResult) -> None:
+        frame_reward = self.reward_calculator.frame_reward(
+            latency_ms=result.total_latency_ms,
+            constraint_ms=result.latency_constraint_ms,
+            cpu_temperature_c=result.cpu_temperature_c,
+            gpu_temperature_c=result.gpu_temperature_c,
+            threshold_c=self.temperature_threshold_c,
+        )
+        self._reward_history.append(frame_reward.total)
+        if self.config.single_decision:
+            if self._start_state is not None and self._start_action is not None:
+                self._pending_transition = (
+                    self._start_state,
+                    self._start_action,
+                    frame_reward.total,
+                )
+        else:
+            # Both per-frame decisions are credited with the frame reward
+            # (the paper's dL_i is defined per image): the first transition
+            # <s_2i, a_2i, r_i, s_{2i+1}> can be stored now, the second one
+            # needs the next frame's start state and is therefore deferred.
+            if (
+                self.training
+                and self._start_state is not None
+                and self._start_action is not None
+                and self._mid_state is not None
+            ):
+                self.start_buffer.push(
+                    Transition(
+                        state=self._start_state,
+                        action=self._start_action,
+                        reward=frame_reward.total,
+                        next_state=self._mid_state,
+                        next_width=1.0,
+                    )
+                )
+            if self._mid_state is not None and self._mid_action is not None:
+                self._pending_transition = (
+                    self._mid_state,
+                    self._mid_action,
+                    frame_reward.total,
+                )
+        self._start_state = None
+        self._start_action = None
+        self._mid_state = None
+        self._mid_action = None

@@ -1,0 +1,72 @@
+"""Online training sessions.
+
+A thin orchestration layer that runs a policy on an environment and packages
+the trace, summary metrics and (for learning policies) the training
+diagnostics into a single :class:`SessionResult`.  The experiment runners in
+:mod:`repro.analysis.experiments` are built on top of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.env.environment import InferenceEnvironment
+from repro.env.episode import run_episode
+from repro.env.metrics import EpisodeMetrics, summarize_trace
+from repro.env.policy import Policy
+from repro.env.trace import Trace
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one online session.
+
+    Attributes:
+        policy_name: Name of the policy that produced the trace.
+        trace: Per-frame records of the whole session.
+        metrics: Summary statistics over the whole trace.
+        steady_metrics: Summary statistics over the second half of the trace
+            only — for learning policies this excludes most of the
+            exploration transient and is closer to the converged behaviour
+            the paper's tables report.
+        losses: TD losses recorded by the policy, if it learns (else empty).
+        rewards: Per-frame rewards recorded by the policy, if any.
+    """
+
+    policy_name: str
+    trace: Trace
+    metrics: EpisodeMetrics
+    steady_metrics: EpisodeMetrics
+    losses: List[float]
+    rewards: List[float]
+
+
+class OnlineSession:
+    """Couples an environment with a policy and runs online episodes."""
+
+    def __init__(self, environment: InferenceEnvironment, policy: Policy):
+        self.environment = environment
+        self.policy = policy
+
+    def run(self, num_frames: int, reset_environment: bool = True) -> SessionResult:
+        """Run ``num_frames`` frames and summarise the outcome."""
+        trace = run_episode(
+            self.environment,
+            self.policy,
+            num_frames,
+            reset_environment=reset_environment,
+        )
+        metrics = summarize_trace(trace)
+        steady_trace = trace.skip(len(trace) // 2) if len(trace) >= 4 else trace
+        steady_metrics = summarize_trace(steady_trace)
+        losses = list(getattr(self.policy, "loss_history", []))
+        rewards = list(getattr(self.policy, "reward_history", []))
+        return SessionResult(
+            policy_name=self.policy.name,
+            trace=trace,
+            metrics=metrics,
+            steady_metrics=steady_metrics,
+            losses=losses,
+            rewards=rewards,
+        )

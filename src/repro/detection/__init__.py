@@ -1,0 +1,54 @@
+"""Two-stage detector cost models.
+
+Lotus never looks inside a detector: the only detector properties it reacts
+to are (i) how long each stage takes at a given CPU/GPU frequency and (ii)
+how many proposals the RPN produced.  This package models exactly those
+properties with analytic per-stage cycle costs:
+
+* :mod:`repro.detection.stages` — cycle costs of the pipeline stages
+  (pre-processing, backbone, RPN, RoI pooling, classifier/mask head,
+  post-processing), split into CPU and GPU work.
+* :mod:`repro.detection.latency` — execution model mapping cycle costs plus
+  the current frequencies (and a per-device compute-efficiency profile) to
+  wall-clock latency and utilisation.
+* :mod:`repro.detection.proposals` — the RPN proposal-count model, the
+  source of the second-stage latency variation the paper targets.
+* :mod:`repro.detection.accuracy` — mAP model used for the Fig. 1
+  motivation plot.
+* :mod:`repro.detection.detector` — :class:`DetectorModel`, combining all
+  of the above; concrete FasterRCNN / MaskRCNN / YOLOv5 instantiations live
+  in their own modules and the registry builds them by name.
+"""
+
+from repro.detection.accuracy import AccuracyModel
+from repro.detection.detector import DetectorModel, StageBreakdown
+from repro.detection.faster_rcnn import faster_rcnn
+from repro.detection.latency import (
+    DeviceComputeProfile,
+    ExecutionModel,
+    SegmentExecution,
+    compute_profile_for,
+)
+from repro.detection.mask_rcnn import mask_rcnn
+from repro.detection.proposals import ProposalModel
+from repro.detection.registry import available_detectors, build_detector
+from repro.detection.stages import CycleCost, StageCost
+from repro.detection.yolo import yolo_v5
+
+__all__ = [
+    "AccuracyModel",
+    "CycleCost",
+    "DetectorModel",
+    "DeviceComputeProfile",
+    "ExecutionModel",
+    "ProposalModel",
+    "SegmentExecution",
+    "StageBreakdown",
+    "StageCost",
+    "available_detectors",
+    "build_detector",
+    "compute_profile_for",
+    "faster_rcnn",
+    "mask_rcnn",
+    "yolo_v5",
+]

@@ -1,0 +1,123 @@
+"""Detector model.
+
+A :class:`DetectorModel` describes a detector as an ordered list of
+:class:`~repro.detection.stages.StageCost` entries grouped into *stage 1*
+(pre-processing, backbone, RPN — executed before the proposal count is
+known) and *stage 2* (RoI pooling, classifier / mask head, post-processing —
+whose cost depends on the proposal count).  One-stage detectors such as
+YOLOv5 only have stage 1 and a fixed-cost head.
+
+The split into two stage groups is precisely what gives Lotus its two
+frequency-scaling opportunities per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DetectorError
+from repro.detection.proposals import ProposalModel
+from repro.detection.stages import CycleCost, StageCost
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-stage cost breakdown for one frame (used by profiling benches)."""
+
+    stage_name: str
+    cost: CycleCost
+
+
+@dataclass(frozen=True)
+class DetectorModel:
+    """Cost model of an object detector.
+
+    Attributes:
+        name: Detector identifier, e.g. ``"faster_rcnn"``.
+        stage1: Stages executed before the proposal count is known.
+        stage2: Stages executed after the RPN (empty for one-stage models).
+        proposal_model: RPN proposal-count model (ignored for one-stage
+            models, which use a fixed anchor grid).
+        description: Human-readable description for reports.
+    """
+
+    name: str
+    stage1: Tuple[StageCost, ...]
+    stage2: Tuple[StageCost, ...] = ()
+    proposal_model: ProposalModel = field(default_factory=ProposalModel)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DetectorError("detector name must be non-empty")
+        if not self.stage1:
+            raise DetectorError("a detector needs at least one stage-1 stage")
+        object.__setattr__(self, "stage1", tuple(self.stage1))
+        object.__setattr__(self, "stage2", tuple(self.stage2))
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def is_two_stage(self) -> bool:
+        """Whether the detector has a proposal-dependent second stage."""
+        return len(self.stage2) > 0
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        """Names of all stages in execution order."""
+        return tuple(s.name for s in self.stage1 + self.stage2)
+
+    # -- proposal generation --------------------------------------------------------
+
+    def propose(self, scene_candidates: float, rng: np.random.Generator) -> int:
+        """Number of RPN proposals produced for a scene.
+
+        One-stage detectors return 0: their head cost is folded into the
+        fixed stage-1 cost because they evaluate a static anchor grid.
+        """
+        if not self.is_two_stage:
+            return 0
+        return self.proposal_model.sample(scene_candidates, rng)
+
+    def expected_proposals(self, scene_candidates: float) -> int:
+        """Expected (noise-free) proposal count for a scene."""
+        if not self.is_two_stage:
+            return 0
+        return self.proposal_model.expected_proposals(scene_candidates)
+
+    # -- cost queries ------------------------------------------------------------------
+
+    def stage1_cost(self, image_scale: float = 1.0) -> CycleCost:
+        """Total stage-1 cost for an image at ``image_scale``."""
+        return _sum_costs(self.stage1, num_proposals=0, image_scale=image_scale)
+
+    def stage2_cost(self, num_proposals: int, image_scale: float = 1.0) -> CycleCost:
+        """Total stage-2 cost for ``num_proposals`` proposals."""
+        if not self.is_two_stage:
+            return CycleCost()
+        return _sum_costs(self.stage2, num_proposals=num_proposals, image_scale=image_scale)
+
+    def total_cost(self, num_proposals: int, image_scale: float = 1.0) -> CycleCost:
+        """Whole-frame cost."""
+        return self.stage1_cost(image_scale) + self.stage2_cost(num_proposals, image_scale)
+
+    def breakdown(
+        self, num_proposals: int, image_scale: float = 1.0
+    ) -> Tuple[StageBreakdown, ...]:
+        """Per-stage cost breakdown for one frame (profiling / Fig. 2)."""
+        result = []
+        for stage in self.stage1:
+            result.append(StageBreakdown(stage.name, stage.cost(0, image_scale)))
+        for stage in self.stage2:
+            result.append(StageBreakdown(stage.name, stage.cost(num_proposals, image_scale)))
+        return tuple(result)
+
+
+def _sum_costs(stages: Sequence[StageCost], num_proposals: int, image_scale: float) -> CycleCost:
+    total = CycleCost()
+    for stage in stages:
+        total = total + stage.cost(num_proposals, image_scale)
+    return total

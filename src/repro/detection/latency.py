@@ -1,0 +1,156 @@
+"""Execution model: cycle costs -> wall-clock latency and utilisation.
+
+A segment of detector work (one or more stages) executes serially: the CPU
+portion runs at the CPU frequency, the GPU portion at the GPU frequency, and
+the total latency is the sum plus a small launch overhead.  During the GPU
+portion the CPU is not idle — it feeds kernels and handles synchronisation —
+which is captured by a host-activity factor.  The resulting utilisations are
+what the thermal/power model and the utilisation-driven default governors
+consume.
+
+Different devices retire the same detector work at very different rates (an
+Adreno 642 is far slower than the Orin's Ampere GPU at equal clocks), which
+is captured by a per-device :class:`DeviceComputeProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError, DetectorError
+from repro.detection.stages import CycleCost
+
+
+@dataclass(frozen=True)
+class DeviceComputeProfile:
+    """Per-device compute efficiency relative to the calibration reference.
+
+    Attributes:
+        cpu_efficiency: Work retired per CPU kHz relative to the reference
+            platform (Jetson Orin Nano = 1.0).
+        gpu_efficiency: Work retired per GPU kHz relative to the reference.
+        launch_overhead_ms: Fixed per-segment overhead (kernel launches,
+            synchronisation, memory traffic) independent of frequency.
+        host_activity: Fraction of CPU activity sustained while the GPU part
+            of a segment is executing (kernel dispatch, data marshalling).
+    """
+
+    cpu_efficiency: float = 1.0
+    gpu_efficiency: float = 1.0
+    launch_overhead_ms: float = 2.0
+    host_activity: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.cpu_efficiency <= 0 or self.gpu_efficiency <= 0:
+            raise ConfigurationError("compute efficiencies must be positive")
+        if self.launch_overhead_ms < 0:
+            raise ConfigurationError("launch overhead must be non-negative")
+        if not 0.0 <= self.host_activity <= 1.0:
+            raise ConfigurationError("host_activity must lie in [0, 1]")
+
+
+#: Compute profiles for the built-in devices.  The Mi 11 Lite's Adreno 642
+#: and Kryo 670 retire detector work substantially slower than the Jetson's
+#: Ampere GPU and Cortex-A78AE at equal clock, which is what makes the
+#: phone's absolute latencies 3-4x larger in Tables 1 vs 2.
+_DEVICE_PROFILES: Dict[str, DeviceComputeProfile] = {
+    "jetson-orin-nano": DeviceComputeProfile(
+        cpu_efficiency=1.0,
+        gpu_efficiency=1.0,
+        launch_overhead_ms=2.0,
+        host_activity=0.25,
+    ),
+    "mi11-lite": DeviceComputeProfile(
+        cpu_efficiency=0.45,
+        gpu_efficiency=0.22,
+        launch_overhead_ms=4.0,
+        host_activity=0.3,
+    ),
+}
+
+
+def register_compute_profile(
+    device_name: str, profile: DeviceComputeProfile, *, overwrite: bool = False
+) -> None:
+    """Register the compute profile of a new device."""
+    if device_name in _DEVICE_PROFILES and not overwrite:
+        raise ConfigurationError(f"compute profile for {device_name!r} already registered")
+    _DEVICE_PROFILES[device_name] = profile
+
+
+def compute_profile_for(device_name: str) -> DeviceComputeProfile:
+    """Look up the compute profile registered for ``device_name``.
+
+    Unknown devices fall back to the reference profile so that custom device
+    descriptions work out of the box.
+    """
+    return _DEVICE_PROFILES.get(device_name, DeviceComputeProfile())
+
+
+@dataclass(frozen=True)
+class SegmentExecution:
+    """Result of executing one segment of work.
+
+    Attributes:
+        latency_ms: Wall-clock duration of the segment.
+        cpu_busy_ms: Time the CPU spent on its own portion of the work.
+        gpu_busy_ms: Time the GPU spent on its portion.
+        cpu_utilisation: Average CPU utilisation over the segment (includes
+            host activity while the GPU runs).
+        gpu_utilisation: Average GPU utilisation over the segment.
+    """
+
+    latency_ms: float
+    cpu_busy_ms: float
+    gpu_busy_ms: float
+    cpu_utilisation: float
+    gpu_utilisation: float
+
+
+class ExecutionModel:
+    """Maps :class:`CycleCost` work to latency at given frequencies."""
+
+    def __init__(self, profile: DeviceComputeProfile):
+        self.profile = profile
+
+    def execute(
+        self,
+        cost: CycleCost,
+        cpu_frequency_khz: float,
+        gpu_frequency_khz: float,
+    ) -> SegmentExecution:
+        """Compute the latency and utilisation of running ``cost``.
+
+        Args:
+            cost: Work to execute.
+            cpu_frequency_khz: Current CPU frequency.
+            gpu_frequency_khz: Current GPU frequency.
+        """
+        if cpu_frequency_khz <= 0 or gpu_frequency_khz <= 0:
+            raise DetectorError("frequencies must be positive")
+        cpu_ms = cost.cpu_kilocycles / (cpu_frequency_khz * self.profile.cpu_efficiency)
+        gpu_ms = cost.gpu_kilocycles / (gpu_frequency_khz * self.profile.gpu_efficiency)
+        latency_ms = cpu_ms + gpu_ms + self.profile.launch_overhead_ms
+        if latency_ms <= 0:
+            # Degenerate zero-work segment: report an idle instant.
+            return SegmentExecution(0.0, 0.0, 0.0, 0.0, 0.0)
+        cpu_busy = cpu_ms + self.profile.host_activity * gpu_ms
+        cpu_utilisation = min(1.0, cpu_busy / latency_ms)
+        gpu_utilisation = min(1.0, gpu_ms / latency_ms)
+        return SegmentExecution(
+            latency_ms=latency_ms,
+            cpu_busy_ms=cpu_ms,
+            gpu_busy_ms=gpu_ms,
+            cpu_utilisation=cpu_utilisation,
+            gpu_utilisation=gpu_utilisation,
+        )
+
+    def latency_ms(
+        self,
+        cost: CycleCost,
+        cpu_frequency_khz: float,
+        gpu_frequency_khz: float,
+    ) -> float:
+        """Convenience wrapper returning only the wall-clock latency."""
+        return self.execute(cost, cpu_frequency_khz, gpu_frequency_khz).latency_ms

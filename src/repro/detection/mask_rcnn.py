@@ -1,0 +1,64 @@
+"""Mask R-CNN cost model.
+
+Mask R-CNN extends Faster R-CNN with a per-proposal mask head, which makes
+its second stage markedly more expensive per proposal (≈0.6 ms at the
+reference operating point versus ≈0.14 ms for Faster R-CNN) and therefore
+its latency variation larger — visible in the paper's Fig. 1/2 where
+Mask R-CNN's second stage reaches ≈200 ms at only 300 proposals.
+"""
+
+from __future__ import annotations
+
+from repro.detection.detector import DetectorModel
+from repro.detection.proposals import ProposalModel
+from repro.detection.stages import StageCost, reference_cost
+
+
+def mask_rcnn() -> DetectorModel:
+    """Build the Mask R-CNN detector cost model."""
+    stage1 = (
+        StageCost(name="preprocess", fixed=reference_cost(cpu_ms=15.0, gpu_ms=0.0)),
+        StageCost(name="backbone", fixed=reference_cost(cpu_ms=10.0, gpu_ms=158.0)),
+        StageCost(name="rpn", fixed=reference_cost(cpu_ms=10.0, gpu_ms=43.0)),
+    )
+    stage2 = (
+        StageCost(
+            name="roi_pooling",
+            fixed=reference_cost(cpu_ms=2.0, gpu_ms=8.0),
+            per_proposal=reference_cost(cpu_ms=0.004, gpu_ms=0.016),
+            scales_with_image=False,
+        ),
+        StageCost(
+            name="classifier",
+            fixed=reference_cost(cpu_ms=1.0, gpu_ms=14.0),
+            per_proposal=reference_cost(cpu_ms=0.01, gpu_ms=0.09),
+            scales_with_image=False,
+        ),
+        StageCost(
+            name="mask_head",
+            fixed=reference_cost(cpu_ms=1.0, gpu_ms=9.0),
+            per_proposal=reference_cost(cpu_ms=0.03, gpu_ms=0.42),
+            scales_with_image=False,
+        ),
+        StageCost(
+            name="postprocess",
+            fixed=reference_cost(cpu_ms=6.0, gpu_ms=0.0),
+            per_proposal=reference_cost(cpu_ms=0.025, gpu_ms=0.0),
+            scales_with_image=False,
+        ),
+    )
+    return DetectorModel(
+        name="mask_rcnn",
+        stage1=stage1,
+        stage2=stage2,
+        proposal_model=ProposalModel(
+            keep_ratio=0.55,
+            max_proposals=300,
+            min_proposals=10,
+            noise_std=0.08,
+        ),
+        description=(
+            "Mask R-CNN: Faster R-CNN plus a per-proposal instance "
+            "segmentation mask head."
+        ),
+    )

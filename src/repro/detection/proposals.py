@@ -1,0 +1,65 @@
+"""Region Proposal Network proposal-count model.
+
+The number of proposals kept after the RPN's NMS varies strongly from image
+to image — it tracks how many candidate objects the scene contains — and is
+the internal source of second-stage latency variation identified by the
+paper.  The model maps a scene's *candidate object count* (produced by the
+workload package) to a proposal count, with a detector-specific keep-ratio,
+a post-NMS cap and multiplicative noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DetectorError
+
+
+@dataclass(frozen=True)
+class ProposalModel:
+    """Scene candidates -> RPN proposal count.
+
+    Attributes:
+        keep_ratio: Average number of proposals kept per scene candidate
+            (an RPN typically keeps several overlapping proposals per actual
+            object before the second stage refines them).
+        max_proposals: Post-NMS cap on the number of proposals (``RPN_POST_NMS_TOP_N``
+            in common detector configurations).
+        min_proposals: Lower bound; even an empty scene produces a few
+            background proposals.
+        noise_std: Standard deviation of the multiplicative log-normal noise
+            applied to the expected count (captures NMS threshold effects).
+    """
+
+    keep_ratio: float = 1.0
+    max_proposals: int = 1000
+    min_proposals: int = 5
+    noise_std: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.keep_ratio <= 0:
+            raise DetectorError("keep_ratio must be positive")
+        if self.max_proposals <= 0:
+            raise DetectorError("max_proposals must be positive")
+        if self.min_proposals < 0 or self.min_proposals > self.max_proposals:
+            raise DetectorError("min_proposals must lie in [0, max_proposals]")
+        if self.noise_std < 0:
+            raise DetectorError("noise_std must be non-negative")
+
+    def expected_proposals(self, scene_candidates: float) -> int:
+        """Deterministic expected proposal count for a scene (no noise)."""
+        if scene_candidates < 0:
+            raise DetectorError("scene_candidates must be non-negative")
+        expected = scene_candidates * self.keep_ratio
+        return int(np.clip(round(expected), self.min_proposals, self.max_proposals))
+
+    def sample(self, scene_candidates: float, rng: np.random.Generator) -> int:
+        """Sample a proposal count for a scene with ``scene_candidates`` objects."""
+        if scene_candidates < 0:
+            raise DetectorError("scene_candidates must be non-negative")
+        expected = scene_candidates * self.keep_ratio
+        if self.noise_std > 0:
+            expected *= float(np.exp(rng.normal(0.0, self.noise_std)))
+        return int(np.clip(round(expected), self.min_proposals, self.max_proposals))

@@ -1,0 +1,44 @@
+"""Detector registry: build detector cost models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.detection.detector import DetectorModel
+from repro.detection.faster_rcnn import faster_rcnn
+from repro.detection.mask_rcnn import mask_rcnn
+from repro.detection.yolo import yolo_v5
+
+DetectorBuilder = Callable[[], DetectorModel]
+
+_REGISTRY: Dict[str, DetectorBuilder] = {
+    "faster_rcnn": faster_rcnn,
+    "mask_rcnn": mask_rcnn,
+    "yolo_v5": yolo_v5,
+}
+
+
+def register_detector(name: str, builder: DetectorBuilder, *, overwrite: bool = False) -> None:
+    """Register a custom detector cost model under ``name``."""
+    if not name:
+        raise ConfigurationError("detector name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"detector {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def available_detectors() -> tuple[str, ...]:
+    """Names of all registered detectors."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_detector(name: str) -> DetectorModel:
+    """Build a registered detector cost model by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; available: {available_detectors()}"
+        ) from exc
+    return builder()

@@ -1,0 +1,129 @@
+"""Cycle costs of detector pipeline stages.
+
+All work is expressed in *kilocycles*: a quantity chosen so that dividing by
+a frequency in kHz yields milliseconds directly
+(``time_ms = kilocycles / frequency_khz``).  Costs are split between the CPU
+and the GPU, which is what lets the joint CPU/GPU frequency decision of
+Lotus trade off the two domains.
+
+The reference numbers used by the concrete detectors are calibrated at the
+Jetson Orin Nano's maximum operating points (1.5104 GHz CPU, 624.75 MHz GPU)
+so that, at maximum frequency, stage 1 contributes roughly 80 % of the total
+latency — the profiling observation in §4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DetectorError
+
+
+@dataclass(frozen=True)
+class CycleCost:
+    """An amount of work split between CPU and GPU.
+
+    Attributes:
+        cpu_kilocycles: CPU work; ``cpu_kilocycles / f_cpu_khz`` is the CPU
+            time in milliseconds.
+        gpu_kilocycles: GPU work; ``gpu_kilocycles / f_gpu_khz`` is the GPU
+            time in milliseconds.
+    """
+
+    cpu_kilocycles: float = 0.0
+    gpu_kilocycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_kilocycles < 0 or self.gpu_kilocycles < 0:
+            raise DetectorError("cycle costs must be non-negative")
+
+    def __add__(self, other: "CycleCost") -> "CycleCost":
+        return CycleCost(
+            cpu_kilocycles=self.cpu_kilocycles + other.cpu_kilocycles,
+            gpu_kilocycles=self.gpu_kilocycles + other.gpu_kilocycles,
+        )
+
+    def scaled(self, factor: float) -> "CycleCost":
+        """Return the cost multiplied by ``factor`` (e.g. an image-scale)."""
+        if factor < 0:
+            raise DetectorError("scale factor must be non-negative")
+        return CycleCost(
+            cpu_kilocycles=self.cpu_kilocycles * factor,
+            gpu_kilocycles=self.gpu_kilocycles * factor,
+        )
+
+    @property
+    def total_kilocycles(self) -> float:
+        """Sum of CPU and GPU work (useful for rough comparisons only)."""
+        return self.cpu_kilocycles + self.gpu_kilocycles
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_reference_ms(
+        cls,
+        cpu_ms: float,
+        gpu_ms: float,
+        reference_cpu_khz: float,
+        reference_gpu_khz: float,
+    ) -> "CycleCost":
+        """Build a cost from measured milliseconds at reference frequencies.
+
+        This is how the concrete detectors are calibrated: "the backbone
+        takes ``gpu_ms`` on the GPU at ``reference_gpu_khz``" translates
+        directly into a kilocycle count.
+        """
+        if cpu_ms < 0 or gpu_ms < 0:
+            raise DetectorError("reference times must be non-negative")
+        if reference_cpu_khz <= 0 or reference_gpu_khz <= 0:
+            raise DetectorError("reference frequencies must be positive")
+        return cls(
+            cpu_kilocycles=cpu_ms * reference_cpu_khz,
+            gpu_kilocycles=gpu_ms * reference_gpu_khz,
+        )
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Cost model of one detector stage.
+
+    A stage has a fixed cost (independent of the number of proposals) and a
+    marginal cost per proposal.  Stage 1 of a two-stage detector has zero
+    per-proposal cost; stage 2's per-proposal cost is what produces the
+    latency variation Lotus reacts to.
+
+    Attributes:
+        name: Stage name, e.g. ``"backbone"`` or ``"classifier"``.
+        fixed: Fixed cost per image.
+        per_proposal: Marginal cost per RPN proposal.
+        scales_with_image: Whether the fixed cost grows with the dataset's
+            image-scale factor (convolutional stages do; per-proposal heads
+            operate on fixed-size RoI crops and do not).
+    """
+
+    name: str
+    fixed: CycleCost
+    per_proposal: CycleCost = CycleCost()
+    scales_with_image: bool = True
+
+    def cost(self, num_proposals: int, image_scale: float) -> CycleCost:
+        """Total cost for ``num_proposals`` proposals at ``image_scale``."""
+        if num_proposals < 0:
+            raise DetectorError("number of proposals must be non-negative")
+        if image_scale <= 0:
+            raise DetectorError("image scale must be positive")
+        fixed = self.fixed.scaled(image_scale) if self.scales_with_image else self.fixed
+        return fixed + self.per_proposal.scaled(float(num_proposals))
+
+
+#: Reference frequencies at which the built-in detectors' stage times are
+#: calibrated (Jetson Orin Nano maximum operating points).
+REFERENCE_CPU_KHZ = 1_510_400.0
+REFERENCE_GPU_KHZ = 624_750.0
+
+
+def reference_cost(cpu_ms: float, gpu_ms: float) -> CycleCost:
+    """Cycle cost from milliseconds measured at the reference frequencies."""
+    return CycleCost.from_reference_ms(
+        cpu_ms, gpu_ms, REFERENCE_CPU_KHZ, REFERENCE_GPU_KHZ
+    )

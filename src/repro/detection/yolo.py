@@ -1,0 +1,35 @@
+"""YOLOv5 cost model (one-stage baseline).
+
+YOLOv5 predicts boxes and classes in a single pass over a static anchor
+grid, so its per-frame work is essentially constant: there is no
+proposal-dependent second stage and therefore almost no latency variation —
+the contrast the paper draws in Fig. 1 (variation of a few ms versus
+100-200 ms for the two-stage detectors).
+"""
+
+from __future__ import annotations
+
+from repro.detection.detector import DetectorModel
+from repro.detection.stages import StageCost, reference_cost
+
+
+def yolo_v5() -> DetectorModel:
+    """Build the YOLOv5 (one-stage) detector cost model."""
+    stage1 = (
+        StageCost(name="preprocess", fixed=reference_cost(cpu_ms=8.0, gpu_ms=0.0)),
+        StageCost(name="backbone_neck_head", fixed=reference_cost(cpu_ms=5.0, gpu_ms=58.0)),
+        StageCost(
+            name="postprocess",
+            fixed=reference_cost(cpu_ms=6.0, gpu_ms=0.0),
+            scales_with_image=False,
+        ),
+    )
+    return DetectorModel(
+        name="yolo_v5",
+        stage1=stage1,
+        stage2=(),
+        description=(
+            "YOLOv5: single-pass detector over a static anchor grid; fast "
+            "and stable but less accurate than two-stage models."
+        ),
+    )

@@ -1,0 +1,113 @@
+"""Ambient-temperature profiles.
+
+The external environment of an edge device changes over time: a phone moves
+between a warm room and the cold outdoors, a drone climbs to colder air.
+The paper's Fig. 7a evaluates exactly this by moving the device between a
+25 °C "warm zone" and a 0 °C "cold zone" during inference.  An
+:class:`AmbientProfile` maps the current frame index to the ambient
+temperature the thermal network should cool towards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+class AmbientProfile(ABC):
+    """Maps a frame index to an ambient temperature in °C."""
+
+    @abstractmethod
+    def temperature_at(self, frame_index: int) -> float:
+        """Ambient temperature (°C) when processing frame ``frame_index``."""
+
+    def initial_temperature(self) -> float:
+        """Ambient temperature before the first frame."""
+        return self.temperature_at(0)
+
+
+@dataclass(frozen=True)
+class ConstantAmbient(AmbientProfile):
+    """A fixed ambient temperature (the paper's "static environment").
+
+    Attributes:
+        temperature_c: The constant ambient temperature.
+    """
+
+    temperature_c: float = 25.0
+
+    def temperature_at(self, frame_index: int) -> float:
+        return self.temperature_c
+
+
+@dataclass(frozen=True)
+class AmbientSegment:
+    """One segment of a stepped ambient schedule.
+
+    Attributes:
+        num_frames: Number of frames the segment lasts.
+        temperature_c: Ambient temperature during the segment.
+        label: Optional human-readable label ("warm zone", "cold zone").
+    """
+
+    num_frames: int
+    temperature_c: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise ConfigurationError("ambient segment must last at least one frame")
+
+
+class StepAmbient(AmbientProfile):
+    """Piecewise-constant ambient schedule (warm zone → cold zone → ...).
+
+    The last segment extends indefinitely, so an episode may run longer than
+    the scheduled segments without error.
+    """
+
+    def __init__(self, segments: Sequence[AmbientSegment]):
+        if not segments:
+            raise ConfigurationError("StepAmbient requires at least one segment")
+        self._segments = tuple(segments)
+        boundaries = []
+        start = 0
+        for segment in self._segments:
+            start += segment.num_frames
+            boundaries.append(start)
+        self._boundaries = tuple(boundaries)
+
+    @property
+    def segments(self) -> tuple[AmbientSegment, ...]:
+        """The configured segments."""
+        return self._segments
+
+    def segment_at(self, frame_index: int) -> AmbientSegment:
+        """The segment active at ``frame_index``."""
+        if frame_index < 0:
+            raise ConfigurationError("frame_index must be non-negative")
+        for boundary, segment in zip(self._boundaries, self._segments):
+            if frame_index < boundary:
+                return segment
+        return self._segments[-1]
+
+    def temperature_at(self, frame_index: int) -> float:
+        return self.segment_at(frame_index).temperature_c
+
+
+def warm_cold_warm(
+    frames_per_zone: int,
+    warm_temperature_c: float = 25.0,
+    cold_temperature_c: float = 0.0,
+) -> StepAmbient:
+    """The Fig. 7a schedule: warm zone → cold zone → warm zone."""
+    return StepAmbient(
+        [
+            AmbientSegment(frames_per_zone, warm_temperature_c, label="warm zone"),
+            AmbientSegment(frames_per_zone, cold_temperature_c, label="cold zone"),
+            AmbientSegment(frames_per_zone, warm_temperature_c, label="warm zone"),
+        ]
+    )

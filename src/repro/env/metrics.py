@@ -1,0 +1,118 @@
+"""Episode metrics.
+
+The quantitative results of the paper (Tables 1 and 2) report, per
+(detector, dataset, method) combination: the mean latency ``l``, the latency
+standard deviation ``sigma_l`` and the satisfaction rate ``R_L`` (fraction
+of frames meeting the latency constraint).  :func:`summarize_trace` computes
+these plus the thermal and energy metrics used in the discussion sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.env.trace import Trace
+
+
+@dataclass(frozen=True)
+class EpisodeMetrics:
+    """Summary statistics of one episode trace.
+
+    Attributes:
+        num_frames: Number of frames summarised.
+        mean_latency_ms: Mean end-to-end latency (``l`` in the tables).
+        latency_std_ms: Standard deviation of latency (``sigma_l``).
+        min_latency_ms / max_latency_ms: Latency extremes.
+        p95_latency_ms: 95th-percentile latency.
+        satisfaction_rate: Fraction of frames meeting the constraint (``R_L``).
+        mean_stage1_latency_ms / mean_stage2_latency_ms: Per-stage means.
+        stage2_latency_std_ms: Standard deviation of the second-stage latency.
+        mean_temperature_c: Mean of the per-frame mean (CPU, GPU) temperature.
+        max_temperature_c: Hottest per-frame mean temperature observed.
+        max_cpu_temperature_c / max_gpu_temperature_c: Per-die maxima.
+        throttled_fraction: Fraction of frames with hardware throttling active.
+        total_energy_j: Total energy consumed over the episode.
+        mean_proposals: Mean RPN proposal count.
+    """
+
+    num_frames: int
+    mean_latency_ms: float
+    latency_std_ms: float
+    min_latency_ms: float
+    max_latency_ms: float
+    p95_latency_ms: float
+    satisfaction_rate: float
+    mean_stage1_latency_ms: float
+    mean_stage2_latency_ms: float
+    stage2_latency_std_ms: float
+    mean_temperature_c: float
+    max_temperature_c: float
+    max_cpu_temperature_c: float
+    max_gpu_temperature_c: float
+    throttled_fraction: float
+    total_energy_j: float
+    mean_proposals: float
+
+    @property
+    def stage1_latency_share(self) -> float:
+        """Fraction of mean latency spent in stage 1 (≈0.8 per paper §4.2)."""
+        total = self.mean_stage1_latency_ms + self.mean_stage2_latency_ms
+        if total <= 0:
+            return 0.0
+        return self.mean_stage1_latency_ms / total
+
+
+def summarize_trace(trace: Trace) -> EpisodeMetrics:
+    """Compute :class:`EpisodeMetrics` for a trace.
+
+    Raises:
+        ExperimentError: If the trace is empty.
+    """
+    if len(trace) == 0:
+        raise ExperimentError("cannot summarise an empty trace")
+    latencies = trace.latencies_ms()
+    stage1 = trace.stage1_latencies_ms()
+    stage2 = trace.stage2_latencies_ms()
+    mean_temps = trace.mean_temperatures_c()
+    return EpisodeMetrics(
+        num_frames=len(trace),
+        mean_latency_ms=float(np.mean(latencies)),
+        latency_std_ms=float(np.std(latencies)),
+        min_latency_ms=float(np.min(latencies)),
+        max_latency_ms=float(np.max(latencies)),
+        p95_latency_ms=float(np.percentile(latencies, 95)),
+        satisfaction_rate=float(np.mean(trace.constraint_met())),
+        mean_stage1_latency_ms=float(np.mean(stage1)),
+        mean_stage2_latency_ms=float(np.mean(stage2)),
+        stage2_latency_std_ms=float(np.std(stage2)),
+        mean_temperature_c=float(np.mean(mean_temps)),
+        max_temperature_c=float(np.max(mean_temps)),
+        max_cpu_temperature_c=float(np.max(trace.cpu_temperatures_c())),
+        max_gpu_temperature_c=float(np.max(trace.gpu_temperatures_c())),
+        throttled_fraction=float(np.mean(trace.throttled())),
+        total_energy_j=float(np.sum(trace.energies_j())),
+        mean_proposals=float(np.mean(trace.proposals())),
+    )
+
+
+def downsample_series(values: np.ndarray, max_points: int = 100) -> np.ndarray:
+    """Average ``values`` into at most ``max_points`` buckets.
+
+    Figure benches print latency/temperature series; averaging into a fixed
+    number of buckets keeps the printed output readable regardless of the
+    episode length.
+    """
+    if max_points <= 0:
+        raise ExperimentError("max_points must be positive")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values
+    if values.size <= max_points:
+        return values.copy()
+    edges = np.linspace(0, values.size, max_points + 1, dtype=int)
+    return np.array(
+        [np.mean(values[start:end]) for start, end in zip(edges[:-1], edges[1:]) if end > start]
+    )

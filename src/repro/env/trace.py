@@ -1,0 +1,155 @@
+"""Frame-level execution traces.
+
+A :class:`Trace` is the primary experiment artefact: one
+:class:`FrameRecord` per processed image, carrying everything needed to
+regenerate the paper's figures (latency and temperature series) and tables
+(latency mean/std and satisfaction rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything recorded about the inference of one image frame.
+
+    Attributes:
+        index: Frame index within the episode.
+        dataset: Dataset the frame came from.
+        num_proposals: RPN proposal count (0 for one-stage detectors).
+        stage1_latency_ms: Latency of pre-processing + backbone + RPN.
+        stage2_latency_ms: Latency of RoI pooling + heads + post-processing.
+        total_latency_ms: End-to-end frame latency.
+        latency_constraint_ms: Constraint in force for this frame.
+        met_constraint: Whether ``total_latency_ms <= latency_constraint_ms``.
+        cpu_temperature_c / gpu_temperature_c: Die temperatures at frame end.
+        cpu_level_stage1 / gpu_level_stage1: Effective levels during stage 1.
+        cpu_level_stage2 / gpu_level_stage2: Effective levels during stage 2.
+        cpu_throttled / gpu_throttled: Whether hardware throttling was active
+            at any point during the frame.
+        ambient_temperature_c: Ambient temperature while processing the frame.
+        energy_j: Energy consumed by the frame.
+    """
+
+    index: int
+    dataset: str
+    num_proposals: int
+    stage1_latency_ms: float
+    stage2_latency_ms: float
+    total_latency_ms: float
+    latency_constraint_ms: float
+    met_constraint: bool
+    cpu_temperature_c: float
+    gpu_temperature_c: float
+    cpu_level_stage1: int
+    gpu_level_stage1: int
+    cpu_level_stage2: int
+    gpu_level_stage2: int
+    cpu_throttled: bool
+    gpu_throttled: bool
+    ambient_temperature_c: float
+    energy_j: float
+
+    @property
+    def mean_temperature_c(self) -> float:
+        """Average of CPU and GPU temperature (the quantity the paper plots)."""
+        return 0.5 * (self.cpu_temperature_c + self.gpu_temperature_c)
+
+    @property
+    def any_throttled(self) -> bool:
+        """Whether either processor throttled during the frame."""
+        return self.cpu_throttled or self.gpu_throttled
+
+
+class Trace:
+    """Ordered collection of :class:`FrameRecord` entries."""
+
+    def __init__(self, records: Sequence[FrameRecord] | None = None):
+        self._records: List[FrameRecord] = list(records) if records else []
+
+    # -- container protocol -------------------------------------------------------
+
+    def append(self, record: FrameRecord) -> None:
+        """Append a record to the trace."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FrameRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> FrameRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple[FrameRecord, ...]:
+        """All records as an immutable tuple."""
+        return tuple(self._records)
+
+    # -- slicing helpers -------------------------------------------------------------
+
+    def tail(self, count: int) -> "Trace":
+        """The last ``count`` records as a new trace."""
+        if count < 0:
+            raise ExperimentError("count must be non-negative")
+        return Trace(self._records[-count:] if count else [])
+
+    def skip(self, count: int) -> "Trace":
+        """Drop the first ``count`` records (e.g. a warm-up / learning prefix)."""
+        if count < 0:
+            raise ExperimentError("count must be non-negative")
+        return Trace(self._records[count:])
+
+    def for_dataset(self, dataset: str) -> "Trace":
+        """Records belonging to one dataset (useful after domain switches)."""
+        return Trace([r for r in self._records if r.dataset == dataset])
+
+    # -- array accessors ---------------------------------------------------------------
+
+    def latencies_ms(self) -> np.ndarray:
+        """Total latency of every frame as a NumPy array."""
+        return np.array([r.total_latency_ms for r in self._records], dtype=float)
+
+    def stage1_latencies_ms(self) -> np.ndarray:
+        """Stage-1 latency of every frame."""
+        return np.array([r.stage1_latency_ms for r in self._records], dtype=float)
+
+    def stage2_latencies_ms(self) -> np.ndarray:
+        """Stage-2 latency of every frame."""
+        return np.array([r.stage2_latency_ms for r in self._records], dtype=float)
+
+    def proposals(self) -> np.ndarray:
+        """Proposal count of every frame."""
+        return np.array([r.num_proposals for r in self._records], dtype=int)
+
+    def mean_temperatures_c(self) -> np.ndarray:
+        """Mean (CPU, GPU) temperature of every frame."""
+        return np.array([r.mean_temperature_c for r in self._records], dtype=float)
+
+    def cpu_temperatures_c(self) -> np.ndarray:
+        """CPU temperature of every frame."""
+        return np.array([r.cpu_temperature_c for r in self._records], dtype=float)
+
+    def gpu_temperatures_c(self) -> np.ndarray:
+        """GPU temperature of every frame."""
+        return np.array([r.gpu_temperature_c for r in self._records], dtype=float)
+
+    def constraint_met(self) -> np.ndarray:
+        """Boolean array of constraint satisfaction per frame."""
+        return np.array([r.met_constraint for r in self._records], dtype=bool)
+
+    def throttled(self) -> np.ndarray:
+        """Boolean array: whether either processor throttled per frame."""
+        return np.array([r.any_throttled for r in self._records], dtype=bool)
+
+    def energies_j(self) -> np.ndarray:
+        """Per-frame energy consumption."""
+        return np.array([r.energy_j for r in self._records], dtype=float)

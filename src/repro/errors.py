@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Lotus reproduction.
+
+Every error raised by the library derives from :class:`LotusError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class LotusError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(LotusError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class FrequencyError(ConfigurationError):
+    """An operating point or frequency level does not exist on the device."""
+
+
+class DeviceError(LotusError):
+    """The simulated device was driven into an invalid state."""
+
+
+class ThermalError(DeviceError):
+    """The thermal model was asked to do something physically meaningless."""
+
+
+class WorkloadError(LotusError):
+    """A workload or dataset stream was misconfigured or exhausted."""
+
+
+class DetectorError(LotusError):
+    """A detector cost model received invalid work parameters."""
+
+
+class AgentError(LotusError):
+    """A DRL agent was used outside of its valid protocol (e.g. acting on a
+    mid-frame state before the frame was started)."""
+
+
+class ReplayBufferError(AgentError):
+    """Sampling from an empty replay buffer or pushing malformed transitions."""
+
+
+class ProtocolError(LotusError):
+    """The simulated agent/client communication channel was misused."""
+
+
+class ExperimentError(LotusError):
+    """An experiment runner was configured with an impossible combination."""

@@ -1,0 +1,39 @@
+"""Baseline DVFS governors.
+
+Reimplementations of the utilisation-driven governors that ship with Linux
+and Android, which form the "default" baseline of the paper's evaluation:
+
+* ``schedutil`` — the default CPU governor on both evaluation devices.
+* ``ondemand`` — the classic threshold-based CPU governor.
+* ``nvhost_podgov`` — the Jetson's GPU load governor (a
+  ``simple_ondemand``-style up/down controller).
+* ``msm-adreno-tz`` — the Adreno GPU governor on Snapdragon phones.
+* ``performance`` / ``powersave`` / ``userspace`` — static governors.
+
+A :class:`DefaultGovernorPolicy` pairs a CPU governor with a GPU governor
+into a single :class:`~repro.env.policy.Policy`, mirroring how the two run
+independently on a real device — the very limitation (no coordination, no
+application awareness) that motivates zTT and Lotus.
+"""
+
+from repro.governors.base import CpuGovernor, DefaultGovernorPolicy, GpuGovernor
+from repro.governors.cpu import OndemandGovernor, SchedutilGovernor
+from repro.governors.gpu import MsmAdrenoTzGovernor, NvhostPodgovGovernor, SimpleOndemandGovernor
+from repro.governors.static import PerformancePolicy, PowersavePolicy, UserspacePolicy
+from repro.governors.registry import available_governors, build_default_governor
+
+__all__ = [
+    "CpuGovernor",
+    "DefaultGovernorPolicy",
+    "GpuGovernor",
+    "MsmAdrenoTzGovernor",
+    "NvhostPodgovGovernor",
+    "OndemandGovernor",
+    "PerformancePolicy",
+    "PowersavePolicy",
+    "SchedutilGovernor",
+    "SimpleOndemandGovernor",
+    "UserspacePolicy",
+    "available_governors",
+    "build_default_governor",
+]

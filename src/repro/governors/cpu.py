@@ -1,0 +1,65 @@
+"""CPU governors: ``schedutil`` and ``ondemand``.
+
+Both map observed CPU utilisation to a frequency target.  Neither knows
+anything about the application: under a GPU-bound detector workload with a
+busy host thread they settle at a medium-to-high operating point and keep it
+there regardless of temperature or deadline — which is exactly the
+"application-agnostic" limitation the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import CpuGovernor
+
+
+class SchedutilGovernor(CpuGovernor):
+    """The mainline Linux ``schedutil`` governor.
+
+    Selects ``next_freq = margin * max_freq * utilisation`` and maps it to
+    the smallest operating point at or above that target (the standard 1.25
+    headroom margin).  A one-step-down rate limit mimics the governor's
+    reluctance to drop frequency sharply between samples.
+    """
+
+    name = "schedutil"
+
+    def __init__(self, margin: float = 1.25, max_step_down: int = 1):
+        if margin <= 0:
+            raise ConfigurationError("margin must be positive")
+        if max_step_down < 0:
+            raise ConfigurationError("max_step_down must be non-negative")
+        self.margin = margin
+        self.max_step_down = max_step_down
+
+    def select_level(self, utilisation: float, current_level: int, num_levels: int) -> int:
+        utilisation = min(max(utilisation, 0.0), 1.0)
+        target_fraction = min(1.0, self.margin * utilisation)
+        # Map the fractional target onto the level index range, rounding up
+        # like the cpufreq table lookup does.
+        target_level = int(min(num_levels - 1, round(target_fraction * (num_levels - 1) + 0.49)))
+        if self.max_step_down and target_level < current_level - self.max_step_down:
+            target_level = current_level - self.max_step_down
+        return max(0, min(num_levels - 1, target_level))
+
+
+class OndemandGovernor(CpuGovernor):
+    """The classic ``ondemand`` governor.
+
+    Jumps straight to the maximum frequency when utilisation exceeds the up
+    threshold, and otherwise scales frequency proportionally to utilisation.
+    """
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 0.8):
+        if not 0.0 < up_threshold <= 1.0:
+            raise ConfigurationError("up_threshold must lie in (0, 1]")
+        self.up_threshold = up_threshold
+
+    def select_level(self, utilisation: float, current_level: int, num_levels: int) -> int:
+        utilisation = min(max(utilisation, 0.0), 1.0)
+        if utilisation >= self.up_threshold:
+            return num_levels - 1
+        target_level = int(round(utilisation / self.up_threshold * (num_levels - 1)))
+        return max(0, min(num_levels - 1, target_level))

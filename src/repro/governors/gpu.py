@@ -1,0 +1,63 @@
+"""GPU governors: ``simple_ondemand``, ``nvhost_podgov`` and ``msm-adreno-tz``.
+
+devfreq GPU governors are up/down controllers on busy-time: when the GPU is
+busier than an upper threshold they raise the operating point, when it is
+idler than a lower threshold they lower it.  A detector keeps the GPU almost
+fully busy, so all of these governors quickly climb to — and then sit at —
+the top operating point until hardware thermal throttling intervenes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import GpuGovernor
+
+
+class SimpleOndemandGovernor(GpuGovernor):
+    """Linux devfreq ``simple_ondemand``: threshold-based up/down stepping."""
+
+    name = "simple_ondemand"
+
+    def __init__(self, up_threshold: float = 0.85, down_threshold: float = 0.3, up_step: int = 2):
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ConfigurationError("require 0 < down_threshold < up_threshold <= 1")
+        if up_step <= 0:
+            raise ConfigurationError("up_step must be positive")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.up_step = up_step
+
+    def select_level(self, utilisation: float, current_level: int, num_levels: int) -> int:
+        utilisation = min(max(utilisation, 0.0), 1.0)
+        if utilisation >= self.up_threshold:
+            return min(num_levels - 1, current_level + self.up_step)
+        if utilisation <= self.down_threshold:
+            return max(0, current_level - 1)
+        return current_level
+
+
+class NvhostPodgovGovernor(SimpleOndemandGovernor):
+    """The Jetson GPU's ``nvhost_podgov`` governor.
+
+    Behaviourally a ``simple_ondemand`` variant with a more aggressive ramp:
+    under the sustained load of a detector it reaches the top operating point
+    within a couple of frames.
+    """
+
+    name = "nvhost_podgov"
+
+    def __init__(self) -> None:
+        super().__init__(up_threshold=0.8, down_threshold=0.25, up_step=3)
+
+
+class MsmAdrenoTzGovernor(SimpleOndemandGovernor):
+    """The Snapdragon Adreno ``msm-adreno-tz`` governor.
+
+    Qualcomm's TrustZone-assisted governor also behaves like an aggressive
+    busy-time up/down controller at this level of abstraction.
+    """
+
+    name = "msm-adreno-tz"
+
+    def __init__(self) -> None:
+        super().__init__(up_threshold=0.75, down_threshold=0.2, up_step=2)

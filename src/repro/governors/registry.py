@@ -1,0 +1,62 @@
+"""Default-governor registry.
+
+The paper compares against "the default governors" of each device:
+``schedutil`` + ``nvhost_podgov`` on the Jetson Orin Nano and ``schedutil``
++ ``msm-adreno-tz`` on the Mi 11 Lite.  This registry builds the matching
+:class:`~repro.governors.base.DefaultGovernorPolicy` for a device name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.governors.base import DefaultGovernorPolicy
+from repro.governors.cpu import SchedutilGovernor
+from repro.governors.gpu import MsmAdrenoTzGovernor, NvhostPodgovGovernor, SimpleOndemandGovernor
+
+GovernorBuilder = Callable[[], DefaultGovernorPolicy]
+
+
+def _jetson_default() -> DefaultGovernorPolicy:
+    return DefaultGovernorPolicy(SchedutilGovernor(), NvhostPodgovGovernor())
+
+
+def _mi11_default() -> DefaultGovernorPolicy:
+    return DefaultGovernorPolicy(SchedutilGovernor(), MsmAdrenoTzGovernor())
+
+
+def _generic_default() -> DefaultGovernorPolicy:
+    return DefaultGovernorPolicy(SchedutilGovernor(), SimpleOndemandGovernor())
+
+
+_REGISTRY: Dict[str, GovernorBuilder] = {
+    "jetson-orin-nano": _jetson_default,
+    "mi11-lite": _mi11_default,
+}
+
+
+def register_default_governor(
+    device_name: str, builder: GovernorBuilder, *, overwrite: bool = False
+) -> None:
+    """Register the default governor pairing of a new device."""
+    if not device_name:
+        raise ConfigurationError("device name must be non-empty")
+    if device_name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"default governor for {device_name!r} already registered")
+    _REGISTRY[device_name] = builder
+
+
+def available_governors() -> tuple[str, ...]:
+    """Device names with a registered default governor pairing."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_default_governor(device_name: str) -> DefaultGovernorPolicy:
+    """Build the default governor policy for ``device_name``.
+
+    Unknown devices fall back to a generic ``schedutil`` +
+    ``simple_ondemand`` pairing.
+    """
+    builder = _REGISTRY.get(device_name, _generic_default)
+    return builder()

@@ -1,0 +1,58 @@
+"""Edge-device hardware simulator.
+
+This package models the parts of an edge SoC that a DVFS controller such as
+Lotus interacts with:
+
+* :mod:`repro.hardware.frequency` — discrete operating performance points
+  (frequency/voltage pairs) exactly like the tables exposed by ``cpufreq``
+  and ``devfreq``.
+* :mod:`repro.hardware.power` — dynamic (``C·V²·f``) plus
+  temperature-dependent leakage power.
+* :mod:`repro.hardware.thermal` — a lumped RC thermal network with
+  CPU↔GPU coupling and an ambient node.
+* :mod:`repro.hardware.throttle` — hardware thermal throttling with
+  hysteresis, the mechanism Lotus tries to keep the device away from.
+* :mod:`repro.hardware.cpu` / :mod:`repro.hardware.gpu` — processor models
+  combining a frequency table with a power model.
+* :mod:`repro.hardware.device` — :class:`~repro.hardware.device.EdgeDevice`,
+  the composite object the simulation environment drives.
+* :mod:`repro.hardware.sysfs` — a simulated sysfs tree so that controllers
+  can be written against the same read/write-a-file interface used on real
+  Linux/Android devices.
+* :mod:`repro.hardware.devices` — calibrated device descriptions for the
+  NVIDIA Jetson Orin Nano and the Xiaomi Mi 11 Lite used in the paper.
+"""
+
+from repro.hardware.frequency import FrequencyTable, OperatingPoint
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig
+from repro.hardware.throttle import ThermalThrottler, ThrottleConfig
+from repro.hardware.cpu import CpuModel
+from repro.hardware.gpu import GpuModel
+from repro.hardware.device import DeviceTelemetry, EdgeDevice
+from repro.hardware.sysfs import SysFs
+from repro.hardware.devices import (
+    available_devices,
+    build_device,
+    jetson_orin_nano,
+    mi11_lite,
+)
+
+__all__ = [
+    "FrequencyTable",
+    "OperatingPoint",
+    "PowerModel",
+    "ThermalNetwork",
+    "ThermalNodeConfig",
+    "ThermalThrottler",
+    "ThrottleConfig",
+    "CpuModel",
+    "GpuModel",
+    "EdgeDevice",
+    "DeviceTelemetry",
+    "SysFs",
+    "available_devices",
+    "build_device",
+    "jetson_orin_nano",
+    "mi11_lite",
+]

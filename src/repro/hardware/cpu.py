@@ -1,0 +1,87 @@
+"""CPU cluster model.
+
+A :class:`CpuModel` is a frequency table plus a power model plus the current
+frequency level.  Multi-cluster phones are modelled as a single aggregate
+frequency domain — the granularity at which Lotus and zTT act — with the
+core count only affecting the power calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FrequencyError
+from repro.hardware.frequency import FrequencyTable, OperatingPoint
+from repro.hardware.power import PowerModel
+
+
+@dataclass
+class CpuModel:
+    """Simulated CPU frequency domain.
+
+    Attributes:
+        name: Human-readable description (e.g. ``"Cortex-A78AE x6"``).
+        frequency_table: Available operating points.
+        power_model: Power model calibrated for the whole cluster.
+        num_cores: Number of cores; informational and used by utilisation
+            heuristics in the governors.
+        level: Current frequency level (index into ``frequency_table``).
+    """
+
+    name: str
+    frequency_table: FrequencyTable
+    power_model: PowerModel
+    num_cores: int = 4
+    level: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise FrequencyError("num_cores must be positive")
+        self.level = self.frequency_table.validate_level(self.level)
+
+    # -- frequency control -------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of selectable frequency levels."""
+        return self.frequency_table.num_levels
+
+    @property
+    def max_level(self) -> int:
+        """Highest selectable frequency level."""
+        return self.frequency_table.max_level
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """Current operating point."""
+        return self.frequency_table.point(self.level)
+
+    @property
+    def frequency_khz(self) -> float:
+        """Current frequency in kHz."""
+        return self.operating_point.frequency_khz
+
+    @property
+    def relative_speed(self) -> float:
+        """Current frequency as a fraction of the maximum frequency."""
+        return self.frequency_table.relative_speed(self.level)
+
+    def set_level(self, level: int) -> None:
+        """Set the frequency level, validating the index."""
+        self.level = self.frequency_table.validate_level(level)
+
+    def set_max(self) -> None:
+        """Jump to the highest operating point (performance governor)."""
+        self.level = self.frequency_table.max_level
+
+    def set_min(self) -> None:
+        """Jump to the lowest operating point (powersave governor)."""
+        self.level = 0
+
+    # -- power ---------------------------------------------------------------------
+
+    def power_w(self, utilisation: float, temperature_c: float) -> float:
+        """Power (W) drawn at the current level for the given utilisation."""
+        return self.power_model.total_power_w(
+            self.operating_point, utilisation, temperature_c
+        )

@@ -1,0 +1,290 @@
+"""The composite edge device.
+
+:class:`EdgeDevice` wires together the CPU model, GPU model, RC thermal
+network and hardware throttlers.  It is the object the simulation
+environment drives: the environment requests frequency levels (on behalf of
+a governor or of the Lotus agent), tells the device to "execute" for some
+duration with given CPU/GPU utilisations, and reads back temperatures,
+effective frequencies, power and energy — exactly the quantities a real
+controller reads from sysfs.
+
+The device enforces hardware thermal throttling on top of whatever levels
+the controller requests, mirroring the fact that a userspace governor cannot
+override the kernel's thermal trip points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import DeviceError
+from repro.hardware.cpu import CpuModel
+from repro.hardware.gpu import GpuModel
+from repro.hardware.thermal import ThermalNetwork
+from repro.hardware.throttle import ThermalThrottler, ThrottleConfig
+from repro.units import joules
+
+CPU_NODE = "cpu"
+GPU_NODE = "gpu"
+
+
+@dataclass(frozen=True)
+class DeviceTelemetry:
+    """Snapshot of device state returned after each executed segment.
+
+    Attributes:
+        cpu_temperature_c: CPU die temperature at the end of the segment.
+        gpu_temperature_c: GPU die temperature at the end of the segment.
+        cpu_level: Effective CPU frequency level during the segment (after
+            any throttle cap).
+        gpu_level: Effective GPU frequency level during the segment.
+        cpu_frequency_khz: Effective CPU frequency.
+        gpu_frequency_khz: Effective GPU frequency.
+        cpu_power_w: Average CPU power during the segment.
+        gpu_power_w: Average GPU power during the segment.
+        energy_j: Energy consumed in the segment.
+        cpu_throttled: Whether the CPU was throttled during the segment.
+        gpu_throttled: Whether the GPU was throttled during the segment.
+        duration_ms: Segment duration.
+    """
+
+    cpu_temperature_c: float
+    gpu_temperature_c: float
+    cpu_level: int
+    gpu_level: int
+    cpu_frequency_khz: float
+    gpu_frequency_khz: float
+    cpu_power_w: float
+    gpu_power_w: float
+    energy_j: float
+    cpu_throttled: bool
+    gpu_throttled: bool
+    duration_ms: float
+
+    @property
+    def max_temperature_c(self) -> float:
+        """Hotter of the two dies; handy for plotting a single curve."""
+        return max(self.cpu_temperature_c, self.gpu_temperature_c)
+
+    @property
+    def mean_temperature_c(self) -> float:
+        """Average of CPU and GPU temperature, as plotted in the paper."""
+        return 0.5 * (self.cpu_temperature_c + self.gpu_temperature_c)
+
+    @property
+    def any_throttled(self) -> bool:
+        """Whether either processor was throttled."""
+        return self.cpu_throttled or self.gpu_throttled
+
+
+@dataclass
+class EdgeDevice:
+    """Simulated edge device (SoC + thermal behaviour).
+
+    Attributes:
+        name: Device name, e.g. ``"jetson-orin-nano"``.
+        cpu: CPU frequency domain model.
+        gpu: GPU frequency domain model.
+        thermal: RC thermal network with at least ``cpu`` and ``gpu`` nodes.
+        cpu_throttle: Hardware throttle configuration for the CPU.
+        gpu_throttle: Hardware throttle configuration for the GPU.
+    """
+
+    name: str
+    cpu: CpuModel
+    gpu: GpuModel
+    thermal: ThermalNetwork
+    cpu_throttle: ThrottleConfig
+    gpu_throttle: ThrottleConfig
+    _cpu_throttler: ThermalThrottler = field(init=False, repr=False)
+    _gpu_throttler: ThermalThrottler = field(init=False, repr=False)
+    _requested_cpu_level: int = field(init=False, repr=False)
+    _requested_gpu_level: int = field(init=False, repr=False)
+    _total_energy_j: float = field(init=False, default=0.0, repr=False)
+    _elapsed_ms: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        for node in (CPU_NODE, GPU_NODE):
+            if node not in self.thermal.node_names:
+                raise DeviceError(
+                    f"thermal network must contain a {node!r} node, "
+                    f"found {self.thermal.node_names}"
+                )
+        self._cpu_throttler = ThermalThrottler(self.cpu_throttle)
+        self._gpu_throttler = ThermalThrottler(self.gpu_throttle)
+        self._requested_cpu_level = self.cpu.level
+        self._requested_gpu_level = self.gpu.level
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def reset(self, ambient_temperature_c: float | None = None) -> None:
+        """Return the device to a cold, un-throttled state.
+
+        Args:
+            ambient_temperature_c: Optionally change the ambient temperature
+                the device cools towards.
+        """
+        self.thermal.reset(ambient_temperature_c)
+        self._cpu_throttler.reset()
+        self._gpu_throttler.reset()
+        self.cpu.set_max()
+        self.gpu.set_max()
+        self._requested_cpu_level = self.cpu.level
+        self._requested_gpu_level = self.gpu.level
+        self._total_energy_j = 0.0
+        self._elapsed_ms = 0.0
+
+    # -- observation ---------------------------------------------------------------
+
+    @property
+    def cpu_temperature_c(self) -> float:
+        """Current CPU die temperature."""
+        return self.thermal.temperature(CPU_NODE)
+
+    @property
+    def gpu_temperature_c(self) -> float:
+        """Current GPU die temperature."""
+        return self.thermal.temperature(GPU_NODE)
+
+    @property
+    def ambient_temperature_c(self) -> float:
+        """Current ambient temperature."""
+        return self.thermal.ambient_temperature_c
+
+    @property
+    def cpu_level(self) -> int:
+        """Effective CPU frequency level (after throttle caps)."""
+        return self.cpu.level
+
+    @property
+    def gpu_level(self) -> int:
+        """Effective GPU frequency level (after throttle caps)."""
+        return self.gpu.level
+
+    @property
+    def requested_cpu_level(self) -> int:
+        """CPU level last requested by the controller (before caps)."""
+        return self._requested_cpu_level
+
+    @property
+    def requested_gpu_level(self) -> int:
+        """GPU level last requested by the controller (before caps)."""
+        return self._requested_gpu_level
+
+    @property
+    def cpu_throttled(self) -> bool:
+        """Whether the CPU throttle cap is currently engaged."""
+        return self._cpu_throttler.is_throttled
+
+    @property
+    def gpu_throttled(self) -> bool:
+        """Whether the GPU throttle cap is currently engaged."""
+        return self._gpu_throttler.is_throttled
+
+    @property
+    def throttle_engage_count(self) -> int:
+        """Total number of throttle events on either processor."""
+        return self._cpu_throttler.engage_count + self._gpu_throttler.engage_count
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy consumed since the last reset (J)."""
+        return self._total_energy_j
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated wall-clock time executed since the last reset (ms)."""
+        return self._elapsed_ms
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the joint CPU x GPU frequency action space (M*N)."""
+        return self.cpu.num_levels * self.gpu.num_levels
+
+    def set_ambient(self, ambient_temperature_c: float) -> None:
+        """Change the environment temperature around the device."""
+        self.thermal.set_ambient(ambient_temperature_c)
+
+    # -- control --------------------------------------------------------------------
+
+    def request_levels(self, cpu_level: int, gpu_level: int) -> None:
+        """Request CPU and GPU frequency levels.
+
+        The request is remembered and re-applied whenever the throttle state
+        changes; the *effective* level is the requested level capped by the
+        hardware throttler, exactly like a userspace governor writing
+        ``scaling_setspeed`` on a thermally managed device.
+        """
+        self._requested_cpu_level = self.cpu.frequency_table.validate_level(cpu_level)
+        self._requested_gpu_level = self.gpu.frequency_table.validate_level(gpu_level)
+        self._apply_caps()
+
+    def _apply_caps(self) -> None:
+        self.cpu.set_level(self._cpu_throttler.cap_level(self._requested_cpu_level))
+        self.gpu.set_level(self._gpu_throttler.cap_level(self._requested_gpu_level))
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(
+        self,
+        duration_ms: float,
+        cpu_utilisation: float,
+        gpu_utilisation: float,
+    ) -> DeviceTelemetry:
+        """Run the device for ``duration_ms`` at the current frequency levels.
+
+        The thermal network is advanced with the power implied by the current
+        operating points and the given utilisations, after which the
+        throttlers re-evaluate their trip conditions and the (possibly
+        capped) frequency levels are re-applied for the next segment.
+
+        Returns:
+            A :class:`DeviceTelemetry` snapshot describing the segment.
+        """
+        if duration_ms < 0:
+            raise DeviceError(f"duration must be non-negative, got {duration_ms}")
+        cpu_power = self.cpu.power_w(cpu_utilisation, self.cpu_temperature_c)
+        gpu_power = self.gpu.power_w(gpu_utilisation, self.gpu_temperature_c)
+        self.thermal.advance(duration_ms, {CPU_NODE: cpu_power, GPU_NODE: gpu_power})
+
+        cpu_throttled = self._cpu_throttler.update(self.cpu_temperature_c)
+        gpu_throttled = self._gpu_throttler.update(self.gpu_temperature_c)
+        self._apply_caps()
+
+        energy = joules(cpu_power + gpu_power, duration_ms)
+        self._total_energy_j += energy
+        self._elapsed_ms += duration_ms
+        return DeviceTelemetry(
+            cpu_temperature_c=self.cpu_temperature_c,
+            gpu_temperature_c=self.gpu_temperature_c,
+            cpu_level=self.cpu.level,
+            gpu_level=self.gpu.level,
+            cpu_frequency_khz=self.cpu.frequency_khz,
+            gpu_frequency_khz=self.gpu.frequency_khz,
+            cpu_power_w=cpu_power,
+            gpu_power_w=gpu_power,
+            energy_j=energy,
+            cpu_throttled=cpu_throttled,
+            gpu_throttled=gpu_throttled,
+            duration_ms=duration_ms,
+        )
+
+    def idle(self, duration_ms: float) -> DeviceTelemetry:
+        """Let the device sit idle (near-zero utilisation) for a while."""
+        return self.execute(duration_ms, cpu_utilisation=0.02, gpu_utilisation=0.0)
+
+    # -- misc -------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Dictionary snapshot of the observable state (for logging)."""
+        return {
+            "cpu_temperature_c": self.cpu_temperature_c,
+            "gpu_temperature_c": self.gpu_temperature_c,
+            "cpu_level": float(self.cpu.level),
+            "gpu_level": float(self.gpu.level),
+            "cpu_frequency_khz": self.cpu.frequency_khz,
+            "gpu_frequency_khz": self.gpu.frequency_khz,
+            "ambient_temperature_c": self.ambient_temperature_c,
+            "total_energy_j": self._total_energy_j,
+        }

@@ -1,0 +1,7 @@
+"""Calibrated device descriptions used in the paper's evaluation."""
+
+from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
+from repro.hardware.devices.mi11_lite import mi11_lite
+from repro.hardware.devices.registry import available_devices, build_device
+
+__all__ = ["jetson_orin_nano", "mi11_lite", "available_devices", "build_device"]

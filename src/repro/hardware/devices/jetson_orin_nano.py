@@ -1,0 +1,125 @@
+"""NVIDIA Jetson Orin Nano device description.
+
+The paper's first evaluation platform: a 6-core Cortex-A78AE CPU (up to
+1.5 GHz), a 1024-core Ampere GPU (up to 624.75 MHz) and passive cooling.
+
+Calibration targets (see DESIGN.md §5):
+
+* Running a two-stage detector flat out (GPU near 100 % busy at the top
+  operating point) pushes the GPU die towards ≈90 °C steady state, above the
+  85 °C trip point, so the default governor eventually hits hardware
+  throttling — the behaviour visible in the paper's Fig. 4/5 "default"
+  traces.
+* One or two GPU operating points below the maximum, the steady state sits
+  around 70-75 °C, i.e. a learning-based controller has a thermally
+  sustainable region close to (but below) peak performance.
+* Thermal time constants of roughly a minute, so a 3000-frame episode
+  (≈20 minutes of simulated inference) contains several heat-up /
+  throttle / cool-down cycles for the default governor.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuModel
+from repro.hardware.device import EdgeDevice
+from repro.hardware.frequency import FrequencyTable
+from repro.hardware.gpu import GpuModel
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig, symmetric_couplings
+from repro.hardware.throttle import ThrottleConfig
+
+DEVICE_NAME = "jetson-orin-nano"
+
+#: Cortex-A78AE cluster operating points (MHz), 10 levels.
+CPU_FREQUENCIES_MHZ = (
+    115.2,
+    268.8,
+    422.4,
+    576.0,
+    729.6,
+    883.2,
+    1036.8,
+    1190.4,
+    1344.0,
+    1510.4,
+)
+
+#: Ampere GPU operating points (MHz), 5 levels.
+GPU_FREQUENCIES_MHZ = (204.0, 306.0, 408.0, 510.0, 624.75)
+
+#: Hardware thermal trip point used by both the kernel throttler and, by
+#: default, the Lotus reward threshold.
+TRIP_TEMPERATURE_C = 85.0
+
+
+def jetson_orin_nano(ambient_temperature_c: float = 25.0) -> EdgeDevice:
+    """Build a calibrated Jetson Orin Nano :class:`EdgeDevice`.
+
+    Args:
+        ambient_temperature_c: Environment temperature the device starts at
+            and cools towards.
+    """
+    cpu_table = FrequencyTable.from_mhz(
+        CPU_FREQUENCIES_MHZ, min_voltage_mv=600.0, max_voltage_mv=1000.0
+    )
+    gpu_table = FrequencyTable.from_mhz(
+        GPU_FREQUENCIES_MHZ, min_voltage_mv=600.0, max_voltage_mv=950.0
+    )
+    cpu = CpuModel(
+        name="Cortex-A78AE x6",
+        frequency_table=cpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=4.0,
+            reference_point=cpu_table.point(cpu_table.max_level),
+            idle_power_w=0.3,
+            leakage_power_w=0.5,
+            leakage_temp_coefficient=0.02,
+            leakage_reference_temp_c=50.0,
+        ),
+        num_cores=6,
+    )
+    gpu = GpuModel(
+        name="Ampere 1024-core",
+        frequency_table=gpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=16.0,
+            reference_point=gpu_table.point(gpu_table.max_level),
+            idle_power_w=0.4,
+            leakage_power_w=0.8,
+            leakage_temp_coefficient=0.02,
+            leakage_reference_temp_c=50.0,
+        ),
+        num_cores=1024,
+    )
+    thermal = ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig(
+                name="cpu",
+                heat_capacity_j_per_c=6.0,
+                resistance_to_ambient_c_per_w=7.0,
+            ),
+            ThermalNodeConfig(
+                name="gpu",
+                heat_capacity_j_per_c=8.0,
+                resistance_to_ambient_c_per_w=7.5,
+            ),
+        ),
+        couplings=symmetric_couplings([("cpu", "gpu", 0.15)]),
+        ambient_temperature_c=ambient_temperature_c,
+    )
+    return EdgeDevice(
+        name=DEVICE_NAME,
+        cpu=cpu,
+        gpu=gpu,
+        thermal=thermal,
+        cpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=10.0,
+            throttled_level=1,
+        ),
+        gpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=15.0,
+            throttled_level=0,
+        ),
+    )

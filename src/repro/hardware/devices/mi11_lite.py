@@ -1,0 +1,123 @@
+"""Xiaomi Mi 11 Lite device description.
+
+The paper's second evaluation platform: a Snapdragon 780G with a Kryo 670
+octa-core CPU (1×2.4 GHz + 3×2.22 GHz + 4×1.9 GHz) and an Adreno 642 GPU,
+inside a slim, fan-less phone chassis.
+
+Modelling decisions:
+
+* The three CPU clusters are collapsed into a single aggregate frequency
+  domain — the granularity at which zTT and Lotus act — whose top operating
+  point corresponds to the prime core's 2.4 GHz.
+* The temperature reported by the phone's thermal framework (and plotted in
+  the paper's Fig. 6, which spans roughly 28-40 °C) behaves like a skin /
+  battery-proxy sensor, so the thermal network uses larger heat capacities
+  and a low, ≈40 °C trip point rather than die-level values.
+* The phone is much slower on detector workloads than the Jetson; the
+  per-device compute efficiency that captures this lives in
+  :mod:`repro.detection.latency`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuModel
+from repro.hardware.device import EdgeDevice
+from repro.hardware.frequency import FrequencyTable
+from repro.hardware.gpu import GpuModel
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig, symmetric_couplings
+from repro.hardware.throttle import ThrottleConfig
+
+DEVICE_NAME = "mi11-lite"
+
+#: Kryo 670 aggregate operating points (MHz), 8 levels.
+CPU_FREQUENCIES_MHZ = (
+    300.0,
+    691.2,
+    940.8,
+    1228.8,
+    1516.8,
+    1804.8,
+    2092.8,
+    2419.2,
+)
+
+#: Adreno 642 operating points (MHz), 7 levels.
+GPU_FREQUENCIES_MHZ = (315.0, 401.0, 490.0, 587.0, 676.0, 738.0, 840.0)
+
+#: Skin-temperature-proxy trip point (°C) — phones throttle long before the
+#: die limit to keep the case comfortable to hold.
+TRIP_TEMPERATURE_C = 43.0
+
+
+def mi11_lite(ambient_temperature_c: float = 25.0) -> EdgeDevice:
+    """Build a calibrated Mi 11 Lite :class:`EdgeDevice`.
+
+    Args:
+        ambient_temperature_c: Environment temperature the device starts at
+            and cools towards.
+    """
+    cpu_table = FrequencyTable.from_mhz(
+        CPU_FREQUENCIES_MHZ, min_voltage_mv=550.0, max_voltage_mv=950.0
+    )
+    gpu_table = FrequencyTable.from_mhz(
+        GPU_FREQUENCIES_MHZ, min_voltage_mv=550.0, max_voltage_mv=900.0
+    )
+    cpu = CpuModel(
+        name="Kryo 670 octa-core",
+        frequency_table=cpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=5.0,
+            reference_point=cpu_table.point(cpu_table.max_level),
+            idle_power_w=0.2,
+            leakage_power_w=0.2,
+            leakage_temp_coefficient=0.03,
+            leakage_reference_temp_c=35.0,
+        ),
+        num_cores=8,
+    )
+    gpu = GpuModel(
+        name="Adreno 642",
+        frequency_table=gpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=9.0,
+            reference_point=gpu_table.point(gpu_table.max_level),
+            idle_power_w=0.2,
+            leakage_power_w=0.25,
+            leakage_temp_coefficient=0.03,
+            leakage_reference_temp_c=35.0,
+        ),
+        num_cores=512,
+    )
+    thermal = ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig(
+                name="cpu",
+                heat_capacity_j_per_c=22.0,
+                resistance_to_ambient_c_per_w=3.5,
+            ),
+            ThermalNodeConfig(
+                name="gpu",
+                heat_capacity_j_per_c=25.0,
+                resistance_to_ambient_c_per_w=4.0,
+            ),
+        ),
+        couplings=symmetric_couplings([("cpu", "gpu", 0.3)]),
+        ambient_temperature_c=ambient_temperature_c,
+    )
+    return EdgeDevice(
+        name=DEVICE_NAME,
+        cpu=cpu,
+        gpu=gpu,
+        thermal=thermal,
+        cpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=5.0,
+            throttled_level=1,
+        ),
+        gpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=5.0,
+            throttled_level=0,
+        ),
+    )

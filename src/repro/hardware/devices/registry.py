@@ -1,0 +1,57 @@
+"""Device registry.
+
+Experiment configurations refer to devices by name; this registry maps those
+names to builder functions.  New devices can be registered by downstream
+users to evaluate Lotus on their own hardware description.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.hardware.device import EdgeDevice
+from repro.hardware.devices.jetson_orin_nano import (
+    DEVICE_NAME as JETSON_NAME,
+    jetson_orin_nano,
+)
+from repro.hardware.devices.mi11_lite import DEVICE_NAME as MI11_NAME, mi11_lite
+
+DeviceBuilder = Callable[[float], EdgeDevice]
+
+_REGISTRY: Dict[str, DeviceBuilder] = {
+    JETSON_NAME: jetson_orin_nano,
+    MI11_NAME: mi11_lite,
+}
+
+
+def register_device(name: str, builder: DeviceBuilder, *, overwrite: bool = False) -> None:
+    """Register a new device builder under ``name``.
+
+    Args:
+        name: Registry key, e.g. ``"my-custom-board"``.
+        builder: Callable taking the ambient temperature (°C) and returning
+            an :class:`~repro.hardware.device.EdgeDevice`.
+        overwrite: Allow replacing an existing entry.
+    """
+    if not name:
+        raise ConfigurationError("device name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"device {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def available_devices() -> tuple[str, ...]:
+    """Names of all registered devices."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_device(name: str, ambient_temperature_c: float = 25.0) -> EdgeDevice:
+    """Build a registered device by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown device {name!r}; available: {available_devices()}"
+        ) from exc
+    return builder(ambient_temperature_c)

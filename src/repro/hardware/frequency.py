@@ -1,0 +1,210 @@
+"""Operating performance points and frequency tables.
+
+Linux exposes the frequencies a CPU cluster or GPU can run at as a discrete,
+sorted table of operating performance points (OPPs).  A DVFS governor — and
+therefore the Lotus agent, whose action space is the cross product of the
+CPU and GPU tables — always selects a *level* (an index into the table)
+rather than an arbitrary frequency.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import FrequencyError
+from repro.units import khz_to_ghz, khz_to_mhz
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single frequency/voltage pair.
+
+    Attributes:
+        frequency_khz: Clock frequency in kHz (the unit used by cpufreq).
+        voltage_mv: Supply voltage in millivolts at this frequency.  Used by
+            the power model; dynamic power scales with ``V**2 * f``.
+    """
+
+    frequency_khz: float
+    voltage_mv: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_khz <= 0:
+            raise FrequencyError(
+                f"operating point frequency must be positive, got {self.frequency_khz}"
+            )
+        if self.voltage_mv <= 0:
+            raise FrequencyError(
+                f"operating point voltage must be positive, got {self.voltage_mv}"
+            )
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Frequency in MHz, convenient for printing."""
+        return khz_to_mhz(self.frequency_khz)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Frequency in GHz, convenient for printing."""
+        return khz_to_ghz(self.frequency_khz)
+
+
+class FrequencyTable:
+    """An ordered collection of :class:`OperatingPoint` entries.
+
+    The table is sorted ascending by frequency; *level 0* is the slowest
+    point and *level ``len(table) - 1``* the fastest, matching the layout of
+    ``scaling_available_frequencies`` on Linux.
+    """
+
+    def __init__(self, points: Iterable[OperatingPoint]):
+        pts = sorted(points, key=lambda p: p.frequency_khz)
+        if not pts:
+            raise FrequencyError("a frequency table requires at least one operating point")
+        freqs = [p.frequency_khz for p in pts]
+        if len(set(freqs)) != len(freqs):
+            raise FrequencyError("duplicate frequencies in operating point table")
+        self._points: tuple[OperatingPoint, ...] = tuple(pts)
+        self._frequencies: tuple[float, ...] = tuple(freqs)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_mhz(
+        cls,
+        frequencies_mhz: Sequence[float],
+        min_voltage_mv: float = 600.0,
+        max_voltage_mv: float = 1000.0,
+    ) -> "FrequencyTable":
+        """Build a table from frequencies in MHz with linearly scaled voltages.
+
+        Real OPP tables pair higher frequencies with higher voltages.  When a
+        detailed voltage table is not available we interpolate linearly
+        between ``min_voltage_mv`` (at the slowest point) and
+        ``max_voltage_mv`` (at the fastest point), which preserves the
+        super-linear power/frequency relationship that makes DVFS useful.
+        """
+        if not frequencies_mhz:
+            raise FrequencyError("frequencies_mhz must not be empty")
+        if min_voltage_mv <= 0 or max_voltage_mv < min_voltage_mv:
+            raise FrequencyError("voltage range must satisfy 0 < min <= max")
+        ordered = sorted(frequencies_mhz)
+        lo, hi = ordered[0], ordered[-1]
+        span = hi - lo
+        points = []
+        for f_mhz in ordered:
+            if span > 0:
+                frac = (f_mhz - lo) / span
+            else:
+                frac = 1.0
+            voltage = min_voltage_mv + frac * (max_voltage_mv - min_voltage_mv)
+            points.append(OperatingPoint(frequency_khz=f_mhz * 1e3, voltage_mv=voltage))
+        return cls(points)
+
+    # -- basic container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, level: int) -> OperatingPoint:
+        return self.point(level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        lo = self.min_frequency_khz / 1e3
+        hi = self.max_frequency_khz / 1e3
+        return f"FrequencyTable({len(self)} levels, {lo:.0f}-{hi:.0f} MHz)"
+
+    # -- level queries ---------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of levels (operating points) in the table."""
+        return len(self._points)
+
+    @property
+    def max_level(self) -> int:
+        """Index of the fastest operating point."""
+        return len(self._points) - 1
+
+    @property
+    def min_frequency_khz(self) -> float:
+        """Frequency of the slowest operating point in kHz."""
+        return self._frequencies[0]
+
+    @property
+    def max_frequency_khz(self) -> float:
+        """Frequency of the fastest operating point in kHz."""
+        return self._frequencies[-1]
+
+    @property
+    def frequencies_khz(self) -> tuple[float, ...]:
+        """All frequencies in ascending order (kHz)."""
+        return self._frequencies
+
+    def validate_level(self, level: int) -> int:
+        """Return ``level`` if it exists in the table, else raise."""
+        if not isinstance(level, (int,)) or isinstance(level, bool):
+            raise FrequencyError(f"frequency level must be an integer, got {level!r}")
+        if level < 0 or level >= len(self._points):
+            raise FrequencyError(
+                f"frequency level {level} out of range [0, {len(self._points) - 1}]"
+            )
+        return level
+
+    def clamp_level(self, level: int) -> int:
+        """Clamp an arbitrary integer to a valid level index."""
+        return max(0, min(int(level), self.max_level))
+
+    def point(self, level: int) -> OperatingPoint:
+        """Return the operating point at ``level``."""
+        return self._points[self.validate_level(level)]
+
+    def frequency_khz(self, level: int) -> float:
+        """Frequency (kHz) at ``level``."""
+        return self.point(level).frequency_khz
+
+    def voltage_mv(self, level: int) -> float:
+        """Voltage (mV) at ``level``."""
+        return self.point(level).voltage_mv
+
+    def relative_speed(self, level: int) -> float:
+        """Frequency at ``level`` as a fraction of the maximum frequency."""
+        return self.frequency_khz(level) / self.max_frequency_khz
+
+    # -- frequency -> level lookups --------------------------------------------
+
+    def level_for_frequency(self, frequency_khz: float) -> int:
+        """Return the lowest level whose frequency is >= ``frequency_khz``.
+
+        Governors such as ``schedutil`` compute a target frequency from the
+        observed utilisation and then pick the smallest operating point that
+        satisfies it; this helper mirrors that ``cpufreq_frequency_table``
+        lookup.  Targets above the fastest point saturate at the top level.
+        """
+        if frequency_khz <= 0:
+            raise FrequencyError(f"target frequency must be positive, got {frequency_khz}")
+        idx = bisect.bisect_left(self._frequencies, frequency_khz)
+        return min(idx, self.max_level)
+
+    def nearest_level(self, frequency_khz: float) -> int:
+        """Return the level whose frequency is closest to ``frequency_khz``."""
+        if frequency_khz <= 0:
+            raise FrequencyError(f"target frequency must be positive, got {frequency_khz}")
+        best_level = 0
+        best_distance = float("inf")
+        for level, freq in enumerate(self._frequencies):
+            distance = abs(freq - frequency_khz)
+            if distance < best_distance:
+                best_distance = distance
+                best_level = level
+        return best_level
+
+    def levels_below(self, level: int) -> tuple[int, ...]:
+        """All levels strictly below ``level`` (used by cool-down actions)."""
+        self.validate_level(level)
+        return tuple(range(level))

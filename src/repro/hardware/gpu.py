@@ -1,0 +1,86 @@
+"""GPU model.
+
+Structurally identical to :class:`repro.hardware.cpu.CpuModel`: a frequency
+table (devfreq operating points), a power model and the current level.  The
+GPU is where the bulk of a detector's convolution work executes, so its
+frequency dominates stage-1 latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FrequencyError
+from repro.hardware.frequency import FrequencyTable, OperatingPoint
+from repro.hardware.power import PowerModel
+
+
+@dataclass
+class GpuModel:
+    """Simulated GPU frequency domain.
+
+    Attributes:
+        name: Human-readable description (e.g. ``"Ampere 1024-core"``).
+        frequency_table: Available operating points (devfreq table).
+        power_model: Power model for the whole GPU.
+        num_cores: Shader/CUDA core count; informational.
+        level: Current frequency level.
+    """
+
+    name: str
+    frequency_table: FrequencyTable
+    power_model: PowerModel
+    num_cores: int = 1024
+    level: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise FrequencyError("num_cores must be positive")
+        self.level = self.frequency_table.validate_level(self.level)
+
+    # -- frequency control -------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of selectable frequency levels."""
+        return self.frequency_table.num_levels
+
+    @property
+    def max_level(self) -> int:
+        """Highest selectable frequency level."""
+        return self.frequency_table.max_level
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """Current operating point."""
+        return self.frequency_table.point(self.level)
+
+    @property
+    def frequency_khz(self) -> float:
+        """Current frequency in kHz."""
+        return self.operating_point.frequency_khz
+
+    @property
+    def relative_speed(self) -> float:
+        """Current frequency as a fraction of the maximum frequency."""
+        return self.frequency_table.relative_speed(self.level)
+
+    def set_level(self, level: int) -> None:
+        """Set the frequency level, validating the index."""
+        self.level = self.frequency_table.validate_level(level)
+
+    def set_max(self) -> None:
+        """Jump to the highest operating point."""
+        self.level = self.frequency_table.max_level
+
+    def set_min(self) -> None:
+        """Jump to the lowest operating point."""
+        self.level = 0
+
+    # -- power ---------------------------------------------------------------------
+
+    def power_w(self, utilisation: float, temperature_c: float) -> float:
+        """Power (W) drawn at the current level for the given utilisation."""
+        return self.power_model.total_power_w(
+            self.operating_point, utilisation, temperature_c
+        )

@@ -1,0 +1,109 @@
+"""Processor power model.
+
+The power drawn by a CMOS processor is modelled as the sum of
+
+* **dynamic power** ``P_dyn = C_eff * V^2 * f * utilisation`` — switching
+  power, proportional to the effective switched capacitance, the square of
+  the supply voltage and the clock frequency, scaled by how busy the
+  processor is; and
+* **leakage power** ``P_leak = P_leak0 * exp(k * (T - T_ref))`` — static
+  power that grows exponentially with die temperature, which is what makes
+  thermal runaway possible and thermal management necessary.
+
+The constants are calibrated per device in :mod:`repro.hardware.devices` so
+that the sustained-power / throttling behaviour of the Jetson Orin Nano and
+the Mi 11 Lite is qualitatively reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.frequency import OperatingPoint
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Dynamic + leakage power model for one processor.
+
+    Attributes:
+        max_dynamic_power_w: Dynamic power (W) at the reference operating
+            point with 100 % utilisation.  The effective capacitance is
+            derived from this so that device descriptions can be written in
+            terms of an easily measurable quantity ("the GPU burns ~8 W flat
+            out") instead of farads.
+        reference_point: Operating point at which ``max_dynamic_power_w`` is
+            reached.
+        idle_power_w: Constant baseline power (W) drawn even when idle at the
+            lowest operating point (clock tree, RAM refresh, rails).
+        leakage_power_w: Leakage power (W) at ``leakage_reference_temp_c``.
+        leakage_temp_coefficient: Exponential temperature coefficient for the
+            leakage term (per °C).  Typical silicon values are 0.01-0.03.
+        leakage_reference_temp_c: Temperature at which ``leakage_power_w`` is
+            specified.
+    """
+
+    max_dynamic_power_w: float
+    reference_point: OperatingPoint
+    idle_power_w: float = 0.2
+    leakage_power_w: float = 0.3
+    leakage_temp_coefficient: float = 0.02
+    leakage_reference_temp_c: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_dynamic_power_w <= 0:
+            raise ConfigurationError("max_dynamic_power_w must be positive")
+        if self.idle_power_w < 0 or self.leakage_power_w < 0:
+            raise ConfigurationError("idle and leakage power must be non-negative")
+        if self.leakage_temp_coefficient < 0:
+            raise ConfigurationError("leakage_temp_coefficient must be non-negative")
+
+    # -- derived constants ----------------------------------------------------
+
+    @property
+    def effective_capacitance(self) -> float:
+        """Effective switched capacitance implied by the reference point.
+
+        Units are chosen so that ``C * V_mv^2 * f_khz`` yields watts when the
+        reference point reproduces ``max_dynamic_power_w``.
+        """
+        ref = self.reference_point
+        return self.max_dynamic_power_w / (ref.voltage_mv**2 * ref.frequency_khz)
+
+    # -- power queries ----------------------------------------------------------
+
+    def dynamic_power_w(self, point: OperatingPoint, utilisation: float) -> float:
+        """Dynamic power (W) at ``point`` for a given utilisation in [0, 1]."""
+        utilisation = min(max(utilisation, 0.0), 1.0)
+        return (
+            self.effective_capacitance
+            * point.voltage_mv**2
+            * point.frequency_khz
+            * utilisation
+        )
+
+    def leakage_power_w_at(self, temperature_c: float) -> float:
+        """Leakage power (W) at the given die temperature."""
+        exponent = self.leakage_temp_coefficient * (
+            temperature_c - self.leakage_reference_temp_c
+        )
+        # Clamp the exponent so a numerically diverging thermal experiment
+        # cannot overflow ``exp``; beyond ~150 degrees of excursion the model
+        # is meaningless anyway.
+        exponent = min(exponent, 4.0)
+        return self.leakage_power_w * math.exp(exponent)
+
+    def total_power_w(
+        self,
+        point: OperatingPoint,
+        utilisation: float,
+        temperature_c: float,
+    ) -> float:
+        """Total power (W): idle + dynamic + temperature-dependent leakage."""
+        return (
+            self.idle_power_w
+            + self.dynamic_power_w(point, utilisation)
+            + self.leakage_power_w_at(temperature_c)
+        )

@@ -1,0 +1,129 @@
+"""Simulated sysfs interface.
+
+The paper's implementation reads temperatures and frequencies, and writes
+frequency targets, through ``/sys`` nodes on the Jetson's Linux kernel and
+the Mi 11 Lite's Android kernel.  To keep the reproduction faithful to that
+interface — and to make it trivial to port a controller written against this
+simulator to a real board — :class:`SysFs` exposes the simulated device as a
+small virtual file tree with string read/write semantics.
+
+Paths follow the real layout:
+
+* ``/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq`` (kHz, read)
+* ``/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed`` (kHz, write)
+* ``/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies``
+* ``/sys/class/devfreq/gpu/cur_freq`` / ``target_freq`` (Hz, like devfreq)
+* ``/sys/class/thermal/thermal_zone0/temp`` (milli-°C, CPU zone)
+* ``/sys/class/thermal/thermal_zone1/temp`` (milli-°C, GPU zone)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import DeviceError
+from repro.hardware.device import EdgeDevice
+from repro.units import celsius_to_millicelsius, khz_to_hz
+
+CPU_CUR_FREQ = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq"
+CPU_SETSPEED = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed"
+CPU_AVAILABLE_FREQS = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies"
+GPU_CUR_FREQ = "/sys/class/devfreq/gpu/cur_freq"
+GPU_TARGET_FREQ = "/sys/class/devfreq/gpu/target_freq"
+GPU_AVAILABLE_FREQS = "/sys/class/devfreq/gpu/available_frequencies"
+CPU_THERMAL_ZONE = "/sys/class/thermal/thermal_zone0/temp"
+GPU_THERMAL_ZONE = "/sys/class/thermal/thermal_zone1/temp"
+
+
+class SysFs:
+    """String-in/string-out view of an :class:`EdgeDevice`.
+
+    Reads return the same textual formats the kernel uses (integers in kHz,
+    Hz or milli-degrees); writes accept the corresponding formats and map to
+    frequency-level requests on the underlying device.  Writing a frequency
+    that is not an exact operating point selects the nearest one, matching
+    the behaviour of the ``userspace`` governor.
+    """
+
+    def __init__(self, device: EdgeDevice):
+        self._device = device
+        self._readers: Dict[str, Callable[[], str]] = {
+            CPU_CUR_FREQ: lambda: str(int(device.cpu.frequency_khz)),
+            CPU_AVAILABLE_FREQS: lambda: " ".join(
+                str(int(f)) for f in device.cpu.frequency_table.frequencies_khz
+            ),
+            GPU_CUR_FREQ: lambda: str(int(khz_to_hz(device.gpu.frequency_khz))),
+            GPU_AVAILABLE_FREQS: lambda: " ".join(
+                str(int(khz_to_hz(f)))
+                for f in device.gpu.frequency_table.frequencies_khz
+            ),
+            CPU_THERMAL_ZONE: lambda: str(
+                int(celsius_to_millicelsius(device.cpu_temperature_c))
+            ),
+            GPU_THERMAL_ZONE: lambda: str(
+                int(celsius_to_millicelsius(device.gpu_temperature_c))
+            ),
+        }
+        self._writers: Dict[str, Callable[[str], None]] = {
+            CPU_SETSPEED: self._write_cpu_setspeed,
+            GPU_TARGET_FREQ: self._write_gpu_target,
+        }
+
+    # -- filesystem-like API ----------------------------------------------------
+
+    def read(self, path: str) -> str:
+        """Read a sysfs node, returning its textual content."""
+        try:
+            return self._readers[path]()
+        except KeyError as exc:
+            raise DeviceError(f"unknown or write-only sysfs path: {path}") from exc
+
+    def write(self, path: str, value: str) -> None:
+        """Write a sysfs node."""
+        try:
+            writer = self._writers[path]
+        except KeyError as exc:
+            raise DeviceError(f"unknown or read-only sysfs path: {path}") from exc
+        writer(value)
+
+    def paths(self) -> tuple[str, ...]:
+        """All readable and writable paths in the simulated tree."""
+        return tuple(sorted(set(self._readers) | set(self._writers)))
+
+    # -- typed convenience wrappers ------------------------------------------------
+
+    def cpu_temperature_c(self) -> float:
+        """CPU temperature in °C read through the thermal zone node."""
+        return int(self.read(CPU_THERMAL_ZONE)) / 1e3
+
+    def gpu_temperature_c(self) -> float:
+        """GPU temperature in °C read through the thermal zone node."""
+        return int(self.read(GPU_THERMAL_ZONE)) / 1e3
+
+    def cpu_frequency_khz(self) -> float:
+        """Current CPU frequency in kHz."""
+        return float(self.read(CPU_CUR_FREQ))
+
+    def gpu_frequency_khz(self) -> float:
+        """Current GPU frequency in kHz (converted from the Hz devfreq node)."""
+        return float(self.read(GPU_CUR_FREQ)) / 1e3
+
+    def set_cpu_frequency_khz(self, frequency_khz: float) -> None:
+        """Request a CPU frequency (kHz), like writing ``scaling_setspeed``."""
+        self.write(CPU_SETSPEED, str(int(frequency_khz)))
+
+    def set_gpu_frequency_khz(self, frequency_khz: float) -> None:
+        """Request a GPU frequency (kHz), like writing the devfreq target."""
+        self.write(GPU_TARGET_FREQ, str(int(khz_to_hz(frequency_khz))))
+
+    # -- writers ----------------------------------------------------------------------
+
+    def _write_cpu_setspeed(self, value: str) -> None:
+        frequency_khz = float(value)
+        level = self._device.cpu.frequency_table.nearest_level(frequency_khz)
+        self._device.request_levels(level, self._device.requested_gpu_level)
+
+    def _write_gpu_target(self, value: str) -> None:
+        frequency_hz = float(value)
+        level = self._device.gpu.frequency_table.nearest_level(frequency_hz / 1e3)
+        self._device.request_levels(self._device.requested_cpu_level, level)

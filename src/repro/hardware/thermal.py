@@ -1,0 +1,231 @@
+"""Lumped RC thermal network.
+
+Edge SoCs without active cooling are well approximated by a small lumped
+thermal network: each heat source (CPU cluster, GPU) is a node with a heat
+capacity, a thermal resistance to ambient, and coupling conductances to the
+other nodes (they share the same die, heat spreader and chassis).  The node
+temperature follows
+
+    C_i * dT_i/dt = P_i - (T_i - T_amb) / R_i - sum_j G_ij * (T_i - T_j)
+
+which this module integrates with explicit sub-stepping so that arbitrarily
+long inference segments can be advanced without numerical instability.
+
+This is the "environment physics" that the Lotus agent never sees directly;
+it only observes the resulting temperatures through the simulated sysfs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import ConfigurationError, ThermalError
+from repro.units import ms_to_seconds
+
+
+@dataclass(frozen=True)
+class ThermalNodeConfig:
+    """Configuration of a single node in the thermal network.
+
+    Attributes:
+        name: Node identifier, e.g. ``"cpu"`` or ``"gpu"``.
+        heat_capacity_j_per_c: Lumped heat capacity in J/°C.  Together with
+            the resistance this sets the thermal time constant ``R*C``.
+        resistance_to_ambient_c_per_w: Thermal resistance from the node to
+            the ambient in °C/W.  The steady-state temperature rise for a
+            constant power ``P`` is ``P * R``.
+        initial_temperature_c: Temperature the node starts at; ``None`` means
+            "start at ambient".
+    """
+
+    name: str
+    heat_capacity_j_per_c: float
+    resistance_to_ambient_c_per_w: float
+    initial_temperature_c: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("thermal node name must be non-empty")
+        if self.heat_capacity_j_per_c <= 0:
+            raise ConfigurationError("heat capacity must be positive")
+        if self.resistance_to_ambient_c_per_w <= 0:
+            raise ConfigurationError("thermal resistance must be positive")
+
+
+@dataclass
+class ThermalNetwork:
+    """A small explicit-Euler RC thermal network.
+
+    Args:
+        nodes: Node configurations, one per heat source.
+        couplings: Mapping from ``(node_a, node_b)`` pairs to coupling
+            conductances in W/°C.  Couplings are symmetric; each unordered
+            pair should appear once.
+        ambient_temperature_c: Initial ambient temperature (°C).  Can be
+            changed at runtime to model warm/cold environment switches
+            (Fig. 7a of the paper).
+        max_substep_s: Upper bound on the integration step; longer segments
+            are split into smaller sub-steps for stability.
+    """
+
+    nodes: Tuple[ThermalNodeConfig, ...]
+    couplings: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    ambient_temperature_c: float = 25.0
+    max_substep_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        self.nodes = tuple(self.nodes)
+        if not self.nodes:
+            raise ConfigurationError("thermal network requires at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate thermal node names: {names}")
+        if self.max_substep_s <= 0:
+            raise ConfigurationError("max_substep_s must be positive")
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        normalized: Dict[Tuple[str, str], float] = {}
+        for (a, b), conductance in dict(self.couplings).items():
+            if a not in self._index or b not in self._index:
+                raise ConfigurationError(f"coupling references unknown node: ({a}, {b})")
+            if a == b:
+                raise ConfigurationError("a node cannot be coupled to itself")
+            if conductance < 0:
+                raise ConfigurationError("coupling conductance must be non-negative")
+            key = tuple(sorted((a, b)))
+            normalized[key] = normalized.get(key, 0.0) + conductance
+        self.couplings = normalized
+        self._temperatures: Dict[str, float] = {}
+        self.reset()
+
+    # -- state ------------------------------------------------------------------
+
+    def reset(self, ambient_temperature_c: float | None = None) -> None:
+        """Reset node temperatures to their initial values.
+
+        Args:
+            ambient_temperature_c: Optionally also change the ambient
+                temperature before resetting.
+        """
+        if ambient_temperature_c is not None:
+            self.ambient_temperature_c = ambient_temperature_c
+        self._temperatures = {
+            node.name: (
+                node.initial_temperature_c
+                if node.initial_temperature_c is not None
+                else self.ambient_temperature_c
+            )
+            for node in self.nodes
+        }
+
+    def set_ambient(self, ambient_temperature_c: float) -> None:
+        """Change the ambient temperature (environment change, Fig. 7a)."""
+        self.ambient_temperature_c = ambient_temperature_c
+
+    def temperature(self, node_name: str) -> float:
+        """Current temperature (°C) of ``node_name``."""
+        try:
+            return self._temperatures[node_name]
+        except KeyError as exc:
+            raise ThermalError(f"unknown thermal node {node_name!r}") from exc
+
+    def temperatures(self) -> Dict[str, float]:
+        """Copy of all node temperatures keyed by node name."""
+        return dict(self._temperatures)
+
+    def set_temperature(self, node_name: str, temperature_c: float) -> None:
+        """Force a node temperature (used by tests and warm-start scenarios)."""
+        if node_name not in self._temperatures:
+            raise ThermalError(f"unknown thermal node {node_name!r}")
+        self._temperatures[node_name] = float(temperature_c)
+
+    # -- integration --------------------------------------------------------------
+
+    def advance(self, duration_ms: float, power_w: Mapping[str, float]) -> Dict[str, float]:
+        """Advance the network by ``duration_ms`` with constant node powers.
+
+        Args:
+            duration_ms: Length of the segment in milliseconds.  Zero-length
+                segments are allowed and leave temperatures unchanged.
+            power_w: Power injected into each node (W) during the segment.
+                Nodes not mentioned receive zero power.
+
+        Returns:
+            The node temperatures after the segment.
+        """
+        if duration_ms < 0:
+            raise ThermalError(f"duration must be non-negative, got {duration_ms}")
+        for name in power_w:
+            if name not in self._index:
+                raise ThermalError(f"power specified for unknown node {name!r}")
+        total_s = ms_to_seconds(duration_ms)
+        if total_s == 0.0:
+            return self.temperatures()
+
+        remaining = total_s
+        while remaining > 1e-12:
+            dt = min(self.max_substep_s, remaining)
+            self._euler_step(dt, power_w)
+            remaining -= dt
+        return self.temperatures()
+
+    def _euler_step(self, dt_s: float, power_w: Mapping[str, float]) -> None:
+        """One explicit Euler step of length ``dt_s`` seconds."""
+        current = self._temperatures
+        deltas: Dict[str, float] = {}
+        for node in self.nodes:
+            temp = current[node.name]
+            injected = power_w.get(node.name, 0.0)
+            to_ambient = (temp - self.ambient_temperature_c) / node.resistance_to_ambient_c_per_w
+            coupled = 0.0
+            for (a, b), conductance in self.couplings.items():
+                if node.name == a:
+                    coupled += conductance * (temp - current[b])
+                elif node.name == b:
+                    coupled += conductance * (temp - current[a])
+            net_flow_w = injected - to_ambient - coupled
+            deltas[node.name] = net_flow_w / node.heat_capacity_j_per_c * dt_s
+        for name, delta in deltas.items():
+            current[name] += delta
+
+    # -- analysis helpers -----------------------------------------------------------
+
+    def steady_state(self, power_w: Mapping[str, float]) -> Dict[str, float]:
+        """Approximate steady-state temperatures for constant node powers.
+
+        Iterates the coupled balance equations to convergence.  Useful for
+        calibrating device descriptions and in tests: the throttling
+        threshold of a device should sit between the steady state of the
+        sustainable operating point and the steady state of the maximum one.
+        """
+        temps = {node.name: self.ambient_temperature_c for node in self.nodes}
+        for _ in range(200):
+            max_change = 0.0
+            for node in self.nodes:
+                conductance_sum = 1.0 / node.resistance_to_ambient_c_per_w
+                weighted = self.ambient_temperature_c / node.resistance_to_ambient_c_per_w
+                for (a, b), conductance in self.couplings.items():
+                    other = None
+                    if node.name == a:
+                        other = b
+                    elif node.name == b:
+                        other = a
+                    if other is not None:
+                        conductance_sum += conductance
+                        weighted += conductance * temps[other]
+                new_temp = (power_w.get(node.name, 0.0) + weighted) / conductance_sum
+                max_change = max(max_change, abs(new_temp - temps[node.name]))
+                temps[node.name] = new_temp
+            if max_change < 1e-9:
+                break
+        return temps
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """Names of the nodes in declaration order."""
+        return tuple(node.name for node in self.nodes)
+
+
+def symmetric_couplings(pairs: Iterable[Tuple[str, str, float]]) -> Dict[Tuple[str, str], float]:
+    """Build a coupling mapping from ``(node_a, node_b, conductance)`` triples."""
+    return {(a, b): g for a, b, g in pairs}

@@ -1,0 +1,88 @@
+"""Hardware thermal throttling.
+
+When the die temperature of a passively cooled edge device crosses the trip
+point, firmware/kernel thermal management caps the processor frequency to a
+low level until the temperature has dropped below the trip point minus a
+hysteresis margin.  This is the behaviour Lotus (and zTT) try to avoid: the
+cap is far below the sustainable frequency, so throttling causes the large
+latency spikes visible in the paper's "default" traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThrottleConfig:
+    """Configuration of the hardware thermal throttler for one processor.
+
+    Attributes:
+        trip_temperature_c: Temperature at which throttling engages.
+        hysteresis_c: Temperature must fall to ``trip - hysteresis`` before
+            the cap is lifted.
+        throttled_level: Frequency level the processor is capped to while
+            throttled.
+    """
+
+    trip_temperature_c: float
+    hysteresis_c: float = 5.0
+    throttled_level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_c < 0:
+            raise ConfigurationError("hysteresis must be non-negative")
+        if self.throttled_level < 0:
+            raise ConfigurationError("throttled_level must be non-negative")
+
+
+class ThermalThrottler:
+    """Stateful trip-point throttler with hysteresis for one processor."""
+
+    def __init__(self, config: ThrottleConfig):
+        self.config = config
+        self._throttled = False
+        self._engage_count = 0
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def is_throttled(self) -> bool:
+        """Whether the throttle cap is currently active."""
+        return self._throttled
+
+    @property
+    def engage_count(self) -> int:
+        """Number of times throttling has engaged since the last reset."""
+        return self._engage_count
+
+    def reset(self) -> None:
+        """Clear the throttle state (device reboot / start of an episode)."""
+        self._throttled = False
+        self._engage_count = 0
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def update(self, temperature_c: float) -> bool:
+        """Update the throttle state from the current temperature.
+
+        Returns:
+            ``True`` if the processor is throttled after the update.
+        """
+        if self._throttled:
+            release_at = self.config.trip_temperature_c - self.config.hysteresis_c
+            if temperature_c <= release_at:
+                self._throttled = False
+        else:
+            if temperature_c >= self.config.trip_temperature_c:
+                self._throttled = True
+                self._engage_count += 1
+        return self._throttled
+
+    def cap_level(self, requested_level: int) -> int:
+        """Apply the throttle cap to a requested frequency level."""
+        if self._throttled:
+            return min(requested_level, self.config.throttled_level)
+        return requested_level

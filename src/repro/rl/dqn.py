@@ -1,0 +1,183 @@
+"""Generic DQN learner.
+
+Wraps an online :class:`~repro.rl.slimmable.SlimmableMLP`, a target copy, an
+optimizer and the TD-learning update rule.  Both the Lotus agent (which
+calls it with alternating widths and two replay buffers) and the zTT
+baseline (single width, single buffer) drive this class; it contains no
+Lotus-specific logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AgentError
+from repro.rl.network import huber_loss_and_grad
+from repro.rl.optimizer import Adam, Optimizer
+from repro.rl.replay import Transition
+from repro.rl.schedule import Schedule
+from repro.rl.slimmable import SlimmableMLP
+
+
+@dataclass(frozen=True)
+class DqnConfig:
+    """Hyper-parameters of the DQN update rule.
+
+    Attributes:
+        discount: Discount factor gamma for TD targets.
+        batch_size: Mini-batch size sampled from the replay buffer.
+        target_sync_interval: Number of training steps between target-network
+            synchronisations.
+        huber_delta: Transition point of the Huber loss.
+        max_grad_norm: Global gradient-norm clip (0 disables clipping).
+        double_dqn: Use Double-DQN targets (argmax from the online network,
+            value from the target network) to curb Q-value overestimation —
+            particularly helpful when bootstrapping across the two widths of
+            the slimmable Lotus Q-network.
+    """
+
+    discount: float = 0.9
+    batch_size: int = 32
+    target_sync_interval: int = 100
+    huber_delta: float = 1.0
+    max_grad_norm: float = 5.0
+    double_dqn: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.discount < 1.0:
+            raise AgentError("discount must lie in [0, 1)")
+        if self.batch_size <= 0:
+            raise AgentError("batch_size must be positive")
+        if self.target_sync_interval <= 0:
+            raise AgentError("target_sync_interval must be positive")
+        if self.huber_delta <= 0:
+            raise AgentError("huber_delta must be positive")
+        if self.max_grad_norm < 0:
+            raise AgentError("max_grad_norm must be non-negative")
+
+
+class DqnLearner:
+    """Online/target Q-network pair with the DQN update rule."""
+
+    def __init__(
+        self,
+        network: SlimmableMLP,
+        config: DqnConfig | None = None,
+        optimizer: Optimizer | None = None,
+        learning_rate_schedule: Schedule | None = None,
+    ):
+        self.network = network
+        self.target_network = network.clone()
+        self.config = config if config is not None else DqnConfig()
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        self.learning_rate_schedule = learning_rate_schedule
+        self.train_steps = 0
+
+    # -- action selection ----------------------------------------------------------
+
+    def q_values(self, state: np.ndarray, width: float = 1.0) -> np.ndarray:
+        """Q-values of all actions in ``state`` at the given width."""
+        outputs = self.network.predict(np.asarray(state, dtype=float), width)
+        return outputs[0]
+
+    def greedy_action(self, state: np.ndarray, width: float = 1.0) -> int:
+        """Index of the highest-valued action in ``state``."""
+        return int(np.argmax(self.q_values(state, width)))
+
+    def select_action(
+        self,
+        state: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        width: float = 1.0,
+    ) -> int:
+        """Epsilon-greedy action selection."""
+        if not 0.0 <= epsilon <= 1.0:
+            raise AgentError("epsilon must lie in [0, 1]")
+        num_actions = self.network.output_dim
+        if rng.random() < epsilon:
+            return int(rng.integers(num_actions))
+        return self.greedy_action(state, width)
+
+    # -- learning ----------------------------------------------------------------------
+
+    def train_batch(self, transitions: Sequence[Transition], width: float = 1.0) -> float:
+        """One DQN update on a batch of transitions.
+
+        Args:
+            transitions: Batch sampled from a replay buffer.  Transitions may
+                carry different ``next_width`` values (e.g. when a shared
+                buffer mixes both Lotus decision points); the TD targets are
+                computed per width group.
+            width: Width at which the *current* states' Q-values are computed
+                and trained.
+
+        Returns:
+            The Huber TD loss of the batch.
+        """
+        if not transitions:
+            raise AgentError("cannot train on an empty batch")
+
+        states = np.stack([t.state for t in transitions])
+        actions = np.array([t.action for t in transitions], dtype=int)
+        rewards = np.array([t.reward for t in transitions], dtype=float)
+        next_states = np.stack([t.next_state for t in transitions])
+        next_widths = np.array([t.next_width for t in transitions], dtype=float)
+
+        max_next_q = np.zeros(len(transitions))
+        for next_width in np.unique(next_widths):
+            group = next_widths == next_width
+            target_q = self.target_network.predict(next_states[group], float(next_width))
+            if self.config.double_dqn:
+                online_q = self.network.predict(next_states[group], float(next_width))
+                best_actions = np.argmax(online_q, axis=1)
+                max_next_q[group] = target_q[np.arange(len(best_actions)), best_actions]
+            else:
+                max_next_q[group] = np.max(target_q, axis=1)
+        targets = rewards + self.config.discount * max_next_q
+
+        outputs, cache = self.network.forward(states, width)
+        batch_indices = np.arange(len(transitions))
+        predictions = outputs[batch_indices, actions]
+        loss, grad_predictions = huber_loss_and_grad(
+            predictions, targets, self.config.huber_delta
+        )
+
+        grad_outputs = np.zeros_like(outputs)
+        grad_outputs[batch_indices, actions] = grad_predictions
+        weight_grads, bias_grads, weight_masks, bias_masks = self.network.backward(
+            cache, grad_outputs
+        )
+        gradients = []
+        masks = []
+        for wg, bg, wm, bm in zip(weight_grads, bias_grads, weight_masks, bias_masks):
+            gradients.extend([wg, bg])
+            masks.extend([wm, bm])
+        self._clip_gradients(gradients)
+
+        if self.learning_rate_schedule is not None:
+            self.optimizer.set_learning_rate(
+                max(1e-6, self.learning_rate_schedule.value(self.train_steps))
+            )
+        self.optimizer.step(self.network.parameters(), gradients, masks)
+
+        self.train_steps += 1
+        if self.train_steps % self.config.target_sync_interval == 0:
+            self.sync_target()
+        return loss
+
+    def _clip_gradients(self, gradients: Sequence[np.ndarray]) -> None:
+        if self.config.max_grad_norm <= 0:
+            return
+        total = float(np.sqrt(sum(float(np.sum(g**2)) for g in gradients)))
+        if total > self.config.max_grad_norm and total > 0:
+            scale = self.config.max_grad_norm / total
+            for grad in gradients:
+                grad *= scale
+
+    def sync_target(self) -> None:
+        """Copy the online network's parameters into the target network."""
+        self.target_network.set_state(self.network.get_state())

@@ -1,0 +1,154 @@
+"""Gradient-descent optimizers with optional per-parameter update masks.
+
+The masks matter for the slimmable Q-network: when a batch is trained at the
+reduced width, only the active slice of each layer may be touched — the
+paper is explicit that "the remaining weights are not updated" — so the
+optimizer must skip masked-out entries entirely (including their moment
+estimates, in the case of Adam).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer:
+    """Base class: holds the learning rate and the step counter."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.step_count = 0
+
+    def set_learning_rate(self, learning_rate: float) -> None:
+        """Update the learning rate (called by schedules between steps)."""
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    def step(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        """Apply one in-place update to ``parameters``."""
+        raise NotImplementedError
+
+
+def _validate_step_args(
+    parameters: Sequence[np.ndarray],
+    gradients: Sequence[np.ndarray],
+    masks: Sequence[np.ndarray] | None,
+) -> None:
+    if len(parameters) != len(gradients):
+        raise ConfigurationError(
+            f"got {len(parameters)} parameters but {len(gradients)} gradients"
+        )
+    if masks is not None and len(masks) != len(parameters):
+        raise ConfigurationError(
+            f"got {len(parameters)} parameters but {len(masks)} masks"
+        )
+    for index, (param, grad) in enumerate(zip(parameters, gradients)):
+        if param.shape != grad.shape:
+            raise ConfigurationError(
+                f"parameter {index} shape {param.shape} != gradient shape {grad.shape}"
+            )
+        if masks is not None and masks[index].shape != param.shape:
+            raise ConfigurationError(
+                f"parameter {index} shape {param.shape} != mask shape {masks[index].shape}"
+            )
+
+
+class Sgd(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] | None = None
+
+    def step(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        _validate_step_args(parameters, gradients, masks)
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        self.step_count += 1
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            mask = masks[index] if masks is not None else None
+            velocity = self._velocity[index]
+            if mask is None:
+                velocity[...] = self.momentum * velocity + grad
+                param -= self.learning_rate * velocity
+            else:
+                velocity[mask] = self.momentum * velocity[mask] + grad[mask]
+                param[mask] -= self.learning_rate * velocity[mask]
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with masked updates.
+
+    The paper trains the Lotus Q-network with Adam, ``beta1 = 0.9``,
+    ``beta2 = 0.99`` and a 0.01 learning rate under cosine decay; those are
+    the defaults here.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("beta1 and beta2 must lie in [0, 1)")
+        if epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: List[np.ndarray] | None = None
+        self._second_moment: List[np.ndarray] | None = None
+
+    def step(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+        masks: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        _validate_step_args(parameters, gradients, masks)
+        if self._first_moment is None:
+            self._first_moment = [np.zeros_like(p) for p in parameters]
+            self._second_moment = [np.zeros_like(p) for p in parameters]
+        assert self._second_moment is not None
+        self.step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self.step_count
+        bias_correction2 = 1.0 - self.beta2**self.step_count
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            mask = masks[index] if masks is not None else None
+            m = self._first_moment[index]
+            v = self._second_moment[index]
+            if mask is None:
+                m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
+                v[...] = self.beta2 * v + (1.0 - self.beta2) * grad**2
+                m_hat = m / bias_correction1
+                v_hat = v / bias_correction2
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            else:
+                m[mask] = self.beta1 * m[mask] + (1.0 - self.beta1) * grad[mask]
+                v[mask] = self.beta2 * v[mask] + (1.0 - self.beta2) * grad[mask] ** 2
+                m_hat = m[mask] / bias_correction1
+                v_hat = v[mask] / bias_correction2
+                param[mask] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,102 @@
+"""Experience replay.
+
+A bounded FIFO buffer of transitions with uniform random sampling — the
+standard DQN component.  Lotus keeps *two* of these, one per per-frame
+decision point, so that batches used to train the reduced-width Q-values
+never mix with batches used to train the full-width ones (paper §4.3.4);
+that pairing lives in the Lotus agent, not here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+import numpy as np
+
+from repro.errors import ReplayBufferError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s') transition.
+
+    Attributes:
+        state: Observation vector the action was taken in.
+        action: Index of the action taken.
+        reward: Reward received after the action.
+        next_state: Observation vector of the following time step.
+        next_width: Width multiplier at which the *next* state's Q-values
+            should be evaluated when bootstrapping (the Lotus transition at
+            time ``2i`` bootstraps through a full-width evaluation of
+            ``s_{2i+1}``, and vice versa).
+    """
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    next_width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action < 0:
+            raise ReplayBufferError("action index must be non-negative")
+        object.__setattr__(self, "state", np.asarray(self.state, dtype=float))
+        object.__setattr__(self, "next_state", np.asarray(self.next_state, dtype=float))
+
+
+class ReplayBuffer:
+    """Bounded FIFO replay buffer with uniform sampling."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ReplayBufferError("capacity must be positive")
+        self.capacity = capacity
+        self._storage: Deque[Transition] = deque(maxlen=capacity)
+        self._total_pushed = 0
+
+    def push(self, transition: Transition) -> None:
+        """Store a transition, evicting the oldest if the buffer is full."""
+        self._storage.append(transition)
+        self._total_pushed += 1
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def total_pushed(self) -> int:
+        """Total number of transitions ever pushed (including evicted ones)."""
+        return self._total_pushed
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has reached its capacity."""
+        return len(self._storage) == self.capacity
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> List[Transition]:
+        """Sample ``batch_size`` transitions uniformly at random.
+
+        Raises:
+            ReplayBufferError: If the buffer holds fewer than ``batch_size``
+                transitions.
+        """
+        if batch_size <= 0:
+            raise ReplayBufferError("batch_size must be positive")
+        if len(self._storage) < batch_size:
+            raise ReplayBufferError(
+                f"cannot sample {batch_size} transitions from a buffer of size "
+                f"{len(self._storage)}"
+            )
+        indices = rng.choice(len(self._storage), size=batch_size, replace=False)
+        return [self._storage[int(i)] for i in indices]
+
+    def clear(self) -> None:
+        """Discard all stored transitions."""
+        self._storage.clear()
+
+    def latest(self) -> Transition:
+        """The most recently pushed transition."""
+        if not self._storage:
+            raise ReplayBufferError("buffer is empty")
+        return self._storage[-1]

@@ -1,0 +1,251 @@
+"""Slimmable multi-layer perceptron.
+
+The Lotus Q-network is a single MLP executed at two widths: the Q-values of
+the first state-action pair of each frame (no proposal count yet) are
+computed with only the first ``alpha x`` channels of every hidden layer,
+while the second pair uses the full network.  The two computations therefore
+share the bulk of their parameters, preserving the correlation between the
+two decisions of the same frame — the core architectural idea of §4.3.4.
+
+:class:`SlimmableMLP` implements this with plain NumPy: ``forward`` takes a
+width multiplier and only uses the active slice of each hidden layer;
+``backward`` returns full-shaped gradients that are zero outside the active
+slice, together with boolean masks so the optimizer can leave inactive
+weights completely untouched (the paper: "the remaining weights are not
+updated").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.network import he_init, relu, relu_grad
+
+
+@dataclass
+class ForwardCache:
+    """Intermediate activations stored by :meth:`SlimmableMLP.forward`.
+
+    Attributes:
+        inputs: The input batch.
+        pre_activations: Pre-activation values of every layer.
+        activations: Post-activation values of every layer (the last entry
+            is the network output).
+        active_units: The number of active units per layer boundary used for
+            this pass (length ``num_layers + 1``).
+        width: The width multiplier the pass was run at.
+    """
+
+    inputs: np.ndarray
+    pre_activations: List[np.ndarray]
+    activations: List[np.ndarray]
+    active_units: List[int]
+    width: float
+
+
+class SlimmableMLP:
+    """An MLP whose hidden layers can run at a reduced width.
+
+    Args:
+        input_dim: Number of input features (always fully used).
+        hidden_dims: Sizes of the hidden layers at full width.
+        output_dim: Number of outputs (always fully used — every action must
+            have a Q-value at every width).
+        widths: The width multipliers the network supports; ``1.0`` must be
+            included.  The paper uses ``(0.75, 1.0)``.
+        rng: Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int],
+        output_dim: int,
+        widths: Sequence[float] = (0.75, 1.0),
+        rng: np.random.Generator | None = None,
+    ):
+        if input_dim <= 0 or output_dim <= 0:
+            raise ConfigurationError("input_dim and output_dim must be positive")
+        if not hidden_dims:
+            raise ConfigurationError("at least one hidden layer is required")
+        if any(h <= 0 for h in hidden_dims):
+            raise ConfigurationError("hidden layer sizes must be positive")
+        widths = tuple(sorted(set(float(w) for w in widths)))
+        if not widths or widths[-1] != 1.0:
+            raise ConfigurationError("widths must include 1.0")
+        if widths[0] <= 0:
+            raise ConfigurationError("widths must be positive")
+        self.input_dim = int(input_dim)
+        self.hidden_dims = tuple(int(h) for h in hidden_dims)
+        self.output_dim = int(output_dim)
+        self.widths = widths
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        layer_dims = [self.input_dim, *self.hidden_dims, self.output_dim]
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_dims[:-1], layer_dims[1:]):
+            w, b = he_init(fan_in, fan_out, rng)
+            self.weights.append(w)
+            self.biases.append(b)
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Number of dense layers (hidden layers + output layer)."""
+        return len(self.weights)
+
+    def active_units_for_width(self, width: float) -> List[int]:
+        """Active unit counts at each layer boundary for a width multiplier.
+
+        The input and output dimensions are always fully active; hidden
+        layers are truncated to ``ceil(width * size)`` units (at least one).
+        """
+        self._validate_width(width)
+        units = [self.input_dim]
+        for hidden in self.hidden_dims:
+            units.append(max(1, math.ceil(width * hidden)))
+        units.append(self.output_dim)
+        return units
+
+    def _validate_width(self, width: float) -> None:
+        if not any(abs(width - w) < 1e-9 for w in self.widths):
+            raise ConfigurationError(
+                f"width {width} is not one of the configured widths {self.widths}"
+            )
+
+    # -- forward / backward -----------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray, width: float = 1.0) -> Tuple[np.ndarray, ForwardCache]:
+        """Run the network at ``width``.
+
+        Args:
+            inputs: Batch of shape ``(batch, input_dim)`` (a single sample of
+                shape ``(input_dim,)`` is also accepted).
+            width: Width multiplier; must be one of :attr:`widths`.
+
+        Returns:
+            ``(outputs, cache)`` where outputs has shape ``(batch, output_dim)``.
+        """
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if x.shape[1] != self.input_dim:
+            raise ConfigurationError(
+                f"expected input dimension {self.input_dim}, got {x.shape[1]}"
+            )
+        active = self.active_units_for_width(width)
+        pre_activations: List[np.ndarray] = []
+        activations: List[np.ndarray] = []
+        current = x
+        for layer_index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            in_active = active[layer_index]
+            out_active = active[layer_index + 1]
+            z = current @ w[:in_active, :out_active] + b[:out_active]
+            pre_activations.append(z)
+            if layer_index < self.num_layers - 1:
+                current = relu(z)
+            else:
+                current = z
+            activations.append(current)
+        cache = ForwardCache(
+            inputs=x,
+            pre_activations=pre_activations,
+            activations=activations,
+            active_units=active,
+            width=width,
+        )
+        return current, cache
+
+    def predict(self, inputs: np.ndarray, width: float = 1.0) -> np.ndarray:
+        """Forward pass returning only the outputs."""
+        outputs, _ = self.forward(inputs, width)
+        return outputs
+
+    def backward(
+        self, cache: ForwardCache, grad_outputs: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
+        """Back-propagate ``grad_outputs`` through the cached forward pass.
+
+        Returns:
+            ``(weight_grads, bias_grads, weight_masks, bias_masks)``.  The
+            gradients are full-shaped with zeros outside the active slices;
+            the boolean masks mark the active slices so that the optimizer
+            can skip inactive parameters entirely.
+        """
+        grad = np.atleast_2d(np.asarray(grad_outputs, dtype=float))
+        if grad.shape != cache.activations[-1].shape:
+            raise ConfigurationError(
+                f"grad_outputs shape {grad.shape} does not match network output "
+                f"shape {cache.activations[-1].shape}"
+            )
+        active = cache.active_units
+        weight_grads = [np.zeros_like(w) for w in self.weights]
+        bias_grads = [np.zeros_like(b) for b in self.biases]
+        weight_masks = [np.zeros(w.shape, dtype=bool) for w in self.weights]
+        bias_masks = [np.zeros(b.shape, dtype=bool) for b in self.biases]
+
+        for layer_index in range(self.num_layers - 1, -1, -1):
+            in_active = active[layer_index]
+            out_active = active[layer_index + 1]
+            if layer_index < self.num_layers - 1:
+                grad = grad * relu_grad(cache.pre_activations[layer_index])
+            upstream = (
+                cache.inputs if layer_index == 0 else cache.activations[layer_index - 1]
+            )
+            weight_grads[layer_index][:in_active, :out_active] = upstream.T @ grad
+            bias_grads[layer_index][:out_active] = np.sum(grad, axis=0)
+            weight_masks[layer_index][:in_active, :out_active] = True
+            bias_masks[layer_index][:out_active] = True
+            if layer_index > 0:
+                grad = grad @ self.weights[layer_index][:in_active, :out_active].T
+        return weight_grads, bias_grads, weight_masks, bias_masks
+
+    # -- parameter management ------------------------------------------------------------
+
+    def parameters(self) -> List[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, interleaved)."""
+        params: List[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            params.append(w)
+            params.append(b)
+        return params
+
+    def get_state(self) -> List[np.ndarray]:
+        """Deep copy of all parameters (for target-network snapshots)."""
+        return [p.copy() for p in self.parameters()]
+
+    def set_state(self, state: Sequence[np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`get_state`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ConfigurationError(
+                f"state has {len(state)} arrays, expected {len(params)}"
+            )
+        for target, source in zip(params, state):
+            if target.shape != source.shape:
+                raise ConfigurationError(
+                    f"parameter shape mismatch: {target.shape} vs {source.shape}"
+                )
+            target[...] = source
+
+    def clone(self) -> "SlimmableMLP":
+        """Create a copy of this network with identical parameters."""
+        copy = SlimmableMLP(
+            input_dim=self.input_dim,
+            hidden_dims=self.hidden_dims,
+            output_dim=self.output_dim,
+            widths=self.widths,
+            rng=np.random.default_rng(0),
+        )
+        copy.set_state(self.get_state())
+        return copy
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))

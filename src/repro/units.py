@@ -1,0 +1,112 @@
+"""Small unit-conversion helpers used throughout the simulator.
+
+The simulator works internally in SI-ish units that are convenient for the
+domain: frequencies in kHz (as exposed by Linux ``cpufreq`` sysfs nodes),
+latencies in milliseconds, temperatures in degrees Celsius, power in watts
+and energy in joules.  These helpers keep the conversions explicit and
+self-documenting instead of scattering magic constants such as ``1e6``
+through the code.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Frequency
+# --------------------------------------------------------------------------
+
+
+def khz_to_hz(khz: float) -> float:
+    """Convert kilohertz to hertz."""
+    return khz * 1e3
+
+
+def mhz_to_khz(mhz: float) -> float:
+    """Convert megahertz to kilohertz (the unit used by cpufreq sysfs)."""
+    return mhz * 1e3
+
+
+def ghz_to_khz(ghz: float) -> float:
+    """Convert gigahertz to kilohertz."""
+    return ghz * 1e6
+
+
+def khz_to_mhz(khz: float) -> float:
+    """Convert kilohertz to megahertz."""
+    return khz / 1e3
+
+
+def khz_to_ghz(khz: float) -> float:
+    """Convert kilohertz to gigahertz."""
+    return khz / 1e6
+
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1e3
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / 1e3
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * 1e3
+
+
+# --------------------------------------------------------------------------
+# Temperature
+# --------------------------------------------------------------------------
+
+_KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to Kelvin."""
+    return celsius + _KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert Kelvin to degrees Celsius."""
+    return kelvin - _KELVIN_OFFSET
+
+
+def millicelsius_to_celsius(millicelsius: float) -> float:
+    """Convert milli-degrees Celsius (thermal-zone sysfs unit) to Celsius."""
+    return millicelsius / 1e3
+
+
+def celsius_to_millicelsius(celsius: float) -> float:
+    """Convert Celsius to milli-degrees Celsius (thermal-zone sysfs unit)."""
+    return celsius * 1e3
+
+
+# --------------------------------------------------------------------------
+# Energy / power
+# --------------------------------------------------------------------------
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def milliwatts_to_watts(milliwatts: float) -> float:
+    """Convert milliwatts to watts."""
+    return milliwatts / 1e3
+
+
+def joules(power_watts: float, duration_ms: float) -> float:
+    """Energy in joules dissipated by ``power_watts`` over ``duration_ms``."""
+    return power_watts * ms_to_seconds(duration_ms)

@@ -1,0 +1,135 @@
+"""Dataset profiles.
+
+A :class:`DatasetProfile` captures the two properties of a dataset that the
+DVFS control problem depends on:
+
+* ``image_scale`` — how much stage-1 (convolutional) work a frame of this
+  dataset induces relative to the calibration reference.  VisDrone2019's
+  high-resolution aerial imagery makes every stage-1 pass ≈1.5x more
+  expensive than KITTI's.
+* the scene-complexity process — how many candidate objects a frame
+  contains, which drives the RPN proposal count and hence stage-2 work.
+  VisDrone scenes contain several hundred small objects; KITTI street
+  scenes contain far fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.workload.scene import SceneComplexityProcess
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistical profile of an object-detection dataset.
+
+    Attributes:
+        name: Dataset identifier, e.g. ``"kitti"``.
+        image_scale: Stage-1 work multiplier relative to the calibration
+            reference resolution.
+        complexity_mean: Long-run mean candidate-object count per frame.
+        complexity_std: Stationary standard deviation of the candidate count.
+        complexity_min: Lower bound on the candidate count.
+        complexity_max: Upper bound on the candidate count.
+        temporal_correlation: AR(1) coefficient of the scene process.
+        description: Human-readable description for reports.
+    """
+
+    name: str
+    image_scale: float
+    complexity_mean: float
+    complexity_std: float
+    complexity_min: float
+    complexity_max: float
+    temporal_correlation: float = 0.85
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("dataset name must be non-empty")
+        if self.image_scale <= 0:
+            raise ConfigurationError("image_scale must be positive")
+        if self.complexity_std < 0:
+            raise ConfigurationError("complexity_std must be non-negative")
+        if not self.complexity_min <= self.complexity_mean <= self.complexity_max:
+            raise ConfigurationError(
+                "complexity_mean must lie within [complexity_min, complexity_max]"
+            )
+
+    def scene_process(self) -> SceneComplexityProcess:
+        """Instantiate the scene-complexity process for this dataset."""
+        correlation = self.temporal_correlation
+        innovation_std = self.complexity_std * (1.0 - correlation**2) ** 0.5
+        return SceneComplexityProcess(
+            mean=self.complexity_mean,
+            innovation_std=innovation_std,
+            correlation=correlation,
+            minimum=self.complexity_min,
+            maximum=self.complexity_max,
+        )
+
+
+def kitti() -> DatasetProfile:
+    """KITTI: street-level autonomous-driving scenes, moderate object counts."""
+    return DatasetProfile(
+        name="kitti",
+        image_scale=1.0,
+        complexity_mean=150.0,
+        complexity_std=60.0,
+        complexity_min=20.0,
+        complexity_max=400.0,
+        temporal_correlation=0.85,
+        description="Street-level driving scenes with a moderate number of "
+        "vehicles, cyclists and pedestrians per frame.",
+    )
+
+
+def visdrone2019() -> DatasetProfile:
+    """VisDrone2019: high-resolution aerial scenes dense with small objects."""
+    return DatasetProfile(
+        name="visdrone2019",
+        image_scale=1.55,
+        complexity_mean=380.0,
+        complexity_std=130.0,
+        complexity_min=60.0,
+        complexity_max=800.0,
+        temporal_correlation=0.85,
+        description="High-resolution drone imagery with hundreds of small "
+        "objects (people, vehicles) per frame.",
+    )
+
+
+DatasetBuilder = Callable[[], DatasetProfile]
+
+_REGISTRY: Dict[str, DatasetBuilder] = {
+    "kitti": kitti,
+    "visdrone2019": visdrone2019,
+}
+
+
+def register_dataset(name: str, builder: DatasetBuilder, *, overwrite: bool = False) -> None:
+    """Register a custom dataset profile under ``name``."""
+    if not name:
+        raise ConfigurationError("dataset name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"dataset {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_dataset(name: str) -> DatasetProfile:
+    """Build a registered dataset profile by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from exc
+    return builder()

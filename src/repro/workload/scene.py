@@ -1,0 +1,81 @@
+"""Temporally correlated scene complexity.
+
+Consecutive frames of a driving or drone video show largely the same scene,
+so the number of candidate objects — and therefore the RPN proposal count —
+is strongly auto-correlated over time while still drifting as the vehicle or
+drone moves into denser or sparser areas.  A clipped AR(1) (first-order
+auto-regressive) process captures exactly this: the mean reverts towards a
+dataset-specific level, with Gaussian innovations and hard clipping to the
+dataset's plausible range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class SceneComplexityProcess:
+    """AR(1) process over the number of candidate objects per frame.
+
+    ``c_t = mean + correlation * (c_{t-1} - mean) + innovation_t``, with
+    ``innovation_t ~ Normal(0, innovation_std)`` and the result clipped to
+    ``[minimum, maximum]``.
+
+    Attributes:
+        mean: Long-run average candidate-object count.
+        innovation_std: Standard deviation of the per-frame innovation.
+        correlation: AR(1) coefficient in [0, 1); higher values mean slower
+            scene changes.
+        minimum: Lower clip bound.
+        maximum: Upper clip bound.
+    """
+
+    mean: float
+    innovation_std: float
+    correlation: float = 0.85
+    minimum: float = 0.0
+    maximum: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.mean < 0:
+            raise WorkloadError("mean complexity must be non-negative")
+        if self.innovation_std < 0:
+            raise WorkloadError("innovation_std must be non-negative")
+        if not 0.0 <= self.correlation < 1.0:
+            raise WorkloadError("correlation must lie in [0, 1)")
+        if self.minimum < 0 or self.maximum < self.minimum:
+            raise WorkloadError("require 0 <= minimum <= maximum")
+        if not self.minimum <= self.mean <= self.maximum:
+            raise WorkloadError("mean must lie within [minimum, maximum]")
+        self._current = self.mean
+
+    @property
+    def current(self) -> float:
+        """Most recently generated complexity value."""
+        return self._current
+
+    @property
+    def stationary_std(self) -> float:
+        """Standard deviation of the unclipped stationary distribution."""
+        return self.innovation_std / np.sqrt(1.0 - self.correlation**2)
+
+    def reset(self, rng: np.random.Generator | None = None) -> float:
+        """Restart the process, optionally from a random stationary draw."""
+        if rng is None:
+            self._current = self.mean
+        else:
+            draw = rng.normal(self.mean, self.stationary_std)
+            self._current = float(np.clip(draw, self.minimum, self.maximum))
+        return self._current
+
+    def step(self, rng: np.random.Generator) -> float:
+        """Advance one frame and return the new complexity value."""
+        innovation = rng.normal(0.0, self.innovation_std)
+        value = self.mean + self.correlation * (self._current - self.mean) + innovation
+        self._current = float(np.clip(value, self.minimum, self.maximum))
+        return self._current

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.registry import build_detector
+from repro.env.environment import InferenceEnvironment
+from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
+from repro.hardware.devices.mi11_lite import mi11_lite
+from repro.workload.dataset import build_dataset
+from repro.workload.generator import FrameStream
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def jetson():
+    """A freshly built Jetson Orin Nano device."""
+    return jetson_orin_nano()
+
+
+@pytest.fixture
+def phone():
+    """A freshly built Mi 11 Lite device."""
+    return mi11_lite()
+
+
+def make_small_environment(
+    detector_name: str = "faster_rcnn",
+    dataset_name: str = "kitti",
+    latency_constraint_ms: float = 400.0,
+    seed: int = 0,
+) -> InferenceEnvironment:
+    """A small Jetson environment for integration-style tests."""
+    device = jetson_orin_nano()
+    detector = build_detector(detector_name)
+    stream = FrameStream(build_dataset(dataset_name), np.random.default_rng(seed))
+    return InferenceEnvironment(
+        device=device,
+        detector=detector,
+        stream=stream,
+        latency_constraint_ms=latency_constraint_ms,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+@pytest.fixture
+def small_environment() -> InferenceEnvironment:
+    """Default small environment: FasterRCNN on KITTI on the Jetson."""
+    return make_small_environment()

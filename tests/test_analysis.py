@@ -1,0 +1,90 @@
+"""Analysis helpers: statistics, tables, figure series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.analysis.figures import (
+    FigureSeries,
+    series_to_csv,
+    series_to_text,
+    trace_latency_series,
+    trace_temperature_series,
+)
+from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
+from repro.analysis.tables import comparison_table, format_table, metrics_row
+from repro.env.metrics import summarize_trace
+from repro.env.trace import Trace
+
+from tests.test_env_ambient_trace_metrics import make_record
+
+
+def test_summary_statistics():
+    stats = summary_statistics([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(3.0)
+    assert stats.median == pytest.approx(3.0)
+    assert stats.minimum == 1.0 and stats.maximum == 5.0
+    assert stats.std == pytest.approx(np.std([1, 2, 3, 4, 5]))
+    with pytest.raises(ExperimentError):
+        summary_statistics([])
+
+
+def test_reduction_and_improvement_percent():
+    # Paper style: "Lotus reduces the latency by 30.8 %".
+    assert reduction_percent(768.4, 531.4) == pytest.approx(30.8, abs=0.1)
+    # "improves the satisfaction rate by 35.9 %" (percentage points).
+    assert improvement_percent(0.39, 0.749) == pytest.approx(35.9, abs=0.1)
+    assert reduction_percent(100.0, 120.0) < 0
+    with pytest.raises(ExperimentError):
+        reduction_percent(0.0, 1.0)
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "method"], [["1", "default"], ["22", "lotus"]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "lotus" in lines[-1]
+
+
+def test_comparison_table_layout():
+    trace = Trace([make_record(index=i, latency=300.0 + i) for i in range(10)])
+    metrics = summarize_trace(trace)
+    nested = {"faster_rcnn": {"default": {"kitti": metrics}, "lotus": {"kitti": metrics}}}
+    table = comparison_table(nested, datasets=["kitti", "visdrone2019"], title="Table X")
+    assert "Table X" in table
+    assert "faster_rcnn" in table
+    assert "lotus" in table
+    # Missing dataset columns are filled with placeholders.
+    assert "-" in table
+    row = metrics_row(metrics)
+    assert set(row) >= {"mean_latency_ms", "latency_std_ms", "satisfaction_rate"}
+
+
+def test_figure_series_and_exports():
+    trace = Trace([make_record(index=i, latency=300.0 + 10 * i) for i in range(50)])
+    latency_series = trace_latency_series("lotus", trace)
+    temperature_series = trace_temperature_series("lotus", trace)
+    assert latency_series.values.shape == (50,)
+    assert "latency" in latency_series.label
+    assert "temperature" in temperature_series.label
+    down = latency_series.downsampled(10)
+    assert down.values.shape == (10,)
+
+    csv = series_to_csv([latency_series, temperature_series])
+    lines = csv.splitlines()
+    assert lines[0].startswith("index,")
+    assert len(lines) == 51
+
+    text = series_to_text([latency_series, temperature_series], max_points=8)
+    assert len(text.splitlines()) == 2
+
+    with pytest.raises(ExperimentError):
+        series_to_csv([])
+    with pytest.raises(ExperimentError):
+        series_to_text([])
+    empty = FigureSeries("empty")
+    assert empty.values.size == 0

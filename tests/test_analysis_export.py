@@ -1,0 +1,78 @@
+"""Trace / metrics export round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.analysis.export import (
+    metrics_from_json,
+    metrics_to_json,
+    summarise_to_markdown,
+    trace_from_csv,
+    trace_to_csv,
+    traces_to_directory,
+)
+from repro.env.metrics import summarize_trace
+from repro.env.trace import Trace
+
+from tests.test_env_ambient_trace_metrics import make_record
+
+
+def make_trace(n: int = 12) -> Trace:
+    return Trace([make_record(index=i, latency=300.0 + 5 * i, throttled=(i % 4 == 0)) for i in range(n)])
+
+
+def test_trace_csv_round_trip(tmp_path):
+    trace = make_trace()
+    path = trace_to_csv(trace, tmp_path / "run" / "lotus.csv")
+    assert path.exists()
+    loaded = trace_from_csv(path)
+    assert len(loaded) == len(trace)
+    for original, restored in zip(trace, loaded):
+        assert restored.index == original.index
+        assert restored.total_latency_ms == pytest.approx(original.total_latency_ms)
+        assert restored.num_proposals == original.num_proposals
+        assert restored.met_constraint == original.met_constraint
+        assert restored.cpu_throttled == original.cpu_throttled
+        assert restored.dataset == original.dataset
+    # Summaries of the original and the round-tripped trace agree.
+    assert summarize_trace(loaded).mean_latency_ms == pytest.approx(
+        summarize_trace(trace).mean_latency_ms
+    )
+
+
+def test_trace_csv_errors(tmp_path):
+    with pytest.raises(ExperimentError):
+        trace_to_csv(Trace(), tmp_path / "empty.csv")
+    with pytest.raises(ExperimentError):
+        trace_from_csv(tmp_path / "missing.csv")
+
+
+def test_metrics_json_round_trip(tmp_path):
+    metrics = summarize_trace(make_trace())
+    path = metrics_to_json(metrics, tmp_path / "metrics.json", label="lotus/kitti")
+    loaded = metrics_from_json(path)
+    assert loaded["label"] == "lotus/kitti"
+    assert loaded["mean_latency_ms"] == pytest.approx(metrics.mean_latency_ms)
+    assert loaded["num_frames"] == metrics.num_frames
+    with pytest.raises(ExperimentError):
+        metrics_from_json(tmp_path / "missing.json")
+
+
+def test_traces_to_directory(tmp_path):
+    traces = {"default": make_trace(5), "lotus": make_trace(7)}
+    written = traces_to_directory(traces, tmp_path / "out")
+    assert {p.name for p in written} == {"default.csv", "lotus.csv"}
+    assert all(p.exists() for p in written)
+
+
+def test_summarise_to_markdown():
+    metrics = summarize_trace(make_trace())
+    table = summarise_to_markdown([("default", metrics), ("lotus", metrics)])
+    lines = table.splitlines()
+    assert lines[0].startswith("| method |")
+    assert len(lines) == 4
+    assert "lotus" in lines[-1]
+    with pytest.raises(ExperimentError):
+        summarise_to_markdown([])

@@ -1,0 +1,70 @@
+"""Agent/client communication substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.comms.channel import SimulatedChannel
+from repro.comms.protocol import Message, MessageKind, decode_message, encode_message
+from repro.comms.server import RemotePolicy
+from repro.env.episode import run_episode
+from repro.governors.static import UserspacePolicy
+
+from tests.conftest import make_small_environment
+
+
+def test_message_round_trip():
+    message = Message(
+        kind=MessageKind.STATE,
+        payload={"cpu_temperature_c": 63.2, "gpu_level": 3},
+        sequence=7,
+    )
+    decoded = decode_message(encode_message(message))
+    assert decoded.kind == MessageKind.STATE
+    assert decoded.sequence == 7
+    assert decoded.payload["gpu_level"] == 3
+
+
+def test_message_validation():
+    with pytest.raises(ProtocolError):
+        Message(kind=MessageKind.ACK, payload={}, sequence=-1)
+    with pytest.raises(ProtocolError):
+        encode_message(Message(kind=MessageKind.ACK, payload={"bad": object()}))
+    with pytest.raises(ProtocolError):
+        decode_message(b"not json at all")
+    with pytest.raises(ProtocolError):
+        decode_message(b'{"kind": "state"}')
+
+
+def test_channel_latency_model():
+    channel = SimulatedChannel(message_latency_ms=1.92, bandwidth_mbps=100.0)
+    message = Message(kind=MessageKind.ACTION, payload={"cpu_level": 9, "gpu_level": 3})
+    delivered, latency = channel.transfer(message)
+    assert delivered.payload == message.payload
+    assert latency == pytest.approx(1.92, abs=0.05)
+    round_trip = channel.round_trip(message, message)
+    assert round_trip == pytest.approx(2 * 1.92, abs=0.1)
+    assert channel.stats.messages_sent == 3
+    assert channel.stats.bytes_sent > 0
+    assert channel.stats.mean_message_latency_ms == pytest.approx(1.92, abs=0.05)
+    channel.reset_stats()
+    assert channel.stats.messages_sent == 0
+    with pytest.raises(ProtocolError):
+        SimulatedChannel(message_latency_ms=-1.0)
+
+
+def test_remote_policy_wraps_and_accounts_overhead():
+    env = make_small_environment()
+    remote = RemotePolicy(UserspacePolicy(9, 3), SimulatedChannel())
+    trace = run_episode(env, remote, num_frames=10)
+    # The inner policy's decisions still reach the device.
+    assert all(r.gpu_level_stage1 == 3 for r in trace.records)
+    report = remote.overhead_report()
+    assert report.frames == 10
+    assert report.messages_per_frame == pytest.approx(4.0)
+    assert report.channel_ms_per_message == pytest.approx(1.92, abs=0.1)
+    # Four messages at ~1.92 ms plus the (tiny) policy compute time.
+    assert 7.0 <= report.total_overhead_ms_per_frame <= 30.0
+    assert report.agent_compute_ms_per_decision >= 0.0
+    assert remote.name == "remote(userspace(cpu=9,gpu=3))"

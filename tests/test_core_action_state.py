@@ -1,0 +1,155 @@
+"""Lotus action space and state encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AgentError, ConfigurationError
+from repro.core.action import JointActionSpace
+from repro.core.state import STATE_DIMENSION, StateEncoder
+from repro.env.environment import FrameStartObservation, MidFrameObservation
+
+
+# -- action space -----------------------------------------------------------------
+
+
+def test_action_space_size_and_round_trip():
+    space = JointActionSpace(cpu_levels=10, gpu_levels=5)
+    assert space.size == 50
+    assert len(space.all_pairs()) == 50
+    for index in range(space.size):
+        cpu, gpu = space.decode(index)
+        assert space.encode(cpu, gpu) == index
+    with pytest.raises(AgentError):
+        space.decode(50)
+    with pytest.raises(AgentError):
+        space.encode(10, 0)
+    with pytest.raises(AgentError):
+        JointActionSpace(0, 5)
+
+
+def test_cooler_actions_never_raise_either_domain():
+    space = JointActionSpace(cpu_levels=4, gpu_levels=3)
+    cooler = space.cooler_actions(2, 1)
+    assert cooler
+    for index in cooler:
+        cpu, gpu = space.decode(index)
+        assert cpu <= 2 and gpu <= 1
+        assert (cpu, gpu) != (2, 1)
+    # At the bottom of both tables there is nothing cooler.
+    assert space.cooler_actions(0, 0) == []
+    rng = np.random.default_rng(0)
+    assert space.random_cooler_action(0, 0, rng) == space.encode(0, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cpu_levels=st.integers(min_value=1, max_value=12),
+    gpu_levels=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_random_cooler_action_property(cpu_levels, gpu_levels, seed):
+    space = JointActionSpace(cpu_levels, gpu_levels)
+    rng = np.random.default_rng(seed)
+    cpu = int(rng.integers(cpu_levels))
+    gpu = int(rng.integers(gpu_levels))
+    action = space.random_cooler_action(cpu, gpu, rng)
+    chosen_cpu, chosen_gpu = space.decode(action)
+    assert chosen_cpu <= cpu and chosen_gpu <= gpu
+
+
+# -- state encoding ---------------------------------------------------------------------
+
+
+def make_start_observation(**overrides) -> FrameStartObservation:
+    defaults = dict(
+        frame_index=3,
+        dataset="kitti",
+        cpu_temperature_c=60.0,
+        gpu_temperature_c=70.0,
+        cpu_level=9,
+        gpu_level=3,
+        cpu_num_levels=10,
+        gpu_num_levels=5,
+        latency_constraint_ms=400.0,
+        remaining_budget_ms=400.0,
+        previous_latency_ms=350.0,
+        cpu_utilisation=0.3,
+        gpu_utilisation=0.8,
+        ambient_temperature_c=25.0,
+        throttle_threshold_c=80.0,
+        cpu_throttled=False,
+        gpu_throttled=False,
+    )
+    defaults.update(overrides)
+    return FrameStartObservation(**defaults)
+
+
+def make_mid_observation(**overrides) -> MidFrameObservation:
+    defaults = dict(
+        frame_index=3,
+        dataset="kitti",
+        cpu_temperature_c=61.0,
+        gpu_temperature_c=72.0,
+        cpu_level=9,
+        gpu_level=3,
+        cpu_num_levels=10,
+        gpu_num_levels=5,
+        latency_constraint_ms=400.0,
+        remaining_budget_ms=160.0,
+        stage1_latency_ms=240.0,
+        num_proposals=300,
+        cpu_utilisation=0.3,
+        gpu_utilisation=0.8,
+        ambient_temperature_c=25.0,
+        throttle_threshold_c=80.0,
+        cpu_throttled=False,
+        gpu_throttled=False,
+    )
+    defaults.update(overrides)
+    return MidFrameObservation(**defaults)
+
+
+def make_encoder() -> StateEncoder:
+    return StateEncoder(
+        cpu_levels=10, gpu_levels=5, temperature_scale_c=80.0, proposal_scale=600.0
+    )
+
+
+def test_start_state_layout():
+    state = make_encoder().encode_start(make_start_observation())
+    assert state.shape == (STATE_DIMENSION,)
+    assert state[0] == 0.0  # stage flag
+    assert state[1] == pytest.approx(60.0 / 80.0)
+    assert state[2] == pytest.approx(70.0 / 80.0)
+    assert state[3] == pytest.approx(1.0)  # cpu level 9/9
+    assert state[4] == pytest.approx(3.0 / 4.0)
+    assert state[5] == pytest.approx(1.0)  # full budget
+    assert state[6] == 0.0  # no proposal count yet
+
+
+def test_mid_state_layout_contains_proposals():
+    state = make_encoder().encode_mid(make_mid_observation())
+    assert state[0] == 1.0
+    assert state[5] == pytest.approx(160.0 / 400.0)
+    assert state[6] == pytest.approx(300.0 / 600.0)
+
+
+def test_budget_and_proposal_clipping():
+    encoder = make_encoder()
+    over_budget = make_mid_observation(remaining_budget_ms=-900.0)
+    assert encoder.encode_mid(over_budget)[5] == -1.0
+    flooded = make_mid_observation(num_proposals=10_000)
+    assert encoder.encode_mid(flooded)[6] == 2.0
+
+
+def test_encoder_validation():
+    with pytest.raises(ConfigurationError):
+        StateEncoder(0, 5, 80.0, 600.0)
+    with pytest.raises(ConfigurationError):
+        StateEncoder(10, 5, 0.0, 600.0)
+    with pytest.raises(ConfigurationError):
+        StateEncoder(10, 5, 80.0, 0.0)

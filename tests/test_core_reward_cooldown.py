@@ -1,0 +1,172 @@
+"""Lotus reward design and epsilon_t-greedy cool-down."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.action import JointActionSpace
+from repro.core.cooldown import CooldownSelector
+from repro.core.reward import RewardCalculator, RewardConfig
+
+
+# -- reward -------------------------------------------------------------------------
+
+
+def make_calculator(**kwargs) -> RewardCalculator:
+    return RewardCalculator(RewardConfig(**kwargs))
+
+
+def test_time_reward_positive_slack_components():
+    calc = make_calculator(variation_scale=1.0)
+    reward = calc.time_reward(0.2)
+    assert reward == pytest.approx(np.tanh(2.0 * 0.2) + 1.0)
+    # With recorded variation the stability bonus shrinks.
+    for slack in (0.3, -0.1, 0.4, 0.0, 0.25):
+        calc.observe_slack(slack)
+    assert calc.latency_variation() > 0
+    assert calc.time_reward(0.2) < reward
+
+
+def test_time_reward_violation_penalty():
+    calc = make_calculator(penalty=2.0)
+    assert calc.time_reward(-0.5) == pytest.approx(-1.0)
+    assert calc.time_reward(-0.5) < calc.time_reward(0.01)
+
+
+def test_temperature_reward_regimes():
+    calc = make_calculator(penalty=2.0, temperature_soft_margin_c=4.0)
+    threshold = 80.0
+    assert calc.temperature_reward(60.0, 70.0, threshold) == 1.0
+    # Graded zone: between threshold-4 and threshold.
+    graded = calc.temperature_reward(60.0, 78.0, threshold)
+    assert 0.0 < graded < 1.0
+    assert graded == pytest.approx((80.0 - 78.0) / 4.0)
+    assert calc.temperature_reward(60.0, 81.0, threshold) == -2.0
+    assert calc.temperature_reward(81.0, 60.0, threshold) == -2.0
+    # Exact Eq. 3 behaviour with a zero-width soft margin.
+    hard = make_calculator(temperature_soft_margin_c=0.0)
+    assert hard.temperature_reward(60.0, 79.9, threshold) == 1.0
+    assert hard.temperature_reward(60.0, 80.1, threshold) == -2.0
+
+
+def test_frame_reward_combines_components_and_updates_window():
+    calc = make_calculator(temperature_weight=0.5)
+    breakdown = calc.frame_reward(
+        latency_ms=300.0,
+        constraint_ms=400.0,
+        cpu_temperature_c=60.0,
+        gpu_temperature_c=70.0,
+        threshold_c=80.0,
+    )
+    assert breakdown.total == pytest.approx(
+        breakdown.time_component + 0.5 * breakdown.temperature_component
+    )
+    assert breakdown.temperature_component == 1.0
+    assert len(calc._recent_slacks) == 1
+    violation = calc.frame_reward(500.0, 400.0, 60.0, 70.0, 80.0)
+    assert violation.time_component < 0
+    assert violation.total < breakdown.total
+
+
+def test_stage1_reward_uses_stage1_budget_share():
+    calc = make_calculator(stage1_budget_fraction=0.8)
+    good = calc.stage1_reward(200.0, 400.0, 60.0, 70.0, 80.0)
+    slow = calc.stage1_reward(350.0, 400.0, 60.0, 70.0, 80.0)
+    assert good.total > slow.total
+    assert slow.time_component < 0  # 350 > 0.8 * 400
+
+
+def test_reward_reset_clears_window():
+    calc = make_calculator()
+    calc.observe_slack(0.5)
+    calc.observe_slack(-0.5)
+    assert calc.latency_variation() > 0
+    calc.reset()
+    assert calc.latency_variation() == 0.0
+
+
+def test_reward_config_validation():
+    with pytest.raises(ConfigurationError):
+        RewardConfig(penalty=0.0)
+    with pytest.raises(ConfigurationError):
+        RewardConfig(variation_window=1)
+    with pytest.raises(ConfigurationError):
+        RewardConfig(stage1_budget_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        RewardConfig(temperature_soft_margin_c=-1.0)
+    with pytest.raises(ConfigurationError):
+        RewardConfig(variation_scale=-1.0)
+    calc = make_calculator()
+    with pytest.raises(ConfigurationError):
+        calc.frame_reward(1.0, 0.0, 1.0, 1.0, 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    latency=st.floats(min_value=1.0, max_value=2000.0),
+    constraint=st.floats(min_value=100.0, max_value=1000.0),
+    cpu_temp=st.floats(min_value=20.0, max_value=100.0),
+    gpu_temp=st.floats(min_value=20.0, max_value=100.0),
+)
+def test_reward_monotonicity_properties(latency, constraint, cpu_temp, gpu_temp):
+    """Faster frames never score lower; hotter frames never score higher."""
+    calc = make_calculator()
+    threshold = 80.0
+    base = calc.frame_reward(latency, constraint, cpu_temp, gpu_temp, threshold).total
+    calc.reset()
+    faster = calc.frame_reward(latency * 0.9, constraint, cpu_temp, gpu_temp, threshold).total
+    calc.reset()
+    hotter = calc.frame_reward(
+        latency, constraint, cpu_temp + 10.0, gpu_temp + 10.0, threshold
+    ).total
+    assert faster >= base - 1e-9
+    assert hotter <= base + 1e-9
+
+
+# -- cool-down ---------------------------------------------------------------------------
+
+
+def test_cooldown_only_triggers_when_overheated(rng):
+    selector = CooldownSelector(initial_epsilon=1.0, decay_triggers=10)
+    space = JointActionSpace(10, 5)
+    assert selector.maybe_cooldown_action(space, 9, 4, 60.0, 70.0, 80.0, rng) is None
+    action = selector.maybe_cooldown_action(space, 9, 4, 60.0, 85.0, 80.0, rng)
+    assert action is not None
+    cpu, gpu = space.decode(action)
+    assert cpu <= 9 and gpu <= 4
+    assert selector.trigger_count == 1
+
+
+def test_cooldown_epsilon_decays_with_triggers(rng):
+    selector = CooldownSelector(initial_epsilon=0.9, decay_triggers=20, final_epsilon=0.05)
+    space = JointActionSpace(10, 5)
+    initial = selector.current_epsilon
+    for _ in range(200):
+        selector.maybe_cooldown_action(space, 9, 4, 90.0, 90.0, 80.0, rng)
+    assert selector.trigger_count > 0
+    assert selector.current_epsilon < initial
+    assert selector.current_epsilon == pytest.approx(0.05)
+    selector.reset()
+    assert selector.trigger_count == 0
+    assert selector.current_epsilon == pytest.approx(0.9)
+
+
+def test_always_mode_reproduces_ztt_behaviour(rng):
+    selector = CooldownSelector(initial_epsilon=0.0, decay_triggers=5, always=True)
+    space = JointActionSpace(10, 5)
+    # Even with epsilon_t at zero the zTT-style selector always fires when hot.
+    for _ in range(10):
+        assert selector.maybe_cooldown_action(space, 9, 4, 90.0, 90.0, 80.0, rng) is not None
+
+
+def test_overheat_detection_and_validation():
+    selector = CooldownSelector()
+    assert selector.is_overheated(85.0, 60.0, 80.0)
+    assert selector.is_overheated(60.0, 85.0, 80.0)
+    assert not selector.is_overheated(79.0, 80.0, 80.0)
+    with pytest.raises(ConfigurationError):
+        CooldownSelector(initial_epsilon=1.5)

@@ -1,0 +1,123 @@
+"""Detector cost models: FasterRCNN, MaskRCNN, YOLOv5 and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DetectorError
+from repro.detection.accuracy import AccuracyModel
+from repro.detection.detector import DetectorModel
+from repro.detection.faster_rcnn import faster_rcnn
+from repro.detection.latency import DeviceComputeProfile, ExecutionModel
+from repro.detection.mask_rcnn import mask_rcnn
+from repro.detection.registry import available_detectors, build_detector, register_detector
+from repro.detection.stages import REFERENCE_CPU_KHZ, REFERENCE_GPU_KHZ, CycleCost, StageCost
+from repro.detection.yolo import yolo_v5
+
+
+def reference_latency_ms(cost) -> float:
+    """Latency of a cost at the calibration reference frequencies."""
+    model = ExecutionModel(DeviceComputeProfile(launch_overhead_ms=0.0))
+    return model.latency_ms(cost, REFERENCE_CPU_KHZ, REFERENCE_GPU_KHZ)
+
+
+def test_two_stage_structure():
+    for detector in (faster_rcnn(), mask_rcnn()):
+        assert detector.is_two_stage
+        assert "backbone" in detector.stage_names
+        assert "rpn" in detector.stage_names
+        assert len(detector.stage2) >= 2
+    yolo = yolo_v5()
+    assert not yolo.is_two_stage
+    assert yolo.stage2 == ()
+
+
+def test_stage1_dominates_latency_at_reference():
+    """The §4.2 profiling split: stage-1 is ~80 % of the frame."""
+    for detector in (faster_rcnn(), mask_rcnn()):
+        proposals = detector.proposal_model.expected_proposals(150.0)
+        stage1 = reference_latency_ms(detector.stage1_cost(1.0))
+        stage2 = reference_latency_ms(detector.stage2_cost(proposals, 1.0))
+        share = stage1 / (stage1 + stage2)
+        assert 0.7 <= share <= 0.9
+
+
+def test_stage2_cost_grows_linearly_with_proposals():
+    detector = faster_rcnn()
+    costs = [reference_latency_ms(detector.stage2_cost(n, 1.0)) for n in (0, 100, 200, 300)]
+    increments = np.diff(costs)
+    assert np.all(increments > 0)
+    assert np.allclose(increments, increments[0], rtol=1e-6)
+
+
+def test_mask_rcnn_per_proposal_cost_exceeds_faster_rcnn():
+    fr, mr = faster_rcnn(), mask_rcnn()
+    fr_delta = reference_latency_ms(fr.stage2_cost(101, 1.0)) - reference_latency_ms(
+        fr.stage2_cost(1, 1.0)
+    )
+    mr_delta = reference_latency_ms(mr.stage2_cost(101, 1.0)) - reference_latency_ms(
+        mr.stage2_cost(1, 1.0)
+    )
+    assert mr_delta > 2.0 * fr_delta
+
+
+def test_yolo_is_faster_and_proposal_free():
+    yolo = yolo_v5()
+    fr = faster_rcnn()
+    assert reference_latency_ms(yolo.total_cost(0, 1.0)) < 0.5 * reference_latency_ms(
+        fr.total_cost(150, 1.0)
+    )
+    assert yolo.propose(500.0, np.random.default_rng(0)) == 0
+    assert yolo.expected_proposals(500.0) == 0
+    assert yolo.stage2_cost(100, 1.0).total_kilocycles == 0.0
+
+
+def test_image_scale_increases_stage1_only_for_convolutional_stages():
+    detector = faster_rcnn()
+    base = detector.stage1_cost(1.0).total_kilocycles
+    scaled = detector.stage1_cost(1.55).total_kilocycles
+    assert scaled > base * 1.4
+    # RoI-based stage-2 head costs do not scale with the image.
+    assert detector.stage2_cost(100, 1.55).total_kilocycles == pytest.approx(
+        detector.stage2_cost(100, 1.0).total_kilocycles
+    )
+
+
+def test_breakdown_covers_all_stages():
+    detector = mask_rcnn()
+    breakdown = detector.breakdown(100, 1.0)
+    assert tuple(item.stage_name for item in breakdown) == detector.stage_names
+    total = sum(item.cost.total_kilocycles for item in breakdown)
+    assert total == pytest.approx(detector.total_cost(100, 1.0).total_kilocycles)
+
+
+def test_detector_model_validation():
+    with pytest.raises(DetectorError):
+        DetectorModel(name="", stage1=(StageCost("s", CycleCost(1.0, 1.0)),))
+    with pytest.raises(DetectorError):
+        DetectorModel(name="x", stage1=())
+
+
+def test_registry():
+    assert set(available_detectors()) >= {"faster_rcnn", "mask_rcnn", "yolo_v5"}
+    assert build_detector("faster_rcnn").name == "faster_rcnn"
+    with pytest.raises(ConfigurationError):
+        build_detector("ssd")
+    with pytest.raises(ConfigurationError):
+        register_detector("faster_rcnn", faster_rcnn)
+    register_detector("faster_rcnn_test_copy", faster_rcnn, overwrite=True)
+    assert "faster_rcnn_test_copy" in available_detectors()
+
+
+def test_accuracy_model():
+    accuracy = AccuracyModel()
+    for dataset in ("kitti", "visdrone2019"):
+        assert accuracy.map50("faster_rcnn", dataset) > accuracy.map50("yolo_v5", dataset)
+        assert accuracy.map50("mask_rcnn", dataset) > accuracy.map50("yolo_v5", dataset)
+    assert accuracy.map50("faster_rcnn", "kitti") > accuracy.map50("faster_rcnn", "visdrone2019")
+    with pytest.raises(DetectorError):
+        accuracy.map50("faster_rcnn", "coco")
+    sample = accuracy.sample_map("faster_rcnn", "kitti", np.random.default_rng(0))
+    assert abs(sample - accuracy.map50("faster_rcnn", "kitti")) < 3.0
+    assert ("faster_rcnn", "kitti") in accuracy.known_pairs()

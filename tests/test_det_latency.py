@@ -1,0 +1,99 @@
+"""Execution model (cycle costs to latency and utilisation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DetectorError
+from repro.detection.latency import (
+    DeviceComputeProfile,
+    ExecutionModel,
+    compute_profile_for,
+    register_compute_profile,
+)
+from repro.detection.stages import CycleCost
+
+
+def make_model(**kwargs) -> ExecutionModel:
+    return ExecutionModel(DeviceComputeProfile(**kwargs))
+
+
+def test_latency_is_cpu_plus_gpu_plus_overhead():
+    model = make_model(launch_overhead_ms=2.0)
+    cost = CycleCost(cpu_kilocycles=100_000.0, gpu_kilocycles=500_000.0)
+    segment = model.execute(cost, cpu_frequency_khz=1000.0, gpu_frequency_khz=500.0)
+    assert segment.cpu_busy_ms == pytest.approx(100.0)
+    assert segment.gpu_busy_ms == pytest.approx(1000.0)
+    assert segment.latency_ms == pytest.approx(1102.0)
+    assert model.latency_ms(cost, 1000.0, 500.0) == pytest.approx(segment.latency_ms)
+
+
+def test_latency_halves_when_frequency_doubles():
+    model = make_model(launch_overhead_ms=0.0)
+    cost = CycleCost(gpu_kilocycles=1_000_000.0)
+    slow = model.latency_ms(cost, 1000.0, 500.0)
+    fast = model.latency_ms(cost, 1000.0, 1000.0)
+    assert slow == pytest.approx(2.0 * fast)
+
+
+def test_efficiency_scales_throughput():
+    reference = make_model(launch_overhead_ms=0.0)
+    slower = make_model(gpu_efficiency=0.25, launch_overhead_ms=0.0)
+    cost = CycleCost(gpu_kilocycles=1_000_000.0)
+    assert slower.latency_ms(cost, 1000.0, 1000.0) == pytest.approx(
+        4.0 * reference.latency_ms(cost, 1000.0, 1000.0)
+    )
+
+
+def test_utilisations_are_fractions_of_the_segment():
+    model = make_model(host_activity=0.25, launch_overhead_ms=0.0)
+    cost = CycleCost(cpu_kilocycles=200_000.0, gpu_kilocycles=800_000.0)
+    segment = model.execute(cost, 1000.0, 1000.0)
+    assert 0.0 < segment.gpu_utilisation <= 1.0
+    assert 0.0 < segment.cpu_utilisation <= 1.0
+    assert segment.gpu_utilisation == pytest.approx(800.0 / 1000.0)
+    assert segment.cpu_utilisation == pytest.approx((200.0 + 0.25 * 800.0) / 1000.0)
+
+
+def test_invalid_inputs_rejected():
+    model = make_model()
+    with pytest.raises(DetectorError):
+        model.execute(CycleCost(1.0, 1.0), 0.0, 1000.0)
+    with pytest.raises(ConfigurationError):
+        DeviceComputeProfile(cpu_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        DeviceComputeProfile(host_activity=1.5)
+    with pytest.raises(ConfigurationError):
+        DeviceComputeProfile(launch_overhead_ms=-1.0)
+
+
+def test_registered_profiles():
+    jetson = compute_profile_for("jetson-orin-nano")
+    phone = compute_profile_for("mi11-lite")
+    unknown = compute_profile_for("some-unknown-device")
+    # The phone retires detector work slower than the Jetson at equal clocks.
+    assert phone.gpu_efficiency < jetson.gpu_efficiency
+    assert unknown.gpu_efficiency == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        register_compute_profile("jetson-orin-nano", DeviceComputeProfile())
+    register_compute_profile("unit-test-device", DeviceComputeProfile(gpu_efficiency=0.5))
+    assert compute_profile_for("unit-test-device").gpu_efficiency == pytest.approx(0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    cpu_kc=st.floats(min_value=0.0, max_value=1e8),
+    gpu_kc=st.floats(min_value=0.0, max_value=1e8),
+    f_cpu=st.floats(min_value=1e5, max_value=3e6),
+    f_gpu=st.floats(min_value=1e5, max_value=1e6),
+)
+def test_latency_monotone_in_work_and_frequency(cpu_kc, gpu_kc, f_cpu, f_gpu):
+    """More work never makes a segment faster; higher frequency never slower."""
+    model = make_model()
+    cost = CycleCost(cpu_kilocycles=cpu_kc, gpu_kilocycles=gpu_kc)
+    bigger = CycleCost(cpu_kilocycles=cpu_kc * 1.5 + 1.0, gpu_kilocycles=gpu_kc * 1.5 + 1.0)
+    base = model.latency_ms(cost, f_cpu, f_gpu)
+    assert model.latency_ms(bigger, f_cpu, f_gpu) >= base
+    assert model.latency_ms(cost, f_cpu * 1.2, f_gpu * 1.2) <= base + 1e-9

@@ -1,0 +1,69 @@
+"""RPN proposal-count model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DetectorError
+from repro.detection.proposals import ProposalModel
+
+
+def test_expected_proposals_clipped_to_bounds():
+    model = ProposalModel(keep_ratio=1.0, max_proposals=300, min_proposals=10)
+    assert model.expected_proposals(0.0) == 10
+    assert model.expected_proposals(150.0) == 150
+    assert model.expected_proposals(10_000.0) == 300
+
+
+def test_keep_ratio_scales_expectation():
+    model = ProposalModel(keep_ratio=0.5, max_proposals=1000, min_proposals=0)
+    assert model.expected_proposals(200.0) == 100
+
+
+def test_sampling_is_deterministic_per_seed_and_respects_bounds():
+    model = ProposalModel(keep_ratio=1.0, max_proposals=300, min_proposals=10, noise_std=0.1)
+    first = [model.sample(150.0, np.random.default_rng(7)) for _ in range(3)]
+    assert len(set(first)) == 1
+    rng = np.random.default_rng(0)
+    samples = [model.sample(150.0, rng) for _ in range(200)]
+    assert all(10 <= s <= 300 for s in samples)
+    assert np.mean(samples) == pytest.approx(150.0, rel=0.1)
+    assert np.std(samples) > 0
+
+
+def test_zero_noise_is_deterministic():
+    model = ProposalModel(keep_ratio=1.0, max_proposals=500, min_proposals=0, noise_std=0.0)
+    rng = np.random.default_rng(0)
+    assert model.sample(123.0, rng) == 123
+
+
+def test_invalid_configuration_and_input():
+    with pytest.raises(DetectorError):
+        ProposalModel(keep_ratio=0.0)
+    with pytest.raises(DetectorError):
+        ProposalModel(max_proposals=0)
+    with pytest.raises(DetectorError):
+        ProposalModel(min_proposals=100, max_proposals=50)
+    with pytest.raises(DetectorError):
+        ProposalModel(noise_std=-0.1)
+    model = ProposalModel()
+    with pytest.raises(DetectorError):
+        model.expected_proposals(-1.0)
+    with pytest.raises(DetectorError):
+        model.sample(-1.0, np.random.default_rng(0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    candidates=st.floats(min_value=0.0, max_value=2000.0),
+    keep_ratio=st.floats(min_value=0.1, max_value=2.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_samples_always_within_bounds(candidates, keep_ratio, seed):
+    model = ProposalModel(keep_ratio=keep_ratio, max_proposals=600, min_proposals=5)
+    sample = model.sample(candidates, np.random.default_rng(seed))
+    assert 5 <= sample <= 600
+    assert isinstance(sample, int)

@@ -1,0 +1,71 @@
+"""Detector stage cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DetectorError
+from repro.detection.stages import (
+    REFERENCE_CPU_KHZ,
+    REFERENCE_GPU_KHZ,
+    CycleCost,
+    StageCost,
+    reference_cost,
+)
+
+
+def test_cycle_cost_addition_and_scaling():
+    a = CycleCost(cpu_kilocycles=100.0, gpu_kilocycles=200.0)
+    b = CycleCost(cpu_kilocycles=10.0, gpu_kilocycles=20.0)
+    total = a + b
+    assert total.cpu_kilocycles == pytest.approx(110.0)
+    assert total.gpu_kilocycles == pytest.approx(220.0)
+    scaled = a.scaled(1.5)
+    assert scaled.cpu_kilocycles == pytest.approx(150.0)
+    assert a.total_kilocycles == pytest.approx(300.0)
+
+
+def test_cycle_cost_validation():
+    with pytest.raises(DetectorError):
+        CycleCost(cpu_kilocycles=-1.0)
+    with pytest.raises(DetectorError):
+        CycleCost(1.0, 1.0).scaled(-2.0)
+    with pytest.raises(DetectorError):
+        CycleCost.from_reference_ms(-1.0, 0.0, 1.0, 1.0)
+    with pytest.raises(DetectorError):
+        CycleCost.from_reference_ms(1.0, 1.0, 0.0, 1.0)
+
+
+def test_reference_cost_round_trips_to_milliseconds():
+    cost = reference_cost(cpu_ms=10.0, gpu_ms=100.0)
+    assert cost.cpu_kilocycles / REFERENCE_CPU_KHZ == pytest.approx(10.0)
+    assert cost.gpu_kilocycles / REFERENCE_GPU_KHZ == pytest.approx(100.0)
+
+
+def test_stage_cost_fixed_and_per_proposal():
+    stage = StageCost(
+        name="head",
+        fixed=CycleCost(100.0, 1000.0),
+        per_proposal=CycleCost(1.0, 10.0),
+        scales_with_image=False,
+    )
+    zero = stage.cost(0, 1.0)
+    assert zero.cpu_kilocycles == pytest.approx(100.0)
+    hundred = stage.cost(100, 1.0)
+    assert hundred.cpu_kilocycles == pytest.approx(200.0)
+    assert hundred.gpu_kilocycles == pytest.approx(2000.0)
+
+
+def test_stage_cost_image_scaling_only_affects_convolutional_stages():
+    conv = StageCost(name="backbone", fixed=CycleCost(0.0, 1000.0), scales_with_image=True)
+    head = StageCost(name="head", fixed=CycleCost(0.0, 1000.0), scales_with_image=False)
+    assert conv.cost(0, 2.0).gpu_kilocycles == pytest.approx(2000.0)
+    assert head.cost(0, 2.0).gpu_kilocycles == pytest.approx(1000.0)
+
+
+def test_stage_cost_validation():
+    stage = StageCost(name="s", fixed=CycleCost(1.0, 1.0))
+    with pytest.raises(DetectorError):
+        stage.cost(-1, 1.0)
+    with pytest.raises(DetectorError):
+        stage.cost(1, 0.0)

@@ -1,0 +1,168 @@
+"""Ambient profiles, traces and episode metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.env.ambient import AmbientSegment, ConstantAmbient, StepAmbient, warm_cold_warm
+from repro.env.metrics import downsample_series, summarize_trace
+from repro.env.trace import FrameRecord, Trace
+
+
+def make_record(
+    index: int = 0,
+    latency: float = 300.0,
+    constraint: float = 400.0,
+    cpu_temp: float = 60.0,
+    gpu_temp: float = 70.0,
+    dataset: str = "kitti",
+    proposals: int = 150,
+    throttled: bool = False,
+) -> FrameRecord:
+    return FrameRecord(
+        index=index,
+        dataset=dataset,
+        num_proposals=proposals,
+        stage1_latency_ms=0.8 * latency,
+        stage2_latency_ms=0.2 * latency,
+        total_latency_ms=latency,
+        latency_constraint_ms=constraint,
+        met_constraint=latency <= constraint,
+        cpu_temperature_c=cpu_temp,
+        gpu_temperature_c=gpu_temp,
+        cpu_level_stage1=9,
+        gpu_level_stage1=3,
+        cpu_level_stage2=9,
+        gpu_level_stage2=4,
+        cpu_throttled=throttled,
+        gpu_throttled=False,
+        ambient_temperature_c=25.0,
+        energy_j=2.0,
+    )
+
+
+# -- ambient ------------------------------------------------------------------
+
+
+def test_constant_ambient():
+    ambient = ConstantAmbient(25.0)
+    assert ambient.temperature_at(0) == 25.0
+    assert ambient.temperature_at(10_000) == 25.0
+    assert ambient.initial_temperature() == 25.0
+
+
+def test_step_ambient_schedule():
+    profile = StepAmbient(
+        [
+            AmbientSegment(100, 25.0, label="warm"),
+            AmbientSegment(100, 0.0, label="cold"),
+        ]
+    )
+    assert profile.temperature_at(0) == 25.0
+    assert profile.temperature_at(99) == 25.0
+    assert profile.temperature_at(100) == 0.0
+    # The last segment extends indefinitely.
+    assert profile.temperature_at(10_000) == 0.0
+    assert profile.segment_at(150).label == "cold"
+    with pytest.raises(ConfigurationError):
+        profile.segment_at(-1)
+
+
+def test_warm_cold_warm_helper():
+    profile = warm_cold_warm(50, warm_temperature_c=25.0, cold_temperature_c=0.0)
+    assert [s.temperature_c for s in profile.segments] == [25.0, 0.0, 25.0]
+    assert profile.temperature_at(75) == 0.0
+    assert profile.temperature_at(125) == 25.0
+
+
+def test_step_ambient_validation():
+    with pytest.raises(ConfigurationError):
+        StepAmbient([])
+    with pytest.raises(ConfigurationError):
+        AmbientSegment(0, 25.0)
+
+
+# -- trace --------------------------------------------------------------------------
+
+
+def test_trace_accessors_and_slicing():
+    records = [make_record(index=i, latency=300.0 + i, dataset="kitti" if i < 5 else "visdrone2019") for i in range(10)]
+    trace = Trace(records)
+    assert len(trace) == 10
+    assert trace[3].index == 3
+    assert list(trace.latencies_ms()) == [300.0 + i for i in range(10)]
+    assert len(trace.tail(3)) == 3
+    assert trace.tail(3)[0].index == 7
+    assert len(trace.skip(4)) == 6
+    assert len(trace.for_dataset("visdrone2019")) == 5
+    assert trace.proposals().dtype.kind == "i"
+    assert trace.constraint_met().all()
+    with pytest.raises(ExperimentError):
+        trace.tail(-1)
+    appended = Trace()
+    appended.append(make_record())
+    assert len(appended) == 1
+
+
+# -- metrics -----------------------------------------------------------------------------
+
+
+def test_summarize_trace_matches_manual_computation():
+    latencies = [250.0, 350.0, 450.0, 300.0]
+    records = [
+        make_record(index=i, latency=lat, constraint=400.0, throttled=(i == 2))
+        for i, lat in enumerate(latencies)
+    ]
+    metrics = summarize_trace(Trace(records))
+    assert metrics.num_frames == 4
+    assert metrics.mean_latency_ms == pytest.approx(np.mean(latencies))
+    assert metrics.latency_std_ms == pytest.approx(np.std(latencies))
+    assert metrics.min_latency_ms == 250.0
+    assert metrics.max_latency_ms == 450.0
+    assert metrics.satisfaction_rate == pytest.approx(0.75)
+    assert metrics.throttled_fraction == pytest.approx(0.25)
+    assert metrics.mean_temperature_c == pytest.approx(65.0)
+    assert metrics.total_energy_j == pytest.approx(8.0)
+    assert metrics.stage1_latency_share == pytest.approx(0.8)
+    assert metrics.mean_proposals == pytest.approx(150.0)
+
+
+def test_summarize_empty_trace_raises():
+    with pytest.raises(ExperimentError):
+        summarize_trace(Trace())
+
+
+def test_downsample_series():
+    values = np.arange(100, dtype=float)
+    down = downsample_series(values, max_points=10)
+    assert len(down) == 10
+    assert down[0] == pytest.approx(np.mean(values[:10]))
+    # Short series pass through unchanged.
+    short = downsample_series(np.array([1.0, 2.0]), max_points=10)
+    assert list(short) == [1.0, 2.0]
+    with pytest.raises(ExperimentError):
+        downsample_series(values, max_points=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    latencies=st.lists(st.floats(min_value=1.0, max_value=5000.0), min_size=1, max_size=50),
+    constraint=st.floats(min_value=10.0, max_value=5000.0),
+)
+def test_metrics_invariants(latencies, constraint):
+    """Summary statistics always satisfy basic distribution invariants."""
+    records = [
+        make_record(index=i, latency=lat, constraint=constraint)
+        for i, lat in enumerate(latencies)
+    ]
+    metrics = summarize_trace(Trace(records))
+    assert metrics.min_latency_ms <= metrics.mean_latency_ms <= metrics.max_latency_ms
+    assert metrics.min_latency_ms <= metrics.p95_latency_ms <= metrics.max_latency_ms
+    assert 0.0 <= metrics.satisfaction_rate <= 1.0
+    assert metrics.latency_std_ms >= 0.0
+    expected_rate = np.mean([lat <= constraint for lat in latencies])
+    assert metrics.satisfaction_rate == pytest.approx(expected_rate)

@@ -1,0 +1,142 @@
+"""Baseline DVFS governors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.env.episode import run_episode
+from repro.governors.base import DefaultGovernorPolicy
+from repro.governors.cpu import OndemandGovernor, SchedutilGovernor
+from repro.governors.gpu import (
+    MsmAdrenoTzGovernor,
+    NvhostPodgovGovernor,
+    SimpleOndemandGovernor,
+)
+from repro.governors.registry import (
+    available_governors,
+    build_default_governor,
+    register_default_governor,
+)
+from repro.governors.static import PerformancePolicy, PowersavePolicy, UserspacePolicy
+
+from tests.conftest import make_small_environment
+
+
+# -- CPU governors -------------------------------------------------------------
+
+
+def test_schedutil_tracks_utilisation():
+    governor = SchedutilGovernor()
+    # Saturated load drives the governor to the top level.
+    assert governor.select_level(1.0, current_level=5, num_levels=10) == 9
+    # Idle load drops frequency, limited by the one-step-down rate limit.
+    assert governor.select_level(0.0, current_level=5, num_levels=10) == 4
+    # Moderate load lands at a proportional level.
+    mid = governor.select_level(0.5, current_level=9, num_levels=10)
+    assert 4 <= mid <= 8
+
+
+def test_schedutil_step_down_limit_can_be_disabled():
+    governor = SchedutilGovernor(max_step_down=0)
+    assert governor.select_level(0.0, current_level=9, num_levels=10) == 0
+
+
+def test_ondemand_jumps_to_max_above_threshold():
+    governor = OndemandGovernor(up_threshold=0.8)
+    assert governor.select_level(0.85, current_level=0, num_levels=10) == 9
+    assert governor.select_level(0.4, current_level=9, num_levels=10) == 4
+    assert governor.select_level(0.0, current_level=9, num_levels=10) == 0
+
+
+def test_cpu_governor_validation():
+    with pytest.raises(ConfigurationError):
+        SchedutilGovernor(margin=0.0)
+    with pytest.raises(ConfigurationError):
+        OndemandGovernor(up_threshold=1.5)
+
+
+# -- GPU governors ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "governor_cls", [SimpleOndemandGovernor, NvhostPodgovGovernor, MsmAdrenoTzGovernor]
+)
+def test_gpu_governors_ramp_up_under_load(governor_cls):
+    governor = governor_cls()
+    level = 0
+    for _ in range(6):
+        level = governor.select_level(0.95, current_level=level, num_levels=5)
+    assert level == 4
+
+
+@pytest.mark.parametrize(
+    "governor_cls", [SimpleOndemandGovernor, NvhostPodgovGovernor, MsmAdrenoTzGovernor]
+)
+def test_gpu_governors_step_down_when_idle(governor_cls):
+    governor = governor_cls()
+    assert governor.select_level(0.05, current_level=4, num_levels=5) == 3
+    # Mid-range utilisation holds the current level.
+    assert governor.select_level(0.5, current_level=3, num_levels=5) == 3
+
+
+def test_gpu_governor_validation():
+    with pytest.raises(ConfigurationError):
+        SimpleOndemandGovernor(up_threshold=0.2, down_threshold=0.5)
+    with pytest.raises(ConfigurationError):
+        SimpleOndemandGovernor(up_step=0)
+
+
+# -- combined default policy ----------------------------------------------------------
+
+
+def test_default_policy_reaches_max_under_detector_load():
+    env = make_small_environment()
+    policy = build_default_governor(env.device.name)
+    trace = run_episode(env, policy, num_frames=30)
+    # Under sustained GPU-bound load the GPU governor climbs to the top level.
+    assert trace.records[-1].gpu_level_stage1 == env.device.gpu.max_level
+    assert trace.records[-1].gpu_level_stage2 == env.device.gpu.max_level
+
+
+def test_default_policy_is_application_agnostic():
+    policy = DefaultGovernorPolicy(SchedutilGovernor(), SimpleOndemandGovernor())
+    assert policy.end_frame(None) is None
+    assert "schedutil" in policy.name
+
+
+def test_governor_registry():
+    assert set(available_governors()) >= {"jetson-orin-nano", "mi11-lite"}
+    jetson_policy = build_default_governor("jetson-orin-nano")
+    assert "nvhost_podgov" in jetson_policy.name
+    phone_policy = build_default_governor("mi11-lite")
+    assert "msm-adreno-tz" in phone_policy.name
+    generic = build_default_governor("unknown-board")
+    assert "simple_ondemand" in generic.name
+    with pytest.raises(ConfigurationError):
+        register_default_governor("jetson-orin-nano", lambda: jetson_policy)
+
+
+# -- static policies ----------------------------------------------------------------------
+
+
+def test_static_policies():
+    env = make_small_environment()
+    perf_trace = run_episode(env, PerformancePolicy(), num_frames=3)
+    assert perf_trace[0].gpu_level_stage1 == env.device.gpu.max_level
+
+    env = make_small_environment()
+    save_trace = run_episode(env, PowersavePolicy(), num_frames=3)
+    assert save_trace[0].gpu_level_stage1 == 0
+    assert save_trace[0].cpu_level_stage1 == 0
+
+    env = make_small_environment()
+    user_trace = run_episode(env, UserspacePolicy(5, 2), num_frames=3)
+    assert user_trace[0].cpu_level_stage1 == 5
+    assert user_trace[0].gpu_level_stage1 == 2
+    # Levels beyond the table clamp to the top level.
+    env = make_small_environment()
+    clamped = run_episode(env, UserspacePolicy(99, 99), num_frames=2)
+    assert clamped[0].gpu_level_stage1 == env.device.gpu.max_level
+    with pytest.raises(ConfigurationError):
+        UserspacePolicy(-1, 0)

@@ -1,0 +1,122 @@
+"""Composite edge device behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
+
+
+def test_reset_returns_to_cold_max_frequency_state(jetson):
+    jetson.request_levels(2, 1)
+    jetson.execute(60_000.0, 0.5, 0.9)
+    jetson.reset(ambient_temperature_c=20.0)
+    assert jetson.cpu_temperature_c == pytest.approx(20.0)
+    assert jetson.gpu_temperature_c == pytest.approx(20.0)
+    assert jetson.cpu_level == jetson.cpu.max_level
+    assert jetson.gpu_level == jetson.gpu.max_level
+    assert jetson.total_energy_j == 0.0
+    assert jetson.elapsed_ms == 0.0
+    assert not jetson.cpu_throttled and not jetson.gpu_throttled
+
+
+def test_execute_heats_device_and_accumulates_energy(jetson):
+    telemetry = jetson.execute(5_000.0, cpu_utilisation=0.5, gpu_utilisation=0.9)
+    assert telemetry.duration_ms == 5_000.0
+    assert telemetry.gpu_temperature_c > 25.0
+    assert telemetry.energy_j > 0.0
+    assert jetson.total_energy_j == pytest.approx(telemetry.energy_j)
+    assert jetson.elapsed_ms == pytest.approx(5_000.0)
+    assert telemetry.mean_temperature_c == pytest.approx(
+        0.5 * (telemetry.cpu_temperature_c + telemetry.gpu_temperature_c)
+    )
+
+
+def test_request_levels_validated_and_remembered(jetson):
+    jetson.request_levels(3, 2)
+    assert jetson.cpu_level == 3
+    assert jetson.gpu_level == 2
+    assert jetson.requested_cpu_level == 3
+    assert jetson.requested_gpu_level == 2
+    with pytest.raises(Exception):
+        jetson.request_levels(99, 0)
+
+
+def test_hardware_throttling_caps_and_releases(jetson):
+    jetson.request_levels(jetson.cpu.max_level, jetson.gpu.max_level)
+    # Force the GPU above its trip point.
+    jetson.thermal.set_temperature("gpu", 90.0)
+    telemetry = jetson.execute(100.0, 0.3, 0.9)
+    assert telemetry.gpu_throttled
+    assert jetson.gpu_level == jetson.gpu_throttle.throttled_level
+    # The request is remembered: once cooled below trip - hysteresis the
+    # original level is restored.
+    jetson.thermal.set_temperature("gpu", 40.0)
+    jetson.execute(100.0, 0.1, 0.1)
+    assert not jetson.gpu_throttled
+    assert jetson.gpu_level == jetson.gpu.max_level
+    assert jetson.throttle_engage_count >= 1
+
+
+def test_sustained_max_frequency_eventually_throttles(jetson):
+    """Calibration invariant: flat-out operation is not thermally sustainable."""
+    jetson.request_levels(jetson.cpu.max_level, jetson.gpu.max_level)
+    for _ in range(600):
+        jetson.execute(1_000.0, cpu_utilisation=0.4, gpu_utilisation=0.75)
+        if jetson.gpu_throttled:
+            break
+    assert jetson.throttle_engage_count >= 1
+
+
+def test_sustainable_operating_point_does_not_throttle(jetson):
+    """One GPU level below maximum stays below the trip point indefinitely."""
+    jetson.request_levels(jetson.cpu.max_level, jetson.gpu.max_level - 1)
+    for _ in range(600):
+        jetson.execute(1_000.0, cpu_utilisation=0.4, gpu_utilisation=0.75)
+    assert jetson.throttle_engage_count == 0
+    assert jetson.gpu_temperature_c < jetson.gpu_throttle.trip_temperature_c
+
+
+def test_idle_cools_the_device(jetson):
+    jetson.execute(60_000.0, 0.5, 0.9)
+    hot = jetson.gpu_temperature_c
+    jetson.request_levels(0, 0)
+    jetson.idle(60_000.0)
+    assert jetson.gpu_temperature_c < hot
+
+
+def test_negative_duration_rejected(jetson):
+    with pytest.raises(DeviceError):
+        jetson.execute(-1.0, 0.5, 0.5)
+
+
+def test_snapshot_and_action_space(jetson):
+    snapshot = jetson.snapshot()
+    assert set(snapshot) >= {
+        "cpu_temperature_c",
+        "gpu_temperature_c",
+        "cpu_level",
+        "gpu_level",
+        "ambient_temperature_c",
+    }
+    assert jetson.num_actions == jetson.cpu.num_levels * jetson.gpu.num_levels
+
+
+def test_device_requires_cpu_and_gpu_thermal_nodes():
+    from repro.hardware.device import EdgeDevice
+    from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig
+
+    reference = jetson_orin_nano()
+    bad_thermal = ThermalNetwork(
+        nodes=(ThermalNodeConfig("cpu", 5.0, 5.0),), ambient_temperature_c=25.0
+    )
+    with pytest.raises(DeviceError):
+        EdgeDevice(
+            name="bad",
+            cpu=reference.cpu,
+            gpu=reference.gpu,
+            thermal=bad_thermal,
+            cpu_throttle=reference.cpu_throttle,
+            gpu_throttle=reference.gpu_throttle,
+        )

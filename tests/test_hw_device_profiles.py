@@ -1,0 +1,73 @@
+"""Calibrated device descriptions and the device registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
+from repro.hardware.devices.mi11_lite import mi11_lite
+from repro.hardware.devices.registry import available_devices, build_device, register_device
+
+
+def test_jetson_matches_published_specification():
+    device = jetson_orin_nano()
+    assert device.name == "jetson-orin-nano"
+    assert device.cpu.num_cores == 6
+    assert device.cpu.num_levels == 10
+    assert device.gpu.num_levels == 5
+    assert device.cpu.frequency_table.max_frequency_khz == pytest.approx(1_510_400.0)
+    assert device.gpu.frequency_table.max_frequency_khz == pytest.approx(624_750.0)
+    assert device.num_actions == 50
+    assert device.gpu_throttle.trip_temperature_c == pytest.approx(85.0)
+
+
+def test_mi11_matches_published_specification():
+    device = mi11_lite()
+    assert device.name == "mi11-lite"
+    assert device.cpu.num_cores == 8
+    assert device.cpu.frequency_table.max_frequency_khz == pytest.approx(2_419_200.0)
+    assert device.gpu.frequency_table.max_frequency_khz == pytest.approx(840_000.0)
+    assert device.num_actions == device.cpu.num_levels * device.gpu.num_levels
+    # Phone throttles on a skin-temperature proxy, far below die limits.
+    assert device.gpu_throttle.trip_temperature_c < 50.0
+
+
+@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite])
+def test_flat_out_steady_state_exceeds_trip_point(builder):
+    """Calibration: sustained max-frequency detector load must overheat."""
+    device = builder()
+    device.request_levels(device.cpu.max_level, device.gpu.max_level)
+    gpu_power = device.gpu.power_w(0.75, device.gpu_throttle.trip_temperature_c)
+    cpu_power = device.cpu.power_w(0.4, device.cpu_throttle.trip_temperature_c)
+    steady = device.thermal.steady_state({"cpu": cpu_power, "gpu": gpu_power})
+    assert steady["gpu"] > device.gpu_throttle.trip_temperature_c
+
+
+@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite])
+def test_reduced_operating_point_is_sustainable(builder):
+    """Calibration: a near-peak operating point exists that never throttles."""
+    device = builder()
+    sustainable_gpu = device.gpu.max_level - (1 if builder is jetson_orin_nano else 3)
+    device.request_levels(device.cpu.max_level, sustainable_gpu)
+    gpu_power = device.gpu.power_w(0.75, 60.0)
+    cpu_power = device.cpu.power_w(0.4, 60.0)
+    steady = device.thermal.steady_state({"cpu": cpu_power, "gpu": gpu_power})
+    assert steady["gpu"] < device.gpu_throttle.trip_temperature_c
+
+
+def test_registry_builds_by_name():
+    assert set(available_devices()) >= {"jetson-orin-nano", "mi11-lite"}
+    device = build_device("jetson-orin-nano", ambient_temperature_c=10.0)
+    assert device.ambient_temperature_c == pytest.approx(10.0)
+    with pytest.raises(ConfigurationError):
+        build_device("unknown-board")
+
+
+def test_registry_registration_rules():
+    with pytest.raises(ConfigurationError):
+        register_device("jetson-orin-nano", jetson_orin_nano)
+    register_device("custom-test-board", jetson_orin_nano, overwrite=True)
+    assert "custom-test-board" in available_devices()
+    built = build_device("custom-test-board")
+    assert built.name == "jetson-orin-nano"

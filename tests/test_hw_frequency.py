@@ -1,0 +1,114 @@
+"""Frequency tables and operating points."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrequencyError
+from repro.hardware.frequency import FrequencyTable, OperatingPoint
+
+
+def make_table():
+    return FrequencyTable.from_mhz([200.0, 400.0, 800.0, 1200.0, 1600.0])
+
+
+def test_operating_point_validation():
+    with pytest.raises(FrequencyError):
+        OperatingPoint(frequency_khz=0.0, voltage_mv=800.0)
+    with pytest.raises(FrequencyError):
+        OperatingPoint(frequency_khz=1000.0, voltage_mv=-1.0)
+    point = OperatingPoint(frequency_khz=1_500_000.0, voltage_mv=900.0)
+    assert point.frequency_mhz == pytest.approx(1500.0)
+    assert point.frequency_ghz == pytest.approx(1.5)
+
+
+def test_table_is_sorted_and_indexed():
+    table = make_table()
+    assert table.num_levels == 5
+    assert table.max_level == 4
+    assert table.min_frequency_khz == pytest.approx(200_000.0)
+    assert table.max_frequency_khz == pytest.approx(1_600_000.0)
+    assert list(table.frequencies_khz) == sorted(table.frequencies_khz)
+    assert table.frequency_khz(2) == pytest.approx(800_000.0)
+    assert len(list(iter(table))) == 5
+    assert table[1].frequency_khz == pytest.approx(400_000.0)
+
+
+def test_voltage_scales_with_frequency():
+    table = make_table()
+    voltages = [table.voltage_mv(level) for level in range(table.num_levels)]
+    assert voltages == sorted(voltages)
+    assert voltages[0] < voltages[-1]
+
+
+def test_level_validation_and_clamping():
+    table = make_table()
+    with pytest.raises(FrequencyError):
+        table.validate_level(5)
+    with pytest.raises(FrequencyError):
+        table.validate_level(-1)
+    with pytest.raises(FrequencyError):
+        table.validate_level(1.5)  # type: ignore[arg-type]
+    assert table.clamp_level(99) == table.max_level
+    assert table.clamp_level(-3) == 0
+
+
+def test_level_for_frequency_rounds_up():
+    table = make_table()
+    assert table.level_for_frequency(200_000.0) == 0
+    assert table.level_for_frequency(250_000.0) == 1
+    assert table.level_for_frequency(5_000_000.0) == table.max_level
+    with pytest.raises(FrequencyError):
+        table.level_for_frequency(0.0)
+
+
+def test_nearest_level():
+    table = make_table()
+    assert table.nearest_level(430_000.0) == 1
+    assert table.nearest_level(1_550_000.0) == 4
+    assert table.nearest_level(1.0) == 0
+
+
+def test_levels_below_and_relative_speed():
+    table = make_table()
+    assert table.levels_below(0) == ()
+    assert table.levels_below(3) == (0, 1, 2)
+    assert table.relative_speed(table.max_level) == pytest.approx(1.0)
+    assert table.relative_speed(0) == pytest.approx(200.0 / 1600.0)
+
+
+def test_empty_and_duplicate_tables_rejected():
+    with pytest.raises(FrequencyError):
+        FrequencyTable([])
+    with pytest.raises(FrequencyError):
+        FrequencyTable.from_mhz([])
+    with pytest.raises(FrequencyError):
+        FrequencyTable(
+            [
+                OperatingPoint(1000.0, 700.0),
+                OperatingPoint(1000.0, 800.0),
+            ]
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frequencies=st.lists(
+        st.floats(min_value=10.0, max_value=4000.0), min_size=1, max_size=12, unique=True
+    )
+)
+def test_from_mhz_properties(frequencies):
+    """Tables built from arbitrary frequency lists keep ordering invariants."""
+    table = FrequencyTable.from_mhz(frequencies)
+    assert table.num_levels == len(frequencies)
+    freqs = table.frequencies_khz
+    assert list(freqs) == sorted(freqs)
+    # Voltages are non-decreasing with level.
+    voltages = [table.voltage_mv(level) for level in range(table.num_levels)]
+    assert all(b >= a for a, b in zip(voltages, voltages[1:]))
+    # level_for_frequency of each exact frequency returns that level.
+    for level, freq in enumerate(freqs):
+        assert table.level_for_frequency(freq) == level
+        assert table.nearest_level(freq) == level

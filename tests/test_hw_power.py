@@ -1,0 +1,74 @@
+"""Processor power model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.frequency import OperatingPoint
+from repro.hardware.power import PowerModel
+
+
+def make_model() -> PowerModel:
+    return PowerModel(
+        max_dynamic_power_w=10.0,
+        reference_point=OperatingPoint(frequency_khz=1_000_000.0, voltage_mv=1000.0),
+        idle_power_w=0.5,
+        leakage_power_w=0.4,
+        leakage_temp_coefficient=0.02,
+        leakage_reference_temp_c=50.0,
+    )
+
+
+def test_reference_point_reproduces_max_dynamic_power():
+    model = make_model()
+    assert model.dynamic_power_w(model.reference_point, 1.0) == pytest.approx(10.0)
+
+
+def test_dynamic_power_scales_with_utilisation_and_clamps():
+    model = make_model()
+    point = model.reference_point
+    assert model.dynamic_power_w(point, 0.5) == pytest.approx(5.0)
+    assert model.dynamic_power_w(point, 0.0) == pytest.approx(0.0)
+    # Utilisation outside [0, 1] is clamped rather than extrapolated.
+    assert model.dynamic_power_w(point, 1.5) == pytest.approx(10.0)
+    assert model.dynamic_power_w(point, -1.0) == pytest.approx(0.0)
+
+
+def test_dynamic_power_scales_with_voltage_squared_and_frequency():
+    model = make_model()
+    half_freq = OperatingPoint(frequency_khz=500_000.0, voltage_mv=1000.0)
+    assert model.dynamic_power_w(half_freq, 1.0) == pytest.approx(5.0)
+    low_voltage = OperatingPoint(frequency_khz=1_000_000.0, voltage_mv=500.0)
+    assert model.dynamic_power_w(low_voltage, 1.0) == pytest.approx(2.5)
+
+
+def test_leakage_grows_with_temperature():
+    model = make_model()
+    at_reference = model.leakage_power_w_at(50.0)
+    hotter = model.leakage_power_w_at(80.0)
+    colder = model.leakage_power_w_at(20.0)
+    assert at_reference == pytest.approx(0.4)
+    assert hotter > at_reference > colder
+    # Clamped exponent keeps extreme temperatures finite.
+    assert model.leakage_power_w_at(1e6) < 1e3
+
+
+def test_total_power_is_sum_of_components():
+    model = make_model()
+    point = model.reference_point
+    total = model.total_power_w(point, 0.8, 60.0)
+    expected = 0.5 + 8.0 + model.leakage_power_w_at(60.0)
+    assert total == pytest.approx(expected)
+
+
+def test_invalid_configuration_rejected():
+    point = OperatingPoint(1_000_000.0, 1000.0)
+    with pytest.raises(ConfigurationError):
+        PowerModel(max_dynamic_power_w=0.0, reference_point=point)
+    with pytest.raises(ConfigurationError):
+        PowerModel(max_dynamic_power_w=1.0, reference_point=point, idle_power_w=-0.1)
+    with pytest.raises(ConfigurationError):
+        PowerModel(
+            max_dynamic_power_w=1.0, reference_point=point, leakage_temp_coefficient=-0.1
+        )

@@ -1,0 +1,74 @@
+"""CPU and GPU frequency-domain models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.hardware.cpu import CpuModel
+from repro.hardware.frequency import FrequencyTable
+from repro.hardware.gpu import GpuModel
+from repro.hardware.power import PowerModel
+
+
+def make_cpu() -> CpuModel:
+    table = FrequencyTable.from_mhz([400.0, 800.0, 1200.0, 1600.0])
+    return CpuModel(
+        name="test-cpu",
+        frequency_table=table,
+        power_model=PowerModel(max_dynamic_power_w=4.0, reference_point=table.point(3)),
+        num_cores=4,
+    )
+
+
+def make_gpu() -> GpuModel:
+    table = FrequencyTable.from_mhz([300.0, 600.0, 900.0])
+    return GpuModel(
+        name="test-gpu",
+        frequency_table=table,
+        power_model=PowerModel(max_dynamic_power_w=8.0, reference_point=table.point(2)),
+        num_cores=512,
+    )
+
+
+@pytest.mark.parametrize("factory", [make_cpu, make_gpu])
+def test_level_control(factory):
+    processor = factory()
+    processor.set_max()
+    assert processor.level == processor.max_level
+    assert processor.relative_speed == pytest.approx(1.0)
+    processor.set_min()
+    assert processor.level == 0
+    processor.set_level(1)
+    assert processor.frequency_khz == processor.frequency_table.frequency_khz(1)
+    with pytest.raises(FrequencyError):
+        processor.set_level(99)
+
+
+@pytest.mark.parametrize("factory", [make_cpu, make_gpu])
+def test_power_increases_with_level_and_utilisation(factory):
+    processor = factory()
+    processor.set_min()
+    low = processor.power_w(0.8, 50.0)
+    processor.set_max()
+    high = processor.power_w(0.8, 50.0)
+    assert high > low
+    busier = processor.power_w(1.0, 50.0)
+    idler = processor.power_w(0.1, 50.0)
+    assert busier > idler
+
+
+def test_invalid_core_count_rejected():
+    table = FrequencyTable.from_mhz([500.0, 1000.0])
+    power = PowerModel(max_dynamic_power_w=1.0, reference_point=table.point(1))
+    with pytest.raises(FrequencyError):
+        CpuModel(name="bad", frequency_table=table, power_model=power, num_cores=0)
+    with pytest.raises(FrequencyError):
+        GpuModel(name="bad", frequency_table=table, power_model=power, num_cores=0)
+
+
+def test_operating_point_tracks_level():
+    cpu = make_cpu()
+    cpu.set_level(2)
+    assert cpu.operating_point.frequency_khz == pytest.approx(1_200_000.0)
+    assert cpu.num_levels == 4

@@ -1,0 +1,77 @@
+"""Simulated sysfs interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hardware import sysfs as sysfs_module
+from repro.hardware.sysfs import SysFs
+
+
+@pytest.fixture
+def fs(jetson):
+    return SysFs(jetson)
+
+
+def test_read_temperatures_in_millidegrees(jetson, fs):
+    jetson.thermal.set_temperature("cpu", 55.5)
+    jetson.thermal.set_temperature("gpu", 62.25)
+    assert fs.read(sysfs_module.CPU_THERMAL_ZONE) == str(int(55.5 * 1000))
+    assert fs.cpu_temperature_c() == pytest.approx(55.5)
+    assert fs.gpu_temperature_c() == pytest.approx(62.25)
+
+
+def test_read_frequencies(jetson, fs):
+    jetson.request_levels(3, 2)
+    assert float(fs.read(sysfs_module.CPU_CUR_FREQ)) == pytest.approx(
+        jetson.cpu.frequency_khz, abs=1.0
+    )
+    # devfreq exposes Hz.
+    assert float(fs.read(sysfs_module.GPU_CUR_FREQ)) == pytest.approx(
+        jetson.gpu.frequency_khz * 1e3, abs=1e3
+    )
+    assert fs.cpu_frequency_khz() == pytest.approx(jetson.cpu.frequency_khz, abs=1.0)
+    assert fs.gpu_frequency_khz() == pytest.approx(jetson.gpu.frequency_khz, abs=1.0)
+
+
+def test_available_frequency_listings(jetson, fs):
+    cpu_freqs = [int(f) for f in fs.read(sysfs_module.CPU_AVAILABLE_FREQS).split()]
+    assert len(cpu_freqs) == jetson.cpu.num_levels
+    assert cpu_freqs == sorted(cpu_freqs)
+    gpu_freqs = [int(f) for f in fs.read(sysfs_module.GPU_AVAILABLE_FREQS).split()]
+    assert len(gpu_freqs) == jetson.gpu.num_levels
+
+
+def test_write_setspeed_selects_nearest_level(jetson, fs):
+    fs.set_cpu_frequency_khz(1_036_800.0)
+    assert jetson.cpu.frequency_khz == pytest.approx(1_036_800.0)
+    # A target between two points snaps to the nearest one.
+    fs.set_cpu_frequency_khz(1_100_000.0)
+    assert jetson.cpu.frequency_khz in (1_036_800.0, 1_190_400.0)
+    fs.set_gpu_frequency_khz(510_000.0)
+    assert jetson.gpu.frequency_khz == pytest.approx(510_000.0)
+
+
+def test_writing_one_domain_preserves_the_other(jetson, fs):
+    jetson.request_levels(5, 3)
+    fs.set_gpu_frequency_khz(jetson.gpu.frequency_table.frequency_khz(1))
+    assert jetson.cpu_level == 5
+    assert jetson.gpu_level == 1
+
+
+def test_unknown_paths_rejected(fs):
+    with pytest.raises(DeviceError):
+        fs.read("/sys/unknown/path")
+    with pytest.raises(DeviceError):
+        fs.write("/sys/unknown/path", "1")
+    with pytest.raises(DeviceError):
+        fs.write(sysfs_module.CPU_CUR_FREQ, "1000")  # read-only node
+
+
+def test_paths_lists_the_whole_tree(fs):
+    paths = fs.paths()
+    assert sysfs_module.CPU_SETSPEED in paths
+    assert sysfs_module.GPU_TARGET_FREQ in paths
+    assert sysfs_module.CPU_THERMAL_ZONE in paths
+    assert len(paths) >= 8

@@ -1,0 +1,138 @@
+"""RC thermal network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ThermalError
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig, symmetric_couplings
+
+
+def make_network(ambient: float = 25.0) -> ThermalNetwork:
+    return ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig("cpu", heat_capacity_j_per_c=5.0, resistance_to_ambient_c_per_w=6.0),
+            ThermalNodeConfig("gpu", heat_capacity_j_per_c=8.0, resistance_to_ambient_c_per_w=5.0),
+        ),
+        couplings=symmetric_couplings([("cpu", "gpu", 0.2)]),
+        ambient_temperature_c=ambient,
+    )
+
+
+def test_starts_at_ambient_and_resets():
+    network = make_network()
+    assert network.temperature("cpu") == pytest.approx(25.0)
+    assert network.temperature("gpu") == pytest.approx(25.0)
+    network.advance(10_000.0, {"gpu": 5.0})
+    assert network.temperature("gpu") > 25.0
+    network.reset(ambient_temperature_c=10.0)
+    assert network.temperature("gpu") == pytest.approx(10.0)
+    assert network.ambient_temperature_c == pytest.approx(10.0)
+
+
+def test_heating_and_cooling_monotonic():
+    network = make_network()
+    heated = network.advance(30_000.0, {"cpu": 3.0, "gpu": 6.0})
+    assert heated["cpu"] > 25.0 and heated["gpu"] > 25.0
+    peak = dict(heated)
+    cooled = network.advance(30_000.0, {})
+    assert cooled["cpu"] < peak["cpu"]
+    assert cooled["gpu"] < peak["gpu"]
+    # Cooling never undershoots the ambient temperature.
+    assert cooled["cpu"] >= 25.0 - 1e-6
+
+
+def test_zero_duration_is_a_noop():
+    network = make_network()
+    before = network.temperatures()
+    after = network.advance(0.0, {"gpu": 100.0})
+    assert after == before
+
+
+def test_steady_state_matches_long_simulation():
+    network = make_network()
+    power = {"cpu": 2.0, "gpu": 4.0}
+    predicted = network.steady_state(power)
+    network.advance(10 * 60 * 1000.0, power)  # ten simulated minutes
+    assert network.temperature("cpu") == pytest.approx(predicted["cpu"], abs=0.5)
+    assert network.temperature("gpu") == pytest.approx(predicted["gpu"], abs=0.5)
+
+
+def test_coupling_transfers_heat_between_nodes():
+    coupled = make_network()
+    coupled.advance(60_000.0, {"gpu": 6.0})
+    uncoupled = ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig("cpu", 5.0, 6.0),
+            ThermalNodeConfig("gpu", 8.0, 5.0),
+        ),
+        couplings={},
+        ambient_temperature_c=25.0,
+    )
+    uncoupled.advance(60_000.0, {"gpu": 6.0})
+    # With coupling the idle CPU is warmed by the busy GPU.
+    assert coupled.temperature("cpu") > uncoupled.temperature("cpu") + 0.5
+
+
+def test_ambient_change_shifts_equilibrium():
+    network = make_network()
+    network.advance(120_000.0, {"gpu": 4.0})
+    warm = network.temperature("gpu")
+    network.set_ambient(0.0)
+    network.advance(240_000.0, {"gpu": 4.0})
+    cold = network.temperature("gpu")
+    assert cold < warm - 10.0
+
+
+def test_invalid_configuration_and_usage():
+    with pytest.raises(ConfigurationError):
+        ThermalNetwork(nodes=())
+    with pytest.raises(ConfigurationError):
+        ThermalNetwork(
+            nodes=(ThermalNodeConfig("cpu", 1.0, 1.0), ThermalNodeConfig("cpu", 1.0, 1.0))
+        )
+    with pytest.raises(ConfigurationError):
+        ThermalNetwork(
+            nodes=(ThermalNodeConfig("cpu", 1.0, 1.0),),
+            couplings={("cpu", "gpu"): 0.1},
+        )
+    with pytest.raises(ConfigurationError):
+        ThermalNodeConfig("cpu", heat_capacity_j_per_c=0.0, resistance_to_ambient_c_per_w=1.0)
+    network = make_network()
+    with pytest.raises(ThermalError):
+        network.temperature("npu")
+    with pytest.raises(ThermalError):
+        network.advance(-1.0, {})
+    with pytest.raises(ThermalError):
+        network.advance(10.0, {"npu": 1.0})
+    with pytest.raises(ThermalError):
+        network.set_temperature("npu", 50.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    power=st.floats(min_value=0.0, max_value=30.0),
+    duration_ms=st.floats(min_value=0.0, max_value=120_000.0),
+    ambient=st.floats(min_value=-20.0, max_value=45.0),
+)
+def test_temperature_bounded_between_ambient_and_steady_state(power, duration_ms, ambient):
+    """Heating from ambient never overshoots the steady-state temperature."""
+    network = make_network(ambient=ambient)
+    steady = network.steady_state({"gpu": power})
+    network.advance(duration_ms, {"gpu": power})
+    temp = network.temperature("gpu")
+    assert temp >= ambient - 1e-6
+    assert temp <= steady["gpu"] + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(power=st.floats(min_value=0.5, max_value=20.0))
+def test_more_power_means_hotter(power):
+    """Monotonicity: strictly more power yields a strictly hotter node."""
+    low = make_network()
+    high = make_network()
+    low.advance(60_000.0, {"gpu": power})
+    high.advance(60_000.0, {"gpu": power * 1.5})
+    assert high.temperature("gpu") > low.temperature("gpu")

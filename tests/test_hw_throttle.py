@@ -1,0 +1,65 @@
+"""Hardware thermal throttling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.throttle import ThermalThrottler, ThrottleConfig
+
+
+def make_throttler() -> ThermalThrottler:
+    return ThermalThrottler(
+        ThrottleConfig(trip_temperature_c=85.0, hysteresis_c=10.0, throttled_level=1)
+    )
+
+
+def test_initially_not_throttled():
+    throttler = make_throttler()
+    assert not throttler.is_throttled
+    assert throttler.engage_count == 0
+    assert throttler.cap_level(7) == 7
+
+
+def test_engages_at_trip_point_and_caps():
+    throttler = make_throttler()
+    assert throttler.update(86.0) is True
+    assert throttler.is_throttled
+    assert throttler.engage_count == 1
+    assert throttler.cap_level(7) == 1
+    assert throttler.cap_level(0) == 0
+
+
+def test_hysteresis_prevents_oscillation():
+    throttler = make_throttler()
+    throttler.update(86.0)
+    # Still above the release point (85 - 10 = 75): stays throttled.
+    assert throttler.update(80.0) is True
+    assert throttler.update(76.0) is True
+    # Drops below the release point: cap lifted.
+    assert throttler.update(74.0) is False
+    assert not throttler.is_throttled
+    assert throttler.cap_level(7) == 7
+
+
+def test_engage_count_accumulates_and_reset_clears():
+    throttler = make_throttler()
+    throttler.update(90.0)
+    throttler.update(70.0)
+    throttler.update(90.0)
+    assert throttler.engage_count == 2
+    throttler.reset()
+    assert throttler.engage_count == 0
+    assert not throttler.is_throttled
+
+
+def test_exact_trip_temperature_engages():
+    throttler = make_throttler()
+    assert throttler.update(85.0) is True
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        ThrottleConfig(trip_temperature_c=85.0, hysteresis_c=-1.0)
+    with pytest.raises(ConfigurationError):
+        ThrottleConfig(trip_temperature_c=85.0, throttled_level=-1)

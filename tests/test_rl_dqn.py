@@ -1,0 +1,183 @@
+"""Generic DQN learner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AgentError
+from repro.rl.dqn import DqnConfig, DqnLearner
+from repro.rl.optimizer import Adam
+from repro.rl.replay import Transition
+from repro.rl.schedule import CosineDecaySchedule
+from repro.rl.slimmable import SlimmableMLP
+
+
+def make_learner(num_actions: int = 4, **config_kwargs) -> DqnLearner:
+    network = SlimmableMLP(
+        input_dim=3,
+        hidden_dims=(24, 24),
+        output_dim=num_actions,
+        widths=(0.75, 1.0),
+        rng=np.random.default_rng(0),
+    )
+    return DqnLearner(
+        network=network,
+        config=DqnConfig(batch_size=8, target_sync_interval=20, **config_kwargs),
+        optimizer=Adam(learning_rate=0.01),
+        learning_rate_schedule=CosineDecaySchedule(initial=0.01, decay_steps=500),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(AgentError):
+        DqnConfig(discount=1.0)
+    with pytest.raises(AgentError):
+        DqnConfig(batch_size=0)
+    with pytest.raises(AgentError):
+        DqnConfig(huber_delta=0.0)
+    with pytest.raises(AgentError):
+        DqnConfig(max_grad_norm=-1.0)
+
+
+def test_action_selection(rng):
+    learner = make_learner()
+    state = np.array([0.1, 0.2, 0.3])
+    greedy = learner.greedy_action(state)
+    assert 0 <= greedy < 4
+    assert learner.select_action(state, epsilon=0.0, rng=rng) == greedy
+    random_actions = {learner.select_action(state, epsilon=1.0, rng=rng) for _ in range(50)}
+    assert len(random_actions) > 1
+    with pytest.raises(AgentError):
+        learner.select_action(state, epsilon=1.5, rng=rng)
+    assert learner.q_values(state).shape == (4,)
+
+
+def test_training_converges_on_a_contextual_bandit(rng):
+    """The best action depends on the state sign; DQN must learn the mapping."""
+    learner = make_learner(num_actions=2, discount=0.0)
+
+    def make_batch():
+        batch = []
+        for _ in range(8):
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            state = np.array([sign, 0.0, 0.0])
+            action = int(rng.integers(2))
+            optimal = 0 if sign > 0 else 1
+            reward = 1.0 if action == optimal else -1.0
+            batch.append(
+                Transition(state=state, action=action, reward=reward, next_state=state)
+            )
+        return batch
+
+    for _ in range(400):
+        learner.train_batch(make_batch(), width=1.0)
+
+    assert learner.greedy_action(np.array([1.0, 0.0, 0.0])) == 0
+    assert learner.greedy_action(np.array([-1.0, 0.0, 0.0])) == 1
+    assert learner.train_steps == 400
+
+
+def test_training_reduces_td_loss(rng):
+    learner = make_learner(num_actions=3, discount=0.5)
+    transitions = [
+        Transition(
+            state=np.array([0.5, -0.2, 0.1]),
+            action=i % 3,
+            reward=float(i % 3),
+            next_state=np.array([0.1, 0.1, 0.1]),
+        )
+        for i in range(8)
+    ]
+    first_loss = learner.train_batch(transitions, width=1.0)
+    for _ in range(200):
+        last_loss = learner.train_batch(transitions, width=1.0)
+    assert last_loss < first_loss
+
+
+def test_reduced_width_training_does_not_touch_inactive_weights():
+    learner = make_learner()
+    network = learner.network
+    inactive_before = network.weights[1][18:, :].copy()
+    transitions = [
+        Transition(
+            state=np.array([0.1 * i, 0.0, 0.0]),
+            action=i % 4,
+            reward=1.0,
+            next_state=np.array([0.0, 0.0, 0.0]),
+            next_width=1.0,
+        )
+        for i in range(8)
+    ]
+    for _ in range(20):
+        learner.train_batch(transitions, width=0.75)
+    assert np.allclose(network.weights[1][18:, :], inactive_before)
+    # The active slice did change.
+    assert not np.allclose(network.weights[1][:18, :18], 0.0)
+
+
+def test_mixed_next_widths_are_supported():
+    learner = make_learner()
+    transitions = [
+        Transition(
+            state=np.array([0.1, 0.2, 0.3]),
+            action=0,
+            reward=1.0,
+            next_state=np.array([0.3, 0.2, 0.1]),
+            next_width=0.75 if i % 2 == 0 else 1.0,
+        )
+        for i in range(8)
+    ]
+    loss = learner.train_batch(transitions, width=1.0)
+    assert np.isfinite(loss)
+
+
+def test_target_network_sync_interval():
+    learner = make_learner()
+    transitions = [
+        Transition(
+            state=np.array([0.5, 0.5, 0.5]),
+            action=1,
+            reward=2.0,
+            next_state=np.array([0.5, 0.5, 0.5]),
+        )
+        for _ in range(8)
+    ]
+    state = np.array([0.5, 0.5, 0.5])
+    target_before = learner.target_network.predict(state).copy()
+    for _ in range(19):
+        learner.train_batch(transitions, width=1.0)
+    # Not yet synced (sync interval is 20).
+    assert np.allclose(learner.target_network.predict(state), target_before)
+    learner.train_batch(transitions, width=1.0)
+    assert not np.allclose(learner.target_network.predict(state), target_before)
+    # Manual sync copies the online parameters exactly.
+    learner.sync_target()
+    assert np.allclose(
+        learner.target_network.predict(state), learner.network.predict(state)
+    )
+
+
+def test_double_dqn_flag_changes_targets():
+    plain = make_learner(double_dqn=False)
+    double = make_learner(double_dqn=True)
+    # Same initial weights (same seed) but different target rules: after a few
+    # updates on the same data the networks may diverge slightly; here we just
+    # check both remain finite and trainable.
+    transitions = [
+        Transition(
+            state=np.array([0.2, 0.4, 0.6]),
+            action=i % 4,
+            reward=1.0,
+            next_state=np.array([0.6, 0.4, 0.2]),
+        )
+        for i in range(8)
+    ]
+    assert np.isfinite(plain.train_batch(transitions, width=1.0))
+    assert np.isfinite(double.train_batch(transitions, width=1.0))
+
+
+def test_empty_batch_rejected():
+    learner = make_learner()
+    with pytest.raises(AgentError):
+        learner.train_batch([], width=1.0)

@@ -1,0 +1,54 @@
+"""Unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_frequency_conversions_round_trip():
+    assert units.mhz_to_khz(1.5) == pytest.approx(1500.0)
+    assert units.ghz_to_khz(1.5) == pytest.approx(1.5e6)
+    assert units.khz_to_mhz(units.mhz_to_khz(624.75)) == pytest.approx(624.75)
+    assert units.khz_to_ghz(units.ghz_to_khz(2.4)) == pytest.approx(2.4)
+    assert units.khz_to_hz(1.0) == pytest.approx(1000.0)
+
+
+def test_time_conversions():
+    assert units.seconds_to_ms(1.5) == pytest.approx(1500.0)
+    assert units.ms_to_seconds(250.0) == pytest.approx(0.25)
+    assert units.us_to_ms(500.0) == pytest.approx(0.5)
+    assert units.ms_to_us(0.5) == pytest.approx(500.0)
+
+
+def test_temperature_conversions():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+    assert units.millicelsius_to_celsius(85000) == pytest.approx(85.0)
+    assert units.celsius_to_millicelsius(42.5) == pytest.approx(42500.0)
+
+
+def test_energy_and_power():
+    assert units.watts_to_milliwatts(2.5) == pytest.approx(2500.0)
+    assert units.milliwatts_to_watts(2500.0) == pytest.approx(2.5)
+    # 10 W for 500 ms is 5 J.
+    assert units.joules(10.0, 500.0) == pytest.approx(5.0)
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.FrequencyError, errors.ConfigurationError)
+    assert issubclass(errors.ConfigurationError, errors.LotusError)
+    assert issubclass(errors.ThermalError, errors.DeviceError)
+    assert issubclass(errors.ReplayBufferError, errors.AgentError)
+    for name in (
+        "WorkloadError",
+        "DetectorError",
+        "AgentError",
+        "ProtocolError",
+        "ExperimentError",
+        "DeviceError",
+    ):
+        assert issubclass(getattr(errors, name), errors.LotusError)
