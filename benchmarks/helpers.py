@@ -18,6 +18,7 @@ from typing import Mapping
 from repro.analysis.experiments import ComparisonResult
 from repro.analysis.stats import reduction_percent
 from repro.env.metrics import EpisodeMetrics
+from repro.runtime import ExperimentRuntime, ResultCache
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -32,6 +33,26 @@ TRAINING_FRAMES = int(os.environ.get("LOTUS_BENCH_TRAINING_FRAMES", "1800"))
 
 #: Frames used by the fixed-frequency profiling experiments (Fig. 1/2, §4.2).
 PROFILE_FRAMES = int(os.environ.get("LOTUS_BENCH_PROFILE_FRAMES", "300"))
+
+#: Worker processes used by the multi-cell benchmark sweeps.  The default of
+#: 1 keeps the benches serial (and their timings meaningful); export e.g.
+#: ``LOTUS_BENCH_WORKERS=8`` to regenerate a full table across cores.
+BENCH_WORKERS = int(os.environ.get("LOTUS_BENCH_WORKERS", "1"))
+
+#: Result-cache directory for the benches.  Empty (the default) disables
+#: caching so every benchmark run measures real executions; point it at a
+#: directory (e.g. ``~/.cache/repro-lotus``) to re-render tables instantly.
+BENCH_CACHE_DIR = os.environ.get("LOTUS_BENCH_CACHE", "")
+
+
+def bench_runtime() -> ExperimentRuntime:
+    """The experiment runtime the benchmark sweeps route through.
+
+    Configured by ``LOTUS_BENCH_WORKERS`` and ``LOTUS_BENCH_CACHE``; the
+    default is a serial, uncached engine so benchmark timings stay honest.
+    """
+    cache = ResultCache(BENCH_CACHE_DIR) if BENCH_CACHE_DIR else None
+    return ExperimentRuntime(max_workers=BENCH_WORKERS, cache=cache)
 
 
 def phone_frames(frames: int) -> int:

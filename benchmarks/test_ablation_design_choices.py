@@ -21,7 +21,7 @@ import pytest
 from repro.analysis.experiments import ExperimentSetting, run_ablation
 from repro.analysis.tables import format_table
 
-from benchmarks.helpers import EVAL_FRAMES, TRAINING_FRAMES, emit, run_once
+from benchmarks.helpers import bench_runtime, EVAL_FRAMES, TRAINING_FRAMES, emit, run_once
 
 VARIANTS = (
     "lotus",
@@ -42,7 +42,7 @@ def test_ablation_lotus_design_choices(benchmark):
         training_frames=TRAINING_FRAMES,
         seed=0,
     )
-    comparison = run_once(benchmark, lambda: run_ablation(setting, variants=VARIANTS))
+    comparison = run_once(benchmark, lambda: run_ablation(setting, variants=VARIANTS, runtime=bench_runtime()))
 
     rows = []
     for method in comparison.methods():

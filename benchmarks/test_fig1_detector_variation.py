@@ -13,14 +13,16 @@ import pytest
 from repro.analysis.experiments import run_detector_variation_study
 from repro.analysis.tables import format_table
 
-from benchmarks.helpers import PROFILE_FRAMES, emit, run_once
+from benchmarks.helpers import bench_runtime, PROFILE_FRAMES, emit, run_once
 
 
 @pytest.mark.paper
 def test_fig1_detector_latency_variation_and_accuracy(benchmark):
     rows = run_once(
         benchmark,
-        lambda: run_detector_variation_study(num_frames=PROFILE_FRAMES, seed=0),
+        lambda: run_detector_variation_study(
+            num_frames=PROFILE_FRAMES, seed=0, runtime=bench_runtime()
+        ),
     )
 
     table = format_table(

@@ -13,6 +13,7 @@ from repro.analysis.experiments import ExperimentSetting, run_comparison
 from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
 
 from benchmarks.helpers import (
+    bench_runtime,
     EVAL_FRAMES,
     TRAINING_FRAMES,
     assert_paper_ordering,
@@ -37,7 +38,7 @@ def test_fig5_jetson_maskrcnn_traces(benchmark, dataset):
         training_frames=TRAINING_FRAMES,
         seed=0,
     )
-    comparison = run_once(benchmark, lambda: run_comparison(setting))
+    comparison = run_once(benchmark, lambda: run_comparison(setting, runtime=bench_runtime()))
 
     series = []
     for method in comparison.methods():

@@ -16,6 +16,7 @@ from repro.analysis.experiments import ExperimentSetting, run_dynamic_ambient
 from repro.analysis.figures import series_to_text, trace_latency_series, trace_temperature_series
 
 from benchmarks.helpers import (
+    bench_runtime,
     EVAL_FRAMES,
     TRAINING_FRAMES,
     assert_paper_ordering,
@@ -35,7 +36,7 @@ def test_fig7a_warm_cold_warm(benchmark):
         training_frames=TRAINING_FRAMES,
         seed=0,
     )
-    comparison = run_once(benchmark, lambda: run_dynamic_ambient(setting))
+    comparison = run_once(benchmark, lambda: run_dynamic_ambient(setting, runtime=bench_runtime()))
 
     series = []
     for method in comparison.methods():

@@ -15,6 +15,7 @@ from repro.analysis.figures import series_to_text, trace_latency_series, trace_t
 from repro.env.metrics import summarize_trace
 
 from benchmarks.helpers import (
+    bench_runtime,
     EVAL_FRAMES,
     TRAINING_FRAMES,
     comparison_block,
@@ -34,6 +35,7 @@ def test_fig7b_domain_switch(benchmark):
             num_frames=EVAL_FRAMES,
             training_frames=TRAINING_FRAMES,
             seed=0,
+            runtime=bench_runtime(),
         ),
     )
 

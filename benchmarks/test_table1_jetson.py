@@ -12,7 +12,7 @@ import pytest
 from repro.analysis.experiments import (
     ExperimentSetting,
     comparison_metrics_map,
-    run_comparison,
+    run_comparison_batch,
 )
 from repro.analysis.tables import comparison_table
 
@@ -20,6 +20,7 @@ from benchmarks.helpers import (
     EVAL_FRAMES,
     TRAINING_FRAMES,
     assert_paper_ordering,
+    bench_runtime,
     emit,
     improvement_summary,
     run_once,
@@ -33,9 +34,8 @@ DATASETS = ("kitti", "visdrone2019")
 @pytest.mark.parametrize("detector", ["faster_rcnn", "mask_rcnn"])
 def test_table1_jetson_orin_nano(benchmark, detector):
     def run_all():
-        results = {}
-        for dataset in DATASETS:
-            setting = ExperimentSetting(
+        settings = [
+            ExperimentSetting(
                 device=DEVICE,
                 detector=detector,
                 dataset=dataset,
@@ -43,8 +43,10 @@ def test_table1_jetson_orin_nano(benchmark, detector):
                 training_frames=TRAINING_FRAMES,
                 seed=0,
             )
-            results[dataset] = run_comparison(setting)
-        return results
+            for dataset in DATASETS
+        ]
+        comparisons = run_comparison_batch(settings, runtime=bench_runtime())
+        return dict(zip(DATASETS, comparisons))
 
     results = run_once(benchmark, run_all)
 

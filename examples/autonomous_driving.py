@@ -8,19 +8,24 @@ governors and Lotus under each, and reports the satisfaction rate — showing
 how Lotus trades frequency (and heat) for deadline compliance as the budget
 tightens.
 
+All six (constraint × method) cells are submitted to the experiment runtime
+as one batch, so they spread across worker processes and are served from
+the on-disk result cache on re-runs.
+
 Run with::
 
-    python examples/autonomous_driving.py [--frames 900]
+    python examples/autonomous_driving.py [--frames 900] [--workers 4]
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro import ExperimentRuntime, ResultCache
 from repro.analysis.experiments import (
     ExperimentSetting,
     default_latency_constraint,
-    run_comparison,
+    run_comparison_batch,
 )
 
 
@@ -30,28 +35,44 @@ def main() -> None:
     parser.add_argument(
         "--training-frames", type=int, default=1500, help="online training frames before evaluation"
     )
+    parser.add_argument("--workers", type=int, default=3, help="worker processes")
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: ~/.cache/repro-lotus)"
+    )
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     args = parser.parse_args()
 
     base_constraint = default_latency_constraint("jetson-orin-nano", "faster_rcnn", "kitti")
     print("== Autonomous driving: FasterRCNN on KITTI (Jetson Orin Nano, 30 C cabin) ==")
     print(f"reference latency constraint: {base_constraint:.0f} ms\n")
 
-    header = f"{'constraint':>12s} | {'method':<8s} | {'mean (ms)':>10s} | {'std (ms)':>9s} | {'satisfaction':>12s} | {'max T (C)':>9s}"
-    print(header)
-    print("-" * len(header))
-
-    for factor in (1.15, 1.0, 0.9):
-        constraint = base_constraint * factor
-        setting = ExperimentSetting(
+    factors = (1.15, 1.0, 0.9)
+    settings = [
+        ExperimentSetting(
             device="jetson-orin-nano",
             detector="faster_rcnn",
             dataset="kitti",
             num_frames=args.frames,
             training_frames=args.training_frames,
-            latency_constraint_ms=constraint,
+            latency_constraint_ms=base_constraint * factor,
             ambient_temperature_c=30.0,
         )
-        comparison = run_comparison(setting, methods=("default", "lotus"))
+        for factor in factors
+    ]
+    runtime = ExperimentRuntime(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+    )
+    comparisons = run_comparison_batch(settings, methods=("default", "lotus"), runtime=runtime)
+    stats = runtime.last_report
+    print(f"runtime: {stats.cache_hits} cache hits, {stats.executed} executed\n")
+
+    header = f"{'constraint':>12s} | {'method':<8s} | {'mean (ms)':>10s} | {'std (ms)':>9s} | {'satisfaction':>12s} | {'max T (C)':>9s}"
+    print(header)
+    print("-" * len(header))
+
+    for setting, comparison in zip(settings, comparisons):
+        constraint = setting.latency_constraint_ms
         for method in comparison.methods():
             metrics = comparison.metrics(method)
             print(

@@ -8,9 +8,14 @@ default governors, zTT and Lotus, and prints per-zone latency/temperature
 summaries showing how each controller adapts to the changing thermal
 environment.
 
+The three method sessions run through the experiment runtime: concurrently
+on first run (``--workers``), and from the on-disk result cache afterwards
+— the stepped ambient schedule is part of the cache key, so a cached Fig. 7a
+run can never be confused with a constant-ambient one.
+
 Run with::
 
-    python examples/drone_surveillance.py [--frames 900]
+    python examples/drone_surveillance.py [--frames 900] [--workers 3]
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 
 import numpy as np
 
+from repro import ExperimentRuntime, ResultCache
 from repro.analysis.experiments import ExperimentSetting, run_dynamic_ambient
 from repro.env.metrics import summarize_trace
 from repro.env.trace import Trace
@@ -30,6 +36,11 @@ def main() -> None:
     parser.add_argument(
         "--training-frames", type=int, default=1500, help="online training frames before evaluation"
     )
+    parser.add_argument("--workers", type=int, default=3, help="worker processes")
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: ~/.cache/repro-lotus)"
+    )
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     args = parser.parse_args()
 
     setting = ExperimentSetting(
@@ -39,8 +50,16 @@ def main() -> None:
         num_frames=args.frames,
         training_frames=args.training_frames,
     )
+    runtime = ExperimentRuntime(
+        max_workers=args.workers,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+    )
     print("== Drone surveillance: MaskRCNN on VisDrone2019, warm -> cold -> warm ==")
-    comparison = run_dynamic_ambient(setting, warm_temperature_c=25.0, cold_temperature_c=0.0)
+    comparison = run_dynamic_ambient(
+        setting, warm_temperature_c=25.0, cold_temperature_c=0.0, runtime=runtime
+    )
+    stats = runtime.last_report
+    print(f"runtime: {stats.cache_hits} cache hits, {stats.executed} executed")
 
     frames_per_zone = max(1, setting.num_frames // 3)
     zones = [

@@ -16,6 +16,9 @@ The package is organised bottom-up:
 * :mod:`repro.core` — the Lotus agent, reward, cool-down and controller.
 * :mod:`repro.baselines` — the zTT learning-based baseline.
 * :mod:`repro.comms` — the simulated agent/client socket deployment.
+* :mod:`repro.runtime` — the experiment execution engine: sweep expansion,
+  a process-pool worker fleet, disk result caching and the
+  ``python -m repro`` CLI.
 * :mod:`repro.analysis` — experiment runners, tables and figure series for
   every table and figure of the paper.
 
@@ -38,9 +41,11 @@ Quickstart::
 from repro.analysis.experiments import (
     ExperimentSetting,
     default_latency_constraint,
+    execute_setting,
     make_environment,
     make_policy,
     run_comparison,
+    run_comparison_batch,
 )
 from repro.baselines import ZttConfig, ZttPolicy
 from repro.core import LotusAgent, LotusConfig, LotusController
@@ -55,12 +60,17 @@ from repro.env import (
 from repro.errors import LotusError
 from repro.governors import build_default_governor
 from repro.hardware import available_devices, build_device
+from repro.runtime import ExperimentJob, ExperimentRuntime, ResultCache, SweepSpec
 from repro.workload import available_datasets, build_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExperimentJob",
+    "ExperimentRuntime",
     "ExperimentSetting",
+    "ResultCache",
+    "SweepSpec",
     "InferenceEnvironment",
     "LotusAgent",
     "LotusConfig",
@@ -78,9 +88,11 @@ __all__ = [
     "build_detector",
     "build_device",
     "default_latency_constraint",
+    "execute_setting",
     "make_environment",
     "make_policy",
     "run_comparison",
+    "run_comparison_batch",
     "run_episode",
     "summarize_trace",
     "__version__",

@@ -1,0 +1,10 @@
+"""``python -m repro`` — the experiment runtime's command-line entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

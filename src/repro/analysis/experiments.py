@@ -5,6 +5,14 @@ up (devices, detectors, datasets, latency constraints, methods); the
 benchmark harness and the examples both call into them so that the numbers
 printed by ``pytest benchmarks/`` are produced by exactly the same code path
 a library user would run.
+
+Execution is delegated to :mod:`repro.runtime`: every multi-cell runner
+expands its work into :class:`~repro.runtime.job.ExperimentJob` objects and
+hands them to an :class:`~repro.runtime.engine.ExperimentRuntime`, so any
+runner can be parallelised and cached simply by passing a configured
+runtime.  The default (no ``runtime`` argument) is a serial, uncached
+engine, which reproduces the historical behaviour exactly.  The single-cell
+primitive behind all of them is :func:`execute_setting`.
 """
 
 from __future__ import annotations
@@ -32,26 +40,41 @@ from repro.governors.registry import build_default_governor
 from repro.governors.static import PerformancePolicy, PowersavePolicy, UserspacePolicy
 from repro.hardware.devices.registry import build_device
 from repro.core.training import OnlineSession, SessionResult
+from repro.runtime.engine import ExperimentRuntime
+from repro.runtime.job import ExperimentJob
 from repro.workload.dataset import build_dataset
 from repro.workload.generator import DomainSegment, DomainSwitchStream, FrameStream
 
 #: Methods compared in the paper's Tables 1 and 2.
 PAPER_METHODS = ("default", "ztt", "lotus")
 
-#: Fraction of the device's thermal envelope (trip point minus a 25 °C
-#: room) kept as a safety margin below the hardware trip point.  Acting
-#: exactly at the trip point would leave no room to react before the kernel
-#: caps the frequency; a fixed absolute margin would be far too conservative
-#: for a phone whose skin-temperature envelope is only ~18 °C wide.
+#: Fraction of the device's thermal envelope (trip point minus the
+#: :data:`REFERENCE_AMBIENT_C` room) kept as a safety margin below the
+#: hardware trip point: the controller is told to stay below
+#: ``trip - CONTROL_MARGIN_FRACTION * envelope``.  Acting exactly at the
+#: trip point would leave no room to react before the kernel caps the
+#: frequency; a fixed absolute margin would be far too conservative for a
+#: phone whose skin-temperature envelope is only ~18 °C wide.  The resulting
+#: margin is clipped into :data:`CONTROL_MARGIN_RANGE_C`.
 CONTROL_MARGIN_FRACTION = 0.08
+
+#: Clip range (°C) for the derived control margin, so extreme trip points
+#: still yield a margin a real controller could respect.
 CONTROL_MARGIN_RANGE_C = (1.5, 5.0)
 
-#: Fraction of the thermal envelope used for the graded zone of the
-#: temperature reward (see RewardConfig.temperature_soft_margin_c).
+#: Fraction of the thermal envelope used for the graded ("soft") zone of
+#: the temperature reward just below the control threshold (it becomes
+#: ``RewardConfig.temperature_soft_margin_c``).  Inside the zone the reward
+#: degrades smoothly instead of stepping, making the thermal cost of
+#: approaching the threshold visible to one-step credit assignment.  The
+#: resulting width is clipped into :data:`SOFT_MARGIN_RANGE_C`.
 SOFT_MARGIN_FRACTION = 0.06
+
+#: Clip range (°C) for the derived soft-margin width.
 SOFT_MARGIN_RANGE_C = (1.0, 4.0)
 
-#: Reference room temperature used to size the thermal envelope.
+#: Reference room temperature (°C) used to size the thermal envelope that
+#: both margin derivations are fractions of.
 REFERENCE_AMBIENT_C = 25.0
 
 
@@ -84,22 +107,46 @@ CONSTRAINT_HEADROOM = 1.35
 class ExperimentSetting:
     """Full description of one experiment run.
 
+    A setting is the *complete*, self-contained recipe for one experiment
+    cell: two settings with equal fields produce bit-identical results, and
+    the runtime's cache keys (:func:`repro.runtime.job.job_key`) are derived
+    from exactly these fields (plus the method and configuration
+    fingerprint).  The dataclass is frozen and hashable so it can be used as
+    a dictionary key and shipped to worker processes unchanged.
+
     Attributes:
-        device: Device name (``"jetson-orin-nano"`` or ``"mi11-lite"``).
-        detector: Detector name (``"faster_rcnn"``, ``"mask_rcnn"``,
-            ``"yolo_v5"``).
-        dataset: Dataset name (``"kitti"`` or ``"visdrone2019"``).
-        num_frames: Evaluation episode length in frames.
+        device: Device name as registered in
+            :mod:`repro.hardware.devices.registry` (``"jetson-orin-nano"``
+            or ``"mi11-lite"``).
+        detector: Detector cost-model name as registered in
+            :mod:`repro.detection.registry` (``"faster_rcnn"``,
+            ``"mask_rcnn"``, ``"yolo_v5"``).
+        dataset: Workload dataset profile name (``"kitti"`` or
+            ``"visdrone2019"``).
+        num_frames: Evaluation episode length in frames.  The paper uses
+            3,000 iterations on the Jetson and 1,000 on the phone.
         training_frames: Number of online-training frames run *before* the
             evaluation episode for learning-based policies (the paper trains
             the Q-network for 10,000 iterations before/alongside the
-            3,000-iteration evaluations).  The device is reset to a cold
-            state between training and evaluation; non-learning policies
-            (the default governors) skip the warm-up.
-        latency_constraint_ms: Latency constraint L; ``None`` derives it from
-            the cost model via :func:`default_latency_constraint`.
-        ambient_temperature_c: Ambient temperature for a static environment.
-        seed: Random seed (workload, proposals, agents).
+            3,000-iteration evaluations).  The warm-up runs on a separate
+            environment seeded with ``seed + 10_000`` so the evaluation does
+            not replay the training workload, and the device is reset to a
+            cold state between training and evaluation; non-learning
+            policies (the default governors, static policies) skip the
+            warm-up entirely.
+        latency_constraint_ms: Latency constraint L in milliseconds;
+            ``None`` derives it from the cost model via
+            :func:`default_latency_constraint` (full-speed latency of an
+            average frame times :data:`CONSTRAINT_HEADROOM`).
+        ambient_temperature_c: Ambient temperature of the static
+            environment, in °C.  Runners that schedule ambient *changes*
+            (Fig. 7a) pass an explicit ambient profile instead, which takes
+            precedence over this field.
+        seed: Base random seed.  Everything stochastic derives from it with
+            fixed offsets — the frame stream (``seed``), the environment's
+            proposal noise (``seed + 1``), the Lotus agent (``seed + 100``),
+            the zTT agent (``seed + 200``) and the warm-up environment
+            (``seed + 10_000``) — so one integer pins down the entire run.
     """
 
     device: str = "jetson-orin-nano"
@@ -183,7 +230,8 @@ def make_policy(
     """Build a policy by method name, sized for the environment and episode.
 
     Supported methods: ``default``, ``ztt``, ``lotus``, the static policies
-    ``performance`` / ``powersave``, and the Lotus ablations
+    ``performance`` / ``powersave`` / ``fixed`` (the profiling policy — the
+    highest thermally sustainable operating point), and the Lotus ablations
     ``lotus-single-action``, ``lotus-shared-buffer``,
     ``lotus-always-cooldown``, ``lotus-no-slim``.
     """
@@ -214,6 +262,8 @@ def make_policy(
         return PerformancePolicy()
     if method == "powersave":
         return PowersavePolicy()
+    if method == "fixed":
+        return _fixed_frequency_policy(environment)
     if method == "ztt":
         return ZttPolicy(
             cpu_levels=device.cpu.num_levels,
@@ -306,21 +356,97 @@ def _warm_up_policy(
     OnlineSession(environment, policy).run(setting.training_frames)
 
 
+def execute_setting(
+    setting: ExperimentSetting,
+    method: str,
+    ambient: AmbientProfile | None = None,
+    domain_datasets: Sequence[str] | None = None,
+) -> SessionResult:
+    """Run one fully-described experiment cell to completion.
+
+    This is the single-cell primitive every runner (and the runtime's worker
+    processes) executes: build the environment described by ``setting``
+    (optionally with an ambient schedule or a mid-run domain switch), build
+    the ``method`` policy sized for the episode, run the online-training
+    warm-up if the setting requests one, then run the evaluation episode.
+
+    Args:
+        setting: The experiment cell description.
+        method: Method name understood by :func:`make_policy`.
+        ambient: Optional ambient profile overriding the setting's constant
+            ambient temperature.
+        domain_datasets: When given (at least two dataset names), the
+            workload becomes the paper's Fig. 7b domain-switch stream:
+            ``setting.num_frames`` is split evenly across the datasets and
+            the latency constraint switches with the domain.
+
+    Returns:
+        The completed :class:`~repro.core.training.SessionResult`.
+    """
+    total_frames = setting.num_frames + setting.training_frames
+    if domain_datasets:
+        if len(domain_datasets) < 2:
+            raise ExperimentError("a domain switch needs at least two datasets")
+        frames_per_domain = max(1, setting.num_frames // len(domain_datasets))
+        segments = [
+            DomainSegment(
+                dataset=build_dataset(name),
+                num_frames=frames_per_domain,
+                latency_constraint_ms=default_latency_constraint(
+                    setting.device, setting.detector, name
+                ),
+            )
+            for name in domain_datasets
+        ]
+        stream = DomainSwitchStream(segments, np.random.default_rng(setting.seed))
+        environment = make_environment(setting, ambient=ambient, stream=stream)
+    else:
+        environment = make_environment(setting, ambient=ambient)
+    policy = make_policy(method, environment, total_frames, seed=setting.seed)
+    _warm_up_policy(setting, policy, ambient)
+    return OnlineSession(environment, policy).run(setting.num_frames)
+
+
+def run_comparison_batch(
+    settings: Sequence[ExperimentSetting],
+    methods: Sequence[str] = PAPER_METHODS,
+    ambient: AmbientProfile | None = None,
+    runtime: ExperimentRuntime | None = None,
+) -> List[ComparisonResult]:
+    """Run (setting × method) cells through the runtime in one sweep.
+
+    All cells are independent, so handing them to a parallel, cached
+    runtime in a single call lets a whole table regenerate concurrently
+    (and re-regenerate from cache).  The default runtime is serial and
+    uncached, which preserves the historical sequential behaviour.
+    """
+    if runtime is None:
+        runtime = ExperimentRuntime(max_workers=1)
+    jobs = [
+        ExperimentJob(setting=setting, method=method, ambient=ambient)
+        for setting in settings
+        for method in methods
+    ]
+    sessions = runtime.run_jobs(jobs)
+    comparisons: List[ComparisonResult] = []
+    cursor = 0
+    for setting in settings:
+        comparison = ComparisonResult(setting=setting)
+        for method in methods:
+            comparison.sessions[method] = sessions[cursor]
+            cursor += 1
+        comparisons.append(comparison)
+    return comparisons
+
+
 def run_comparison(
     setting: ExperimentSetting,
     methods: Sequence[str] = PAPER_METHODS,
     ambient: AmbientProfile | None = None,
+    runtime: ExperimentRuntime | None = None,
 ) -> ComparisonResult:
     """Run several methods on identical environments (Figs. 4-6, Tables 1-2)."""
-    result = ComparisonResult(setting=setting)
-    total_frames = setting.num_frames + setting.training_frames
-    for method in methods:
-        environment = make_environment(setting, ambient=ambient)
-        policy = make_policy(method, environment, total_frames, seed=setting.seed)
-        _warm_up_policy(setting, policy, ambient)
-        session = OnlineSession(environment, policy).run(setting.num_frames)
-        result.sessions[method] = session
-    return result
+    return run_comparison_batch([setting], methods, ambient=ambient, runtime=runtime)[0]
 
 
 def comparison_metrics_map(
@@ -376,32 +502,37 @@ def run_detector_variation_study(
     datasets: Sequence[str] = ("kitti", "visdrone2019"),
     num_frames: int = 300,
     seed: int = 0,
+    runtime: ExperimentRuntime | None = None,
 ) -> List[DetectorVariationRow]:
     """Fig. 1: latency mean/variation and mAP at fixed maximum frequency."""
+    if runtime is None:
+        runtime = ExperimentRuntime(max_workers=1)
     accuracy = AccuracyModel()
-    rows: List[DetectorVariationRow] = []
-    for dataset in datasets:
-        for detector in detectors:
-            setting = ExperimentSetting(
+    cells = [(dataset, detector) for dataset in datasets for detector in detectors]
+    jobs = [
+        ExperimentJob(
+            setting=ExperimentSetting(
                 device=device,
                 detector=detector,
                 dataset=dataset,
                 num_frames=num_frames,
                 seed=seed,
-            )
-            environment = make_environment(setting)
-            policy = _fixed_frequency_policy(environment)
-            session = OnlineSession(environment, policy).run(num_frames)
-            rows.append(
-                DetectorVariationRow(
-                    detector=detector,
-                    dataset=dataset,
-                    mean_latency_ms=session.metrics.mean_latency_ms,
-                    latency_std_ms=session.metrics.latency_std_ms,
-                    map50=accuracy.map50(detector, dataset),
-                )
-            )
-    return rows
+            ),
+            method="fixed",
+        )
+        for dataset, detector in cells
+    ]
+    sessions = runtime.run_jobs(jobs)
+    return [
+        DetectorVariationRow(
+            detector=detector,
+            dataset=dataset,
+            mean_latency_ms=session.metrics.mean_latency_ms,
+            latency_std_ms=session.metrics.latency_std_ms,
+            map50=accuracy.map50(detector, dataset),
+        )
+        for (dataset, detector), session in zip(cells, sessions)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -473,13 +604,15 @@ def run_stage_profiling(
     dataset: str = "kitti",
     num_frames: int = 300,
     seed: int = 0,
+    runtime: ExperimentRuntime | None = None,
 ) -> StageProfile:
     """Reproduce the §4.2 profiling observation (80/20 split, stage-2 variation)."""
     setting = ExperimentSetting(
         device=device, detector=detector, dataset=dataset, num_frames=num_frames, seed=seed
     )
-    environment = make_environment(setting)
-    session = OnlineSession(environment, _fixed_frequency_policy(environment)).run(num_frames)
+    if runtime is None:
+        runtime = ExperimentRuntime(max_workers=1)
+    session = runtime.run(ExperimentJob(setting=setting, method="fixed"))
     trace = session.trace
     stage2 = trace.stage2_latencies_ms()
     return StageProfile(
@@ -503,11 +636,12 @@ def run_dynamic_ambient(
     methods: Sequence[str] = PAPER_METHODS,
     warm_temperature_c: float = 25.0,
     cold_temperature_c: float = 0.0,
+    runtime: ExperimentRuntime | None = None,
 ) -> ComparisonResult:
     """Fig. 7a: warm zone → cold zone → warm zone during inference."""
     frames_per_zone = max(1, setting.num_frames // 3)
     ambient = warm_cold_warm(frames_per_zone, warm_temperature_c, cold_temperature_c)
-    return run_comparison(setting, methods, ambient=ambient)
+    return run_comparison(setting, methods, ambient=ambient, runtime=runtime)
 
 
 # ---------------------------------------------------------------------------
@@ -523,8 +657,14 @@ def run_domain_switch(
     training_frames: int = 0,
     methods: Sequence[str] = PAPER_METHODS,
     seed: int = 0,
+    runtime: ExperimentRuntime | None = None,
 ) -> ComparisonResult:
-    """Fig. 7b: switch dataset (and latency constraint) mid-run."""
+    """Fig. 7b: switch dataset (and latency constraint) mid-run.
+
+    The warm-up (if any) runs on the first domain only: the switch itself
+    must remain unseen so the experiment measures adaptation, not
+    memorisation.
+    """
     if len(datasets) < 2:
         raise ExperimentError("a domain switch needs at least two datasets")
     frames_per_domain = max(1, num_frames // len(datasets))
@@ -536,25 +676,15 @@ def run_domain_switch(
         training_frames=training_frames,
         seed=seed,
     )
+    if runtime is None:
+        runtime = ExperimentRuntime(max_workers=1)
+    jobs = [
+        ExperimentJob(setting=setting, method=method, domain_datasets=tuple(datasets))
+        for method in methods
+    ]
+    sessions = runtime.run_jobs(jobs)
     result = ComparisonResult(setting=setting)
-    total_frames = setting.num_frames + setting.training_frames
-    for method in methods:
-        rng = np.random.default_rng(seed)
-        segments = [
-            DomainSegment(
-                dataset=build_dataset(name),
-                num_frames=frames_per_domain,
-                latency_constraint_ms=default_latency_constraint(device, detector, name),
-            )
-            for name in datasets
-        ]
-        stream = DomainSwitchStream(segments, rng)
-        environment = make_environment(setting, stream=stream)
-        policy = make_policy(method, environment, total_frames, seed=seed)
-        # Warm up on the first domain only: the switch itself must remain
-        # unseen so the experiment measures adaptation, not memorisation.
-        _warm_up_policy(setting, policy, ambient=None)
-        session = OnlineSession(environment, policy).run(setting.num_frames)
+    for method, session in zip(methods, sessions):
         result.sessions[method] = session
     return result
 
@@ -573,6 +703,7 @@ def run_ablation(
         "lotus-always-cooldown",
         "lotus-no-slim",
     ),
+    runtime: ExperimentRuntime | None = None,
 ) -> ComparisonResult:
     """Compare Lotus against ablated variants of its design choices."""
-    return run_comparison(setting, methods=variants)
+    return run_comparison(setting, methods=variants, runtime=runtime)

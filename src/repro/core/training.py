@@ -42,6 +42,32 @@ class SessionResult:
     rewards: List[float]
 
 
+def session_result_from_trace(
+    policy_name: str,
+    trace: Trace,
+    losses: List[float] | None = None,
+    rewards: List[float] | None = None,
+) -> SessionResult:
+    """Package a completed trace into a :class:`SessionResult`.
+
+    This is the single place where the whole-episode and steady-state
+    summaries are derived from a trace, shared by :class:`OnlineSession`
+    (fresh runs) and the runtime's result cache (deserialised runs) so both
+    paths produce bit-identical metrics.
+    """
+    metrics = summarize_trace(trace)
+    steady_trace = trace.skip(len(trace) // 2) if len(trace) >= 4 else trace
+    steady_metrics = summarize_trace(steady_trace)
+    return SessionResult(
+        policy_name=policy_name,
+        trace=trace,
+        metrics=metrics,
+        steady_metrics=steady_metrics,
+        losses=list(losses) if losses else [],
+        rewards=list(rewards) if rewards else [],
+    )
+
+
 class OnlineSession:
     """Couples an environment with a policy and runs online episodes."""
 
@@ -57,16 +83,9 @@ class OnlineSession:
             num_frames,
             reset_environment=reset_environment,
         )
-        metrics = summarize_trace(trace)
-        steady_trace = trace.skip(len(trace) // 2) if len(trace) >= 4 else trace
-        steady_metrics = summarize_trace(steady_trace)
-        losses = list(getattr(self.policy, "loss_history", []))
-        rewards = list(getattr(self.policy, "reward_history", []))
-        return SessionResult(
-            policy_name=self.policy.name,
-            trace=trace,
-            metrics=metrics,
-            steady_metrics=steady_metrics,
-            losses=losses,
-            rewards=rewards,
+        return session_result_from_trace(
+            self.policy.name,
+            trace,
+            losses=list(getattr(self.policy, "loss_history", [])),
+            rewards=list(getattr(self.policy, "reward_history", [])),
         )

@@ -1,0 +1,36 @@
+"""Experiment execution runtime: jobs, caching, worker pool, sweeps, CLI.
+
+This layer sits between :mod:`repro.core` (which can run a single online
+session) and :mod:`repro.analysis` (which decides *what* to run for each
+paper table and figure).  It contributes the *how*: a sweep is expanded into
+independent, fully-described jobs; jobs are answered from a content-
+addressed disk cache when their inputs are unchanged; the remainder fans
+out over a process pool (or runs serially for ``max_workers=1``) and is
+stored back for next time.  See :mod:`repro.runtime.cli` for the
+``python -m repro`` command-line front end.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.engine import (
+    ExperimentRuntime,
+    RuntimeReport,
+    default_worker_count,
+    execute_job,
+)
+from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
+from repro.runtime.sweep import SweepSpec, sweep_metrics_map
+
+__all__ = [
+    "CacheStats",
+    "ExperimentJob",
+    "ExperimentRuntime",
+    "ResultCache",
+    "RuntimeReport",
+    "SweepSpec",
+    "config_fingerprint",
+    "default_cache_dir",
+    "default_worker_count",
+    "execute_job",
+    "job_key",
+    "sweep_metrics_map",
+]

@@ -1,0 +1,174 @@
+"""Disk cache for completed experiment sessions.
+
+Completed :class:`~repro.core.training.SessionResult` objects are persisted
+as gzip-compressed JSON under a directory keyed by the job hash (see
+:mod:`repro.runtime.job`).  The payload stores the raw per-frame trace plus
+the policy's loss/reward histories; the summary metrics are *recomputed* on
+load through the same :func:`~repro.core.training.session_result_from_trace`
+path a fresh run uses, so a cache hit is guaranteed to yield bit-identical
+metrics to the run that produced it.
+
+The default cache location is ``~/.cache/repro-lotus`` and can be overridden
+with the ``REPRO_CACHE_DIR`` environment variable or per-instance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import gzip
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.training import SessionResult, session_result_from_trace
+from repro.env.trace import FrameRecord, Trace
+from repro.errors import ExperimentError
+from repro.runtime.job import CACHE_SCHEMA_VERSION
+
+#: Environment variable that overrides the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Column order used by the serialised trace payload.
+_TRACE_FIELDS = tuple(f.name for f in dataclasses.fields(FrameRecord))
+
+
+def default_cache_dir() -> Path:
+    """The cache directory used when none is given explicitly."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-lotus"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of a cache directory's contents.
+
+    Attributes:
+        entries: Number of stored session results.
+        total_bytes: Total size of the stored payloads on disk.
+    """
+
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Content-addressed store of completed session results.
+
+    Entries are sharded into two-character subdirectories (like Git objects)
+    so that very large sweeps do not pile tens of thousands of files into a
+    single directory.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Payload path of a cache key."""
+        if not key:
+            raise ExperimentError("cache key must be a non-empty string")
+        return self.root / key[:2] / f"{key}.json.gz"
+
+    def contains(self, key: str) -> bool:
+        """Whether a result is stored under ``key``."""
+        return self.path_for(key).exists()
+
+    def _iter_entries(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return
+        yield from self.root.glob("*/*.json.gz")
+
+    # -- round trip ----------------------------------------------------------
+
+    def store(self, key: str, result: SessionResult) -> Path:
+        """Persist ``result`` under ``key`` and return the payload path.
+
+        The write goes through a temporary file and an atomic rename so a
+        crashed or interrupted run never leaves a truncated payload behind.
+        """
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "policy_name": result.policy_name,
+            "fields": list(_TRACE_FIELDS),
+            "records": [
+                [getattr(record, name) for name in _TRACE_FIELDS]
+                for record in result.trace
+            ],
+            "losses": [float(v) for v in result.losses],
+            "rewards": [float(v) for v in result.rewards],
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp name per writer: two processes storing the same key
+        # concurrently (shared cache directory) must not clobber each
+        # other's half-written payload before the atomic rename.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def load(self, key: str) -> Optional[SessionResult]:
+        """Load the result stored under ``key``; ``None`` on miss.
+
+        Entries written by an incompatible schema version, or corrupted on
+        disk, are treated as misses (and are overwritten by the next store)
+        rather than raised, so a stale cache can never break a sweep.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, EOFError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("fields") != list(_TRACE_FIELDS):
+            return None
+        trace = Trace(
+            [FrameRecord(**dict(zip(_TRACE_FIELDS, row))) for row in payload["records"]]
+        )
+        return session_result_from_trace(
+            payload["policy_name"],
+            trace,
+            losses=payload.get("losses", []),
+            rewards=payload.get("rewards", []),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Entry count and total payload size of the cache."""
+        entries = 0
+        total = 0
+        for path in self._iter_entries():
+            entries += 1
+            total += path.stat().st_size
+        return CacheStats(entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        for path in list(self._iter_entries()):
+            path.unlink()
+            removed += 1
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        return removed

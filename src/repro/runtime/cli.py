@@ -1,0 +1,325 @@
+"""Command-line interface of the experiment runtime (``python -m repro``).
+
+Four subcommands drive the engine without writing any code:
+
+* ``run`` — execute one experiment cell and print its summary metrics.
+* ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
+  grid, run it on the worker pool with result caching, and print one
+  paper-style comparison table per device.
+* ``report`` — render the same tables purely from the cache, listing any
+  missing cells instead of running them (useful on machines that only hold
+  the cache, e.g. when collecting results produced elsewhere).
+* ``cache`` — inspect or clear the result cache.
+
+Examples::
+
+    python -m repro run --method lotus --frames 500
+    python -m repro sweep --detectors faster_rcnn,mask_rcnn \
+        --datasets kitti,visdrone2019 --workers 4
+    python -m repro report --detectors faster_rcnn,mask_rcnn \
+        --datasets kitti,visdrone2019
+    python -m repro cache info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import LotusError
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.engine import ExperimentRuntime, default_worker_count
+from repro.runtime.job import ExperimentJob
+from repro.runtime.sweep import SweepSpec, sweep_metrics_map
+
+
+def _split(raw: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _split_ints(raw: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in _split(raw))
+
+
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+
+
+def _add_cell_arguments(parser: argparse.ArgumentParser, plural: bool) -> None:
+    if plural:
+        parser.add_argument(
+            "--devices", type=_split, default=("jetson-orin-nano",),
+            help="comma-separated device names",
+        )
+        parser.add_argument(
+            "--detectors", type=_split, default=("faster_rcnn",),
+            help="comma-separated detector names",
+        )
+        parser.add_argument(
+            "--datasets", type=_split, default=("kitti",),
+            help="comma-separated dataset names",
+        )
+        parser.add_argument(
+            "--methods", type=_split, default=("default", "ztt", "lotus"),
+            help="comma-separated method names",
+        )
+        parser.add_argument(
+            "--seeds", type=_split_ints, default=(0,),
+            help="comma-separated random seeds",
+        )
+    else:
+        parser.add_argument("--device", default="jetson-orin-nano", help="device name")
+        parser.add_argument("--detector", default="faster_rcnn", help="detector name")
+        parser.add_argument("--dataset", default="kitti", help="dataset name")
+        parser.add_argument("--method", default="lotus", help="method name")
+        parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--frames", type=int, default=1000, help="evaluation frames")
+    parser.add_argument(
+        "--training-frames", type=int, default=0,
+        help="online-training frames before evaluation (learning methods)",
+    )
+    parser.add_argument(
+        "--constraint-ms", type=float, default=None,
+        help="latency constraint in ms (default: derived from the cost model)",
+    )
+    parser.add_argument(
+        "--ambient-c", type=float, default=25.0, help="ambient temperature in deg C"
+    )
+
+
+def _summary_line(label: str, metrics) -> str:
+    return (
+        f"{label:<24s} l={metrics.mean_latency_ms:8.1f} ms  "
+        f"sigma={metrics.latency_std_ms:7.1f} ms  "
+        f"R_L={metrics.satisfaction_rate * 100:5.1f} %  "
+        f"T_mean={metrics.mean_temperature_c:5.1f} C  "
+        f"T_max={metrics.max_temperature_c:5.1f} C  "
+        f"throttled={metrics.throttled_fraction * 100:4.1f} %"
+    )
+
+
+def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    return SweepSpec(
+        devices=args.devices,
+        detectors=args.detectors,
+        datasets=args.datasets,
+        methods=args.methods,
+        seeds=args.seeds,
+        num_frames=args.frames,
+        training_frames=args.training_frames,
+        ambient_temperature_c=args.ambient_c,
+        latency_constraint_ms=args.constraint_ms,
+    )
+
+
+def _print_sweep_tables(spec: SweepSpec, jobs, results, use_steady: bool) -> None:
+    from repro.analysis.tables import comparison_table
+
+    for device in spec.devices:
+        table = sweep_metrics_map(jobs, results, device=device, use_steady=use_steady)
+        if not table:
+            continue
+        print()
+        print(
+            comparison_table(
+                table,
+                datasets=list(spec.datasets),
+                title=f"[{device}] frames={spec.num_frames} "
+                f"training={spec.training_frames} seeds={list(spec.seeds)}",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentSetting
+
+    setting = ExperimentSetting(
+        device=args.device,
+        detector=args.detector,
+        dataset=args.dataset,
+        num_frames=args.frames,
+        training_frames=args.training_frames,
+        latency_constraint_ms=args.constraint_ms,
+        ambient_temperature_c=args.ambient_c,
+        seed=args.seed,
+    )
+    job = ExperimentJob(setting=setting, method=args.method)
+    runtime = ExperimentRuntime(max_workers=1, cache=_cache_from(args))
+    result = runtime.run(job)
+    report = runtime.last_report
+    source = "cache" if report.cache_hits else "fresh run"
+    print(
+        f"{args.method} on {args.dataset}/{args.detector} ({args.device}), "
+        f"{args.frames} frames [{source}]"
+    )
+    print(_summary_line("whole episode", result.metrics))
+    print(_summary_line("steady state", result.steady_metrics))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec(args)
+    jobs = spec.expand()
+    runtime = ExperimentRuntime(
+        max_workers=args.workers, cache=_cache_from(args)
+    )
+    print(
+        f"sweep: {spec.size} jobs "
+        f"({len(spec.devices)} devices x {len(spec.detectors)} detectors x "
+        f"{len(spec.datasets)} datasets x {len(spec.seeds)} seeds x "
+        f"{len(spec.methods)} methods), workers={runtime.max_workers}"
+    )
+
+    def progress(done: int, total: int, job: ExperimentJob, hit: bool) -> None:
+        status = "cached" if hit else "ran"
+        print(
+            f"  [{done}/{total}] {status:>6s}  {job.setting.device} "
+            f"{job.setting.detector} {job.setting.dataset} "
+            f"seed={job.setting.seed} {job.method}",
+            flush=True,
+        )
+
+    results = runtime.run_jobs(jobs, progress=progress if not args.quiet else None)
+    report = runtime.last_report
+    print(
+        f"done: {report.cache_hits} cache hits, {report.executed} executed"
+        + (f", {report.uncacheable} uncacheable" if report.uncacheable else "")
+    )
+    _print_sweep_tables(spec, jobs, results, args.steady)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    spec = _sweep_spec(args)
+    jobs = spec.expand()
+    found_jobs, results, missing = [], [], []
+    for job in jobs:
+        key = job.cache_key()
+        cached = cache.load(key) if key else None
+        if cached is None:
+            missing.append(job)
+        else:
+            found_jobs.append(job)
+            results.append(cached)
+    print(f"report: {len(results)}/{len(jobs)} cells cached under {cache.root}")
+    _print_sweep_tables(spec, found_jobs, results, args.steady)
+    if missing:
+        print(f"\nmissing cells ({len(missing)}):")
+        for job in missing:
+            print(
+                f"  {job.setting.device} {job.setting.detector} "
+                f"{job.setting.dataset} seed={job.setting.seed} {job.method}"
+            )
+        print("run `python -m repro sweep` with the same arguments to fill them")
+        return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "path":
+        print(cache.root)
+        return 0
+    if args.action == "info":
+        stats = cache.stats()
+        print(f"cache directory : {cache.root}")
+        print(f"entries         : {stats.entries}")
+        print(f"size            : {stats.total_bytes / 1e6:.2f} MB")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run Lotus reproduction experiments through the cached runtime.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run one experiment cell", description=_cmd_run.__doc__
+    )
+    _add_cell_arguments(run, plural=False)
+    _add_cache_arguments(run)
+    run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a grid of cells concurrently with caching"
+    )
+    _add_cell_arguments(sweep, plural=True)
+    _add_cache_arguments(sweep)
+    sweep.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help=f"worker processes (default: REPRO_WORKERS or {default_worker_count()})",
+    )
+    sweep.add_argument(
+        "--steady", action="store_true",
+        help="report steady-state (second-half) metrics instead of whole-episode",
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report", help="render tables from cached results only (no execution)"
+    )
+    _add_cell_arguments(report, plural=True)
+    _add_cache_arguments(report)
+    report.add_argument(
+        "--steady", action="store_true",
+        help="report steady-state (second-half) metrics instead of whole-episode",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear", "path"))
+    _add_cache_arguments(cache)
+    cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Library errors (unknown device/method/dataset, invalid frame counts,
+    ...) are reported as a one-line message instead of a traceback.
+    """
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except LotusError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Sweep specification and expansion.
+
+A :class:`SweepSpec` describes a grid of experiment cells — devices ×
+detectors × datasets × methods × seeds — and expands it into the flat,
+deterministic list of :class:`~repro.runtime.job.ExperimentJob` objects the
+engine schedules.  The expansion order is row-major over (device, detector,
+dataset, seed, method), matching the order the paper's tables are read in,
+and is stable so that serial and parallel runs, progress displays and cache
+walks all agree on job numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.training import SessionResult
+from repro.errors import ExperimentError
+from repro.runtime.job import ExperimentJob
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of experiment cells to evaluate.
+
+    Attributes:
+        devices: Device names (see :func:`repro.hardware.available_devices`).
+        detectors: Detector names (see
+            :func:`repro.detection.available_detectors`).
+        datasets: Dataset names (see :func:`repro.workload.available_datasets`).
+        methods: Method names understood by
+            :func:`~repro.analysis.experiments.make_policy`.
+        seeds: Random seeds; one job is emitted per seed.
+        num_frames: Evaluation episode length per cell.
+        training_frames: Online-training frames before each evaluation (used
+            by the learning-based methods, skipped by governors).
+        ambient_temperature_c: Constant ambient temperature of every cell.
+        latency_constraint_ms: Explicit latency constraint; ``None`` derives
+            the per-(device, detector, dataset) default.
+    """
+
+    devices: Tuple[str, ...] = ("jetson-orin-nano",)
+    detectors: Tuple[str, ...] = ("faster_rcnn",)
+    datasets: Tuple[str, ...] = ("kitti",)
+    methods: Tuple[str, ...] = ("default", "ztt", "lotus")
+    seeds: Tuple[int, ...] = (0,)
+    num_frames: int = 1000
+    training_frames: int = 0
+    ambient_temperature_c: float = 25.0
+    latency_constraint_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("devices", self.devices),
+            ("detectors", self.detectors),
+            ("datasets", self.datasets),
+            ("methods", self.methods),
+            ("seeds", self.seeds),
+        ):
+            if not values:
+                raise ExperimentError(f"sweep requires at least one entry in {name!r}")
+        if self.num_frames <= 0:
+            raise ExperimentError("num_frames must be positive")
+
+    @property
+    def size(self) -> int:
+        """Number of jobs the sweep expands to."""
+        return (
+            len(self.devices)
+            * len(self.detectors)
+            * len(self.datasets)
+            * len(self.seeds)
+            * len(self.methods)
+        )
+
+    def expand(self) -> List[ExperimentJob]:
+        """The sweep's jobs, in deterministic row-major order."""
+        from repro.analysis.experiments import ExperimentSetting
+
+        jobs: List[ExperimentJob] = []
+        for device in self.devices:
+            for detector in self.detectors:
+                for dataset in self.datasets:
+                    for seed in self.seeds:
+                        setting = ExperimentSetting(
+                            device=device,
+                            detector=detector,
+                            dataset=dataset,
+                            num_frames=self.num_frames,
+                            training_frames=self.training_frames,
+                            latency_constraint_ms=self.latency_constraint_ms,
+                            ambient_temperature_c=self.ambient_temperature_c,
+                            seed=seed,
+                        )
+                        for method in self.methods:
+                            jobs.append(ExperimentJob(setting=setting, method=method))
+        return jobs
+
+
+def sweep_metrics_map(
+    jobs: Sequence[ExperimentJob],
+    results: Sequence[SessionResult],
+    device: str,
+    use_steady: bool = False,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Regroup flat sweep results into the table-renderer layout.
+
+    Returns the nested ``detector -> method -> dataset -> metrics`` mapping
+    consumed by :func:`repro.analysis.tables.comparison_table`, restricted
+    to one device.  When a cell was run with several seeds the metrics of
+    the *first* seed in job order are reported (the analysis layer's
+    statistics helpers are the right tool for cross-seed aggregation).
+    """
+    if len(jobs) != len(results):
+        raise ExperimentError("jobs and results must align one-to-one")
+    table: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for job, result in zip(jobs, results):
+        if job.setting.device != device:
+            continue
+        metrics = result.steady_metrics if use_steady else result.metrics
+        per_method = table.setdefault(job.setting.detector, {}).setdefault(job.method, {})
+        per_method.setdefault(job.setting.dataset, metrics)
+    return table

@@ -1,0 +1,59 @@
+"""Documentation lint as a tier-1 test.
+
+Imports ``tools/check_docs.py`` and asserts the committed documentation
+passes, plus a negative check proving the lint actually catches stale
+references (so it cannot rot into a no-op).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_docs_pass_the_lint():
+    check_docs = load_check_docs()
+    assert check_docs.check() == []
+    assert check_docs.main() == 0
+
+
+def test_lint_detects_stale_references(tmp_path, monkeypatch):
+    check_docs = load_check_docs()
+    stale = tmp_path / "README.md"
+    stale.write_text(
+        "# doc\n"
+        "```python\nfrom repro import DefinitelyNotASymbol\n```\n"
+        "see `repro.runtime.nonexistent_thing` and the API below.\n"
+        "## Public API\n"
+        "`ExperimentRuntime`, `AlsoNotASymbol`.\n",
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", (stale,))
+    problems = check_docs.check()
+    assert len(problems) == 3
+    assert any("DefinitelyNotASymbol" in p for p in problems)
+    assert any("repro.runtime.nonexistent_thing" in p for p in problems)
+    assert any("AlsoNotASymbol" in p for p in problems)
+    assert check_docs.main() == 1
+
+
+def test_lint_reports_missing_files(tmp_path, monkeypatch):
+    check_docs = load_check_docs()
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", (tmp_path / "README.md",))
+    problems = check_docs.check()
+    assert problems and "missing" in problems[0]

@@ -1,0 +1,117 @@
+"""Smoke tests for the ``python -m repro`` command-line interface.
+
+Fast paths call :func:`repro.runtime.cli.main` in-process; one test drives
+the real ``python -m repro`` module entry point in a subprocess to prove the
+packaging (``repro/__main__.py``) works end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cli import main
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def module_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def test_python_m_repro_sweep_help_subprocess():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--help"],
+        capture_output=True,
+        text=True,
+        env=module_env(),
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for flag in ("--devices", "--methods", "--workers", "--cache-dir", "--steady"):
+        assert flag in completed.stdout
+
+
+def test_cli_requires_a_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code != 0
+
+
+def test_cli_reports_library_errors_without_traceback(tmp_path, capsys):
+    code = main([
+        "run", "--method", "nonsense", "--frames", "5", "--cache-dir", str(tmp_path),
+    ])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "error: unknown method 'nonsense'" in captured.err
+    code = main(["run", "--device", "toaster", "--frames", "5", "--no-cache"])
+    assert code == 2
+    assert "unknown device 'toaster'" in capsys.readouterr().err
+
+
+def test_cli_run_uses_cache_on_second_invocation(tmp_path, capsys):
+    args = [
+        "run", "--method", "default", "--frames", "20",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "[fresh run]" in first
+    assert "whole episode" in first and "steady state" in first
+
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "[cache]" in second
+
+
+def test_cli_sweep_report_and_cache_flow(tmp_path, capsys):
+    cell_args = [
+        "--datasets", "kitti",
+        "--methods", "default,fixed",
+        "--frames", "15",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(["sweep", *cell_args, "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep: 2 jobs" in out
+    assert "0 cache hits, 2 executed" in out
+    assert "| Detector" in out and "faster_rcnn" in out
+
+    # report: everything cached, exit 0.
+    assert main(["report", *cell_args]) == 0
+    out = capsys.readouterr().out
+    assert "report: 2/2 cells cached" in out
+
+    # report on a larger grid: missing cells listed, exit 1.
+    missing_args = list(cell_args)
+    missing_args[missing_args.index("default,fixed")] = "default,fixed,ztt"
+    assert main(["report", *missing_args]) == 1
+    out = capsys.readouterr().out
+    assert "missing cells (1)" in out and "ztt" in out
+
+    # cache info / path / clear.
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    assert "entries         : 2" in capsys.readouterr().out
+    assert main(["cache", "path", "--cache-dir", str(tmp_path)]) == 0
+    assert str(tmp_path) in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 2" in capsys.readouterr().out
+
+
+def test_cli_sweep_no_cache(tmp_path, capsys):
+    assert main([
+        "sweep", "--datasets", "kitti", "--methods", "fixed", "--frames", "10",
+        "--workers", "1", "--no-cache", "--quiet", "--cache-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits, 1 executed" in out
+    assert not any(tmp_path.iterdir())
