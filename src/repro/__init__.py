@@ -63,7 +63,7 @@ from repro.hardware import available_devices, build_device
 from repro.runtime import ExperimentJob, ExperimentRuntime, ResultCache, SweepSpec
 from repro.workload import available_datasets, build_dataset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentJob",

@@ -40,7 +40,7 @@ from repro.env.environment import (
 from repro.env.policy import FrequencyDecision, Policy
 from repro.rl.dqn import DqnConfig, DqnLearner
 from repro.rl.optimizer import Adam
-from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.replay import ReplayBuffer
 from repro.rl.schedule import CosineDecaySchedule, LinearDecaySchedule
 from repro.rl.slimmable import SlimmableMLP
 
@@ -267,14 +267,12 @@ class ZttPolicy(Policy):
             and self._last_action is not None
             and self._pending_reward is not None
         ):
-            self.buffer.push(
-                Transition(
-                    state=self._last_state,
-                    action=self._last_action,
-                    reward=self._pending_reward,
-                    next_state=state,
-                    next_width=1.0,
-                )
+            self.buffer.append(
+                state=self._last_state,
+                action=self._last_action,
+                reward=self._pending_reward,
+                next_state=state,
+                next_width=1.0,
             )
         self._pending_reward = None
         if (

@@ -40,7 +40,7 @@ from repro.env.environment import (
 from repro.env.policy import FrequencyDecision, Policy
 from repro.rl.dqn import DqnConfig, DqnLearner
 from repro.rl.optimizer import Adam
-from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.replay import ReplayBuffer
 from repro.rl.schedule import CosineDecaySchedule, LinearDecaySchedule
 from repro.rl.slimmable import SlimmableMLP
 
@@ -227,14 +227,12 @@ class LotusAgent(Policy):
             # In the single-decision ablation there is only one kind of
             # transition, stored in (and trained from) the start buffer.
             buffer = self.start_buffer if self.config.single_decision else self.mid_buffer
-            buffer.push(
-                Transition(
-                    state=prev_state,
-                    action=prev_action,
-                    reward=prev_reward,
-                    next_state=state,
-                    next_width=self._start_width,
-                )
+            buffer.append(
+                state=prev_state,
+                action=prev_action,
+                reward=prev_reward,
+                next_state=state,
+                next_width=self._start_width,
             )
         self._pending_transition = None
         self._maybe_train(self.start_buffer, self._start_width)
@@ -296,14 +294,12 @@ class LotusAgent(Policy):
                 and self._start_action is not None
                 and self._mid_state is not None
             ):
-                self.start_buffer.push(
-                    Transition(
-                        state=self._start_state,
-                        action=self._start_action,
-                        reward=frame_reward.total,
-                        next_state=self._mid_state,
-                        next_width=1.0,
-                    )
+                self.start_buffer.append(
+                    state=self._start_state,
+                    action=self._start_action,
+                    reward=frame_reward.total,
+                    next_state=self._mid_state,
+                    next_width=1.0,
                 )
             if self._mid_state is not None and self._mid_action is not None:
                 self._pending_transition = (

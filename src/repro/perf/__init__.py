@@ -1,0 +1,37 @@
+"""Performance benchmarking subsystem.
+
+First-class measurement infrastructure for the repository's perf
+trajectory: every performance claim made by a PR is a number recorded in a
+``BENCH_*.json`` file at the repo root, produced by ``python -m repro
+bench`` from the microbenchmarks in this package.
+
+* :mod:`repro.perf.timer` — :class:`Timer`, :func:`measure`,
+  :class:`BenchResult` and :class:`BenchReport` (the JSON schema).
+* :mod:`repro.perf.benchmarks` — the benchmark suite: replay push/sample,
+  slimmable forward/backward at both widths, ``train_batch``, and a full
+  Lotus session, each timed against the frozen pre-refactor reference.
+* :mod:`repro.perf.legacy` — that reference: the original deque replay and
+  mask-padded DQN update, kept verbatim as baseline and equivalence oracle.
+"""
+
+from repro.perf.timer import BenchReport, BenchResult, Timer, measure, measure_pair
+from repro.perf.benchmarks import (
+    DEFAULT_OUTPUT,
+    SPEEDUP_TARGETS,
+    format_report,
+    run_bench_suite,
+    write_report,
+)
+
+__all__ = [
+    "BenchReport",
+    "BenchResult",
+    "DEFAULT_OUTPUT",
+    "SPEEDUP_TARGETS",
+    "Timer",
+    "format_report",
+    "measure",
+    "measure_pair",
+    "run_bench_suite",
+    "write_report",
+]

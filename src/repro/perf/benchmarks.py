@@ -1,0 +1,287 @@
+"""Microbenchmarks of the RL training hot path.
+
+Every benchmark times the *current* implementation next to the frozen
+pre-refactor reference from :mod:`repro.perf.legacy` in the same process on
+the same data, so the speedup ratios in the emitted ``BENCH_*.json`` are
+apples-to-apples measurements rather than numbers recorded on different
+hardware.  Covered, per the perf trajectory's first entry:
+
+* replay ``push`` and ``sample`` (batch 32 out of a 10k-capacity buffer),
+* ``SlimmableMLP`` forward and backward at both widths (sliced-gradient
+  fast path vs. the mask-padded compatibility path),
+* one full ``DqnLearner.train_batch`` step (sample + update),
+* a complete 500-frame Lotus session through the real environment.
+
+Run via ``python -m repro bench`` (``--quick`` shrinks iteration counts for
+CI smoke jobs); the report lands in ``BENCH_PR2.json`` by default.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import count
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.legacy import (
+    LegacyDqnLearner,
+    LegacyReplayBuffer,
+    LegacySlimmableMLP,
+    use_legacy_rl_path,
+)
+from repro.perf.timer import BenchReport, measure_pair
+from repro.rl.dqn import DqnConfig, DqnLearner
+from repro.rl.optimizer import Adam
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.slimmable import SlimmableMLP
+
+#: Dimensions of the synthetic hot-path workload: Lotus-sized network
+#: (3 hidden layers of 64) on a 14-feature state with a 30-action output,
+#: trained with batch 32 from a 10k-capacity buffer.
+STATE_DIM = 14
+NUM_ACTIONS = 30
+HIDDEN_DIMS = (64, 64, 64)
+BATCH_SIZE = 32
+CAPACITY = 10_000
+
+#: Default report filename; the label tracks the PR that recorded it.
+BENCH_LABEL = "PR2"
+DEFAULT_OUTPUT = f"BENCH_{BENCH_LABEL}.json"
+
+#: Acceptance floors for this PR's tentpole (recorded into the report for
+#: context; the benchmark itself does not gate on them).
+SPEEDUP_TARGETS = {"train_batch": 3.0, "lotus_session": 1.5}
+
+
+def _make_network(legacy: bool = False, rng_seed: int = 0):
+    cls = LegacySlimmableMLP if legacy else SlimmableMLP
+    return cls(
+        input_dim=STATE_DIM,
+        hidden_dims=HIDDEN_DIMS,
+        output_dim=NUM_ACTIONS,
+        widths=(0.75, 1.0),
+        rng=np.random.default_rng(rng_seed),
+    )
+
+
+def _make_learner(legacy: bool) -> DqnLearner:
+    cls = LegacyDqnLearner if legacy else DqnLearner
+    return cls(
+        network=_make_network(legacy),
+        config=DqnConfig(batch_size=BATCH_SIZE),
+        optimizer=Adam(),
+    )
+
+
+def _transition_stream(count: int, seed: int = 7) -> list[Transition]:
+    rng = np.random.default_rng(seed)
+    return [
+        Transition(
+            state=rng.normal(size=STATE_DIM),
+            action=int(rng.integers(NUM_ACTIONS)),
+            reward=float(rng.normal()),
+            next_state=rng.normal(size=STATE_DIM),
+            next_width=1.0,
+        )
+        for _ in range(count)
+    ]
+
+
+def _filled_buffer(legacy: bool, transitions: list[Transition]):
+    buffer = LegacyReplayBuffer(CAPACITY) if legacy else ReplayBuffer(CAPACITY)
+    for t in transitions:
+        buffer.push(t)
+    return buffer
+
+
+def bench_replay(report: BenchReport, iterations: int, repeats: int) -> None:
+    """Replay push and sample, current ring buffer vs. legacy deque."""
+    transitions = _transition_stream(CAPACITY)
+    cycle = len(transitions)
+
+    def make_push(legacy: bool):
+        buffer = _filled_buffer(legacy, transitions)  # steady-state: full buffer
+        counter = count()
+
+        def push() -> None:
+            t = transitions[next(counter) % cycle]
+            buffer.append(t.state, t.action, t.reward, t.next_state, t.next_width)
+
+        return push
+
+    report.add_pair(
+        "replay_push",
+        *measure_pair(
+            "replay_push", make_push(False),
+            "replay_push_legacy", make_push(True),
+            iterations=iterations, repeats=repeats,
+        ),
+    )
+
+    current = _filled_buffer(False, transitions)
+    legacy_buf = _filled_buffer(True, transitions)
+    rng_a = np.random.default_rng(11)
+    rng_b = np.random.default_rng(11)
+    report.add_pair(
+        "replay_sample",
+        *measure_pair(
+            "replay_sample", lambda: current.sample(BATCH_SIZE, rng_a),
+            "replay_sample_legacy", lambda: legacy_buf.sample(BATCH_SIZE, rng_b),
+            iterations=iterations, repeats=repeats,
+        ),
+    )
+
+
+def bench_network(report: BenchReport, iterations: int, repeats: int) -> None:
+    """Forward and backward at both widths, current vs. seed implementation."""
+    net = _make_network(False)
+    legacy_net = _make_network(True)  # same init seed => identical weights
+    x = np.random.default_rng(3).normal(size=(BATCH_SIZE, STATE_DIM))
+    for width in (0.75, 1.0):
+        tag = f"w{int(width * 100):03d}"
+        report.add_pair(
+            f"forward_{tag}",
+            *measure_pair(
+                f"forward_{tag}", lambda: net.forward(x, width),
+                f"forward_{tag}_legacy", lambda: legacy_net.forward(x, width),
+                iterations=iterations, repeats=repeats,
+            ),
+        )
+        _, cache = net.forward(x, width)
+        _, legacy_cache = legacy_net.forward(x, width)
+        grad_out = np.random.default_rng(4).normal(size=(BATCH_SIZE, NUM_ACTIONS))
+        report.add_pair(
+            f"backward_{tag}",
+            *measure_pair(
+                f"backward_{tag}",
+                lambda: net.backward_sliced(cache, grad_out),
+                f"backward_{tag}_legacy",
+                lambda: legacy_net.backward(legacy_cache, grad_out),
+                iterations=iterations, repeats=repeats,
+            ),
+        )
+
+
+def bench_train_batch(report: BenchReport, iterations: int, repeats: int) -> None:
+    """One ``DqnLearner.train_batch`` update at batch 32 from a 10k buffer.
+
+    Sampling is benchmarked separately (``replay_sample``); here each
+    iteration trains on one of 64 presampled batches, cycling, so the
+    measurement isolates the update itself.  The headline ``train_batch``
+    family is the reduced-width update with full-width bootstrapping — the
+    Lotus start-of-frame decision point (paper §4.3.4), which exercises the
+    sliced-gradient path this PR introduced; ``train_batch_full`` is the
+    full-width variant (zTT / Lotus mid-frame pattern).
+    """
+    transitions = _transition_stream(CAPACITY)
+
+    def make_step(legacy: bool, width: float):
+        learner = _make_learner(legacy)
+        buffer = _filled_buffer(legacy, transitions)
+        rng = np.random.default_rng(13)
+        batches = [buffer.sample(BATCH_SIZE, rng) for _ in range(64)]
+        counter = count()
+        # Warm up scratch buffers / kernel plans outside the timed region.
+        for _ in range(3):
+            learner.train_batch(batches[next(counter) % 64], width=width)
+        return lambda: learner.train_batch(batches[next(counter) % 64], width=width)
+
+    report.add_pair(
+        "train_batch",
+        *measure_pair(
+            "train_batch", make_step(False, width=0.75),
+            "train_batch_legacy", make_step(True, width=0.75),
+            iterations=iterations, repeats=repeats,
+        ),
+    )
+    report.add_pair(
+        "train_batch_full",
+        *measure_pair(
+            "train_batch_full", make_step(False, width=1.0),
+            "train_batch_full_legacy", make_step(True, width=1.0),
+            iterations=iterations, repeats=repeats,
+        ),
+    )
+
+
+def run_lotus_session(num_frames: int, legacy: bool, seed: int = 0):
+    """Run one Lotus online session end to end; returns the SessionResult."""
+    from repro.analysis.experiments import (
+        ExperimentSetting,
+        make_environment,
+        make_policy,
+    )
+    from repro.core.training import OnlineSession
+
+    setting = ExperimentSetting(num_frames=num_frames, seed=seed)
+    environment = make_environment(setting)
+    policy = make_policy("lotus", environment, num_frames, seed=setting.seed)
+    if legacy:
+        use_legacy_rl_path(policy)
+    return OnlineSession(environment, policy).run(num_frames)
+
+
+def bench_lotus_session(report: BenchReport, num_frames: int, repeats: int) -> None:
+    """A full Lotus session (environment + agent + training) per iteration."""
+    report.add_pair(
+        "lotus_session",
+        *measure_pair(
+            f"lotus_session_{num_frames}f",
+            lambda: run_lotus_session(num_frames, legacy=False),
+            f"lotus_session_{num_frames}f_legacy",
+            lambda: run_lotus_session(num_frames, legacy=True),
+            iterations=1, repeats=repeats,
+        ),
+    )
+
+
+def run_bench_suite(quick: bool = False) -> BenchReport:
+    """Run every microbenchmark and return the populated report.
+
+    Args:
+        quick: CI-smoke mode — roughly an order of magnitude fewer inner
+            iterations and a shorter Lotus session, to prove execution
+            health rather than produce stable numbers.
+    """
+    report = BenchReport(label=BENCH_LABEL, quick=quick)
+    micro_iters = 200 if quick else 2_000
+    train_iters = 50 if quick else 400
+    repeats = 2 if quick else 3
+    train_repeats = 2 if quick else 5
+    session_frames = 120 if quick else 500
+    session_repeats = 1 if quick else 3
+
+    bench_replay(report, micro_iters, repeats)
+    bench_network(report, micro_iters, repeats)
+    bench_train_batch(report, train_iters, train_repeats)
+    bench_lotus_session(report, session_frames, session_repeats)
+    return report
+
+
+def write_report(report: BenchReport, output: str | Path) -> Path:
+    """Serialise ``report`` (plus the acceptance targets) to ``output``."""
+    path = Path(output)
+    payload = report.to_dict()
+    payload["speedup_targets"] = dict(SPEEDUP_TARGETS)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: BenchReport) -> str:
+    """Human-readable table of results and speedups."""
+    lines = [f"perf suite [{report.label}]" + (" (quick)" if report.quick else "")]
+    lines.append(f"{'benchmark':<28s} {'iters':>6s} {'best/iter':>12s}")
+    for result in report.results:
+        lines.append(
+            f"{result.name:<28s} {result.iterations:>6d} "
+            f"{result.best_per_iter_ms:>9.3f} ms"
+        )
+    if report.speedups:
+        lines.append("")
+        lines.append("speedups vs. pre-refactor baseline (legacy, same process):")
+        for family, ratio in report.speedups.items():
+            target = SPEEDUP_TARGETS.get(family)
+            suffix = f"  (target >= {target:.1f}x)" if target else ""
+            lines.append(f"  {family:<26s} {ratio:5.2f}x{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Timing primitives of the benchmarking subsystem.
+
+Small, dependency-free building blocks: a :class:`Timer` context manager
+around :func:`time.perf_counter`, a :func:`measure` helper implementing the
+usual best-of-``repeats`` × ``iterations`` loop, and the
+:class:`BenchResult` record every microbenchmark produces.  The perf
+trajectory of the repository (the ``BENCH_*.json`` files at the repo root)
+is a serialisation of these records — see :mod:`repro.perf.benchmarks`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``.
+
+    Usage::
+
+        with Timer() as t:
+            do_work()
+        print(t.elapsed_s)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed_s: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed_s = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one microbenchmark.
+
+    Attributes:
+        name: Benchmark identifier (e.g. ``"train_batch"``).
+        iterations: Inner-loop calls per repeat.
+        repeats: Number of timed repeats; the *best* repeat is reported to
+            suppress scheduling noise.
+        best_s: Wall-clock seconds of the fastest repeat (whole inner loop).
+        mean_s: Mean wall-clock seconds across repeats (whole inner loop).
+    """
+
+    name: str
+    iterations: int
+    repeats: int
+    best_s: float
+    mean_s: float
+
+    @property
+    def best_per_iter_ms(self) -> float:
+        """Milliseconds per inner-loop call in the fastest repeat."""
+        return self.best_s / self.iterations * 1e3
+
+    def to_dict(self) -> Dict[str, float | int | str]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "iterations": self.iterations,
+            "repeats": self.repeats,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "best_per_iter_ms": self.best_per_iter_ms,
+        }
+
+
+def measure(
+    name: str,
+    fn: Callable[[], object],
+    iterations: int,
+    repeats: int = 3,
+    setup: Callable[[], object] | None = None,
+) -> BenchResult:
+    """Time ``fn`` with the best-of-``repeats`` × ``iterations`` protocol.
+
+    Args:
+        name: Benchmark identifier carried into the result.
+        fn: Zero-argument callable to time (called ``iterations`` times per
+            repeat).
+        iterations: Inner-loop calls per repeat; must be positive.
+        repeats: Timed repeats; the fastest is reported as ``best_s``.
+        setup: Optional callable run before every repeat, outside the timed
+            region (e.g. refill a buffer the benchmark drains).
+    """
+    if iterations <= 0 or repeats <= 0:
+        raise ValueError("iterations and repeats must be positive")
+    timings: List[float] = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        timings.append(time.perf_counter() - start)
+    return BenchResult(
+        name=name,
+        iterations=iterations,
+        repeats=repeats,
+        best_s=min(timings),
+        mean_s=sum(timings) / len(timings),
+    )
+
+
+def measure_pair(
+    name_current: str,
+    fn_current: Callable[[], object],
+    name_legacy: str,
+    fn_legacy: Callable[[], object],
+    iterations: int,
+    repeats: int = 3,
+) -> "tuple[BenchResult, BenchResult]":
+    """Time a current/legacy pair with interleaved repeats.
+
+    Alternating the two sides within each repeat means slow machine drift
+    (frequency scaling, noisy neighbours) biases both measurements equally
+    instead of whichever ran second, which stabilises the derived speedup
+    ratio.
+    """
+    if iterations <= 0 or repeats <= 0:
+        raise ValueError("iterations and repeats must be positive")
+    current_times: List[float] = []
+    legacy_times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn_current()
+        current_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn_legacy()
+        legacy_times.append(time.perf_counter() - start)
+    return (
+        BenchResult(
+            name=name_current,
+            iterations=iterations,
+            repeats=repeats,
+            best_s=min(current_times),
+            mean_s=sum(current_times) / len(current_times),
+        ),
+        BenchResult(
+            name=name_legacy,
+            iterations=iterations,
+            repeats=repeats,
+            best_s=min(legacy_times),
+            mean_s=sum(legacy_times) / len(legacy_times),
+        ),
+    )
+
+
+@dataclass
+class BenchReport:
+    """A named collection of benchmark results plus derived speedups.
+
+    ``speedups`` maps a benchmark family (e.g. ``"train_batch"``) to the
+    ratio ``legacy_best / current_best`` — how many times faster the current
+    implementation is than the recorded pre-refactor baseline measured in
+    the same process.
+    """
+
+    label: str
+    quick: bool
+    results: List[BenchResult] = field(default_factory=list)
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, result: BenchResult) -> BenchResult:
+        """Record one result and return it (for chaining)."""
+        self.results.append(result)
+        return result
+
+    def add_pair(self, family: str, current: BenchResult, legacy: BenchResult) -> None:
+        """Record a current/legacy pair and its derived speedup."""
+        self.results.append(current)
+        self.results.append(legacy)
+        self.speedups[family] = legacy.best_s / current.best_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (the ``BENCH_*.json`` schema)."""
+        return {
+            "schema": "repro-bench/v1",
+            "label": self.label,
+            "quick": self.quick,
+            "benchmarks": {r.name: r.to_dict() for r in self.results},
+            "speedups": dict(self.speedups),
+        }

@@ -14,7 +14,8 @@ implementation of
 * :mod:`repro.rl.schedule` — learning-rate and exploration schedules
   (cosine decay, linear/exponential epsilon decay, the sinusoidal
   epsilon_t decay of the cool-down mechanism).
-* :mod:`repro.rl.replay` — experience replay buffers.
+* :mod:`repro.rl.replay` — experience replay buffers (preallocated ring
+  storage with column-batch sampling).
 * :mod:`repro.rl.dqn` — a generic DQN learner (online + target network,
   epsilon-greedy action selection, Huber TD loss) that both the Lotus agent
   and the zTT baseline build on.
@@ -23,7 +24,7 @@ implementation of
 from repro.rl.dqn import DqnConfig, DqnLearner
 from repro.rl.network import he_init, huber_loss_and_grad, relu, relu_grad
 from repro.rl.optimizer import Adam, Sgd
-from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.replay import ReplayBuffer, Transition, TransitionBatch
 from repro.rl.schedule import (
     ConstantSchedule,
     CosineDecaySchedule,
@@ -46,6 +47,7 @@ __all__ = [
     "SinusoidalDecaySchedule",
     "SlimmableMLP",
     "Transition",
+    "TransitionBatch",
     "he_init",
     "huber_loss_and_grad",
     "relu",

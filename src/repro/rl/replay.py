@@ -5,13 +5,22 @@ standard DQN component.  Lotus keeps *two* of these, one per per-frame
 decision point, so that batches used to train the reduced-width Q-values
 never mix with batches used to train the full-width ones (paper §4.3.4);
 that pairing lives in the Lotus agent, not here.
+
+Storage is a ring of preallocated column arrays (one ``(capacity, dim)``
+array per transition field) rather than a deque of per-transition Python
+objects: pushes write into the ring in place and :meth:`ReplayBuffer.sample`
+gathers whole column batches with a single fancy-index per field, so the
+training hot path never materialises a ``Transition`` object.  The
+:class:`Transition` dataclass remains as the convenience push/iteration
+format, and sampling draws indices with the same
+``rng.choice(len, size, replace=False)`` call as the original deque
+implementation, keeping seeded runs bit-identical.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Iterator
 
 import numpy as np
 
@@ -46,23 +55,157 @@ class Transition:
         object.__setattr__(self, "next_state", np.asarray(self.next_state, dtype=float))
 
 
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A batch of transitions in structure-of-arrays (column) form.
+
+    This is what :meth:`ReplayBuffer.sample` returns and what
+    :meth:`~repro.rl.dqn.DqnLearner.train_batch` consumes directly — the
+    training path never touches row-wise ``Transition`` objects.  Iteration
+    lazily materialises :class:`Transition` rows for inspection and tests.
+
+    Attributes:
+        states: Array of shape ``(batch, dim)``.
+        actions: Integer array of shape ``(batch,)``.
+        rewards: Array of shape ``(batch,)``.
+        next_states: Array of shape ``(batch, dim)``.
+        next_widths: Array of shape ``(batch,)``.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    next_widths: np.ndarray
+    #: When not ``None``, every entry of ``next_widths`` is known to equal
+    #: this value (tracked by the buffer at push time), letting the learner
+    #: skip the per-batch uniformity scan.
+    uniform_next_width: float | None = None
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+    def __iter__(self) -> Iterator[Transition]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> Transition:
+        return Transition(
+            state=self.states[index],
+            action=int(self.actions[index]),
+            reward=float(self.rewards[index]),
+            next_state=self.next_states[index],
+            next_width=float(self.next_widths[index]),
+        )
+
+    @classmethod
+    def from_transitions(cls, transitions) -> "TransitionBatch":
+        """Build a column batch from row-wise transitions (compat path)."""
+        transitions = list(transitions)
+        if not transitions:
+            raise ReplayBufferError("cannot build a batch from zero transitions")
+        return cls(
+            states=np.stack([np.asarray(t.state, dtype=float) for t in transitions]),
+            actions=np.array([t.action for t in transitions], dtype=np.intp),
+            rewards=np.array([t.reward for t in transitions], dtype=float),
+            next_states=np.stack(
+                [np.asarray(t.next_state, dtype=float) for t in transitions]
+            ),
+            next_widths=np.array([t.next_width for t in transitions], dtype=float),
+        )
+
+
 class ReplayBuffer:
-    """Bounded FIFO replay buffer with uniform sampling."""
+    """Bounded FIFO replay buffer with uniform sampling.
+
+    The column arrays are allocated lazily on the first push (that is when
+    the state dimension becomes known) and reused for the lifetime of the
+    buffer; eviction is implicit in the ring-write position.
+    """
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ReplayBufferError("capacity must be positive")
         self.capacity = capacity
-        self._storage: Deque[Transition] = deque(maxlen=capacity)
+        self._size = 0
+        self._next = 0
         self._total_pushed = 0
+        self._dim = 0
+        # Fused column storage: one gather serves both state columns, one
+        # serves both scalar columns.
+        self._state_pairs: np.ndarray | None = None  # (capacity, 2 * dim)
+        self._scalar_pairs: np.ndarray | None = None  # (capacity, 2): reward, next_width
+        self._actions: np.ndarray | None = None
+        # All stored next_widths share this value until a differing one is
+        # pushed; None = known mixed (conservative: never reset to uniform
+        # by eviction).
+        self._uniform_next_width: float | None = None
+
+    def _allocate(self, dim: int) -> None:
+        self._dim = dim
+        self._state_pairs = np.zeros((self.capacity, 2 * dim))
+        self._scalar_pairs = np.zeros((self.capacity, 2))
+        self._actions = np.zeros(self.capacity, dtype=np.intp)
+
+    def append(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        next_width: float = 1.0,
+    ) -> None:
+        """Store one transition from its fields, without a wrapper object.
+
+        This is the hot-path push used by the agents; :meth:`push` is the
+        thin :class:`Transition` front end on top of it.
+        """
+        if action < 0:
+            raise ReplayBufferError("action index must be non-negative")
+        if self._state_pairs is None:
+            state = np.asarray(state, dtype=float)
+            next_state = np.asarray(next_state, dtype=float)
+            if state.ndim != 1 or next_state.shape != state.shape:
+                raise ReplayBufferError(
+                    "state and next_state must be 1-D vectors of equal length"
+                )
+            self._allocate(state.shape[0])
+        index = self._next
+        dim = self._dim
+        if np.shape(state) != (dim,) or np.shape(next_state) != (dim,):
+            raise ReplayBufferError(
+                f"state and next_state must have shape ({dim},) to match the "
+                f"buffer's first transition"
+            )
+        row = self._state_pairs[index]
+        row[:dim] = state
+        row[dim:] = next_state
+        self._actions[index] = action
+        self._scalar_pairs[index, 0] = reward
+        self._scalar_pairs[index, 1] = next_width
+        if self._total_pushed == 0:
+            self._uniform_next_width = float(next_width)
+        elif (
+            self._uniform_next_width is not None
+            and next_width != self._uniform_next_width
+        ):
+            self._uniform_next_width = None
+        self._next = (index + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        self._total_pushed += 1
 
     def push(self, transition: Transition) -> None:
         """Store a transition, evicting the oldest if the buffer is full."""
-        self._storage.append(transition)
-        self._total_pushed += 1
+        self.append(
+            transition.state,
+            transition.action,
+            transition.reward,
+            transition.next_state,
+            transition.next_width,
+        )
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     @property
     def total_pushed(self) -> int:
@@ -72,10 +215,23 @@ class ReplayBuffer:
     @property
     def is_full(self) -> bool:
         """Whether the buffer has reached its capacity."""
-        return len(self._storage) == self.capacity
+        return self._size == self.capacity
 
-    def sample(self, batch_size: int, rng: np.random.Generator) -> List[Transition]:
+    def _physical(self, logical: np.ndarray) -> np.ndarray:
+        """Map logical indices (0 = oldest) onto ring positions."""
+        if self._size < self.capacity or self._next == 0:
+            # Not yet wrapped, or wrapped an exact multiple of the capacity:
+            # logical and physical coincide.
+            return logical
+        return (self._next + logical) % self.capacity
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> TransitionBatch:
         """Sample ``batch_size`` transitions uniformly at random.
+
+        Returns:
+            A :class:`TransitionBatch` whose columns are freshly gathered
+            (the caller may mutate them without affecting the buffer; the
+            state/scalar columns are views into per-call gather arrays).
 
         Raises:
             ReplayBufferError: If the buffer holds fewer than ``batch_size``
@@ -83,20 +239,39 @@ class ReplayBuffer:
         """
         if batch_size <= 0:
             raise ReplayBufferError("batch_size must be positive")
-        if len(self._storage) < batch_size:
+        if self._size < batch_size:
             raise ReplayBufferError(
                 f"cannot sample {batch_size} transitions from a buffer of size "
-                f"{len(self._storage)}"
+                f"{self._size}"
             )
-        indices = rng.choice(len(self._storage), size=batch_size, replace=False)
-        return [self._storage[int(i)] for i in indices]
+        indices = self._physical(rng.choice(self._size, size=batch_size, replace=False))
+        dim = self._dim
+        state_pairs = self._state_pairs[indices]
+        scalar_pairs = self._scalar_pairs[indices]
+        return TransitionBatch(
+            states=state_pairs[:, :dim],
+            actions=self._actions[indices],
+            rewards=scalar_pairs[:, 0],
+            next_states=state_pairs[:, dim:],
+            next_widths=scalar_pairs[:, 1],
+            uniform_next_width=self._uniform_next_width,
+        )
 
     def clear(self) -> None:
-        """Discard all stored transitions."""
-        self._storage.clear()
+        """Discard all stored transitions (the ring storage is reused)."""
+        self._size = 0
+        self._next = 0
 
     def latest(self) -> Transition:
         """The most recently pushed transition."""
-        if not self._storage:
+        if self._size == 0:
             raise ReplayBufferError("buffer is empty")
-        return self._storage[-1]
+        index = (self._next - 1) % self.capacity
+        dim = self._dim
+        return Transition(
+            state=self._state_pairs[index, :dim].copy(),
+            action=int(self._actions[index]),
+            reward=float(self._scalar_pairs[index, 0]),
+            next_state=self._state_pairs[index, dim:].copy(),
+            next_width=float(self._scalar_pairs[index, 1]),
+        )

@@ -8,23 +8,27 @@ share the bulk of their parameters, preserving the correlation between the
 two decisions of the same frame — the core architectural idea of §4.3.4.
 
 :class:`SlimmableMLP` implements this with plain NumPy: ``forward`` takes a
-width multiplier and only uses the active slice of each hidden layer;
-``backward`` returns full-shaped gradients that are zero outside the active
-slice, together with boolean masks so the optimizer can leave inactive
-weights completely untouched (the paper: "the remaining weights are not
-updated").
+width multiplier and only uses the active slice of each hidden layer.  The
+training path uses :meth:`SlimmableMLP.backward_sliced`, which returns
+gradients *sliced to the active extents* plus the ``(in_active, out_active)``
+extents themselves, so neither the backward pass nor the optimizer ever
+allocates full-shape zero arrays or boolean masks; the optimizer updates the
+active rectangle through views (the paper: "the remaining weights are not
+updated").  The mask-based :meth:`SlimmableMLP.backward` remains as a
+compatibility wrapper that pads the sliced gradients back to full shape.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.rl.network import he_init, relu, relu_grad
+from repro.rl.fused import fused_adam
+from repro.rl.network import he_init
 
 
 @dataclass
@@ -87,12 +91,109 @@ class SlimmableMLP:
         rng = rng if rng is not None else np.random.default_rng(0)
 
         layer_dims = [self.input_dim, *self.hidden_dims, self.output_dim]
-        self.weights: List[np.ndarray] = []
-        self.biases: List[np.ndarray] = []
-        for fan_in, fan_out in zip(layer_dims[:-1], layer_dims[1:]):
+        self._allocate_flat(layer_dims)
+        for layer, (fan_in, fan_out) in enumerate(zip(layer_dims[:-1], layer_dims[1:])):
             w, b = he_init(fan_in, fan_out, rng)
-            self.weights.append(w)
-            self.biases.append(b)
+            self.weights[layer][...] = w
+            self.biases[layer][...] = b
+        self._active_units_cache: Dict[float, List[int]] = {
+            w: self._compute_active_units(w) for w in self.widths
+        }
+        self._layer_views_cache: Dict[float, List[Tuple[np.ndarray, np.ndarray]]] = {}
+        self._backprop_scratch: Dict[Tuple[float, int], List[np.ndarray]] = {}
+        self._forward_scratch: Dict[Tuple[float, int], ForwardCache] = {}
+        # Precomputed (size, grad_addr, pre_addr) per hidden layer for the
+        # fused ReLU-mask kernel; valid only for the scratch-backed cache
+        # object stored alongside.
+        self._mask_plans: Dict[Tuple[float, int], Tuple[ForwardCache, List[Tuple[int, int, int]]]] = {}
+
+    def _allocate_flat(self, layer_dims: Sequence[int]) -> None:
+        """Back all parameters by one contiguous buffer.
+
+        ``flat_parameters`` is laid out as ``[w0, b0, w1, b1, ...]``;
+        :attr:`weights` and :attr:`biases` are reshaped views into it.  The
+        contiguous backing lets full-width optimizer steps run as a few
+        whole-buffer ufuncs instead of dozens of per-parameter calls.
+        Parameter mutation must always go through the views in place
+        (``param[...] = ...``), never rebind them — which is what
+        :meth:`set_state` and the optimizers do.
+        """
+        sizes = [
+            fan_in * fan_out + fan_out
+            for fan_in, fan_out in zip(layer_dims[:-1], layer_dims[1:])
+        ]
+        self._flat = np.zeros(sum(sizes))
+        self._build_views()
+
+    def _build_views(self) -> None:
+        layer_dims = [self.input_dim, *self.hidden_dims, self.output_dim]
+        self.weights = []
+        self.biases = []
+        offset = 0
+        for fan_in, fan_out in zip(layer_dims[:-1], layer_dims[1:]):
+            w_size = fan_in * fan_out
+            self.weights.append(
+                self._flat[offset : offset + w_size].reshape(fan_in, fan_out)
+            )
+            offset += w_size
+            self.biases.append(self._flat[offset : offset + fan_out])
+            offset += fan_out
+
+    @property
+    def flat_parameters(self) -> np.ndarray:
+        """The contiguous buffer backing every parameter (``[w0, b0, ...]``)."""
+        return self._flat
+
+    def rebase(self, flat_buffer: np.ndarray) -> None:
+        """Move the parameters into ``flat_buffer`` (same size, same layout).
+
+        Copies the current parameter values into the given contiguous buffer
+        and rebuilds every view on top of it.  Used by
+        :class:`~repro.rl.dqn.DqnLearner` to co-locate the online and target
+        networks in one pair buffer, which makes zero-copy *stacked* weight
+        views across the two networks possible (both TD-bootstrap forwards
+        in one batched matmul per layer).  Any previously obtained parameter
+        views are invalidated.
+        """
+        if flat_buffer.shape != self._flat.shape:
+            raise ConfigurationError(
+                f"rebase buffer has shape {flat_buffer.shape}, "
+                f"expected {self._flat.shape}"
+            )
+        flat_buffer[...] = self._flat
+        self._flat = flat_buffer
+        self._build_views()
+        self._layer_views_cache = {}
+        self._backprop_scratch = {}
+        self._forward_scratch = {}
+        self._mask_plans = {}
+
+    def _active_for(self, width: float) -> List[int]:
+        """Cached active-unit counts for ``width``, validating on a miss.
+
+        The returned list is the cache entry itself — callers must not
+        mutate it (the public :meth:`active_units_for_width` returns a
+        copy).
+        """
+        active = self._active_units_cache.get(width)
+        if active is None:
+            active = self._active_units_cache[self._validate_width(width)]
+        return active
+
+    def _views_for(self, width: float) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-layer ``(weight_slice, bias_slice)`` views for ``width``, cached.
+
+        Valid because parameters are only ever mutated in place.
+        """
+        views = self._layer_views_cache.get(width)
+        if views is None:
+            active = self._active_for(width)
+            views = [
+                (w[: active[i], : active[i + 1]], b[: active[i + 1]])
+                for i, (w, b) in enumerate(zip(self.weights, self.biases))
+            ]
+            self._layer_views_cache[width] = views
+        return views
 
     # -- structure ------------------------------------------------------------------
 
@@ -101,24 +202,31 @@ class SlimmableMLP:
         """Number of dense layers (hidden layers + output layer)."""
         return len(self.weights)
 
-    def active_units_for_width(self, width: float) -> List[int]:
-        """Active unit counts at each layer boundary for a width multiplier.
-
-        The input and output dimensions are always fully active; hidden
-        layers are truncated to ``ceil(width * size)`` units (at least one).
-        """
-        self._validate_width(width)
+    def _compute_active_units(self, width: float) -> List[int]:
         units = [self.input_dim]
         for hidden in self.hidden_dims:
             units.append(max(1, math.ceil(width * hidden)))
         units.append(self.output_dim)
         return units
 
-    def _validate_width(self, width: float) -> None:
-        if not any(abs(width - w) < 1e-9 for w in self.widths):
-            raise ConfigurationError(
-                f"width {width} is not one of the configured widths {self.widths}"
-            )
+    def active_units_for_width(self, width: float) -> List[int]:
+        """Active unit counts at each layer boundary for a width multiplier.
+
+        The input and output dimensions are always fully active; hidden
+        layers are truncated to ``ceil(width * size)`` units (at least one).
+        The counts are precomputed per configured width, so repeated calls
+        (every forward pass) are dictionary lookups, not re-derivations.
+        """
+        return list(self._active_for(width))
+
+    def _validate_width(self, width: float) -> float:
+        """Map ``width`` onto the canonical configured value (with tolerance)."""
+        for w in self.widths:
+            if abs(width - w) < 1e-9:
+                return w
+        raise ConfigurationError(
+            f"width {width} is not one of the configured widths {self.widths}"
+        )
 
     # -- forward / backward -----------------------------------------------------------
 
@@ -133,24 +241,24 @@ class SlimmableMLP:
         Returns:
             ``(outputs, cache)`` where outputs has shape ``(batch, output_dim)``.
         """
-        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        x = np.asarray(inputs, dtype=float)
+        if x.ndim != 2:
+            x = np.atleast_2d(x)
         if x.shape[1] != self.input_dim:
             raise ConfigurationError(
                 f"expected input dimension {self.input_dim}, got {x.shape[1]}"
             )
-        active = self.active_units_for_width(width)
+        active = self._active_for(width)
+        views = self._views_for(width)
+        last = len(views) - 1
         pre_activations: List[np.ndarray] = []
         activations: List[np.ndarray] = []
         current = x
-        for layer_index, (w, b) in enumerate(zip(self.weights, self.biases)):
-            in_active = active[layer_index]
-            out_active = active[layer_index + 1]
-            z = current @ w[:in_active, :out_active] + b[:out_active]
+        for layer_index, (w, b) in enumerate(views):
+            z = current @ w
+            z += b
             pre_activations.append(z)
-            if layer_index < self.num_layers - 1:
-                current = relu(z)
-            else:
-                current = z
+            current = np.maximum(z, 0.0) if layer_index < last else z
             activations.append(current)
         cache = ForwardCache(
             inputs=x,
@@ -161,21 +269,88 @@ class SlimmableMLP:
         )
         return current, cache
 
-    def predict(self, inputs: np.ndarray, width: float = 1.0) -> np.ndarray:
-        """Forward pass returning only the outputs."""
-        outputs, _ = self.forward(inputs, width)
-        return outputs
+    def _forward_train(self, x: np.ndarray, width: float) -> Tuple[np.ndarray, ForwardCache]:
+        """Trusted forward into reusable cache buffers (training hot path).
 
-    def backward(
+        ``x`` must be a 2-D float batch.  The returned cache (and its
+        arrays) is reused by the next ``_forward_train`` call with the same
+        ``(width, batch)``, so it is only valid until then — long enough for
+        the backward pass of the same training step, which is the sole
+        intended consumer.
+        """
+        batch = x.shape[0]
+        key = (width, batch)
+        cache = self._forward_scratch.get(key)
+        views = self._views_for(width)
+        last = len(views) - 1
+        if cache is None:
+            active = self._active_for(width)
+            pre_activations = [np.empty((batch, active[i + 1])) for i in range(last + 1)]
+            activations = [
+                np.empty((batch, active[i + 1])) if i < last else pre_activations[last]
+                for i in range(last + 1)
+            ]
+            cache = ForwardCache(
+                inputs=x,
+                pre_activations=pre_activations,
+                activations=activations,
+                active_units=active,
+                width=width,
+            )
+            self._forward_scratch[key] = cache
+        cache.inputs = x
+        current = x
+        for layer_index, (w, b) in enumerate(views):
+            z = cache.pre_activations[layer_index]
+            np.matmul(current, w, out=z)
+            z += b
+            if layer_index < last:
+                current = np.maximum(z, 0.0, out=cache.activations[layer_index])
+            else:
+                current = z
+        return current, cache
+
+    def predict(self, inputs: np.ndarray, width: float = 1.0) -> np.ndarray:
+        """Forward pass returning only the outputs.
+
+        Unlike :meth:`forward` this does not build a :class:`ForwardCache`
+        — it is the inference path used by action selection and TD-target
+        bootstrapping, where no backward pass follows.
+        """
+        x = np.asarray(inputs, dtype=float)
+        if x.ndim != 2:
+            x = np.atleast_2d(x)
+        if x.shape[1] != self.input_dim:
+            raise ConfigurationError(
+                f"expected input dimension {self.input_dim}, got {x.shape[1]}"
+            )
+        return self._predict_2d(x, width)
+
+    def _predict_2d(self, x: np.ndarray, width: float) -> np.ndarray:
+        """Trusted inference path: ``x`` must be a 2-D float batch."""
+        views = self._views_for(width)
+        last = len(views) - 1
+        for layer_index, (w, b) in enumerate(views):
+            z = x @ w
+            z += b
+            x = np.maximum(z, 0.0) if layer_index < last else z
+        return x
+
+    def backward_sliced(
         self, cache: ForwardCache, grad_outputs: np.ndarray
-    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
-        """Back-propagate ``grad_outputs`` through the cached forward pass.
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[Tuple[int, int]]]:
+        """Back-propagate, returning gradients sliced to the active extents.
+
+        This is the allocation-lean training path: each returned weight
+        gradient has shape ``(in_active, out_active)`` and each bias gradient
+        shape ``(out_active,)`` — no full-shape zero padding, no boolean
+        masks.  The accompanying extents let the optimizer address the active
+        rectangle of each parameter as a view
+        (``param[:in_active, :out_active]``).
 
         Returns:
-            ``(weight_grads, bias_grads, weight_masks, bias_masks)``.  The
-            gradients are full-shaped with zeros outside the active slices;
-            the boolean masks mark the active slices so that the optimizer
-            can skip inactive parameters entirely.
+            ``(weight_grads, bias_grads, extents)`` where ``extents[i]`` is
+            the ``(in_active, out_active)`` pair of layer ``i``.
         """
         grad = np.atleast_2d(np.asarray(grad_outputs, dtype=float))
         if grad.shape != cache.activations[-1].shape:
@@ -184,25 +359,137 @@ class SlimmableMLP:
                 f"shape {cache.activations[-1].shape}"
             )
         active = cache.active_units
+        num_layers = len(self.weights)
+        weight_grads: List[np.ndarray] = [None] * num_layers  # type: ignore[list-item]
+        bias_grads: List[np.ndarray] = [None] * num_layers  # type: ignore[list-item]
+        extents: List[Tuple[int, int]] = [
+            (active[i], active[i + 1]) for i in range(num_layers)
+        ]
+        self._backprop(cache, grad, weight_grads, bias_grads, out=False)
+        return weight_grads, bias_grads, extents
+
+    def backward_into(
+        self,
+        cache: ForwardCache,
+        grad_outputs: np.ndarray,
+        weight_grads: List[np.ndarray],
+        bias_grads: List[np.ndarray],
+    ) -> None:
+        """Like :meth:`backward_sliced`, but writing into caller buffers.
+
+        ``weight_grads[i]`` / ``bias_grads[i]`` must be preallocated arrays
+        of the active-extent shapes for ``cache.width`` (typically views
+        into one flat gradient buffer, see
+        :meth:`~repro.rl.dqn.DqnLearner.train_batch`); the matmuls and
+        reductions write straight into them, so the backward pass allocates
+        nothing but the small per-layer propagated-gradient temporaries.
+        """
+        grad = grad_outputs
+        if grad.__class__ is not np.ndarray or grad.ndim != 2:
+            grad = np.atleast_2d(np.asarray(grad, dtype=float))
+        if grad.shape != cache.activations[-1].shape:
+            raise ConfigurationError(
+                f"grad_outputs shape {grad.shape} does not match network output "
+                f"shape {cache.activations[-1].shape}"
+            )
+        self._backprop(cache, grad, weight_grads, bias_grads, out=True)
+
+    def _backprop(
+        self,
+        cache: ForwardCache,
+        grad: np.ndarray,
+        weight_grads: List[np.ndarray],
+        bias_grads: List[np.ndarray],
+        out: bool,
+    ) -> None:
+        views = self._views_for(cache.width)
+        num_layers = len(views)
+        propagate_scratch: List[np.ndarray] | None = None
+        kernel = None
+        mask_addrs: List[Tuple[int, int, int]] | None = None
+        if out:
+            batch = grad.shape[0]
+            key = (cache.width, batch)
+            propagate_scratch = self._backprop_scratch.get(key)
+            if propagate_scratch is None:
+                active = cache.active_units
+                propagate_scratch = [
+                    np.empty((batch, active[i])) for i in range(1, num_layers)
+                ]
+                self._backprop_scratch[key] = propagate_scratch
+            kernel = fused_adam()
+            if kernel is not None:
+                # For the reused training cache, the mask operands are the
+                # same buffers every call — precompute their addresses.
+                plan = self._mask_plans.get(key)
+                if plan is None or plan[0] is not cache:
+                    if cache is self._forward_scratch.get(key):
+                        addrs = [
+                            (
+                                propagate_scratch[i].size,
+                                propagate_scratch[i].ctypes.data,
+                                cache.pre_activations[i].ctypes.data,
+                            )
+                            for i in range(num_layers - 1)
+                        ]
+                        self._mask_plans[key] = (cache, addrs)
+                        mask_addrs = addrs
+                else:
+                    mask_addrs = plan[1]
+        for layer_index in range(num_layers - 1, -1, -1):
+            if layer_index < num_layers - 1:
+                # ``grad`` is a scratch/fresh array here (written by the
+                # matmul of the previous iteration), so the in-place multiply
+                # never touches the caller's ``grad_outputs``.  Multiplying
+                # by the boolean mask directly (True -> 1.0, False -> 0.0)
+                # equals multiplying by relu_grad without materialising the
+                # float mask; the C kernel applies the identical multiply.
+                if mask_addrs is not None:
+                    kernel.relu_mask_raw(*mask_addrs[layer_index])
+                elif kernel is not None:
+                    kernel.relu_mask(grad, cache.pre_activations[layer_index])
+                else:
+                    grad *= cache.pre_activations[layer_index] > 0.0
+            upstream = (
+                cache.inputs if layer_index == 0 else cache.activations[layer_index - 1]
+            )
+            if out:
+                np.matmul(upstream.T, grad, out=weight_grads[layer_index])
+                np.add.reduce(grad, axis=0, out=bias_grads[layer_index])
+            else:
+                weight_grads[layer_index] = upstream.T @ grad
+                bias_grads[layer_index] = np.sum(grad, axis=0)
+            if layer_index > 0:
+                if propagate_scratch is not None:
+                    next_grad = propagate_scratch[layer_index - 1]
+                    np.matmul(grad, views[layer_index][0].T, out=next_grad)
+                    grad = next_grad
+                else:
+                    grad = grad @ views[layer_index][0].T
+
+    def backward(
+        self, cache: ForwardCache, grad_outputs: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
+        """Back-propagate ``grad_outputs`` through the cached forward pass.
+
+        Compatibility wrapper around :meth:`backward_sliced`.
+
+        Returns:
+            ``(weight_grads, bias_grads, weight_masks, bias_masks)``.  The
+            gradients are full-shaped with zeros outside the active slices;
+            the boolean masks mark the active slices so that the optimizer
+            can skip inactive parameters entirely.
+        """
+        sliced_w, sliced_b, extents = self.backward_sliced(cache, grad_outputs)
         weight_grads = [np.zeros_like(w) for w in self.weights]
         bias_grads = [np.zeros_like(b) for b in self.biases]
         weight_masks = [np.zeros(w.shape, dtype=bool) for w in self.weights]
         bias_masks = [np.zeros(b.shape, dtype=bool) for b in self.biases]
-
-        for layer_index in range(self.num_layers - 1, -1, -1):
-            in_active = active[layer_index]
-            out_active = active[layer_index + 1]
-            if layer_index < self.num_layers - 1:
-                grad = grad * relu_grad(cache.pre_activations[layer_index])
-            upstream = (
-                cache.inputs if layer_index == 0 else cache.activations[layer_index - 1]
-            )
-            weight_grads[layer_index][:in_active, :out_active] = upstream.T @ grad
-            bias_grads[layer_index][:out_active] = np.sum(grad, axis=0)
+        for layer_index, (in_active, out_active) in enumerate(extents):
+            weight_grads[layer_index][:in_active, :out_active] = sliced_w[layer_index]
+            bias_grads[layer_index][:out_active] = sliced_b[layer_index]
             weight_masks[layer_index][:in_active, :out_active] = True
             bias_masks[layer_index][:out_active] = True
-            if layer_index > 0:
-                grad = grad @ self.weights[layer_index][:in_active, :out_active].T
         return weight_grads, bias_grads, weight_masks, bias_masks
 
     # -- parameter management ------------------------------------------------------------
@@ -234,15 +521,26 @@ class SlimmableMLP:
             target[...] = source
 
     def clone(self) -> "SlimmableMLP":
-        """Create a copy of this network with identical parameters."""
-        copy = SlimmableMLP(
-            input_dim=self.input_dim,
-            hidden_dims=self.hidden_dims,
-            output_dim=self.output_dim,
-            widths=self.widths,
-            rng=np.random.default_rng(0),
-        )
-        copy.set_state(self.get_state())
+        """Create a copy of this network with identical parameters.
+
+        The copy is built directly from this network's attributes — no
+        throwaway He initialisation (and no RNG draws) for weights that
+        would be overwritten immediately anyway.
+        """
+        copy = object.__new__(SlimmableMLP)
+        copy.input_dim = self.input_dim
+        copy.hidden_dims = self.hidden_dims
+        copy.output_dim = self.output_dim
+        copy.widths = self.widths
+        copy._allocate_flat([self.input_dim, *self.hidden_dims, self.output_dim])
+        copy._flat[...] = self._flat
+        copy._active_units_cache = {
+            w: list(units) for w, units in self._active_units_cache.items()
+        }
+        copy._layer_views_cache = {}
+        copy._backprop_scratch = {}
+        copy._forward_scratch = {}
+        copy._mask_plans = {}
         return copy
 
     @property

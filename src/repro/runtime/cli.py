@@ -1,6 +1,6 @@
 """Command-line interface of the experiment runtime (``python -m repro``).
 
-Four subcommands drive the engine without writing any code:
+Five subcommands drive the engine without writing any code:
 
 * ``run`` — execute one experiment cell and print its summary metrics.
 * ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
@@ -10,6 +10,8 @@ Four subcommands drive the engine without writing any code:
   missing cells instead of running them (useful on machines that only hold
   the cache, e.g. when collecting results produced elsewhere).
 * ``cache`` — inspect or clear the result cache.
+* ``bench`` — run the :mod:`repro.perf` microbenchmark suite and write the
+  ``BENCH_*.json`` perf-trajectory report.
 
 Examples::
 
@@ -19,6 +21,7 @@ Examples::
     python -m repro report --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019
     python -m repro cache info
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -232,6 +235,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import DEFAULT_OUTPUT, format_report, run_bench_suite, write_report
+
+    report = run_bench_suite(quick=args.quick)
+    print(format_report(report))
+    path = write_report(report, args.output or DEFAULT_OUTPUT)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "path":
@@ -303,6 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "clear", "path"))
     _add_cache_arguments(cache)
     cache.set_defaults(func=_cmd_cache)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf microbenchmark suite and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer iterations, shorter Lotus session",
+    )
+    bench.add_argument(
+        "--output", default=None,
+        help="report path (default: BENCH_PR2.json in the current directory)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -1,0 +1,114 @@
+"""The perf benchmarking subsystem: timer, suite, report and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    BenchReport,
+    BenchResult,
+    SPEEDUP_TARGETS,
+    Timer,
+    format_report,
+    measure,
+    run_bench_suite,
+    write_report,
+)
+from repro.perf.benchmarks import run_lotus_session
+from repro.perf.timer import measure_pair
+from repro.runtime.cli import main as cli_main
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as t:
+        sum(range(1000))
+    assert t.elapsed_s > 0.0
+
+
+def test_measure_runs_the_requested_loop():
+    calls = []
+    result = measure("demo", lambda: calls.append(1), iterations=7, repeats=3)
+    assert len(calls) == 21
+    assert result.name == "demo"
+    assert result.iterations == 7
+    assert result.repeats == 3
+    assert result.best_s <= result.mean_s
+    assert result.best_per_iter_ms == pytest.approx(result.best_s / 7 * 1e3)
+    with pytest.raises(ValueError):
+        measure("bad", lambda: None, iterations=0)
+
+
+def test_measure_pair_interleaves_both_sides():
+    order = []
+    a, b = measure_pair(
+        "cur", lambda: order.append("c"),
+        "leg", lambda: order.append("l"),
+        iterations=2, repeats=2,
+    )
+    assert order == ["c", "c", "l", "l", "c", "c", "l", "l"]
+    assert a.name == "cur" and b.name == "leg"
+
+
+def test_report_records_speedups_and_serialises():
+    report = BenchReport(label="TEST", quick=True)
+    fast = BenchResult("x", 10, 2, best_s=1.0, mean_s=1.1)
+    slow = BenchResult("x_legacy", 10, 2, best_s=3.0, mean_s=3.2)
+    report.add_pair("x", fast, slow)
+    assert report.speedups["x"] == pytest.approx(3.0)
+    payload = report.to_dict()
+    assert payload["schema"] == "repro-bench/v1"
+    assert set(payload["benchmarks"]) == {"x", "x_legacy"}
+    text = format_report(report)
+    assert "x_legacy" in text and "3.00x" in text
+
+
+def test_quick_suite_runs_and_report_is_written(tmp_path):
+    report = run_bench_suite(quick=True)
+    names = {r.name for r in report.results}
+    assert {"replay_push", "replay_sample", "train_batch", "train_batch_legacy"} <= names
+    assert any(name.startswith("lotus_session") for name in names)
+    assert any(name.startswith("forward_") for name in names)
+    assert any(name.startswith("backward_") for name in names)
+    assert {"replay_push", "replay_sample", "train_batch", "lotus_session"} <= set(
+        report.speedups
+    )
+    assert all(ratio > 0 for ratio in report.speedups.values())
+
+    out = tmp_path / "bench.json"
+    path = write_report(report, out)
+    payload = json.loads(path.read_text())
+    assert payload["quick"] is True
+    assert payload["speedup_targets"] == SPEEDUP_TARGETS
+    assert payload["benchmarks"]["train_batch"]["iterations"] > 0
+
+
+def test_lotus_session_benchmark_helper_is_deterministic():
+    a = run_lotus_session(40, legacy=False)
+    b = run_lotus_session(40, legacy=True)
+    assert a.losses == b.losses
+    assert a.rewards == b.rewards
+
+
+def test_bench_cli_writes_default_report(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    # Keep CLI smoke cheap: patch the suite to a stub report.
+    import repro.perf as perf_pkg
+    import repro.runtime.cli as cli_mod
+
+    stub = BenchReport(label="PR2", quick=True)
+    stub.add_pair(
+        "train_batch",
+        BenchResult("train_batch", 1, 1, 0.001, 0.001),
+        BenchResult("train_batch_legacy", 1, 1, 0.004, 0.004),
+    )
+    monkeypatch.setattr(perf_pkg, "run_bench_suite", lambda quick: stub)
+    exit_code = cli_main(["bench", "--quick"])
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "train_batch" in captured
+    payload = json.loads((tmp_path / "BENCH_PR2.json").read_text())
+    assert payload["label"] == "PR2"
+    assert payload["speedups"]["train_batch"] == pytest.approx(4.0)

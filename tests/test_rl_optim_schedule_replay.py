@@ -177,6 +177,9 @@ def test_replay_buffer_errors(rng):
         Transition(state=np.zeros(2), action=-1, reward=0.0, next_state=np.zeros(2))
     with pytest.raises(ReplayBufferError):
         ReplayBuffer(4).latest()
+    with pytest.raises(ReplayBufferError):
+        # Dimension mismatch with the buffer's first transition.
+        buffer.append(np.zeros(1), 0, 0.0, np.zeros(1))
     buffer.clear()
     assert len(buffer) == 0
 
