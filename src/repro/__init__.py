@@ -10,15 +10,16 @@ The package is organised bottom-up:
 * :mod:`repro.workload` — dataset profiles and frame streams (KITTI,
   VisDrone2019, domain switches).
 * :mod:`repro.env` — the frame-by-frame inference environment with two
-  DVFS decision points per frame, the policy interface, traces and metrics.
+  DVFS decision points per frame, the policy interface, traces and metrics,
+  plus the vectorized fleet environment advancing N sessions in lock-step.
 * :mod:`repro.governors` — the default operating-system governors.
 * :mod:`repro.rl` — the NumPy DQN substrate (slimmable MLP, Adam, replay).
 * :mod:`repro.core` — the Lotus agent, reward, cool-down and controller.
 * :mod:`repro.baselines` — the zTT learning-based baseline.
 * :mod:`repro.comms` — the simulated agent/client socket deployment.
 * :mod:`repro.runtime` — the experiment execution engine: sweep expansion,
-  a process-pool worker fleet, disk result caching and the
-  ``python -m repro`` CLI.
+  a process-pool worker fleet, disk result caching, the vectorized fleet
+  execution mode and the ``python -m repro`` CLI.
 * :mod:`repro.analysis` — experiment runners, tables and figure series for
   every table and figure of the paper.
 
@@ -48,27 +49,48 @@ from repro.analysis.experiments import (
     run_comparison_batch,
 )
 from repro.baselines import ZttConfig, ZttPolicy
-from repro.core import LotusAgent, LotusConfig, LotusController
+from repro.core import FleetLotusAgent, LotusAgent, LotusConfig, LotusController
 from repro.detection import available_detectors, build_detector
 from repro.env import (
+    BatchedInferenceEnvironment,
+    FleetPolicy,
+    FleetTrace,
     InferenceEnvironment,
+    PerSessionPolicies,
     Policy,
     Trace,
     run_episode,
+    run_fleet_episode,
     summarize_trace,
 )
 from repro.errors import LotusError
-from repro.governors import build_default_governor
-from repro.hardware import available_devices, build_device
-from repro.runtime import ExperimentJob, ExperimentRuntime, ResultCache, SweepSpec
-from repro.workload import available_datasets, build_dataset
+from repro.governors import build_batched_default_governor, build_default_governor
+from repro.hardware import DeviceFleet, available_devices, build_device
+from repro.runtime import (
+    ExperimentJob,
+    ExperimentRuntime,
+    FleetRunResult,
+    ResultCache,
+    SweepSpec,
+    make_fleet_environment,
+    make_fleet_policy,
+    run_fleet,
+)
+from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BatchedInferenceEnvironment",
+    "DeviceFleet",
     "ExperimentJob",
     "ExperimentRuntime",
     "ExperimentSetting",
+    "FleetFrameStream",
+    "FleetLotusAgent",
+    "FleetPolicy",
+    "FleetRunResult",
+    "FleetTrace",
     "ResultCache",
     "SweepSpec",
     "InferenceEnvironment",
@@ -76,6 +98,7 @@ __all__ = [
     "LotusConfig",
     "LotusController",
     "LotusError",
+    "PerSessionPolicies",
     "Policy",
     "Trace",
     "ZttConfig",
@@ -84,16 +107,21 @@ __all__ = [
     "available_detectors",
     "available_devices",
     "build_dataset",
+    "build_batched_default_governor",
     "build_default_governor",
     "build_detector",
     "build_device",
     "default_latency_constraint",
     "execute_setting",
     "make_environment",
+    "make_fleet_environment",
+    "make_fleet_policy",
     "make_policy",
     "run_comparison",
     "run_comparison_batch",
     "run_episode",
+    "run_fleet",
+    "run_fleet_episode",
     "summarize_trace",
     "__version__",
 ]

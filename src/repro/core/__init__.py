@@ -24,12 +24,14 @@ from repro.core.agent import LotusAgent
 from repro.core.config import LotusConfig
 from repro.core.controller import LotusController
 from repro.core.cooldown import CooldownSelector
+from repro.core.fleet import FleetLotusAgent
 from repro.core.reward import RewardBreakdown, RewardCalculator, RewardConfig
 from repro.core.state import StateEncoder
 from repro.core.training import OnlineSession, SessionResult
 
 __all__ = [
     "CooldownSelector",
+    "FleetLotusAgent",
     "JointActionSpace",
     "LotusAgent",
     "LotusConfig",

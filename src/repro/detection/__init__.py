@@ -23,6 +23,13 @@ properties with analytic per-stage cycle costs:
 from repro.detection.accuracy import AccuracyModel
 from repro.detection.detector import DetectorModel, StageBreakdown
 from repro.detection.faster_rcnn import faster_rcnn
+from repro.detection.fleet import (
+    BatchedExecutionModel,
+    FleetSegment,
+    propose_batch,
+    stage1_cost_arrays,
+    stage2_cost_arrays,
+)
 from repro.detection.latency import (
     DeviceComputeProfile,
     ExecutionModel,
@@ -37,6 +44,7 @@ from repro.detection.yolo import yolo_v5
 
 __all__ = [
     "AccuracyModel",
+    "BatchedExecutionModel",
     "CycleCost",
     "DetectorModel",
     "DeviceComputeProfile",
@@ -47,8 +55,12 @@ __all__ = [
     "StageCost",
     "available_detectors",
     "build_detector",
+    "FleetSegment",
     "compute_profile_for",
     "faster_rcnn",
+    "propose_batch",
+    "stage1_cost_arrays",
+    "stage2_cost_arrays",
     "mask_rcnn",
     "yolo_v5",
 ]

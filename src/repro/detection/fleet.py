@@ -1,0 +1,141 @@
+"""Batched detection kernels: cost, latency/utilisation and proposals.
+
+Array counterparts of :class:`~repro.detection.latency.ExecutionModel` and
+:class:`~repro.detection.proposals.ProposalModel`, evaluated across a fleet
+of sessions at once.  Each session may present a different image scale,
+proposal count and frequency pair; the detector *model* (stage structure,
+cost constants, proposal statistics) is shared.
+
+Bit-exactness: every kernel accumulates in the same order as its scalar
+counterpart (stage costs sum left-to-right, utilisations divide before the
+``min`` clamp), and proposal noise draws one normal from each session's own
+generator so the per-session random streams are consumed exactly as the
+scalar environment consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DetectorError
+from repro.detection.detector import DetectorModel
+from repro.detection.latency import DeviceComputeProfile
+
+
+@dataclass(frozen=True)
+class FleetSegment:
+    """Vectorized :class:`~repro.detection.latency.SegmentExecution`.
+
+    Every attribute is a length-N array indexed by session.
+    """
+
+    latency_ms: np.ndarray
+    cpu_busy_ms: np.ndarray
+    gpu_busy_ms: np.ndarray
+    cpu_utilisation: np.ndarray
+    gpu_utilisation: np.ndarray
+
+
+def stage1_cost_arrays(
+    detector: DetectorModel, image_scale: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-session stage-1 ``(cpu, gpu)`` kilocycles for an image-scale array."""
+    cpu = np.zeros_like(image_scale, dtype=float)
+    gpu = np.zeros_like(image_scale, dtype=float)
+    for stage in detector.stage1:
+        if stage.scales_with_image:
+            cpu = cpu + stage.fixed.cpu_kilocycles * image_scale
+            gpu = gpu + stage.fixed.gpu_kilocycles * image_scale
+        else:
+            cpu = cpu + stage.fixed.cpu_kilocycles
+            gpu = gpu + stage.fixed.gpu_kilocycles
+    return cpu, gpu
+
+
+def stage2_cost_arrays(
+    detector: DetectorModel, num_proposals: np.ndarray, image_scale: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-session stage-2 kilocycles for proposal-count and scale arrays."""
+    cpu = np.zeros_like(image_scale, dtype=float)
+    gpu = np.zeros_like(image_scale, dtype=float)
+    if not detector.is_two_stage:
+        return cpu, gpu
+    proposals = num_proposals.astype(float)
+    for stage in detector.stage2:
+        if stage.scales_with_image:
+            fixed_cpu = stage.fixed.cpu_kilocycles * image_scale
+            fixed_gpu = stage.fixed.gpu_kilocycles * image_scale
+        else:
+            fixed_cpu = stage.fixed.cpu_kilocycles
+            fixed_gpu = stage.fixed.gpu_kilocycles
+        cpu = cpu + (fixed_cpu + stage.per_proposal.cpu_kilocycles * proposals)
+        gpu = gpu + (fixed_gpu + stage.per_proposal.gpu_kilocycles * proposals)
+    return cpu, gpu
+
+
+def propose_batch(
+    detector: DetectorModel,
+    scene_candidates: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Per-session RPN proposal counts, one noise draw per session stream.
+
+    Mirrors :meth:`~repro.detection.proposals.ProposalModel.sample`: the
+    normal draw comes from each session's own generator (keeping the
+    per-session random stream identical to a scalar run); the exp/clip/round
+    tail is evaluated as array operations.
+    """
+    if np.any(scene_candidates < 0):
+        raise DetectorError("scene_candidates must be non-negative")
+    if not detector.is_two_stage:
+        return np.zeros(len(scene_candidates), dtype=np.int64)
+    model = detector.proposal_model
+    expected = scene_candidates * model.keep_ratio
+    if model.noise_std > 0:
+        draws = np.array(
+            [rng.normal(0.0, model.noise_std) for rng in rngs], dtype=float
+        )
+        expected = expected * np.exp(draws)
+    counts = np.clip(np.rint(expected), model.min_proposals, model.max_proposals)
+    return counts.astype(np.int64)
+
+
+class BatchedExecutionModel:
+    """Vectorized :class:`~repro.detection.latency.ExecutionModel`."""
+
+    def __init__(self, profile: DeviceComputeProfile):
+        self.profile = profile
+
+    def execute(
+        self,
+        cpu_kilocycles: np.ndarray,
+        gpu_kilocycles: np.ndarray,
+        cpu_frequency_khz: np.ndarray,
+        gpu_frequency_khz: np.ndarray,
+    ) -> FleetSegment:
+        """Latency and utilisation of running per-session costs."""
+        if np.any(cpu_frequency_khz <= 0) or np.any(gpu_frequency_khz <= 0):
+            raise DetectorError("frequencies must be positive")
+        cpu_ms = cpu_kilocycles / (cpu_frequency_khz * self.profile.cpu_efficiency)
+        gpu_ms = gpu_kilocycles / (gpu_frequency_khz * self.profile.gpu_efficiency)
+        latency_ms = cpu_ms + gpu_ms + self.profile.launch_overhead_ms
+        # Degenerate zero-work segments (possible only with a zero launch
+        # overhead) report an idle instant, as the scalar model does.
+        safe_latency = np.where(latency_ms > 0, latency_ms, 1.0)
+        cpu_busy = cpu_ms + self.profile.host_activity * gpu_ms
+        cpu_utilisation = np.where(
+            latency_ms > 0, np.minimum(1.0, cpu_busy / safe_latency), 0.0
+        )
+        gpu_utilisation = np.where(
+            latency_ms > 0, np.minimum(1.0, gpu_ms / safe_latency), 0.0
+        )
+        return FleetSegment(
+            latency_ms=np.where(latency_ms > 0, latency_ms, 0.0),
+            cpu_busy_ms=np.where(latency_ms > 0, cpu_ms, 0.0),
+            gpu_busy_ms=np.where(latency_ms > 0, gpu_ms, 0.0),
+            cpu_utilisation=cpu_utilisation,
+            gpu_utilisation=gpu_utilisation,
+        )

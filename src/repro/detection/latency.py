@@ -67,6 +67,16 @@ _DEVICE_PROFILES: Dict[str, DeviceComputeProfile] = {
         launch_overhead_ms=4.0,
         host_activity=0.3,
     ),
+    # VideoCore VII is not a compute-class GPU: it retires detector
+    # convolutions an order of magnitude slower than the Orin's Ampere at
+    # equal clocks, while the Cortex-A76 cluster is only modestly behind
+    # the A78AE — so frames on the Pi are long and far more CPU-bound.
+    "raspberry-pi-5": DeviceComputeProfile(
+        cpu_efficiency=0.7,
+        gpu_efficiency=0.1,
+        launch_overhead_ms=6.0,
+        host_activity=0.4,
+    ),
 }
 
 

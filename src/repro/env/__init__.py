@@ -16,6 +16,18 @@ from repro.env.environment import (
     MidFrameObservation,
 )
 from repro.env.episode import run_episode
+from repro.env.fleet import (
+    BatchedInferenceEnvironment,
+    FleetDecision,
+    FleetFrameResult,
+    FleetMidObservation,
+    FleetPolicy,
+    FleetStartObservation,
+    FleetState,
+    FleetTrace,
+    PerSessionPolicies,
+    run_fleet_episode,
+)
 from repro.env.metrics import EpisodeMetrics, summarize_trace
 from repro.env.policy import FrequencyDecision, Policy
 from repro.env.trace import Trace
@@ -23,16 +35,26 @@ from repro.env.trace import Trace
 __all__ = [
     "AmbientProfile",
     "AmbientSegment",
+    "BatchedInferenceEnvironment",
     "ConstantAmbient",
     "EpisodeMetrics",
+    "FleetDecision",
+    "FleetFrameResult",
+    "FleetMidObservation",
+    "FleetPolicy",
+    "FleetStartObservation",
+    "FleetState",
+    "FleetTrace",
     "FrameResult",
     "FrameStartObservation",
     "FrequencyDecision",
     "InferenceEnvironment",
     "MidFrameObservation",
+    "PerSessionPolicies",
     "Policy",
     "StepAmbient",
     "Trace",
     "run_episode",
+    "run_fleet_episode",
     "summarize_trace",
 ]

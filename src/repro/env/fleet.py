@@ -1,0 +1,771 @@
+"""The vectorized fleet inference environment.
+
+:class:`BatchedInferenceEnvironment` advances N independent inference
+sessions in lock-step, exposing the exact two-decision-point phase protocol
+of the scalar :class:`~repro.env.environment.InferenceEnvironment` over
+*batch* observations: every observation field is a length-N array, one
+entry per session.  All sessions share one device model, detector and
+ambient profile; each session has its own frame stream, proposal-noise
+generator, thermal state, throttle state and frequency levels, held
+struct-of-arrays in a :class:`FleetState`.
+
+Seed-for-seed equivalence: session ``i`` of a fleet built from streams and
+generators seeded like scalar runs produces the *bit-identical* trace the
+scalar environment produces with those seeds — the batched kernels in
+:mod:`repro.hardware.fleet` and :mod:`repro.detection.fleet` replay the
+scalar arithmetic elementwise, and the per-session random streams are
+consumed in the same order.  ``tests/test_fleet_equivalence.py`` enforces
+this.
+
+Policies drive the fleet through the :class:`FleetPolicy` protocol.
+Vectorized implementations live in :mod:`repro.governors.fleet` (the
+default governors, static policies) and :mod:`repro.core.fleet` (the
+fleet-trained Lotus agent); :class:`PerSessionPolicies` adapts any list of
+scalar :class:`~repro.env.policy.Policy` objects, preserving their exact
+per-session behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.detection.detector import DetectorModel
+from repro.detection.fleet import (
+    BatchedExecutionModel,
+    propose_batch,
+    stage1_cost_arrays,
+    stage2_cost_arrays,
+)
+from repro.detection.latency import compute_profile_for
+from repro.env.ambient import AmbientProfile, ConstantAmbient
+from repro.env.environment import (
+    FrameResult,
+    FrameStartObservation,
+    MidFrameObservation,
+    StreamLike,
+)
+from repro.env.policy import Policy
+from repro.env.trace import FrameRecord, Trace
+from repro.hardware.device import EdgeDevice
+from repro.hardware.fleet import DeviceFleet
+
+
+# ---------------------------------------------------------------------------
+# State and observations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetState:
+    """Struct-of-arrays state of N concurrent sessions.
+
+    Attributes:
+        device: Batched device state (temperatures, levels, throttle flags,
+            energy) shared-model across the fleet.
+        streams: Per-session workload cursors (frame streams).
+        rngs: Per-session proposal-noise generators.
+        previous_latency_ms: Last frame's total latency per session (``None``
+            before the first frame; sessions advance lock-step).
+        cpu_utilisation / gpu_utilisation: Utilisation observed during the
+            most recent executed segment, per session.
+        constraint_ms: Latency constraint in force for the current frame.
+        image_scale / scene_candidates: Current frame's workload parameters.
+        datasets: Current frame's dataset name per session.
+        num_proposals: Stage-1 proposal counts of the current frame.
+        stage1_latency_ms: Stage-1 latency of the current frame.
+        frame_energy_j: Energy accumulated by the current frame.
+    """
+
+    device: DeviceFleet
+    streams: tuple
+    rngs: tuple
+    previous_latency_ms: np.ndarray | None
+    cpu_utilisation: np.ndarray
+    gpu_utilisation: np.ndarray
+    constraint_ms: np.ndarray
+    image_scale: np.ndarray
+    scene_candidates: np.ndarray
+    datasets: tuple
+    num_proposals: np.ndarray
+    stage1_latency_ms: np.ndarray
+    frame_energy_j: np.ndarray
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return self.device.num_sessions
+
+
+@dataclass(frozen=True)
+class FleetStartObservation:
+    """Batch counterpart of :class:`FrameStartObservation` (arrays over N)."""
+
+    frame_index: int
+    datasets: tuple
+    cpu_temperature_c: np.ndarray
+    gpu_temperature_c: np.ndarray
+    cpu_level: np.ndarray
+    gpu_level: np.ndarray
+    cpu_num_levels: int
+    gpu_num_levels: int
+    latency_constraint_ms: np.ndarray
+    remaining_budget_ms: np.ndarray
+    previous_latency_ms: np.ndarray | None
+    cpu_utilisation: np.ndarray
+    gpu_utilisation: np.ndarray
+    ambient_temperature_c: np.ndarray
+    throttle_threshold_c: float
+    cpu_throttled: np.ndarray
+    gpu_throttled: np.ndarray
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return len(self.cpu_temperature_c)
+
+    def session(self, i: int) -> FrameStartObservation:
+        """The scalar observation session ``i`` would see."""
+        return FrameStartObservation(
+            frame_index=self.frame_index,
+            dataset=self.datasets[i],
+            cpu_temperature_c=float(self.cpu_temperature_c[i]),
+            gpu_temperature_c=float(self.gpu_temperature_c[i]),
+            cpu_level=int(self.cpu_level[i]),
+            gpu_level=int(self.gpu_level[i]),
+            cpu_num_levels=self.cpu_num_levels,
+            gpu_num_levels=self.gpu_num_levels,
+            latency_constraint_ms=float(self.latency_constraint_ms[i]),
+            remaining_budget_ms=float(self.remaining_budget_ms[i]),
+            previous_latency_ms=(
+                None
+                if self.previous_latency_ms is None
+                else float(self.previous_latency_ms[i])
+            ),
+            cpu_utilisation=float(self.cpu_utilisation[i]),
+            gpu_utilisation=float(self.gpu_utilisation[i]),
+            ambient_temperature_c=float(self.ambient_temperature_c[i]),
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=bool(self.cpu_throttled[i]),
+            gpu_throttled=bool(self.gpu_throttled[i]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetMidObservation:
+    """Batch counterpart of :class:`MidFrameObservation` (arrays over N)."""
+
+    frame_index: int
+    datasets: tuple
+    cpu_temperature_c: np.ndarray
+    gpu_temperature_c: np.ndarray
+    cpu_level: np.ndarray
+    gpu_level: np.ndarray
+    cpu_num_levels: int
+    gpu_num_levels: int
+    latency_constraint_ms: np.ndarray
+    remaining_budget_ms: np.ndarray
+    stage1_latency_ms: np.ndarray
+    num_proposals: np.ndarray
+    cpu_utilisation: np.ndarray
+    gpu_utilisation: np.ndarray
+    ambient_temperature_c: np.ndarray
+    throttle_threshold_c: float
+    cpu_throttled: np.ndarray
+    gpu_throttled: np.ndarray
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return len(self.cpu_temperature_c)
+
+    def session(self, i: int) -> MidFrameObservation:
+        """The scalar observation session ``i`` would see."""
+        return MidFrameObservation(
+            frame_index=self.frame_index,
+            dataset=self.datasets[i],
+            cpu_temperature_c=float(self.cpu_temperature_c[i]),
+            gpu_temperature_c=float(self.gpu_temperature_c[i]),
+            cpu_level=int(self.cpu_level[i]),
+            gpu_level=int(self.gpu_level[i]),
+            cpu_num_levels=self.cpu_num_levels,
+            gpu_num_levels=self.gpu_num_levels,
+            latency_constraint_ms=float(self.latency_constraint_ms[i]),
+            remaining_budget_ms=float(self.remaining_budget_ms[i]),
+            stage1_latency_ms=float(self.stage1_latency_ms[i]),
+            num_proposals=int(self.num_proposals[i]),
+            cpu_utilisation=float(self.cpu_utilisation[i]),
+            gpu_utilisation=float(self.gpu_utilisation[i]),
+            ambient_temperature_c=float(self.ambient_temperature_c[i]),
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=bool(self.cpu_throttled[i]),
+            gpu_throttled=bool(self.gpu_throttled[i]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetFrameResult:
+    """Batch end-of-frame feedback: one completed frame across N sessions.
+
+    Field-for-field the array counterpart of
+    :class:`~repro.env.trace.FrameRecord`; scalar records materialise
+    lazily via :meth:`record` so the hot loop never constructs N dataclasses
+    per frame.
+    """
+
+    index: int
+    datasets: tuple
+    num_proposals: np.ndarray
+    stage1_latency_ms: np.ndarray
+    stage2_latency_ms: np.ndarray
+    total_latency_ms: np.ndarray
+    latency_constraint_ms: np.ndarray
+    met_constraint: np.ndarray
+    cpu_temperature_c: np.ndarray
+    gpu_temperature_c: np.ndarray
+    cpu_level_stage1: np.ndarray
+    gpu_level_stage1: np.ndarray
+    cpu_level_stage2: np.ndarray
+    gpu_level_stage2: np.ndarray
+    cpu_throttled: np.ndarray
+    gpu_throttled: np.ndarray
+    ambient_temperature_c: np.ndarray
+    energy_j: np.ndarray
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return len(self.total_latency_ms)
+
+    @property
+    def latency_slack_ms(self) -> np.ndarray:
+        """Per-session ``L - l_i``; negative where the constraint broke."""
+        return self.latency_constraint_ms - self.total_latency_ms
+
+    def record(self, i: int) -> FrameRecord:
+        """Materialise session ``i``'s scalar :class:`FrameRecord`."""
+        return FrameRecord(
+            index=self.index,
+            dataset=self.datasets[i],
+            num_proposals=int(self.num_proposals[i]),
+            stage1_latency_ms=float(self.stage1_latency_ms[i]),
+            stage2_latency_ms=float(self.stage2_latency_ms[i]),
+            total_latency_ms=float(self.total_latency_ms[i]),
+            latency_constraint_ms=float(self.latency_constraint_ms[i]),
+            met_constraint=bool(self.met_constraint[i]),
+            cpu_temperature_c=float(self.cpu_temperature_c[i]),
+            gpu_temperature_c=float(self.gpu_temperature_c[i]),
+            cpu_level_stage1=int(self.cpu_level_stage1[i]),
+            gpu_level_stage1=int(self.gpu_level_stage1[i]),
+            cpu_level_stage2=int(self.cpu_level_stage2[i]),
+            gpu_level_stage2=int(self.gpu_level_stage2[i]),
+            cpu_throttled=bool(self.cpu_throttled[i]),
+            gpu_throttled=bool(self.gpu_throttled[i]),
+            ambient_temperature_c=float(self.ambient_temperature_c[i]),
+            energy_j=float(self.energy_j[i]),
+        )
+
+    def result(self, i: int) -> FrameResult:
+        """Session ``i``'s scalar :class:`FrameResult`."""
+        return FrameResult(record=self.record(i))
+
+
+class FleetTrace:
+    """Columnar trace of a fleet episode: one FleetFrameResult per frame."""
+
+    def __init__(self, num_sessions: int):
+        if num_sessions <= 0:
+            raise ExperimentError("num_sessions must be positive")
+        self.num_sessions = num_sessions
+        self._frames: List[FleetFrameResult] = []
+
+    def append(self, frame: FleetFrameResult) -> None:
+        """Append one completed fleet frame."""
+        if frame.num_sessions != self.num_sessions:
+            raise ExperimentError(
+                f"frame has {frame.num_sessions} sessions, trace expects "
+                f"{self.num_sessions}"
+            )
+        self._frames.append(frame)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[FleetFrameResult]:
+        return iter(self._frames)
+
+    def __getitem__(self, index: int) -> FleetFrameResult:
+        return self._frames[index]
+
+    @property
+    def total_frames(self) -> int:
+        """Aggregate frames processed across the fleet (frames x sessions)."""
+        return len(self._frames) * self.num_sessions
+
+    def session_trace(self, i: int) -> Trace:
+        """Materialise session ``i``'s scalar :class:`Trace`."""
+        if not 0 <= i < self.num_sessions:
+            raise ExperimentError(f"session {i} out of range [0, {self.num_sessions - 1}]")
+        return Trace([frame.record(i) for frame in self._frames])
+
+    def to_traces(self) -> List[Trace]:
+        """Materialise every session's scalar trace."""
+        return [self.session_trace(i) for i in range(self.num_sessions)]
+
+    def latencies_ms(self) -> np.ndarray:
+        """Total latency as a ``(frames, sessions)`` matrix."""
+        return np.array([f.total_latency_ms for f in self._frames], dtype=float)
+
+    def constraint_met(self) -> np.ndarray:
+        """Constraint satisfaction as a ``(frames, sessions)`` boolean matrix."""
+        return np.array([f.met_constraint for f in self._frames], dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# Fleet policy protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """Joint frequency-level requests for (a subset of) the fleet.
+
+    Attributes:
+        cpu_levels / gpu_levels: Requested levels per session.
+        mask: Optional boolean mask of sessions the decision applies to;
+            unmasked sessions keep their previously requested levels (the
+            batch analogue of a scalar policy returning ``None``).
+    """
+
+    cpu_levels: np.ndarray
+    gpu_levels: np.ndarray
+    mask: np.ndarray | None = None
+
+
+class FleetPolicy(ABC):
+    """A DVFS policy acting on observation batches across the fleet."""
+
+    #: Human-readable policy name used in tables and reports.
+    name: str = "fleet-policy"
+
+    @abstractmethod
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision | None:
+        """Decide frequencies at the start of an image inference."""
+
+    @abstractmethod
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision | None:
+        """Decide frequencies after the RPN, per session."""
+
+    def end_frame(self, result: FleetFrameResult) -> None:
+        """Receive the completed frame's per-session outcomes."""
+
+    def reset(self) -> None:
+        """Reset any internal state before a new episode."""
+
+
+class PerSessionPolicies(FleetPolicy):
+    """Adapter driving one scalar :class:`Policy` per session.
+
+    Preserves each policy's exact scalar behaviour (observations are
+    materialised per session), so any existing policy — including learning
+    agents with per-session networks — runs on the fleet engine unchanged.
+    This is the compatibility path; vectorized policies avoid the per-session
+    materialisation cost.
+    """
+
+    def __init__(self, policies: Sequence[Policy]):
+        if not policies:
+            raise ConfigurationError("need at least one policy")
+        self.policies = list(policies)
+        self.name = f"per-session({policies[0].name})"
+
+    def reset(self) -> None:
+        for policy in self.policies:
+            policy.reset()
+
+    def _gather(self, decisions, observation) -> FleetDecision | None:
+        if all(decision is None for decision in decisions):
+            return None
+        cpu = observation.cpu_level.copy()
+        gpu = observation.gpu_level.copy()
+        mask = np.zeros(len(decisions), dtype=bool)
+        for i, decision in enumerate(decisions):
+            if decision is not None:
+                cpu[i] = decision.cpu_level
+                gpu[i] = decision.gpu_level
+                mask[i] = True
+        return FleetDecision(cpu_levels=cpu, gpu_levels=gpu, mask=mask)
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision | None:
+        decisions = [
+            policy.begin_frame(observation.session(i))
+            for i, policy in enumerate(self.policies)
+        ]
+        return self._gather(decisions, observation)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision | None:
+        decisions = [
+            policy.mid_frame(observation.session(i))
+            for i, policy in enumerate(self.policies)
+        ]
+        return self._gather(decisions, observation)
+
+    def end_frame(self, result: FleetFrameResult) -> None:
+        for i, policy in enumerate(self.policies):
+            policy.end_frame(result.result(i))
+
+    def loss_histories(self) -> List[List[float]]:
+        """Per-session loss histories (empty lists for non-learning policies)."""
+        return [list(getattr(p, "loss_history", [])) for p in self.policies]
+
+    def reward_histories(self) -> List[List[float]]:
+        """Per-session reward histories (empty lists where not recorded)."""
+        return [list(getattr(p, "reward_history", [])) for p in self.policies]
+
+
+# ---------------------------------------------------------------------------
+# The environment
+# ---------------------------------------------------------------------------
+
+
+class _Phase(enum.Enum):
+    IDLE = "idle"
+    STARTED = "started"
+    AFTER_STAGE1 = "after_stage1"
+
+
+class BatchedInferenceEnvironment:
+    """Detector inference across N lock-step sessions on one device model.
+
+    Args:
+        device: Template edge device (shared description; per-session state
+            lives in the fleet arrays).
+        detector: Detector cost model all sessions run.
+        streams: The workload — either one scalar frame stream per session,
+            or a single batched stream exposing ``next_frames()`` (e.g.
+            :class:`repro.workload.fleet.FleetFrameStream`, the fast path
+            that avoids per-session Python dispatch).
+        latency_constraint_ms: Default per-frame latency constraint.
+        ambient: Shared ambient profile (frame-index driven; sessions are
+            lock-step so they observe the same schedule).
+        rngs: Per-session proposal-noise generators; defaults to
+            ``default_rng(i)``.
+        throttle_threshold_c: Temperature threshold exposed to controllers.
+        idle_between_frames_ms: Idle gap inserted between frames.
+    """
+
+    def __init__(
+        self,
+        device: EdgeDevice,
+        detector: DetectorModel,
+        streams: "Sequence[StreamLike] | object",
+        latency_constraint_ms: float,
+        ambient: AmbientProfile | None = None,
+        rngs: Sequence[np.random.Generator] | None = None,
+        throttle_threshold_c: float | None = None,
+        idle_between_frames_ms: float = 0.0,
+    ):
+        if latency_constraint_ms <= 0:
+            raise ConfigurationError("latency_constraint_ms must be positive")
+        if idle_between_frames_ms < 0:
+            raise ConfigurationError("idle_between_frames_ms must be non-negative")
+        self._batched_stream = streams if hasattr(streams, "next_frames") else None
+        if self._batched_stream is not None:
+            num_sessions = self._batched_stream.num_sessions
+            streams = ()
+        else:
+            if not streams:
+                raise ConfigurationError("need at least one stream (one per session)")
+            num_sessions = len(streams)
+        if rngs is None:
+            rngs = [np.random.default_rng(i) for i in range(num_sessions)]
+        if len(rngs) != num_sessions:
+            raise ConfigurationError(
+                f"got {len(rngs)} generators for {num_sessions} sessions"
+            )
+        self.device = device
+        self.detector = detector
+        self.default_latency_constraint_ms = latency_constraint_ms
+        self.ambient = ambient if ambient is not None else ConstantAmbient()
+        self.throttle_threshold_c = (
+            throttle_threshold_c
+            if throttle_threshold_c is not None
+            else min(
+                device.cpu_throttle.trip_temperature_c,
+                device.gpu_throttle.trip_temperature_c,
+            )
+        )
+        self.idle_between_frames_ms = idle_between_frames_ms
+        self.execution = BatchedExecutionModel(compute_profile_for(device.name))
+
+        fleet = DeviceFleet(device, num_sessions, self.ambient.initial_temperature())
+        n = num_sessions
+        self.state = FleetState(
+            device=fleet,
+            streams=tuple(streams),
+            rngs=tuple(rngs),
+            previous_latency_ms=None,
+            cpu_utilisation=np.zeros(n),
+            gpu_utilisation=np.zeros(n),
+            constraint_ms=np.full(n, latency_constraint_ms),
+            image_scale=np.ones(n),
+            scene_candidates=np.zeros(n),
+            datasets=("",) * n,
+            num_proposals=np.zeros(n, dtype=np.int64),
+            stage1_latency_ms=np.zeros(n),
+            frame_energy_j=np.zeros(n),
+        )
+        self._phase = _Phase.IDLE
+        self._frame_index = 0
+        self._stage1_levels = (fleet.cpu_level.copy(), fleet.gpu_level.copy())
+        self._stage1_throttled = np.zeros(n, dtype=bool)
+        self.state.device.reset(self.ambient.initial_temperature())
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return self.state.num_sessions
+
+    @property
+    def frames_processed(self) -> int:
+        """Completed lock-step frames since construction/reset."""
+        return self._frame_index
+
+    def reset(self) -> None:
+        """Reset the fleet devices (cold start) and the frame counter."""
+        self.state.device.reset(self.ambient.initial_temperature())
+        self._phase = _Phase.IDLE
+        self._frame_index = 0
+        self.state.previous_latency_ms = None
+        self.state.cpu_utilisation = np.zeros(self.num_sessions)
+        self.state.gpu_utilisation = np.zeros(self.num_sessions)
+
+    # -- decision application --------------------------------------------------------
+
+    def apply_levels(
+        self,
+        cpu_levels: np.ndarray,
+        gpu_levels: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Request per-session frequency levels on behalf of the policy."""
+        self.state.device.request_levels(cpu_levels, gpu_levels, mask=mask)
+
+    def apply_decision(self, decision: FleetDecision | None) -> None:
+        """Apply a policy decision (``None`` leaves all requests untouched)."""
+        if decision is None:
+            return
+        self.apply_levels(decision.cpu_levels, decision.gpu_levels, decision.mask)
+
+    # -- frame protocol ----------------------------------------------------------------
+
+    def begin_frame(self) -> FleetStartObservation:
+        """Draw every session's next frame; return the batch observation."""
+        if self._phase is not _Phase.IDLE:
+            raise ExperimentError(
+                f"begin_frame called while a frame is in phase {self._phase.value!r}"
+            )
+        state = self.state
+        state.device.set_ambient(self.ambient.temperature_at(self._frame_index))
+        default_constraint = self.default_latency_constraint_ms
+        if self._batched_stream is not None:
+            batch = self._batched_stream.next_frames()
+            image_scale = batch.image_scale
+            candidates = batch.scene_candidates
+            constraint = (
+                batch.latency_constraint_ms
+                if batch.latency_constraint_ms is not None
+                else np.full(self.num_sessions, default_constraint)
+            )
+            datasets = batch.datasets
+        else:
+            image_scale = np.empty(self.num_sessions)
+            candidates = np.empty(self.num_sessions)
+            constraint = np.empty(self.num_sessions)
+            names = []
+            for i, stream in enumerate(state.streams):
+                frame = stream.next_frame()
+                image_scale[i] = frame.image_scale
+                candidates[i] = frame.scene_candidates
+                constraint[i] = (
+                    frame.latency_constraint_ms
+                    if frame.latency_constraint_ms is not None
+                    else default_constraint
+                )
+                names.append(frame.dataset)
+            datasets = tuple(names)
+        state.image_scale = image_scale
+        state.scene_candidates = candidates
+        state.constraint_ms = constraint
+        state.datasets = datasets
+        state.frame_energy_j = np.zeros(self.num_sessions)
+        self._phase = _Phase.STARTED
+        device = state.device
+        return FleetStartObservation(
+            frame_index=self._frame_index,
+            datasets=state.datasets,
+            cpu_temperature_c=device.cpu_temperature_c.copy(),
+            gpu_temperature_c=device.gpu_temperature_c.copy(),
+            cpu_level=device.cpu_level.copy(),
+            gpu_level=device.gpu_level.copy(),
+            cpu_num_levels=device.cpu.num_levels,
+            gpu_num_levels=device.gpu.num_levels,
+            latency_constraint_ms=constraint,
+            remaining_budget_ms=constraint,
+            previous_latency_ms=state.previous_latency_ms,
+            cpu_utilisation=state.cpu_utilisation,
+            gpu_utilisation=state.gpu_utilisation,
+            ambient_temperature_c=device.ambient_temperature_c.copy(),
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=device.cpu_throttled.copy(),
+            gpu_throttled=device.gpu_throttled.copy(),
+        )
+
+    def run_first_stage(self) -> FleetMidObservation:
+        """Execute stage 1 for every session; return the batch observation."""
+        if self._phase is not _Phase.STARTED:
+            raise ExperimentError("run_first_stage must follow begin_frame")
+        state = self.state
+        device = state.device
+        cpu_kc, gpu_kc = stage1_cost_arrays(self.detector, state.image_scale)
+        segment = self.execution.execute(
+            cpu_kc, gpu_kc, device.cpu_frequency_khz, device.gpu_frequency_khz
+        )
+        self._stage1_levels = (device.cpu_level.copy(), device.gpu_level.copy())
+        telemetry = device.execute(
+            segment.latency_ms, segment.cpu_utilisation, segment.gpu_utilisation
+        )
+        state.stage1_latency_ms = segment.latency_ms
+        self._stage1_throttled = telemetry.any_throttled
+        state.frame_energy_j = state.frame_energy_j + telemetry.energy_j
+        state.cpu_utilisation = segment.cpu_utilisation
+        state.gpu_utilisation = segment.gpu_utilisation
+        state.num_proposals = propose_batch(
+            self.detector, state.scene_candidates, state.rngs
+        )
+        self._phase = _Phase.AFTER_STAGE1
+        return FleetMidObservation(
+            frame_index=self._frame_index,
+            datasets=state.datasets,
+            cpu_temperature_c=device.cpu_temperature_c.copy(),
+            gpu_temperature_c=device.gpu_temperature_c.copy(),
+            cpu_level=device.cpu_level.copy(),
+            gpu_level=device.gpu_level.copy(),
+            cpu_num_levels=device.cpu.num_levels,
+            gpu_num_levels=device.gpu.num_levels,
+            latency_constraint_ms=state.constraint_ms,
+            remaining_budget_ms=state.constraint_ms - state.stage1_latency_ms,
+            stage1_latency_ms=state.stage1_latency_ms,
+            num_proposals=state.num_proposals,
+            cpu_utilisation=segment.cpu_utilisation,
+            gpu_utilisation=segment.gpu_utilisation,
+            ambient_temperature_c=device.ambient_temperature_c.copy(),
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=device.cpu_throttled.copy(),
+            gpu_throttled=device.gpu_throttled.copy(),
+        )
+
+    def run_second_stage(self) -> FleetFrameResult:
+        """Execute stage 2 (if any) for every session; finish the frame."""
+        if self._phase is not _Phase.AFTER_STAGE1:
+            raise ExperimentError("run_second_stage must follow run_first_stage")
+        state = self.state
+        device = state.device
+        n = self.num_sessions
+        stage2_latency = np.zeros(n)
+        stage2_levels = (device.cpu_level.copy(), device.gpu_level.copy())
+        stage2_throttled = np.zeros(n, dtype=bool)
+        if self.detector.is_two_stage:
+            cpu_kc, gpu_kc = stage2_cost_arrays(
+                self.detector, state.num_proposals, state.image_scale
+            )
+            segment = self.execution.execute(
+                cpu_kc, gpu_kc, device.cpu_frequency_khz, device.gpu_frequency_khz
+            )
+            stage2_levels = (device.cpu_level.copy(), device.gpu_level.copy())
+            telemetry = device.execute(
+                segment.latency_ms, segment.cpu_utilisation, segment.gpu_utilisation
+            )
+            stage2_latency = segment.latency_ms
+            stage2_throttled = telemetry.any_throttled
+            state.frame_energy_j = state.frame_energy_j + telemetry.energy_j
+            state.cpu_utilisation = segment.cpu_utilisation
+            state.gpu_utilisation = segment.gpu_utilisation
+        if self.idle_between_frames_ms > 0:
+            idle_telemetry = device.idle(np.full(n, self.idle_between_frames_ms))
+            state.frame_energy_j = state.frame_energy_j + idle_telemetry.energy_j
+
+        total_latency = state.stage1_latency_ms + stage2_latency
+        result = FleetFrameResult(
+            index=self._frame_index,
+            datasets=state.datasets,
+            num_proposals=state.num_proposals,
+            stage1_latency_ms=state.stage1_latency_ms,
+            stage2_latency_ms=stage2_latency,
+            total_latency_ms=total_latency,
+            latency_constraint_ms=state.constraint_ms,
+            met_constraint=total_latency <= state.constraint_ms,
+            cpu_temperature_c=device.cpu_temperature_c.copy(),
+            gpu_temperature_c=device.gpu_temperature_c.copy(),
+            cpu_level_stage1=self._stage1_levels[0],
+            gpu_level_stage1=self._stage1_levels[1],
+            cpu_level_stage2=stage2_levels[0],
+            gpu_level_stage2=stage2_levels[1],
+            cpu_throttled=self._stage1_throttled
+            | stage2_throttled
+            | device.cpu_throttled,
+            gpu_throttled=self._stage1_throttled
+            | stage2_throttled
+            | device.gpu_throttled,
+            ambient_temperature_c=device.ambient_temperature_c.copy(),
+            energy_j=state.frame_energy_j,
+        )
+        state.previous_latency_ms = total_latency
+        self._frame_index += 1
+        self._phase = _Phase.IDLE
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Episode loop
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_episode(
+    environment: BatchedInferenceEnvironment,
+    policy: FleetPolicy,
+    num_frames: int,
+    reset_environment: bool = True,
+    reset_policy: bool = True,
+) -> FleetTrace:
+    """Run ``policy`` on the fleet for ``num_frames`` lock-step frames.
+
+    The single loop shared by every fleet experiment: the batch analogue of
+    :func:`repro.env.episode.run_episode`.
+
+    Returns:
+        The columnar :class:`FleetTrace` of all processed frames.
+    """
+    if num_frames <= 0:
+        raise ExperimentError("num_frames must be positive")
+    if reset_environment:
+        environment.reset()
+    if reset_policy:
+        policy.reset()
+    trace = FleetTrace(environment.num_sessions)
+    for _ in range(num_frames):
+        start_observation = environment.begin_frame()
+        environment.apply_decision(policy.begin_frame(start_observation))
+        mid_observation = environment.run_first_stage()
+        environment.apply_decision(policy.mid_frame(mid_observation))
+        result = environment.run_second_stage()
+        policy.end_frame(result)
+        trace.append(result)
+    return trace

@@ -21,8 +21,25 @@ from repro.governors.cpu import OndemandGovernor, SchedutilGovernor
 from repro.governors.gpu import MsmAdrenoTzGovernor, NvhostPodgovGovernor, SimpleOndemandGovernor
 from repro.governors.static import PerformancePolicy, PowersavePolicy, UserspacePolicy
 from repro.governors.registry import available_governors, build_default_governor
+from repro.governors.fleet import (
+    BatchedDefaultGovernorPolicy,
+    BatchedOndemandGovernor,
+    BatchedPerformancePolicy,
+    BatchedPowersavePolicy,
+    BatchedSchedutilGovernor,
+    BatchedSimpleOndemandGovernor,
+    BatchedUserspacePolicy,
+    build_batched_default_governor,
+)
 
 __all__ = [
+    "BatchedDefaultGovernorPolicy",
+    "BatchedOndemandGovernor",
+    "BatchedPerformancePolicy",
+    "BatchedPowersavePolicy",
+    "BatchedSchedutilGovernor",
+    "BatchedSimpleOndemandGovernor",
+    "BatchedUserspacePolicy",
     "CpuGovernor",
     "DefaultGovernorPolicy",
     "GpuGovernor",
@@ -35,5 +52,6 @@ __all__ = [
     "SimpleOndemandGovernor",
     "UserspacePolicy",
     "available_governors",
+    "build_batched_default_governor",
     "build_default_governor",
 ]

@@ -1,0 +1,279 @@
+"""Vectorized default governors and static policies for the fleet engine.
+
+Array re-implementations of the scalar governors in
+:mod:`repro.governors.cpu` / :mod:`repro.governors.gpu` and of the static
+policies in :mod:`repro.governors.static`, acting on a whole fleet per
+call.  Each ``select_levels`` kernel performs the same arithmetic as the
+scalar ``select_level``, so a fleet driven by
+:class:`BatchedDefaultGovernorPolicy` makes the *identical* per-session
+decisions the scalar :class:`~repro.governors.base.DefaultGovernorPolicy`
+makes (the equivalence tests run both and compare traces).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.env.fleet import (
+    FleetDecision,
+    FleetMidObservation,
+    FleetPolicy,
+    FleetStartObservation,
+)
+
+
+class BatchedLevelSelector(ABC):
+    """A governor kernel: utilisation arrays in, level arrays out."""
+
+    name: str = "batched-governor"
+
+    @abstractmethod
+    def select_levels(
+        self, utilisation: np.ndarray, current_levels: np.ndarray, num_levels: int
+    ) -> np.ndarray:
+        """Select per-session frequency levels from observed utilisations."""
+
+
+class BatchedSchedutilGovernor(BatchedLevelSelector):
+    """Vectorized :class:`~repro.governors.cpu.SchedutilGovernor`."""
+
+    name = "schedutil"
+
+    def __init__(self, margin: float = 1.25, max_step_down: int = 1):
+        if margin <= 0:
+            raise ConfigurationError("margin must be positive")
+        if max_step_down < 0:
+            raise ConfigurationError("max_step_down must be non-negative")
+        self.margin = margin
+        self.max_step_down = max_step_down
+
+    def select_levels(
+        self, utilisation: np.ndarray, current_levels: np.ndarray, num_levels: int
+    ) -> np.ndarray:
+        utilisation = np.minimum(np.maximum(utilisation, 0.0), 1.0)
+        target_fraction = np.minimum(1.0, self.margin * utilisation)
+        target = np.minimum(
+            num_levels - 1, np.round(target_fraction * (num_levels - 1) + 0.49)
+        ).astype(np.int64)
+        if self.max_step_down:
+            floor = current_levels - self.max_step_down
+            target = np.where(target < floor, floor, target)
+        return np.clip(target, 0, num_levels - 1)
+
+
+class BatchedOndemandGovernor(BatchedLevelSelector):
+    """Vectorized :class:`~repro.governors.cpu.OndemandGovernor`."""
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 0.8):
+        if not 0.0 < up_threshold <= 1.0:
+            raise ConfigurationError("up_threshold must lie in (0, 1]")
+        self.up_threshold = up_threshold
+
+    def select_levels(
+        self, utilisation: np.ndarray, current_levels: np.ndarray, num_levels: int
+    ) -> np.ndarray:
+        utilisation = np.minimum(np.maximum(utilisation, 0.0), 1.0)
+        scaled = np.round(utilisation / self.up_threshold * (num_levels - 1)).astype(
+            np.int64
+        )
+        target = np.where(utilisation >= self.up_threshold, num_levels - 1, scaled)
+        return np.clip(target, 0, num_levels - 1)
+
+
+class BatchedSimpleOndemandGovernor(BatchedLevelSelector):
+    """Vectorized :class:`~repro.governors.gpu.SimpleOndemandGovernor`.
+
+    The ``nvhost_podgov`` and ``msm-adreno-tz`` pairings are this kernel
+    with their device-specific thresholds (exactly as in the scalar
+    hierarchy).
+    """
+
+    name = "simple_ondemand"
+
+    def __init__(
+        self, up_threshold: float = 0.85, down_threshold: float = 0.3, up_step: int = 2
+    ):
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ConfigurationError("require 0 < down_threshold < up_threshold <= 1")
+        if up_step <= 0:
+            raise ConfigurationError("up_step must be positive")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.up_step = up_step
+
+    def select_levels(
+        self, utilisation: np.ndarray, current_levels: np.ndarray, num_levels: int
+    ) -> np.ndarray:
+        utilisation = np.minimum(np.maximum(utilisation, 0.0), 1.0)
+        up = np.minimum(num_levels - 1, current_levels + self.up_step)
+        down = np.maximum(0, current_levels - 1)
+        return np.where(
+            utilisation >= self.up_threshold,
+            up,
+            np.where(utilisation <= self.down_threshold, down, current_levels),
+        )
+
+
+def batched_nvhost_podgov() -> BatchedSimpleOndemandGovernor:
+    """The Jetson GPU's ``nvhost_podgov`` thresholds, vectorized."""
+    governor = BatchedSimpleOndemandGovernor(
+        up_threshold=0.8, down_threshold=0.25, up_step=3
+    )
+    governor.name = "nvhost_podgov"
+    return governor
+
+
+def batched_msm_adreno_tz() -> BatchedSimpleOndemandGovernor:
+    """The Snapdragon Adreno ``msm-adreno-tz`` thresholds, vectorized."""
+    governor = BatchedSimpleOndemandGovernor(
+        up_threshold=0.75, down_threshold=0.2, up_step=2
+    )
+    governor.name = "msm-adreno-tz"
+    return governor
+
+
+class BatchedDefaultGovernorPolicy(FleetPolicy):
+    """Independent vectorized CPU & GPU governors across the fleet."""
+
+    def __init__(
+        self, cpu_governor: BatchedLevelSelector, gpu_governor: BatchedLevelSelector
+    ):
+        self.cpu_governor = cpu_governor
+        self.gpu_governor = gpu_governor
+        self.name = f"default({cpu_governor.name}+{gpu_governor.name})"
+
+    def _decide(self, observation) -> FleetDecision:
+        return FleetDecision(
+            cpu_levels=self.cpu_governor.select_levels(
+                observation.cpu_utilisation,
+                observation.cpu_level,
+                observation.cpu_num_levels,
+            ),
+            gpu_levels=self.gpu_governor.select_levels(
+                observation.gpu_utilisation,
+                observation.gpu_level,
+                observation.gpu_num_levels,
+            ),
+        )
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision:
+        return self._decide(observation)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision:
+        return self._decide(observation)
+
+
+class BatchedUserspacePolicy(FleetPolicy):
+    """Pin every session to fixed, user-chosen frequency levels."""
+
+    def __init__(self, cpu_level: int, gpu_level: int):
+        if cpu_level < 0 or gpu_level < 0:
+            raise ConfigurationError("frequency levels must be non-negative")
+        self.cpu_level = cpu_level
+        self.gpu_level = gpu_level
+        self.name = f"userspace(cpu={cpu_level},gpu={gpu_level})"
+
+    def _decision(self, observation) -> FleetDecision:
+        n = observation.num_sessions
+        return FleetDecision(
+            cpu_levels=np.full(
+                n, min(self.cpu_level, observation.cpu_num_levels - 1), dtype=np.int64
+            ),
+            gpu_levels=np.full(
+                n, min(self.gpu_level, observation.gpu_num_levels - 1), dtype=np.int64
+            ),
+        )
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision:
+        return self._decision(observation)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision:
+        return self._decision(observation)
+
+
+class BatchedPerformancePolicy(FleetPolicy):
+    """Always request the maximum operating points, fleet-wide."""
+
+    name = "performance"
+
+    def _decision(self, observation) -> FleetDecision:
+        n = observation.num_sessions
+        return FleetDecision(
+            cpu_levels=np.full(n, observation.cpu_num_levels - 1, dtype=np.int64),
+            gpu_levels=np.full(n, observation.gpu_num_levels - 1, dtype=np.int64),
+        )
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision:
+        return self._decision(observation)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision:
+        return self._decision(observation)
+
+
+class BatchedPowersavePolicy(FleetPolicy):
+    """Always request the minimum operating points, fleet-wide."""
+
+    name = "powersave"
+
+    def _decision(self, observation) -> FleetDecision:
+        n = observation.num_sessions
+        return FleetDecision(
+            cpu_levels=np.zeros(n, dtype=np.int64),
+            gpu_levels=np.zeros(n, dtype=np.int64),
+        )
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision:
+        return self._decision(observation)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision:
+        return self._decision(observation)
+
+
+GovernorPairBuilder = Callable[[], BatchedDefaultGovernorPolicy]
+
+
+def _jetson_pair() -> BatchedDefaultGovernorPolicy:
+    return BatchedDefaultGovernorPolicy(
+        BatchedSchedutilGovernor(), batched_nvhost_podgov()
+    )
+
+
+def _mi11_pair() -> BatchedDefaultGovernorPolicy:
+    return BatchedDefaultGovernorPolicy(
+        BatchedSchedutilGovernor(), batched_msm_adreno_tz()
+    )
+
+
+def _raspberry_pi5_pair() -> BatchedDefaultGovernorPolicy:
+    return BatchedDefaultGovernorPolicy(
+        BatchedOndemandGovernor(), BatchedSimpleOndemandGovernor()
+    )
+
+
+def _generic_pair() -> BatchedDefaultGovernorPolicy:
+    return BatchedDefaultGovernorPolicy(
+        BatchedSchedutilGovernor(), BatchedSimpleOndemandGovernor()
+    )
+
+
+_REGISTRY: Dict[str, GovernorPairBuilder] = {
+    "jetson-orin-nano": _jetson_pair,
+    "mi11-lite": _mi11_pair,
+    "raspberry-pi-5": _raspberry_pi5_pair,
+}
+
+
+def build_batched_default_governor(device_name: str) -> BatchedDefaultGovernorPolicy:
+    """The vectorized default-governor pairing for ``device_name``.
+
+    Mirrors :func:`repro.governors.registry.build_default_governor`; unknown
+    devices fall back to ``schedutil`` + ``simple_ondemand``.
+    """
+    builder = _REGISTRY.get(device_name, _generic_pair)
+    return builder()

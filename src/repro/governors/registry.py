@@ -12,7 +12,7 @@ from typing import Callable, Dict
 
 from repro.errors import ConfigurationError
 from repro.governors.base import DefaultGovernorPolicy
-from repro.governors.cpu import SchedutilGovernor
+from repro.governors.cpu import OndemandGovernor, SchedutilGovernor
 from repro.governors.gpu import MsmAdrenoTzGovernor, NvhostPodgovGovernor, SimpleOndemandGovernor
 
 GovernorBuilder = Callable[[], DefaultGovernorPolicy]
@@ -26,6 +26,12 @@ def _mi11_default() -> DefaultGovernorPolicy:
     return DefaultGovernorPolicy(SchedutilGovernor(), MsmAdrenoTzGovernor())
 
 
+def _raspberry_pi5_default() -> DefaultGovernorPolicy:
+    # Raspberry Pi OS ships the classic ondemand cpufreq governor; the
+    # VideoCore devfreq behaves like a stock simple_ondemand controller.
+    return DefaultGovernorPolicy(OndemandGovernor(), SimpleOndemandGovernor())
+
+
 def _generic_default() -> DefaultGovernorPolicy:
     return DefaultGovernorPolicy(SchedutilGovernor(), SimpleOndemandGovernor())
 
@@ -33,6 +39,7 @@ def _generic_default() -> DefaultGovernorPolicy:
 _REGISTRY: Dict[str, GovernorBuilder] = {
     "jetson-orin-nano": _jetson_default,
     "mi11-lite": _mi11_default,
+    "raspberry-pi-5": _raspberry_pi5_default,
 }
 
 

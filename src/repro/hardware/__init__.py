@@ -20,7 +20,11 @@ Lotus interacts with:
   can be written against the same read/write-a-file interface used on real
   Linux/Android devices.
 * :mod:`repro.hardware.devices` — calibrated device descriptions for the
-  NVIDIA Jetson Orin Nano and the Xiaomi Mi 11 Lite used in the paper.
+  NVIDIA Jetson Orin Nano and the Xiaomi Mi 11 Lite used in the paper,
+  plus a passively-cooled Raspberry Pi 5.
+* :mod:`repro.hardware.fleet` — :class:`~repro.hardware.fleet.DeviceFleet`,
+  batched struct-of-arrays kernels advancing N identical devices in
+  lock-step for the fleet engine.
 """
 
 from repro.hardware.frequency import FrequencyTable, OperatingPoint
@@ -36,7 +40,9 @@ from repro.hardware.devices import (
     build_device,
     jetson_orin_nano,
     mi11_lite,
+    raspberry_pi5,
 )
+from repro.hardware.fleet import DeviceFleet, FleetTelemetry
 
 __all__ = [
     "FrequencyTable",
@@ -50,9 +56,12 @@ __all__ = [
     "GpuModel",
     "EdgeDevice",
     "DeviceTelemetry",
+    "DeviceFleet",
+    "FleetTelemetry",
     "SysFs",
     "available_devices",
     "build_device",
     "jetson_orin_nano",
     "mi11_lite",
+    "raspberry_pi5",
 ]

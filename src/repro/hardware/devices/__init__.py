@@ -2,6 +2,13 @@
 
 from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
 from repro.hardware.devices.mi11_lite import mi11_lite
+from repro.hardware.devices.raspberry_pi5 import raspberry_pi5
 from repro.hardware.devices.registry import available_devices, build_device
 
-__all__ = ["jetson_orin_nano", "mi11_lite", "available_devices", "build_device"]
+__all__ = [
+    "jetson_orin_nano",
+    "mi11_lite",
+    "raspberry_pi5",
+    "available_devices",
+    "build_device",
+]

@@ -1,0 +1,127 @@
+"""Raspberry Pi 5 device description.
+
+A third evaluation platform class: a passively-cooled maker SBC (BCM2712:
+4x Cortex-A76 up to 2.4 GHz, VideoCore VII GPU up to 960 MHz) with no
+heatsink in its stock configuration.  Compared with the Jetson Orin Nano
+and the Mi 11 Lite it widens the scenario space in two directions:
+
+* a *much weaker GPU* — VideoCore retires detector convolutions an order
+  of magnitude slower than the Orin's Ampere at equal clocks, so the CPU
+  share of a frame is far larger and the CPU frequency decision matters
+  more than on the other boards;
+* a *bare-package thermal path* — without a heatsink the SoC's
+  junction-to-ambient resistance is in the tens of °C/W, so the thermal
+  time constant is short (tens of seconds) and sustained load trips the
+  firmware's 85 °C soft limit quickly.
+
+Calibration targets (mirrors the style of the other device descriptions):
+
+* flat-out detector load (GPU ~75 % busy, CPU ~40 % busy at maximum
+  operating points) reaches a steady state above the 85 °C trip point, so
+  the stock governor eventually throttles;
+* one GPU operating point below the maximum the steady state sits around
+  70-75 °C — a sustainable near-peak region exists for a controller to
+  find;
+* thermal time constants of roughly half a minute, so even short episodes
+  contain heat-up / throttle / cool-down cycles.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuModel
+from repro.hardware.device import EdgeDevice
+from repro.hardware.frequency import FrequencyTable
+from repro.hardware.gpu import GpuModel
+from repro.hardware.power import PowerModel
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig, symmetric_couplings
+from repro.hardware.throttle import ThrottleConfig
+
+DEVICE_NAME = "raspberry-pi-5"
+
+#: Cortex-A76 cluster operating points (MHz), as exposed by the Pi 5's
+#: cpufreq driver.
+CPU_FREQUENCIES_MHZ = (1500.0, 1600.0, 1700.0, 1800.0, 2000.0, 2200.0, 2400.0)
+
+#: VideoCore VII (v3d) operating points (MHz).
+GPU_FREQUENCIES_MHZ = (300.0, 500.0, 800.0, 960.0)
+
+#: Firmware soft thermal limit (°C); the Pi starts capping clocks here.
+TRIP_TEMPERATURE_C = 85.0
+
+
+def raspberry_pi5(ambient_temperature_c: float = 25.0) -> EdgeDevice:
+    """Build a calibrated Raspberry Pi 5 :class:`EdgeDevice`.
+
+    Args:
+        ambient_temperature_c: Environment temperature the device starts at
+            and cools towards.
+    """
+    cpu_table = FrequencyTable.from_mhz(
+        CPU_FREQUENCIES_MHZ, min_voltage_mv=720.0, max_voltage_mv=1000.0
+    )
+    gpu_table = FrequencyTable.from_mhz(
+        GPU_FREQUENCIES_MHZ, min_voltage_mv=600.0, max_voltage_mv=900.0
+    )
+    cpu = CpuModel(
+        name="Cortex-A76 x4",
+        frequency_table=cpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=4.5,
+            reference_point=cpu_table.point(cpu_table.max_level),
+            idle_power_w=0.25,
+            leakage_power_w=0.45,
+            leakage_temp_coefficient=0.025,
+            leakage_reference_temp_c=50.0,
+        ),
+        num_cores=4,
+    )
+    gpu = GpuModel(
+        name="VideoCore VII",
+        frequency_table=gpu_table,
+        power_model=PowerModel(
+            max_dynamic_power_w=4.8,
+            reference_point=gpu_table.point(gpu_table.max_level),
+            idle_power_w=0.25,
+            leakage_power_w=0.35,
+            leakage_temp_coefficient=0.025,
+            leakage_reference_temp_c=50.0,
+        ),
+        num_cores=128,
+    )
+    # Bare BCM2712 package without a heatsink: junction-to-ambient
+    # resistances in the tens of °C/W and a small thermal mass, giving the
+    # ~30 s time constants the board shows in stress tests.
+    thermal = ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig(
+                name="cpu",
+                heat_capacity_j_per_c=2.0,
+                resistance_to_ambient_c_per_w=16.0,
+            ),
+            ThermalNodeConfig(
+                name="gpu",
+                heat_capacity_j_per_c=2.2,
+                resistance_to_ambient_c_per_w=17.0,
+            ),
+        ),
+        # CPU cluster and VideoCore share the BCM2712 die, so the coupling
+        # is stronger than between the Jetson's separate IP blocks.
+        couplings=symmetric_couplings([("cpu", "gpu", 0.45)]),
+        ambient_temperature_c=ambient_temperature_c,
+    )
+    return EdgeDevice(
+        name=DEVICE_NAME,
+        cpu=cpu,
+        gpu=gpu,
+        thermal=thermal,
+        cpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=10.0,
+            throttled_level=1,
+        ),
+        gpu_throttle=ThrottleConfig(
+            trip_temperature_c=TRIP_TEMPERATURE_C,
+            hysteresis_c=10.0,
+            throttled_level=0,
+        ),
+    )

@@ -16,12 +16,17 @@ from repro.hardware.devices.jetson_orin_nano import (
     jetson_orin_nano,
 )
 from repro.hardware.devices.mi11_lite import DEVICE_NAME as MI11_NAME, mi11_lite
+from repro.hardware.devices.raspberry_pi5 import (
+    DEVICE_NAME as RPI5_NAME,
+    raspberry_pi5,
+)
 
 DeviceBuilder = Callable[[float], EdgeDevice]
 
 _REGISTRY: Dict[str, DeviceBuilder] = {
     JETSON_NAME: jetson_orin_nano,
     MI11_NAME: mi11_lite,
+    RPI5_NAME: raspberry_pi5,
 }
 
 

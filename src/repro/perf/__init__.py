@@ -7,11 +7,16 @@ bench`` from the microbenchmarks in this package.
 
 * :mod:`repro.perf.timer` — :class:`Timer`, :func:`measure`,
   :class:`BenchResult` and :class:`BenchReport` (the JSON schema).
-* :mod:`repro.perf.benchmarks` — the benchmark suite: replay push/sample,
-  slimmable forward/backward at both widths, ``train_batch``, and a full
-  Lotus session, each timed against the frozen pre-refactor reference.
-* :mod:`repro.perf.legacy` — that reference: the original deque replay and
-  mask-padded DQN update, kept verbatim as baseline and equivalence oracle.
+* :mod:`repro.perf.benchmarks` — the RL benchmark suite: replay
+  push/sample, slimmable forward/backward at both widths, ``train_batch``,
+  and a full Lotus session, each timed against the frozen pre-refactor
+  reference.
+* :mod:`repro.perf.fleet_benchmarks` — the fleet-engine suite: a full
+  fleet episode, the batched thermal/governor/proposal kernels, each timed
+  against the equivalent loop over scalar objects (``BENCH_PR3.json``).
+* :mod:`repro.perf.legacy` — the RL reference: the original deque replay
+  and mask-padded DQN update, kept verbatim as baseline and equivalence
+  oracle.
 """
 
 from repro.perf.timer import BenchReport, BenchResult, Timer, measure, measure_pair
@@ -22,16 +27,28 @@ from repro.perf.benchmarks import (
     run_bench_suite,
     write_report,
 )
+from repro.perf.fleet_benchmarks import (
+    DEFAULT_FLEET_OUTPUT,
+    FLEET_SIZE,
+    FLEET_SPEEDUP_TARGETS,
+    run_fleet_bench_suite,
+    write_fleet_report,
+)
 
 __all__ = [
     "BenchReport",
     "BenchResult",
+    "DEFAULT_FLEET_OUTPUT",
     "DEFAULT_OUTPUT",
+    "FLEET_SIZE",
+    "FLEET_SPEEDUP_TARGETS",
     "SPEEDUP_TARGETS",
     "Timer",
     "format_report",
     "measure",
     "measure_pair",
     "run_bench_suite",
+    "run_fleet_bench_suite",
+    "write_fleet_report",
     "write_report",
 ]

@@ -268,8 +268,16 @@ def write_report(report: BenchReport, output: str | Path) -> Path:
     return path
 
 
-def format_report(report: BenchReport) -> str:
-    """Human-readable table of results and speedups."""
+def format_report(report: BenchReport, targets: dict[str, float] | None = None) -> str:
+    """Human-readable table of results and speedups.
+
+    Args:
+        report: The populated report.
+        targets: Acceptance floors annotated next to matching speedup
+            families (defaults to the RL suite's :data:`SPEEDUP_TARGETS`).
+    """
+    if targets is None:
+        targets = SPEEDUP_TARGETS
     lines = [f"perf suite [{report.label}]" + (" (quick)" if report.quick else "")]
     lines.append(f"{'benchmark':<28s} {'iters':>6s} {'best/iter':>12s}")
     for result in report.results:
@@ -279,9 +287,9 @@ def format_report(report: BenchReport) -> str:
         )
     if report.speedups:
         lines.append("")
-        lines.append("speedups vs. pre-refactor baseline (legacy, same process):")
+        lines.append("speedups vs. the scalar/legacy baseline (same process):")
         for family, ratio in report.speedups.items():
-            target = SPEEDUP_TARGETS.get(family)
+            target = targets.get(family)
             suffix = f"  (target >= {target:.1f}x)" if target else ""
             lines.append(f"  {family:<26s} {ratio:5.2f}x{suffix}")
     return "\n".join(lines)

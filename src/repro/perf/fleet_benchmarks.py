@@ -1,0 +1,211 @@
+"""Microbenchmarks of the vectorized fleet engine.
+
+Second entry of the repository's perf trajectory: every benchmark times the
+batched fleet kernel next to the equivalent loop over scalar objects in the
+same process on the same seeds, so the ``BENCH_PR3.json`` speedups are
+apples-to-apples.  Covered:
+
+* ``fleet_session`` — the headline: a full default-governor episode on the
+  fleet engine vs. the same N sessions run one at a time through the scalar
+  environment (aggregate frames/sec ratio; acceptance floor 5x at N=64),
+* ``fleet_thermal`` — one executed device segment (power, RC integration,
+  throttle update) batched vs. a loop over scalar devices,
+* ``fleet_governor`` — one schedutil + simple_ondemand decision batched vs.
+  the scalar governor loop,
+* ``fleet_proposals`` — proposal sampling batched vs. the scalar loop.
+
+Run via ``python -m repro bench --suite fleet``; the report lands in
+``BENCH_PR3.json`` by default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentSetting, make_environment, make_policy
+from repro.detection.fleet import propose_batch
+from repro.detection.registry import build_detector
+from repro.env.episode import run_episode
+from repro.env.fleet import run_fleet_episode
+from repro.governors.fleet import build_batched_default_governor
+from repro.governors.registry import build_default_governor
+from repro.hardware.devices.registry import build_device
+from repro.hardware.fleet import DeviceFleet
+from repro.perf.timer import BenchReport, measure
+from repro.runtime.fleet import make_fleet_environment, make_fleet_policy
+
+#: Default report filename; the label tracks the PR that recorded it.
+BENCH_LABEL = "PR3"
+DEFAULT_FLEET_OUTPUT = f"BENCH_{BENCH_LABEL}.json"
+
+#: Fleet size of the headline benchmark (the acceptance floor is defined
+#: at N=64; quick mode shrinks the episode, not the fleet).
+FLEET_SIZE = 64
+
+#: Acceptance floors recorded into the report for context (the benchmark
+#: itself does not gate on them; tests/test_fleet_perf.py does).
+FLEET_SPEEDUP_TARGETS = {"fleet_session": 5.0}
+
+
+def bench_fleet_session(
+    report: BenchReport, fleet_size: int, frames: int, repeats: int
+) -> None:
+    """Full default-governor episode: fleet engine vs. N scalar sessions."""
+    setting = ExperimentSetting(num_frames=frames, seed=0)
+    fleet_env = make_fleet_environment(setting, fleet_size)
+    fleet_policy = make_fleet_policy("default", fleet_env, frames, seed=0)
+    scalar_envs = [
+        make_environment(setting.with_overrides(seed=i)) for i in range(fleet_size)
+    ]
+    scalar_policies = [
+        make_policy("default", env, frames, seed=i)
+        for i, env in enumerate(scalar_envs)
+    ]
+
+    def run_fleet_side() -> None:
+        run_fleet_episode(fleet_env, fleet_policy, frames)
+
+    def run_scalar_side() -> None:
+        for env, policy in zip(scalar_envs, scalar_policies):
+            run_episode(env, policy, frames)
+
+    name = f"fleet_session_{fleet_size}x{frames}f"
+    current = measure(name, run_fleet_side, iterations=1, repeats=repeats)
+    legacy = measure(f"{name}_scalar", run_scalar_side, iterations=1, repeats=repeats)
+    report.add_pair("fleet_session", current, legacy)
+
+
+def bench_fleet_thermal(
+    report: BenchReport, fleet_size: int, iterations: int, repeats: int
+) -> None:
+    """One executed 150 ms segment: batched device kernel vs. scalar loop."""
+    fleet = DeviceFleet(build_device("jetson-orin-nano"), fleet_size)
+    devices = [build_device("jetson-orin-nano") for _ in range(fleet_size)]
+    duration = np.full(fleet_size, 150.0)
+
+    current = measure(
+        f"fleet_thermal_{fleet_size}",
+        lambda: fleet.execute(duration, 0.4, 0.85),
+        iterations=iterations,
+        repeats=repeats,
+        setup=fleet.reset,
+    )
+
+    def scalar_segment() -> None:
+        for device in devices:
+            device.execute(150.0, 0.4, 0.85)
+
+    def scalar_reset() -> None:
+        for device in devices:
+            device.reset()
+
+    legacy = measure(
+        f"fleet_thermal_{fleet_size}_scalar",
+        scalar_segment,
+        iterations=iterations,
+        repeats=repeats,
+        setup=scalar_reset,
+    )
+    report.add_pair("fleet_thermal", current, legacy)
+
+
+def bench_fleet_governor(
+    report: BenchReport, fleet_size: int, iterations: int, repeats: int
+) -> None:
+    """One joint governor decision: batched kernels vs. the scalar loop."""
+    rng = np.random.default_rng(5)
+    cpu_util = rng.uniform(0.1, 1.0, size=fleet_size)
+    gpu_util = rng.uniform(0.1, 1.0, size=fleet_size)
+    cpu_levels = rng.integers(0, 10, size=fleet_size)
+    gpu_levels = rng.integers(0, 5, size=fleet_size)
+    batched = build_batched_default_governor("jetson-orin-nano")
+    scalar = build_default_governor("jetson-orin-nano")
+
+    def batched_decide() -> None:
+        batched.cpu_governor.select_levels(cpu_util, cpu_levels, 10)
+        batched.gpu_governor.select_levels(gpu_util, gpu_levels, 5)
+
+    def scalar_decide() -> None:
+        for i in range(fleet_size):
+            scalar.cpu_governor.select_level(cpu_util[i], int(cpu_levels[i]), 10)
+            scalar.gpu_governor.select_level(gpu_util[i], int(gpu_levels[i]), 5)
+
+    current = measure(
+        f"fleet_governor_{fleet_size}", batched_decide,
+        iterations=iterations, repeats=repeats,
+    )
+    legacy = measure(
+        f"fleet_governor_{fleet_size}_scalar", scalar_decide,
+        iterations=iterations, repeats=repeats,
+    )
+    report.add_pair("fleet_governor", current, legacy)
+
+
+def bench_fleet_proposals(
+    report: BenchReport, fleet_size: int, iterations: int, repeats: int
+) -> None:
+    """Proposal sampling: batched exp/clip tail vs. the scalar loop."""
+    detector = build_detector("faster_rcnn")
+    candidates = np.random.default_rng(6).uniform(20.0, 400.0, size=fleet_size)
+    batched_rngs = [np.random.default_rng(i) for i in range(fleet_size)]
+    scalar_rngs = [np.random.default_rng(i) for i in range(fleet_size)]
+
+    current = measure(
+        f"fleet_proposals_{fleet_size}",
+        lambda: propose_batch(detector, candidates, batched_rngs),
+        iterations=iterations,
+        repeats=repeats,
+    )
+
+    def scalar_propose() -> None:
+        for i in range(fleet_size):
+            detector.propose(float(candidates[i]), scalar_rngs[i])
+
+    legacy = measure(
+        f"fleet_proposals_{fleet_size}_scalar", scalar_propose,
+        iterations=iterations, repeats=repeats,
+    )
+    report.add_pair("fleet_proposals", current, legacy)
+
+
+def run_fleet_bench_suite(quick: bool = False, fleet_size: int = FLEET_SIZE) -> BenchReport:
+    """Run every fleet microbenchmark and return the populated report.
+
+    Args:
+        quick: CI-smoke mode — shorter episodes and fewer repeats, to prove
+            execution health rather than produce stable numbers.
+        fleet_size: Fleet size N used by every benchmark.
+    """
+    report = BenchReport(label=BENCH_LABEL, quick=quick)
+    session_frames = 60 if quick else 150
+    session_repeats = 1 if quick else 3
+    micro_iters = 50 if quick else 400
+    repeats = 2 if quick else 3
+
+    bench_fleet_session(report, fleet_size, session_frames, session_repeats)
+    bench_fleet_thermal(report, fleet_size, micro_iters, repeats)
+    bench_fleet_governor(report, fleet_size, micro_iters, repeats)
+    bench_fleet_proposals(report, fleet_size, micro_iters, repeats)
+    return report
+
+
+def write_fleet_report(report: BenchReport, output: str | Path) -> Path:
+    """Serialise ``report`` plus fleet metadata and targets to ``output``."""
+    path = Path(output)
+    payload = report.to_dict()
+    payload["speedup_targets"] = dict(FLEET_SPEEDUP_TARGETS)
+    session = next(
+        (r for r in report.results if r.name.startswith("fleet_session_")
+         and not r.name.endswith("_scalar")),
+        None,
+    )
+    if session is not None:
+        sessions, _, frames = session.name.removeprefix("fleet_session_").partition("x")
+        payload["fleet_size"] = int(sessions)
+        total_frames = int(sessions) * int(frames.removesuffix("f"))
+        payload["aggregate_frames_per_second"] = total_frames / session.best_s
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

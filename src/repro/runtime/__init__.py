@@ -17,6 +17,12 @@ from repro.runtime.engine import (
     default_worker_count,
     execute_job,
 )
+from repro.runtime.fleet import (
+    FleetRunResult,
+    make_fleet_environment,
+    make_fleet_policy,
+    run_fleet,
+)
 from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
 from repro.runtime.sweep import SweepSpec, sweep_metrics_map
 
@@ -24,6 +30,7 @@ __all__ = [
     "CacheStats",
     "ExperimentJob",
     "ExperimentRuntime",
+    "FleetRunResult",
     "ResultCache",
     "RuntimeReport",
     "SweepSpec",
@@ -32,5 +39,8 @@ __all__ = [
     "default_worker_count",
     "execute_job",
     "job_key",
+    "make_fleet_environment",
+    "make_fleet_policy",
+    "run_fleet",
     "sweep_metrics_map",
 ]

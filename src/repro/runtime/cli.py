@@ -1,27 +1,34 @@
 """Command-line interface of the experiment runtime (``python -m repro``).
 
-Five subcommands drive the engine without writing any code:
+Eight subcommands drive the engine without writing any code:
 
 * ``run`` — execute one experiment cell and print its summary metrics.
 * ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
   grid, run it on the worker pool with result caching, and print one
   paper-style comparison table per device.
+* ``fleet`` — run one cell as N vectorized lock-step sessions in a single
+  process (the fleet engine) and print per-session plus aggregate metrics.
 * ``report`` — render the same tables purely from the cache, listing any
   missing cells instead of running them (useful on machines that only hold
   the cache, e.g. when collecting results produced elsewhere).
+* ``devices`` / ``detectors`` — list the registered device and detector
+  models with their key parameters.
 * ``cache`` — inspect or clear the result cache.
-* ``bench`` — run the :mod:`repro.perf` microbenchmark suite and write the
-  ``BENCH_*.json`` perf-trajectory report.
+* ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``
+  or ``--suite fleet``) and write the ``BENCH_*.json`` perf-trajectory
+  report.
 
 Examples::
 
     python -m repro run --method lotus --frames 500
     python -m repro sweep --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019 --workers 4
+    python -m repro fleet --method default --sessions 64 --frames 500
     python -m repro report --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019
+    python -m repro devices
     python -m repro cache info
-    python -m repro bench --quick
+    python -m repro bench --suite fleet --quick
 """
 
 from __future__ import annotations
@@ -235,12 +242,96 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf import DEFAULT_OUTPUT, format_report, run_bench_suite, write_report
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentSetting
+    from repro.runtime.fleet import run_fleet
 
-    report = run_bench_suite(quick=args.quick)
-    print(format_report(report))
-    path = write_report(report, args.output or DEFAULT_OUTPUT)
+    if args.training_frames:
+        raise LotusError(
+            "fleet mode has no pre-evaluation warm-up phase (learning methods "
+            "train within the episode itself); drop --training-frames or use "
+            "`python -m repro run`"
+        )
+    setting = ExperimentSetting(
+        device=args.device,
+        detector=args.detector,
+        dataset=args.dataset,
+        num_frames=args.frames,
+        latency_constraint_ms=args.constraint_ms,
+        ambient_temperature_c=args.ambient_c,
+        seed=args.seed,
+    )
+    result = run_fleet(setting, args.method, args.sessions)
+    print(
+        f"fleet: {args.sessions} sessions x {args.frames} frames, "
+        f"{result.policy_name} on {args.dataset}/{args.detector} ({args.device})"
+    )
+    if args.per_session:
+        for i, session in enumerate(result.sessions):
+            print(_summary_line(f"session {i} (seed {setting.seed + i})", session.metrics))
+    latencies = result.fleet_trace.latencies_ms()
+    met = result.fleet_trace.constraint_met()
+    print(
+        f"aggregate: l={latencies.mean():8.1f} ms  "
+        f"R_L={met.mean() * 100:5.1f} %  "
+        f"{result.fleet_trace.total_frames} frames in {result.elapsed_s:.2f} s "
+        f"({result.aggregate_frames_per_second:,.0f} frames/s)"
+    )
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.hardware.devices.registry import available_devices, build_device
+
+    for name in available_devices():
+        device = build_device(name)
+        print(
+            f"{name:<18s} cpu: {device.cpu.name} ({device.cpu.num_levels} levels, "
+            f"max {device.cpu.frequency_table.max_frequency_khz / 1e3:.0f} MHz)  "
+            f"gpu: {device.gpu.name} ({device.gpu.num_levels} levels, "
+            f"max {device.gpu.frequency_table.max_frequency_khz / 1e3:.0f} MHz)  "
+            f"trip {min(device.cpu_throttle.trip_temperature_c, device.gpu_throttle.trip_temperature_c):.0f} C"
+        )
+    return 0
+
+
+def _cmd_detectors(args: argparse.Namespace) -> int:
+    from repro.detection.registry import available_detectors, build_detector
+
+    for name in available_detectors():
+        detector = build_detector(name)
+        kind = "two-stage" if detector.is_two_stage else "one-stage"
+        cap = (
+            f", <= {detector.proposal_model.max_proposals} proposals"
+            if detector.is_two_stage
+            else ""
+        )
+        print(
+            f"{name:<14s} {kind}, stages: {', '.join(detector.stage_names)}{cap}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_FLEET_OUTPUT,
+        DEFAULT_OUTPUT,
+        FLEET_SPEEDUP_TARGETS,
+        format_report,
+        run_bench_suite,
+        run_fleet_bench_suite,
+        write_fleet_report,
+        write_report,
+    )
+
+    if args.suite == "fleet":
+        report = run_fleet_bench_suite(quick=args.quick)
+        print(format_report(report, targets=FLEET_SPEEDUP_TARGETS))
+        path = write_fleet_report(report, args.output or DEFAULT_FLEET_OUTPUT)
+    else:
+        report = run_bench_suite(quick=args.quick)
+        print(format_report(report))
+        path = write_report(report, args.output or DEFAULT_OUTPUT)
     print(f"\nwrote {path}")
     return 0
 
@@ -301,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true", help="suppress per-job progress")
     sweep.set_defaults(func=_cmd_sweep)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run one cell as N vectorized lock-step sessions (fleet engine)",
+    )
+    _add_cell_arguments(fleet, plural=False)
+    fleet.add_argument(
+        "--sessions", type=int, default=64,
+        help="fleet size N (one session per seed, seeds seed..seed+N-1)",
+    )
+    fleet.add_argument(
+        "--per-session", action="store_true",
+        help="print one summary line per session in addition to the aggregate",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
+
     report = subparsers.add_parser(
         "report", help="render tables from cached results only (no execution)"
     )
@@ -312,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=_cmd_report)
 
+    devices = subparsers.add_parser(
+        "devices", help="list the registered device models"
+    )
+    devices.set_defaults(func=_cmd_devices)
+
+    detectors = subparsers.add_parser(
+        "detectors", help="list the registered detector cost models"
+    )
+    detectors.set_defaults(func=_cmd_detectors)
+
     cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear", "path"))
     _add_cache_arguments(cache)
@@ -319,15 +435,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the perf microbenchmark suite and write BENCH_*.json",
+        help="run a perf microbenchmark suite and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--suite", choices=("rl", "fleet"), default="rl",
+        help="which suite to run: the RL hot path (BENCH_PR2.json) or the "
+        "fleet engine (BENCH_PR3.json)",
     )
     bench.add_argument(
         "--quick", action="store_true",
-        help="CI smoke mode: fewer iterations, shorter Lotus session",
+        help="CI smoke mode: fewer iterations, shorter sessions",
     )
     bench.add_argument(
         "--output", default=None,
-        help="report path (default: BENCH_PR2.json in the current directory)",
+        help="report path (default: the suite's BENCH_*.json in the current "
+        "directory)",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -1,0 +1,268 @@
+"""Fleet execution mode: many sessions, one vectorized process.
+
+The process-pool runtime (:mod:`repro.runtime.engine`) scales experiment
+*cells* across workers; the fleet mode scales *sessions within one cell*
+across a single NumPy program.  A fleet run is defined exactly like N
+scalar runs: session ``i`` uses base seed ``setting.seed + i``, the same
+device/detector/dataset/constraint, and (for per-session policies) the
+same policy construction — so its traces are interchangeable with, and for
+supported methods bit-identical to, the scalar path's.
+
+Methods map onto fleet policies as follows:
+
+* ``default`` / ``performance`` / ``powersave`` / ``fixed`` — vectorized
+  batch policies (:mod:`repro.governors.fleet`), trace-equivalent to their
+  scalar counterparts.
+* ``lotus-fleet`` — the fleet-trained agent
+  (:class:`repro.core.fleet.FleetLotusAgent`): one shared Q-network fed by
+  every session's experience (a new capability, not a scalar-equivalent
+  mode).
+* anything else (``lotus``, ``ztt``, the ablations) — per-session scalar
+  policies adapted through
+  :class:`repro.env.fleet.PerSessionPolicies`, preserving exact scalar
+  behaviour while still running on the vectorized environment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.core.fleet import FleetLotusAgent
+from repro.core.training import SessionResult, session_result_from_trace
+from repro.detection.registry import build_detector
+from repro.env.ambient import AmbientProfile, ConstantAmbient
+from repro.env.fleet import (
+    BatchedInferenceEnvironment,
+    FleetPolicy,
+    FleetTrace,
+    PerSessionPolicies,
+    run_fleet_episode,
+)
+from repro.governors.fleet import (
+    BatchedPerformancePolicy,
+    BatchedPowersavePolicy,
+    BatchedUserspacePolicy,
+    build_batched_default_governor,
+)
+from repro.hardware.devices.registry import build_device
+from repro.workload.dataset import build_dataset
+from repro.workload.fleet import FleetFrameStream
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.analysis.experiments import ExperimentSetting
+
+# The analysis layer itself imports the runtime (its runners execute through
+# the engine), so its symbols are imported lazily inside the functions below
+# to keep ``repro.runtime`` importable on its own.
+
+
+@dataclass(frozen=True)
+class FleetRunResult:
+    """Outcome of one fleet run.
+
+    Attributes:
+        setting: The base experiment setting (session ``i`` ran with seed
+            ``setting.seed + i``).
+        method: Method name.
+        num_sessions: Fleet size N.
+        policy_name: Name of the fleet policy that produced the traces.
+        sessions: Per-session :class:`SessionResult` records (same shape the
+            scalar runtime produces).
+        fleet_trace: The raw columnar trace.
+        elapsed_s: Wall-clock seconds spent in the episode loop.
+    """
+
+    setting: ExperimentSetting
+    method: str
+    num_sessions: int
+    policy_name: str
+    sessions: Tuple[SessionResult, ...]
+    fleet_trace: FleetTrace
+    elapsed_s: float
+
+    @property
+    def aggregate_frames_per_second(self) -> float:
+        """Total frames processed across the fleet per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.fleet_trace.total_frames / self.elapsed_s
+
+
+def make_fleet_environment(
+    setting: ExperimentSetting,
+    num_sessions: int,
+    ambient: AmbientProfile | None = None,
+) -> BatchedInferenceEnvironment:
+    """Build the fleet environment for ``num_sessions`` sessions of ``setting``.
+
+    Session ``i`` gets the stream generator ``default_rng(setting.seed + i)``
+    and the proposal generator ``default_rng(setting.seed + i + 1)`` —
+    exactly the generators :func:`repro.analysis.experiments.make_environment`
+    gives a scalar run with seed ``setting.seed + i``.
+    """
+    if num_sessions <= 0:
+        raise ExperimentError("num_sessions must be positive")
+    from repro.analysis.experiments import (
+        _control_margin_c,
+        default_latency_constraint,
+    )
+
+    device = build_device(setting.device, setting.ambient_temperature_c)
+    detector = build_detector(setting.detector)
+    dataset = build_dataset(setting.dataset)
+    streams = FleetFrameStream(
+        dataset,
+        [np.random.default_rng(setting.seed + i) for i in range(num_sessions)],
+    )
+    rngs = [
+        np.random.default_rng(setting.seed + i + 1) for i in range(num_sessions)
+    ]
+    constraint = (
+        setting.latency_constraint_ms
+        if setting.latency_constraint_ms is not None
+        else default_latency_constraint(
+            setting.device, setting.detector, setting.dataset
+        )
+    )
+    trip = min(
+        device.cpu_throttle.trip_temperature_c, device.gpu_throttle.trip_temperature_c
+    )
+    return BatchedInferenceEnvironment(
+        device=device,
+        detector=detector,
+        streams=streams,
+        latency_constraint_ms=constraint,
+        ambient=(
+            ambient
+            if ambient is not None
+            else ConstantAmbient(setting.ambient_temperature_c)
+        ),
+        rngs=rngs,
+        throttle_threshold_c=trip - _control_margin_c(trip),
+    )
+
+
+def make_fleet_policy(
+    method: str,
+    environment: BatchedInferenceEnvironment,
+    num_frames: int,
+    seed: int = 0,
+) -> FleetPolicy:
+    """Build a fleet policy by method name, sized for the environment."""
+    from repro.analysis.experiments import make_policy
+
+    device = environment.device
+    if method == "default":
+        return build_batched_default_governor(device.name)
+    if method == "performance":
+        return BatchedPerformancePolicy()
+    if method == "powersave":
+        return BatchedPowersavePolicy()
+    if method == "fixed":
+        return BatchedUserspacePolicy(
+            cpu_level=device.cpu.max_level,
+            gpu_level=max(0, device.gpu.max_level - 1),
+        )
+    if method == "lotus-fleet":
+        detector = environment.detector
+        proposal_scale = float(
+            detector.proposal_model.max_proposals if detector.is_two_stage else 100
+        )
+        from repro.core.config import LotusConfig
+
+        return FleetLotusAgent(
+            cpu_levels=device.cpu.num_levels,
+            gpu_levels=device.gpu.num_levels,
+            temperature_threshold_c=environment.throttle_threshold_c,
+            proposal_scale=proposal_scale,
+            num_sessions=environment.num_sessions,
+            config=LotusConfig(seed=seed + 100).for_episode_length(num_frames),
+            rng=np.random.default_rng(seed + 100),
+        )
+    # Fall back to exact per-session scalar policies (lotus, ztt, ablations,
+    # and any future registered method): make_policy only inspects the
+    # device, detector and throttle threshold, which the fleet environment
+    # exposes with the same attribute names.
+    policies = [
+        make_policy(method, environment, num_frames, seed=seed + i)
+        for i in range(environment.num_sessions)
+    ]
+    return PerSessionPolicies(policies)
+
+
+def run_fleet(
+    setting: ExperimentSetting,
+    method: str,
+    num_sessions: int,
+    ambient: AmbientProfile | None = None,
+) -> FleetRunResult:
+    """Run one (setting, method) cell as a vectorized fleet of sessions.
+
+    The fleet analogue of
+    :func:`repro.analysis.experiments.execute_setting`, minus the
+    online-training warm-up (fleet learning methods train within the
+    episode itself).
+    """
+    environment = make_fleet_environment(setting, num_sessions, ambient=ambient)
+    policy = make_fleet_policy(method, environment, setting.num_frames, seed=setting.seed)
+    start = time.perf_counter()
+    fleet_trace = run_fleet_episode(environment, policy, setting.num_frames)
+    elapsed_s = time.perf_counter() - start
+    sessions = _session_results(policy, fleet_trace)
+    return FleetRunResult(
+        setting=setting,
+        method=method,
+        num_sessions=num_sessions,
+        policy_name=policy.name,
+        sessions=tuple(sessions),
+        fleet_trace=fleet_trace,
+        elapsed_s=elapsed_s,
+    )
+
+
+def _session_results(policy: FleetPolicy, fleet_trace: FleetTrace) -> List[SessionResult]:
+    """Package each session's trace the way the scalar runtime would."""
+    if isinstance(policy, PerSessionPolicies):
+        losses = policy.loss_histories()
+        rewards = policy.reward_histories()
+    else:
+        losses = [list(getattr(policy, "loss_history", []))] * fleet_trace.num_sessions
+        rewards = [
+            list(getattr(policy, "reward_history", []))
+        ] * fleet_trace.num_sessions
+    return [
+        session_result_from_trace(
+            policy.name,
+            fleet_trace.session_trace(i),
+            losses=losses[i],
+            rewards=rewards[i],
+        )
+        for i in range(fleet_trace.num_sessions)
+    ]
+
+
+def scalar_reference_sessions(
+    setting: ExperimentSetting, method: str, num_sessions: int
+) -> List[SessionResult]:
+    """Run the N equivalent scalar sessions (the fleet's reference path).
+
+    Used by the equivalence tests and the fleet benchmarks: session ``i``
+    is ``execute_setting`` at seed ``setting.seed + i`` without warm-up.
+    """
+    from repro.analysis.experiments import make_environment, make_policy
+    from repro.core.training import OnlineSession
+
+    results = []
+    for i in range(num_sessions):
+        session_setting = setting.with_overrides(seed=setting.seed + i)
+        environment = make_environment(session_setting)
+        policy = make_policy(
+            method, environment, setting.num_frames, seed=session_setting.seed
+        )
+        results.append(OnlineSession(environment, policy).run(setting.num_frames))
+    return results

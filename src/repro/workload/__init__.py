@@ -21,12 +21,15 @@ from repro.workload.dataset import (
     kitti,
     visdrone2019,
 )
+from repro.workload.fleet import FleetFrameBatch, FleetFrameStream
 from repro.workload.generator import DomainSwitchStream, Frame, FrameStream
 from repro.workload.scene import SceneComplexityProcess
 
 __all__ = [
     "DatasetProfile",
     "DomainSwitchStream",
+    "FleetFrameBatch",
+    "FleetFrameStream",
     "Frame",
     "FrameStream",
     "SceneComplexityProcess",

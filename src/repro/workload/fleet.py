@@ -1,0 +1,106 @@
+"""Batched frame streams for the fleet engine.
+
+:class:`FleetFrameStream` advances N per-session scene-complexity processes
+in one array step: the per-frame normal innovation is drawn from each
+session's own generator (so every session's random stream is consumed
+exactly as the scalar :class:`~repro.workload.generator.FrameStream`
+consumes it), and the AR(1) update plus clipping run as array operations.
+Session ``i`` of a fleet stream seeded with ``rngs[i]`` therefore emits the
+bit-identical frame sequence of ``FrameStream(dataset, rngs[i])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.dataset import DatasetProfile
+
+
+@dataclass(frozen=True)
+class FleetFrameBatch:
+    """One lock-step frame across N sessions.
+
+    Attributes:
+        index: Zero-based frame index within the stream.
+        datasets: Dataset name per session.
+        image_scale: Stage-1 work multiplier per session.
+        scene_candidates: Candidate-object count per session.
+        latency_constraint_ms: Per-session constraint overrides, or ``None``
+            when every session uses the experiment default.
+    """
+
+    index: int
+    datasets: tuple
+    image_scale: np.ndarray
+    scene_candidates: np.ndarray
+    latency_constraint_ms: np.ndarray | None = None
+
+
+class FleetFrameStream:
+    """N lock-step frame streams over one dataset profile.
+
+    Args:
+        dataset: The dataset profile all sessions draw from.
+        rngs: One generator per session; defines the fleet size.
+        latency_constraint_ms: Optional constraint override shared by every
+            frame (mirrors the scalar stream's per-frame override field).
+    """
+
+    def __init__(
+        self,
+        dataset: DatasetProfile,
+        rngs: Sequence[np.random.Generator],
+        latency_constraint_ms: float | None = None,
+    ):
+        if not rngs:
+            raise WorkloadError("need at least one generator (one per session)")
+        self.dataset = dataset
+        self.num_sessions = len(rngs)
+        self._rngs = list(rngs)
+        self._latency_constraint_ms = latency_constraint_ms
+        self._index = 0
+        process = dataset.scene_process()
+        self._mean = process.mean
+        self._innovation_std = process.innovation_std
+        self._correlation = process.correlation
+        self._minimum = process.minimum
+        self._maximum = process.maximum
+        stationary_std = process.stationary_std
+        # Mirror SceneComplexityProcess.reset(rng): one stationary draw per
+        # session from its own generator, clipped into range.
+        initial = np.array(
+            [rng.normal(self._mean, stationary_std) for rng in self._rngs]
+        )
+        self._current = np.clip(initial, self._minimum, self._maximum)
+
+    @property
+    def frames_emitted(self) -> int:
+        """Number of lock-step frames generated so far."""
+        return self._index
+
+    def next_frames(self) -> FleetFrameBatch:
+        """Generate the next frame for every session in one array step."""
+        innovations = np.array(
+            [rng.normal(0.0, self._innovation_std) for rng in self._rngs]
+        )
+        value = (
+            self._mean + self._correlation * (self._current - self._mean) + innovations
+        )
+        self._current = np.clip(value, self._minimum, self._maximum)
+        batch = FleetFrameBatch(
+            index=self._index,
+            datasets=(self.dataset.name,) * self.num_sessions,
+            image_scale=np.full(self.num_sessions, self.dataset.image_scale),
+            scene_candidates=self._current.copy(),
+            latency_constraint_ms=(
+                None
+                if self._latency_constraint_ms is None
+                else np.full(self.num_sessions, self._latency_constraint_ms)
+            ),
+        )
+        self._index += 1
+        return batch

@@ -1,0 +1,203 @@
+"""Seed-for-seed equivalence of the vectorized fleet engine.
+
+The PR that introduced the fleet engine came with a hard guarantee: session
+``i`` of a fleet run is *bit-for-bit* the scalar run with base seed
+``seed + i`` — every frequency decision, latency, temperature, throttle
+flag and energy value matches, for the vectorized policies (default
+governors, static policies) and for arbitrary scalar policies adapted via
+:class:`~repro.env.fleet.PerSessionPolicies` (including the learning
+agents).  These tests enforce it layer by layer and end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentSetting
+from repro.detection.fleet import (
+    BatchedExecutionModel,
+    propose_batch,
+    stage1_cost_arrays,
+    stage2_cost_arrays,
+)
+from repro.detection.latency import ExecutionModel, compute_profile_for
+from repro.detection.registry import build_detector
+from repro.governors.fleet import build_batched_default_governor
+from repro.governors.registry import build_default_governor
+from repro.hardware.devices.registry import available_devices, build_device
+from repro.hardware.fleet import DeviceFleet
+from repro.runtime.fleet import run_fleet, scalar_reference_sessions
+from repro.workload.dataset import build_dataset
+from repro.workload.fleet import FleetFrameStream
+from repro.workload.generator import FrameStream
+
+FLEET = 5
+
+
+def _assert_sessions_identical(fleet_result, scalar_results):
+    for i, scalar in enumerate(scalar_results):
+        fleet_trace = fleet_result.sessions[i].trace
+        assert len(fleet_trace) == len(scalar.trace)
+        for ours, theirs in zip(fleet_trace.records, scalar.trace.records):
+            # Dataclass equality covers every field bit-for-bit.
+            assert ours == theirs
+
+
+@pytest.mark.parametrize("method", ["default", "performance", "powersave", "fixed"])
+def test_vectorized_policies_match_scalar_path_bit_for_bit(method):
+    setting = ExperimentSetting(num_frames=90, seed=0)
+    fleet = run_fleet(setting, method, FLEET)
+    scalars = scalar_reference_sessions(setting, method, FLEET)
+    _assert_sessions_identical(fleet, scalars)
+
+
+@pytest.mark.parametrize("method", ["lotus", "ztt"])
+def test_per_session_learning_policies_match_scalar_path(method):
+    setting = ExperimentSetting(num_frames=70, seed=3)
+    fleet = run_fleet(setting, method, 3)
+    scalars = scalar_reference_sessions(setting, method, 3)
+    _assert_sessions_identical(fleet, scalars)
+    for i, scalar in enumerate(scalars):
+        assert fleet.sessions[i].losses == scalar.losses
+        assert fleet.sessions[i].rewards == scalar.rewards
+
+
+@pytest.mark.parametrize("device_name", ["mi11-lite", "raspberry-pi-5"])
+def test_fleet_equivalence_holds_on_every_device(device_name):
+    setting = ExperimentSetting(device=device_name, num_frames=60, seed=1)
+    fleet = run_fleet(setting, "default", 3)
+    scalars = scalar_reference_sessions(setting, "default", 3)
+    _assert_sessions_identical(fleet, scalars)
+
+
+def test_one_stage_detector_fleet_matches_scalar():
+    setting = ExperimentSetting(detector="yolo_v5", num_frames=60, seed=2)
+    fleet = run_fleet(setting, "default", 3)
+    scalars = scalar_reference_sessions(setting, "default", 3)
+    _assert_sessions_identical(fleet, scalars)
+
+
+# ---------------------------------------------------------------------------
+# Layer-by-layer kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("device_name", sorted(available_devices()))
+def test_device_fleet_segments_match_scalar_devices(device_name):
+    n = 6
+    fleet = DeviceFleet(build_device(device_name), n)
+    devices = [build_device(device_name) for _ in range(n)]
+    rng = np.random.default_rng(7)
+    for step in range(12):
+        cpu_levels = rng.integers(0, fleet.cpu.num_levels, size=n)
+        gpu_levels = rng.integers(0, fleet.gpu.num_levels, size=n)
+        durations = rng.uniform(0.0, 400.0, size=n)
+        cpu_util = rng.uniform(0.0, 1.0, size=n)
+        gpu_util = rng.uniform(0.0, 1.0, size=n)
+        fleet.request_levels(cpu_levels, gpu_levels)
+        telemetry = fleet.execute(durations, cpu_util, gpu_util)
+        for i, device in enumerate(devices):
+            device.request_levels(int(cpu_levels[i]), int(gpu_levels[i]))
+            scalar = device.execute(
+                float(durations[i]), float(cpu_util[i]), float(gpu_util[i])
+            )
+            assert telemetry.cpu_temperature_c[i] == scalar.cpu_temperature_c
+            assert telemetry.gpu_temperature_c[i] == scalar.gpu_temperature_c
+            assert telemetry.cpu_power_w[i] == scalar.cpu_power_w
+            assert telemetry.gpu_power_w[i] == scalar.gpu_power_w
+            assert telemetry.energy_j[i] == scalar.energy_j
+            assert telemetry.cpu_level[i] == device.cpu_level
+            assert telemetry.gpu_level[i] == device.gpu_level
+            assert bool(telemetry.cpu_throttled[i]) == scalar.cpu_throttled
+            assert bool(telemetry.gpu_throttled[i]) == scalar.gpu_throttled
+    for i, device in enumerate(devices):
+        assert fleet.total_energy_j[i] == device.total_energy_j
+        assert fleet.elapsed_ms[i] == device.elapsed_ms
+
+
+@pytest.mark.parametrize(
+    "device_name", ["jetson-orin-nano", "mi11-lite", "raspberry-pi-5"]
+)
+def test_batched_governors_match_scalar_decisions(device_name):
+    batched = build_batched_default_governor(device_name)
+    scalar = build_default_governor(device_name)
+    rng = np.random.default_rng(11)
+    n = 64
+    for cpu_levels_count, gpu_levels_count in ((10, 5), (8, 7), (7, 4)):
+        utils_cpu = rng.uniform(0.0, 1.0, size=n)
+        utils_gpu = rng.uniform(0.0, 1.0, size=n)
+        cur_cpu = rng.integers(0, cpu_levels_count, size=n)
+        cur_gpu = rng.integers(0, gpu_levels_count, size=n)
+        got_cpu = batched.cpu_governor.select_levels(utils_cpu, cur_cpu, cpu_levels_count)
+        got_gpu = batched.gpu_governor.select_levels(utils_gpu, cur_gpu, gpu_levels_count)
+        for i in range(n):
+            assert got_cpu[i] == scalar.cpu_governor.select_level(
+                float(utils_cpu[i]), int(cur_cpu[i]), cpu_levels_count
+            )
+            assert got_gpu[i] == scalar.gpu_governor.select_level(
+                float(utils_gpu[i]), int(cur_gpu[i]), gpu_levels_count
+            )
+
+
+@pytest.mark.parametrize("detector_name", ["faster_rcnn", "mask_rcnn", "yolo_v5"])
+def test_batched_costs_and_execution_match_scalar(detector_name):
+    detector = build_detector(detector_name)
+    profile = compute_profile_for("jetson-orin-nano")
+    scalar_exec = ExecutionModel(profile)
+    batched_exec = BatchedExecutionModel(profile)
+    rng = np.random.default_rng(13)
+    n = 16
+    scales = rng.uniform(0.8, 1.6, size=n)
+    proposals = rng.integers(5, 600, size=n)
+    cpu_khz = rng.uniform(2e5, 1.5e6, size=n)
+    gpu_khz = rng.uniform(2e5, 6.2e5, size=n)
+
+    cpu1, gpu1 = stage1_cost_arrays(detector, scales)
+    cpu2, gpu2 = stage2_cost_arrays(detector, proposals, scales)
+    seg1 = batched_exec.execute(cpu1, gpu1, cpu_khz, gpu_khz)
+    seg2 = batched_exec.execute(cpu2, gpu2, cpu_khz, gpu_khz)
+    for i in range(n):
+        s1 = detector.stage1_cost(float(scales[i]))
+        s2 = detector.stage2_cost(int(proposals[i]), float(scales[i]))
+        assert cpu1[i] == s1.cpu_kilocycles
+        assert gpu1[i] == s1.gpu_kilocycles
+        assert cpu2[i] == s2.cpu_kilocycles
+        assert gpu2[i] == s2.gpu_kilocycles
+        ref1 = scalar_exec.execute(s1, float(cpu_khz[i]), float(gpu_khz[i]))
+        assert seg1.latency_ms[i] == ref1.latency_ms
+        assert seg1.cpu_utilisation[i] == ref1.cpu_utilisation
+        assert seg1.gpu_utilisation[i] == ref1.gpu_utilisation
+        ref2 = scalar_exec.execute(s2, float(cpu_khz[i]), float(gpu_khz[i]))
+        assert seg2.latency_ms[i] == ref2.latency_ms
+
+
+def test_propose_batch_matches_scalar_sampling():
+    detector = build_detector("faster_rcnn")
+    candidates = np.random.default_rng(17).uniform(0.0, 500.0, size=12)
+    batched_rngs = [np.random.default_rng(100 + i) for i in range(12)]
+    scalar_rngs = [np.random.default_rng(100 + i) for i in range(12)]
+    for _ in range(5):
+        batch = propose_batch(detector, candidates, batched_rngs)
+        for i in range(12):
+            assert batch[i] == detector.propose(float(candidates[i]), scalar_rngs[i])
+    one_stage = build_detector("yolo_v5")
+    assert (propose_batch(one_stage, candidates, batched_rngs) == 0).all()
+
+
+def test_fleet_frame_stream_matches_scalar_streams():
+    dataset = build_dataset("visdrone2019")
+    fleet_stream = FleetFrameStream(
+        dataset, [np.random.default_rng(40 + i) for i in range(4)]
+    )
+    scalar_streams = [
+        FrameStream(dataset, np.random.default_rng(40 + i)) for i in range(4)
+    ]
+    for frame_index in range(25):
+        batch = fleet_stream.next_frames()
+        assert batch.index == frame_index
+        for i, stream in enumerate(scalar_streams):
+            frame = stream.next_frame()
+            assert batch.scene_candidates[i] == frame.scene_candidates
+            assert batch.image_scale[i] == frame.image_scale
+            assert batch.datasets[i] == frame.dataset

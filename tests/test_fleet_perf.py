@@ -1,0 +1,77 @@
+"""The fleet perf suite: benchmarks, report schema and CLI integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_FLEET_OUTPUT,
+    FLEET_SPEEDUP_TARGETS,
+    BenchReport,
+    format_report,
+    run_fleet_bench_suite,
+    write_fleet_report,
+)
+from repro.perf.timer import BenchResult
+from repro.runtime.cli import main as cli_main
+
+
+def test_quick_fleet_suite_runs_and_report_is_written(tmp_path):
+    report = run_fleet_bench_suite(quick=True, fleet_size=8)
+    names = {r.name for r in report.results}
+    assert any(n.startswith("fleet_session_8x") for n in names)
+    assert any(n.startswith("fleet_thermal_") for n in names)
+    assert {"fleet_session", "fleet_thermal", "fleet_governor", "fleet_proposals"} <= set(
+        report.speedups
+    )
+    assert all(ratio > 0 for ratio in report.speedups.values())
+    # The vectorized episode must beat N sequential scalar sessions even on
+    # a tiny quick-mode fleet; the committed BENCH_PR3.json records the
+    # >= 5x acceptance measurement at the full fleet size.
+    assert report.speedups["fleet_session"] > 1.0
+
+    out = tmp_path / "bench-fleet.json"
+    payload = json.loads(write_fleet_report(report, out).read_text())
+    assert payload["label"] == "PR3"
+    assert payload["speedup_targets"] == FLEET_SPEEDUP_TARGETS
+    # fleet_size reflects the size the suite actually ran, not the default.
+    assert payload["fleet_size"] == 8
+    assert payload["aggregate_frames_per_second"] > 0
+    text = format_report(report, targets=FLEET_SPEEDUP_TARGETS)
+    assert "fleet_session" in text and "target >= 5.0x" in text
+
+
+def test_committed_fleet_report_records_the_acceptance_numbers():
+    """BENCH_PR3.json at the repo root carries the PR's acceptance claim."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / DEFAULT_FLEET_OUTPUT
+    payload = json.loads(path.read_text())
+    assert payload["label"] == "PR3"
+    assert payload["fleet_size"] == 64
+    assert payload["quick"] is False
+    assert payload["speedups"]["fleet_session"] >= payload["speedup_targets"][
+        "fleet_session"
+    ]
+
+
+def test_bench_cli_fleet_suite_writes_default_report(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    import repro.perf as perf_pkg
+
+    stub = BenchReport(label="PR3", quick=True)
+    stub.add_pair(
+        "fleet_session",
+        BenchResult("fleet_session_64x60f", 1, 1, 0.01, 0.01),
+        BenchResult("fleet_session_64x60f_scalar", 1, 1, 0.09, 0.09),
+    )
+    monkeypatch.setattr(perf_pkg, "run_fleet_bench_suite", lambda quick: stub)
+    exit_code = cli_main(["bench", "--suite", "fleet", "--quick"])
+    assert exit_code == 0
+    assert "fleet_session" in capsys.readouterr().out
+    payload = json.loads((tmp_path / "BENCH_PR3.json").read_text())
+    assert payload["label"] == "PR3"
+    assert payload["speedups"]["fleet_session"] == pytest.approx(9.0)
+    assert payload["aggregate_frames_per_second"] == pytest.approx(64 * 60 / 0.01)

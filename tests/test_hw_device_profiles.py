@@ -7,7 +7,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.hardware.devices.jetson_orin_nano import jetson_orin_nano
 from repro.hardware.devices.mi11_lite import mi11_lite
+from repro.hardware.devices.raspberry_pi5 import raspberry_pi5
 from repro.hardware.devices.registry import available_devices, build_device, register_device
+
+#: GPU-level offset below maximum at which each board must be thermally
+#: sustainable (calibration target of the device descriptions).
+SUSTAINABLE_GPU_OFFSET = {jetson_orin_nano: 1, mi11_lite: 3, raspberry_pi5: 1}
 
 
 def test_jetson_matches_published_specification():
@@ -33,7 +38,38 @@ def test_mi11_matches_published_specification():
     assert device.gpu_throttle.trip_temperature_c < 50.0
 
 
-@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite])
+def test_raspberry_pi5_matches_published_specification():
+    device = raspberry_pi5()
+    assert device.name == "raspberry-pi-5"
+    assert device.cpu.num_cores == 4
+    assert device.cpu.num_levels == 7
+    assert device.gpu.num_levels == 4
+    assert device.cpu.frequency_table.max_frequency_khz == pytest.approx(2_400_000.0)
+    assert device.gpu.frequency_table.max_frequency_khz == pytest.approx(960_000.0)
+    assert device.num_actions == 28
+    # The firmware's soft thermal limit.
+    assert device.gpu_throttle.trip_temperature_c == pytest.approx(85.0)
+
+
+def test_raspberry_pi5_is_slower_and_more_cpu_bound_than_the_jetson():
+    """The compute profile captures VideoCore's weakness vs. the Ampere GPU."""
+    from repro.detection.latency import compute_profile_for
+
+    pi = compute_profile_for("raspberry-pi-5")
+    jetson = compute_profile_for("jetson-orin-nano")
+    assert pi.gpu_efficiency < 0.5 * jetson.gpu_efficiency
+    assert pi.cpu_efficiency > pi.gpu_efficiency
+    assert pi.launch_overhead_ms > jetson.launch_overhead_ms
+
+
+def test_raspberry_pi5_default_governor_is_ondemand():
+    from repro.governors.registry import build_default_governor
+
+    policy = build_default_governor("raspberry-pi-5")
+    assert "ondemand" in policy.name
+
+
+@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite, raspberry_pi5])
 def test_flat_out_steady_state_exceeds_trip_point(builder):
     """Calibration: sustained max-frequency detector load must overheat."""
     device = builder()
@@ -44,11 +80,11 @@ def test_flat_out_steady_state_exceeds_trip_point(builder):
     assert steady["gpu"] > device.gpu_throttle.trip_temperature_c
 
 
-@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite])
+@pytest.mark.parametrize("builder", [jetson_orin_nano, mi11_lite, raspberry_pi5])
 def test_reduced_operating_point_is_sustainable(builder):
     """Calibration: a near-peak operating point exists that never throttles."""
     device = builder()
-    sustainable_gpu = device.gpu.max_level - (1 if builder is jetson_orin_nano else 3)
+    sustainable_gpu = device.gpu.max_level - SUSTAINABLE_GPU_OFFSET[builder]
     device.request_levels(device.cpu.max_level, sustainable_gpu)
     gpu_power = device.gpu.power_w(0.75, 60.0)
     cpu_power = device.cpu.power_w(0.4, 60.0)
@@ -57,7 +93,11 @@ def test_reduced_operating_point_is_sustainable(builder):
 
 
 def test_registry_builds_by_name():
-    assert set(available_devices()) >= {"jetson-orin-nano", "mi11-lite"}
+    assert set(available_devices()) >= {
+        "jetson-orin-nano",
+        "mi11-lite",
+        "raspberry-pi-5",
+    }
     device = build_device("jetson-orin-nano", ambient_temperature_c=10.0)
     assert device.ambient_temperature_c == pytest.approx(10.0)
     with pytest.raises(ConfigurationError):

@@ -1,0 +1,151 @@
+"""Property-style tests of the thermal integrator's sub-stepping.
+
+The RC network splits long segments into ``max_substep_s`` pieces; these
+tests pin the properties the fleet engine (and every long-segment GPU
+stage) relies on: splitting is exact, refinement converges, extreme
+durations stay stable and bounded, and the batched fleet integrator matches
+the scalar one under per-session sub-step schedules of different lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.devices.registry import available_devices, build_device
+from repro.hardware.fleet import DeviceFleet
+from repro.hardware.thermal import ThermalNetwork, ThermalNodeConfig, symmetric_couplings
+
+
+def _network(max_substep_s: float = 0.05, ambient: float = 25.0) -> ThermalNetwork:
+    return ThermalNetwork(
+        nodes=(
+            ThermalNodeConfig("cpu", heat_capacity_j_per_c=6.0, resistance_to_ambient_c_per_w=7.0),
+            ThermalNodeConfig("gpu", heat_capacity_j_per_c=8.0, resistance_to_ambient_c_per_w=7.5),
+        ),
+        couplings=symmetric_couplings([("cpu", "gpu", 0.15)]),
+        ambient_temperature_c=ambient,
+        max_substep_s=max_substep_s,
+    )
+
+
+@pytest.mark.parametrize("total_ms,pieces", [(4_000.0, 8), (8_000.0, 128), (500.0, 4)])
+def test_one_long_segment_equals_the_same_segment_in_pieces(total_ms, pieces):
+    """Splitting a segment at sub-step boundaries is bit-exact.
+
+    ``advance(total)`` internally steps in ``max_substep_s`` chunks, so
+    advancing the same power profile piecewise at multiples of the sub-step
+    must produce the identical temperature sequence.  A binary-exact
+    sub-step (1/16 s) makes the remaining-time bookkeeping drift-free, so
+    the whole/split sequences can be compared with ``==`` rather than a
+    tolerance.
+    """
+    power = {"cpu": 3.0, "gpu": 9.0}
+    whole = _network(max_substep_s=0.0625)
+    split = _network(max_substep_s=0.0625)
+    whole.advance(total_ms, power)
+    piece = total_ms / pieces
+    assert piece / 1e3 / whole.max_substep_s == int(piece / 1e3 / whole.max_substep_s)
+    for _ in range(pieces):
+        split.advance(piece, power)
+    assert whole.temperatures() == split.temperatures()
+
+
+@pytest.mark.parametrize("total_ms,pieces", [(5_000.0, 100), (12_000.0, 5), (900.0, 9)])
+def test_piecewise_advance_matches_whole_segment_within_tolerance(total_ms, pieces):
+    """With the default (non-binary-exact) sub-step, splitting agrees tightly.
+
+    The remaining-time accumulator drifts by ULPs per sub-step, so the final
+    partial step can differ between the whole and split schedules — but only
+    at the 1e-9 level over multi-second segments.
+    """
+    power = {"cpu": 3.0, "gpu": 9.0}
+    whole = _network()
+    split = _network()
+    whole.advance(total_ms, power)
+    for _ in range(pieces):
+        split.advance(total_ms / pieces, power)
+    for node in ("cpu", "gpu"):
+        assert split.temperature(node) == pytest.approx(
+            whole.temperature(node), rel=1e-9
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_refining_the_substep_converges(seed):
+    """Halving the sub-step changes multi-second segments only within O(dt)."""
+    rng = np.random.default_rng(seed)
+    power = {"cpu": float(rng.uniform(0.5, 6.0)), "gpu": float(rng.uniform(1.0, 16.0))}
+    duration_ms = float(rng.uniform(2_000.0, 20_000.0))
+    coarse = _network(max_substep_s=0.05)
+    fine = _network(max_substep_s=0.005)
+    coarse.advance(duration_ms, power)
+    fine.advance(duration_ms, power)
+    for node in ("cpu", "gpu"):
+        assert coarse.temperature(node) == pytest.approx(
+            fine.temperature(node), rel=1e-3, abs=0.05
+        )
+
+
+@pytest.mark.parametrize("duration_ms", [60_000.0, 300_000.0])
+def test_extreme_segments_stay_stable_and_bounded(duration_ms):
+    """Minutes-long segments neither oscillate nor overshoot steady state."""
+    network = _network()
+    power = {"cpu": 5.0, "gpu": 14.0}
+    steady = network.steady_state(power)
+    previous = network.temperatures()
+    for _ in range(10):
+        current = network.advance(duration_ms, power)
+        for node in ("cpu", "gpu"):
+            # Monotonic heat-up, never beyond the analytic steady state.
+            assert current[node] >= previous[node] - 1e-9
+            assert current[node] <= steady[node] + 1e-6
+        previous = current
+    # After 10 segments (>= 10 minutes simulated) the network has closed
+    # most of the gap to the analytic steady state without overshooting.
+    for node in ("cpu", "gpu"):
+        assert previous[node] == pytest.approx(steady[node], abs=2.5)
+
+
+def test_cooling_is_also_stable():
+    network = _network()
+    network.set_temperature("cpu", 90.0)
+    network.set_temperature("gpu", 95.0)
+    network.advance(600_000.0, {})
+    for node in ("cpu", "gpu"):
+        assert network.temperature(node) == pytest.approx(25.0, abs=0.1)
+
+
+def test_zero_and_sub_substep_durations():
+    network = _network()
+    before = network.temperatures()
+    assert network.advance(0.0, {"cpu": 5.0}) == before
+    network.advance(1.0, {"cpu": 5.0})  # far below one sub-step
+    assert network.temperature("cpu") > before["cpu"]
+
+
+@pytest.mark.parametrize("device_name", sorted(available_devices()))
+def test_fleet_integrator_matches_scalar_under_ragged_durations(device_name):
+    """Per-session sub-step schedules of different lengths stay bit-exact.
+
+    Sessions with short segments must stop integrating while the longest
+    session continues — the zero-length sub-step trick — and still match a
+    scalar network advanced for exactly their duration.
+    """
+    n = 5
+    fleet = DeviceFleet(build_device(device_name), n)
+    devices = [build_device(device_name) for _ in range(n)]
+    for device in devices:
+        device.reset()  # a fleet starts reset (max levels); align the scalars
+    rng = np.random.default_rng(23)
+    # Mix sub-sub-step, mid-range and multi-second durations in one batch.
+    durations = np.array([0.0, 3.0, 75.0, 900.0, 6_000.0])
+    for _ in range(4):
+        cpu_util = rng.uniform(0.0, 1.0, size=n)
+        gpu_util = rng.uniform(0.0, 1.0, size=n)
+        fleet.execute(durations, cpu_util, gpu_util)
+        for i, device in enumerate(devices):
+            device.execute(float(durations[i]), float(cpu_util[i]), float(gpu_util[i]))
+            assert fleet.cpu_temperature_c[i] == device.cpu_temperature_c
+            assert fleet.gpu_temperature_c[i] == device.gpu_temperature_c
+        durations = rng.uniform(0.0, 2_000.0, size=n)

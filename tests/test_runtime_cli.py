@@ -115,3 +115,41 @@ def test_cli_sweep_no_cache(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "0 cache hits, 1 executed" in out
     assert not any(tmp_path.iterdir())
+
+
+def test_cli_fleet_runs_and_prints_aggregate(capsys):
+    assert main([
+        "fleet", "--method", "default", "--sessions", "4", "--frames", "15",
+        "--per-session",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet: 4 sessions x 15 frames" in out
+    assert "session 3 (seed 3)" in out
+    assert "aggregate:" in out and "frames/s" in out
+
+
+def test_cli_fleet_reports_library_errors(capsys):
+    assert main(["fleet", "--method", "nonsense", "--frames", "5"]) == 2
+    assert "unknown method" in capsys.readouterr().err
+
+
+def test_cli_fleet_rejects_training_frames(capsys):
+    assert main([
+        "fleet", "--method", "lotus", "--frames", "5", "--training-frames", "10",
+    ]) == 2
+    assert "no pre-evaluation warm-up" in capsys.readouterr().err
+
+
+def test_cli_devices_lists_registered_devices(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    for name in ("jetson-orin-nano", "mi11-lite", "raspberry-pi-5"):
+        assert name in out
+    assert "levels" in out and "trip" in out
+
+
+def test_cli_detectors_lists_registered_detectors(capsys):
+    assert main(["detectors"]) == 0
+    out = capsys.readouterr().out
+    assert "faster_rcnn" in out and "two-stage" in out
+    assert "yolo_v5" in out and "one-stage" in out
