@@ -3,10 +3,12 @@
 
 A perception stack on an in-vehicle Jetson must deliver detections within a
 hard per-frame latency budget while the passively cooled module sits in a
-warm cabin.  The script sweeps several latency constraints, runs the default
-governors and Lotus under each, and reports the satisfaction rate — showing
-how Lotus trades frequency (and heat) for deadline compliance as the budget
-tightens.
+warm cabin.  The whole situation — device, detector, workload, 30 °C cabin
+ambient, control method — is the *named scenario* ``autonomous-driving``
+from the scenario registry; this script derives a constraint sweep from
+that one spec, runs the default governors and Lotus under each budget, and
+reports the satisfaction rate — showing how Lotus trades frequency (and
+heat) for deadline compliance as the budget tightens.
 
 All six (constraint × method) cells are submitted to the experiment runtime
 as one batch, so they spread across worker processes and are served from
@@ -21,17 +23,16 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ExperimentRuntime, ResultCache
-from repro.analysis.experiments import (
-    ExperimentSetting,
-    default_latency_constraint,
-    run_comparison_batch,
-)
+from repro import ExperimentRuntime, ResultCache, build_scenario
+from repro.analysis.experiments import run_comparison_batch
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--frames", type=int, default=900, help="evaluation frames")
+    parser.add_argument(
+        "--frames", type=int, default=None,
+        help="evaluation frames (default: the scenario's episode length)",
+    )
     parser.add_argument(
         "--training-frames", type=int, default=1500, help="online training frames before evaluation"
     )
@@ -42,20 +43,22 @@ def main() -> None:
     parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     args = parser.parse_args()
 
-    base_constraint = default_latency_constraint("jetson-orin-nano", "faster_rcnn", "kitti")
-    print("== Autonomous driving: FasterRCNN on KITTI (Jetson Orin Nano, 30 C cabin) ==")
+    scenario = build_scenario("autonomous-driving")
+    if args.frames is not None:
+        scenario = scenario.with_overrides(num_frames=args.frames)
+    base_constraint = scenario.resolved_latency_constraint_ms()
+    print(
+        f"== Autonomous driving: {scenario.detector} on {scenario.dataset} "
+        f"({scenario.device}, {scenario.ambient.initial_temperature():.0f} C cabin) =="
+    )
+    print(f"scenario: {scenario.name} — {scenario.description}")
     print(f"reference latency constraint: {base_constraint:.0f} ms\n")
 
     factors = (1.15, 1.0, 0.9)
     settings = [
-        ExperimentSetting(
-            device="jetson-orin-nano",
-            detector="faster_rcnn",
-            dataset="kitti",
-            num_frames=args.frames,
+        scenario.setting().with_overrides(
             training_frames=args.training_frames,
             latency_constraint_ms=base_constraint * factor,
-            ambient_temperature_c=30.0,
         )
         for factor in factors
     ]
@@ -63,7 +66,8 @@ def main() -> None:
         max_workers=args.workers,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
     )
-    comparisons = run_comparison_batch(settings, methods=("default", "lotus"), runtime=runtime)
+    methods = ("default", scenario.method)
+    comparisons = run_comparison_batch(settings, methods=methods, runtime=runtime)
     stats = runtime.last_report
     print(f"runtime: {stats.cache_hits} cache hits, {stats.executed} executed\n")
 
@@ -81,9 +85,9 @@ def main() -> None:
                 f"{metrics.max_temperature_c:9.1f}"
             )
         default = comparison.metrics("default")
-        lotus = comparison.metrics("lotus")
+        lotus = comparison.metrics(scenario.method)
         delta = (lotus.satisfaction_rate - default.satisfaction_rate) * 100
-        print(f"{'':>12s}   -> Lotus satisfaction-rate gain: {delta:+.1f} points\n")
+        print(f"{'':>12s}   -> {scenario.method} satisfaction-rate gain: {delta:+.1f} points\n")
 
 
 if __name__ == "__main__":

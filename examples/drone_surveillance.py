@@ -3,14 +3,16 @@
 
 A surveillance drone runs Mask R-CNN over dense aerial scenes (the
 VisDrone2019 profile) while flying between a warm ground level and colder
-altitude — the scenario behind the paper's Fig. 7a.  The script compares the
-default governors, zTT and Lotus, and prints per-zone latency/temperature
-summaries showing how each controller adapts to the changing thermal
-environment.
+altitude — the scenario behind the paper's Fig. 7a, available in the
+scenario registry as ``drone-surveillance`` (its warm → cold → warm
+:class:`~repro.env.ambient.StepAmbient` schedule is part of the spec).  The
+script compares the default governors, zTT and the scenario's own method
+(Lotus), and prints per-zone latency/temperature summaries showing how each
+controller adapts to the changing thermal environment.
 
-The three method sessions run through the experiment runtime: concurrently
-on first run (``--workers``), and from the on-disk result cache afterwards
-— the stepped ambient schedule is part of the cache key, so a cached Fig. 7a
+The method sessions run through the experiment runtime: concurrently on
+first run (``--workers``), and from the on-disk result cache afterwards —
+the stepped ambient schedule is part of the cache key, so a cached Fig. 7a
 run can never be confused with a constant-ambient one.
 
 Run with::
@@ -24,15 +26,18 @@ import argparse
 
 import numpy as np
 
-from repro import ExperimentRuntime, ResultCache
-from repro.analysis.experiments import ExperimentSetting, run_dynamic_ambient
+from repro import ExperimentRuntime, ExperimentJob, ResultCache, build_scenario
+from repro.env.ambient import warm_cold_warm
 from repro.env.metrics import summarize_trace
 from repro.env.trace import Trace
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--frames", type=int, default=900, help="evaluation frames")
+    parser.add_argument(
+        "--frames", type=int, default=None,
+        help="evaluation frames (default: the scenario's episode length)",
+    )
     parser.add_argument(
         "--training-frames", type=int, default=1500, help="online training frames before evaluation"
     )
@@ -43,33 +48,42 @@ def main() -> None:
     parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     args = parser.parse_args()
 
-    setting = ExperimentSetting(
-        device="jetson-orin-nano",
-        detector="mask_rcnn",
-        dataset="visdrone2019",
-        num_frames=args.frames,
-        training_frames=args.training_frames,
-    )
+    scenario = build_scenario("drone-surveillance")
+    if args.frames is not None:
+        # Rescale the warm -> cold -> warm schedule to the shorter episode.
+        scenario = scenario.with_overrides(
+            num_frames=args.frames,
+            ambient=warm_cold_warm(max(1, args.frames // 3)),
+        )
+    setting = scenario.setting().with_overrides(training_frames=args.training_frames)
+    methods = ("default", "ztt", scenario.method)
     runtime = ExperimentRuntime(
         max_workers=args.workers,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
     )
-    print("== Drone surveillance: MaskRCNN on VisDrone2019, warm -> cold -> warm ==")
-    comparison = run_dynamic_ambient(
-        setting, warm_temperature_c=25.0, cold_temperature_c=0.0, runtime=runtime
+    print(
+        f"== Drone surveillance: {scenario.detector} on {scenario.dataset}, "
+        "warm -> cold -> warm =="
     )
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    jobs = [
+        ExperimentJob(setting=setting, method=method, ambient=scenario.ambient)
+        for method in methods
+    ]
+    results = dict(zip(methods, runtime.run_jobs(jobs)))
     stats = runtime.last_report
     print(f"runtime: {stats.cache_hits} cache hits, {stats.executed} executed")
 
-    frames_per_zone = max(1, setting.num_frames // 3)
+    num_frames = setting.num_frames
+    frames_per_zone = max(1, num_frames // 3)
     zones = [
         ("warm zone (ground)", 0, frames_per_zone),
         ("cold zone (altitude)", frames_per_zone, 2 * frames_per_zone),
-        ("warm zone (ground)", 2 * frames_per_zone, setting.num_frames),
+        ("warm zone (ground)", 2 * frames_per_zone, num_frames),
     ]
-    for method in comparison.methods():
-        trace = comparison.trace(method)
-        overall = comparison.metrics(method)
+    for method in methods:
+        trace = results[method].trace
+        overall = results[method].metrics
         print(f"\n--- {method} ---")
         print(
             f"  overall: mean {overall.mean_latency_ms:7.1f} ms, std {overall.latency_std_ms:6.1f} ms, "
@@ -83,19 +97,19 @@ def main() -> None:
             zone_temperature = float(np.mean(temperatures[start:end]))
             print(f"  {label:<22s} latency {zone_latency:7.1f} ms   device {zone_temperature:5.1f} C")
 
-    lotus = comparison.metrics("lotus")
-    default = comparison.metrics("default")
+    lotus = results[scenario.method].metrics
+    default = results["default"].metrics
     print(
-        f"\nLotus vs default: {100 * (default.mean_latency_ms - lotus.mean_latency_ms) / default.mean_latency_ms:+.1f} % "
+        f"\n{scenario.method} vs default: {100 * (default.mean_latency_ms - lotus.mean_latency_ms) / default.mean_latency_ms:+.1f} % "
         f"mean latency, {100 * (default.latency_std_ms - lotus.latency_std_ms) / default.latency_std_ms:+.1f} % variation"
     )
-    # Per-zone adaptation summary for Lotus.
-    lotus_trace = comparison.trace("lotus")
+    # Per-zone adaptation summary for the learning controller.
+    lotus_trace = results[scenario.method].trace
     cold = summarize_trace(
         Trace(lotus_trace.records[frames_per_zone : 2 * frames_per_zone])
     )
     print(
-        f"Lotus cold-zone behaviour: mean {cold.mean_latency_ms:.1f} ms at "
+        f"{scenario.method} cold-zone behaviour: mean {cold.mean_latency_ms:.1f} ms at "
         f"{cold.mean_temperature_c:.1f} C — cooler air is exploited for fast, stable inference."
     )
 

@@ -17,9 +17,13 @@ The package is organised bottom-up:
 * :mod:`repro.core` — the Lotus agent, reward, cool-down and controller.
 * :mod:`repro.baselines` — the zTT learning-based baseline.
 * :mod:`repro.comms` — the simulated agent/client socket deployment.
+* :mod:`repro.scenarios` — declarative, serialisable scenario specs and
+  heterogeneous fleet compositions, with a validating registry of named
+  scenarios.
 * :mod:`repro.runtime` — the experiment execution engine: sweep expansion,
   a process-pool worker fleet, disk result caching, the vectorized fleet
-  execution mode and the ``python -m repro`` CLI.
+  execution mode (homogeneous and grouped-heterogeneous) and the
+  ``python -m repro`` CLI.
 * :mod:`repro.analysis` — experiment runners, tables and figure series for
   every table and figure of the paper.
 
@@ -53,9 +57,11 @@ from repro.core import FleetLotusAgent, LotusAgent, LotusConfig, LotusController
 from repro.detection import available_detectors, build_detector
 from repro.env import (
     BatchedInferenceEnvironment,
+    DiurnalAmbient,
     FleetPolicy,
     FleetTrace,
     InferenceEnvironment,
+    LinearRampAmbient,
     PerSessionPolicies,
     Policy,
     Trace,
@@ -70,28 +76,45 @@ from repro.runtime import (
     ExperimentJob,
     ExperimentRuntime,
     FleetRunResult,
+    FleetScenarioResult,
     ResultCache,
     SweepSpec,
     make_fleet_environment,
     make_fleet_policy,
     run_fleet,
+    run_fleet_scenario,
+    run_scenario,
+)
+from repro.scenarios import (
+    FleetMember,
+    FleetScenario,
+    ScenarioSpec,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
     "DeviceFleet",
+    "DiurnalAmbient",
     "ExperimentJob",
     "ExperimentRuntime",
     "ExperimentSetting",
     "FleetFrameStream",
     "FleetLotusAgent",
+    "FleetMember",
     "FleetPolicy",
     "FleetRunResult",
+    "FleetScenario",
+    "FleetScenarioResult",
     "FleetTrace",
+    "LinearRampAmbient",
     "ResultCache",
+    "ScenarioSpec",
     "SweepSpec",
     "InferenceEnvironment",
     "LotusAgent",
@@ -106,22 +129,27 @@ __all__ = [
     "available_datasets",
     "available_detectors",
     "available_devices",
+    "available_scenarios",
     "build_dataset",
     "build_batched_default_governor",
     "build_default_governor",
     "build_detector",
     "build_device",
+    "build_scenario",
     "default_latency_constraint",
     "execute_setting",
     "make_environment",
     "make_fleet_environment",
     "make_fleet_policy",
     "make_policy",
+    "register_scenario",
     "run_comparison",
     "run_comparison_batch",
     "run_episode",
     "run_fleet",
     "run_fleet_episode",
+    "run_fleet_scenario",
+    "run_scenario",
     "summarize_trace",
     "__version__",
 ]

@@ -13,6 +13,7 @@
 from repro.analysis.experiments import (
     ComparisonResult,
     ExperimentSetting,
+    available_methods,
     default_latency_constraint,
     make_environment,
     make_policy,
@@ -26,12 +27,13 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.figures import FigureSeries, series_to_csv, series_to_text
 from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
-from repro.analysis.tables import comparison_table, format_table
+from repro.analysis.tables import comparison_table, format_table, scenario_group_table
 
 __all__ = [
     "ComparisonResult",
     "ExperimentSetting",
     "FigureSeries",
+    "available_methods",
     "comparison_table",
     "default_latency_constraint",
     "format_table",
@@ -46,6 +48,7 @@ __all__ = [
     "run_dynamic_ambient",
     "run_proposal_latency_sweep",
     "run_stage_profiling",
+    "scenario_group_table",
     "series_to_csv",
     "series_to_text",
     "summary_statistics",

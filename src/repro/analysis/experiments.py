@@ -29,6 +29,7 @@ from repro.core.config import LotusConfig
 from repro.core.reward import RewardConfig
 from repro.detection.accuracy import AccuracyModel
 from repro.detection.detector import DetectorModel
+from repro.detection.fleet import proposal_scale
 from repro.detection.latency import ExecutionModel, compute_profile_for
 from repro.detection.registry import build_detector
 from repro.env.ambient import AmbientProfile, ConstantAmbient, warm_cold_warm
@@ -47,6 +48,28 @@ from repro.workload.generator import DomainSegment, DomainSwitchStream, FrameStr
 
 #: Methods compared in the paper's Tables 1 and 2.
 PAPER_METHODS = ("default", "ztt", "lotus")
+
+#: Every method name :func:`make_policy` understands, in presentation
+#: order: the OS baselines, the static policies, the learning methods and
+#: the Lotus ablations.  The scenario registry validates specs against this
+#: list (plus the fleet-only ``lotus-fleet`` mode).
+SCALAR_METHODS = (
+    "default",
+    "performance",
+    "powersave",
+    "fixed",
+    "ztt",
+    "lotus",
+    "lotus-single-action",
+    "lotus-shared-buffer",
+    "lotus-always-cooldown",
+    "lotus-no-slim",
+)
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names of every method the scalar policy factory can build."""
+    return SCALAR_METHODS
 
 #: Fraction of the device's thermal envelope (trip point minus the
 #: :data:`REFERENCE_AMBIENT_C` room) kept as a safety margin below the
@@ -237,9 +260,7 @@ def make_policy(
     """
     device = environment.device
     detector = environment.detector
-    proposal_scale = float(
-        detector.proposal_model.max_proposals if detector.is_two_stage else 100
-    )
+    scale = proposal_scale(detector)
     trip = min(
         device.cpu_throttle.trip_temperature_c, device.gpu_throttle.trip_temperature_c
     )
@@ -251,7 +272,7 @@ def make_policy(
             cpu_levels=device.cpu.num_levels,
             gpu_levels=device.gpu.num_levels,
             temperature_threshold_c=environment.throttle_threshold_c,
-            proposal_scale=proposal_scale,
+            proposal_scale=scale,
             config=config.for_episode_length(num_frames),
             rng=np.random.default_rng(seed + 100),
         )
@@ -300,7 +321,9 @@ def make_policy(
         )
         policy.name = "lotus-no-slim"
         return policy
-    raise ExperimentError(f"unknown method {method!r}")
+    raise ExperimentError(
+        f"unknown method {method!r}; available: {SCALAR_METHODS}"
+    )
 
 
 # ---------------------------------------------------------------------------

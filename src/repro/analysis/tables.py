@@ -75,6 +75,54 @@ def comparison_table(
     return table
 
 
+def scenario_group_table(result, title: str = "") -> str:
+    """Render the per-group summary of a heterogeneous scenario run.
+
+    One row per grouped sub-fleet of a
+    :class:`~repro.runtime.fleet.FleetScenarioResult`: the group's device
+    and detector, which specs its sessions came from, and the
+    session-averaged headline metrics (mean latency, satisfaction rate,
+    mean/peak temperature, throttled share).
+
+    Args:
+        result: A completed scenario run
+            (:func:`repro.runtime.fleet.run_scenario`).
+        title: Optional heading line.
+    """
+    headers = [
+        "Group",
+        "Specs",
+        "Sessions",
+        "l(ms)",
+        "R_L",
+        "T_mean(C)",
+        "T_max(C)",
+        "Throttled",
+    ]
+    rows = []
+    for group in result.groups:
+        sessions = result.group_sessions(group)
+        metrics = [session.metrics for session in sessions]
+        count = len(metrics)
+        specs = sorted(set(group.spec_names))
+        rows.append(
+            [
+                f"{group.device}/{group.detector}",
+                ", ".join(specs),
+                str(count),
+                f"{sum(m.mean_latency_ms for m in metrics) / count:.1f}",
+                f"{sum(m.satisfaction_rate for m in metrics) / count * 100:.1f}%",
+                f"{sum(m.mean_temperature_c for m in metrics) / count:.1f}",
+                f"{max(m.max_temperature_c for m in metrics):.1f}",
+                f"{sum(m.throttled_fraction for m in metrics) / count * 100:.1f}%",
+            ]
+        )
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
 def metrics_row(metrics: EpisodeMetrics) -> Dict[str, float]:
     """Flatten the headline table quantities of one metrics object."""
     return {

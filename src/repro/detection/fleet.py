@@ -76,6 +76,18 @@ def stage2_cost_arrays(
     return cpu, gpu
 
 
+def proposal_scale(detector: DetectorModel) -> float:
+    """Observation-normalisation scale for a detector's proposal counts.
+
+    Two-stage detectors expose their proposal cap; one-stage detectors have
+    no RPN, so learning agents normalise against a nominal 100.  This is the
+    single definition shared by the scalar policy factory, the fleet policy
+    factory and the scenario runner (each detector group of a heterogeneous
+    fleet sizes its agents with its own scale).
+    """
+    return float(detector.proposal_model.max_proposals if detector.is_two_stage else 100)
+
+
 def propose_batch(
     detector: DetectorModel,
     scene_candidates: np.ndarray,

@@ -8,7 +8,15 @@ the RPN, when the proposal count becomes known — mirroring the structure of
 the Lotus framework (paper §4.2).
 """
 
-from repro.env.ambient import AmbientProfile, ConstantAmbient, StepAmbient, AmbientSegment
+from repro.env.ambient import (
+    AmbientProfile,
+    AmbientSegment,
+    ConstantAmbient,
+    DiurnalAmbient,
+    LinearRampAmbient,
+    StepAmbient,
+    warm_cold_warm,
+)
 from repro.env.environment import (
     FrameResult,
     FrameStartObservation,
@@ -22,11 +30,15 @@ from repro.env.fleet import (
     FleetFrameResult,
     FleetMidObservation,
     FleetPolicy,
+    FleetSessionGroup,
     FleetStartObservation,
     FleetState,
     FleetTrace,
     PerSessionPolicies,
+    SessionAmbient,
+    interleave_frame_results,
     run_fleet_episode,
+    run_grouped_fleet_episode,
 )
 from repro.env.metrics import EpisodeMetrics, summarize_trace
 from repro.env.policy import FrequencyDecision, Policy
@@ -37,11 +49,13 @@ __all__ = [
     "AmbientSegment",
     "BatchedInferenceEnvironment",
     "ConstantAmbient",
+    "DiurnalAmbient",
     "EpisodeMetrics",
     "FleetDecision",
     "FleetFrameResult",
     "FleetMidObservation",
     "FleetPolicy",
+    "FleetSessionGroup",
     "FleetStartObservation",
     "FleetState",
     "FleetTrace",
@@ -49,12 +63,17 @@ __all__ = [
     "FrameStartObservation",
     "FrequencyDecision",
     "InferenceEnvironment",
+    "LinearRampAmbient",
     "MidFrameObservation",
     "PerSessionPolicies",
     "Policy",
+    "SessionAmbient",
     "StepAmbient",
     "Trace",
+    "interleave_frame_results",
     "run_episode",
     "run_fleet_episode",
+    "run_grouped_fleet_episode",
     "summarize_trace",
+    "warm_cold_warm",
 ]

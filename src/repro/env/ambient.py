@@ -6,10 +6,20 @@ The paper's Fig. 7a evaluates exactly this by moving the device between a
 25 °C "warm zone" and a 0 °C "cold zone" during inference.  An
 :class:`AmbientProfile` maps the current frame index to the ambient
 temperature the thermal network should cool towards.
+
+Four concrete profiles cover the scenario library:
+
+* :class:`ConstantAmbient` — a fixed temperature (the static environment),
+* :class:`StepAmbient` — piecewise-constant zone schedules (Fig. 7a),
+* :class:`DiurnalAmbient` — a sinusoidal day/night cycle (a phone or kiosk
+  that lives through whole days),
+* :class:`LinearRampAmbient` — a linear transition between two
+  temperatures (a drone climbing to colder air, a vehicle warming up).
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
@@ -85,6 +95,19 @@ class StepAmbient(AmbientProfile):
         """The configured segments."""
         return self._segments
 
+    def __eq__(self, other: object) -> bool:
+        # Value semantics, so schedules survive serialisation round-trips
+        # and can be compared inside scenario specs.
+        if not isinstance(other, StepAmbient):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __repr__(self) -> str:
+        return f"StepAmbient({list(self._segments)!r})"
+
     def segment_at(self, frame_index: int) -> AmbientSegment:
         """The segment active at ``frame_index``."""
         if frame_index < 0:
@@ -96,6 +119,82 @@ class StepAmbient(AmbientProfile):
 
     def temperature_at(self, frame_index: int) -> float:
         return self.segment_at(frame_index).temperature_c
+
+
+@dataclass(frozen=True)
+class DiurnalAmbient(AmbientProfile):
+    """Sinusoidal day/night ambient cycle.
+
+    The temperature follows ``mean_c + amplitude_c * sin(2π * (i +
+    phase_frames) / period_frames)``: one full warm/cool swing every
+    ``period_frames`` frames, starting at the mean and warming first (use
+    ``phase_frames`` to start elsewhere in the cycle, e.g. a quarter period
+    earlier for a midday start).
+
+    Attributes:
+        mean_c: Average ambient temperature over one cycle.
+        amplitude_c: Half the peak-to-trough swing (must be non-negative).
+        period_frames: Frames per full cycle (must be positive).
+        phase_frames: Phase offset in frames (may be negative).
+    """
+
+    mean_c: float = 25.0
+    amplitude_c: float = 8.0
+    period_frames: int = 1000
+    phase_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_frames <= 0:
+            raise ConfigurationError("period_frames must be positive")
+        if self.amplitude_c < 0:
+            raise ConfigurationError("amplitude_c must be non-negative")
+
+    def temperature_at(self, frame_index: int) -> float:
+        angle = (
+            2.0
+            * math.pi
+            * ((frame_index + self.phase_frames) / self.period_frames)
+        )
+        return self.mean_c + self.amplitude_c * math.sin(angle)
+
+
+@dataclass(frozen=True)
+class LinearRampAmbient(AmbientProfile):
+    """Linear ambient transition, then hold.
+
+    Temperature stays at ``start_c`` for ``delay_frames`` frames, moves
+    linearly to ``end_c`` over the following ``ramp_frames`` frames, and
+    holds ``end_c`` afterwards — a drone climbing into colder air, a parked
+    vehicle heating up in the sun.
+
+    Attributes:
+        start_c: Temperature before the ramp.
+        end_c: Temperature after the ramp.
+        ramp_frames: Duration of the transition in frames (must be positive).
+        delay_frames: Frames at ``start_c`` before the ramp begins.
+    """
+
+    start_c: float = 25.0
+    end_c: float = 0.0
+    ramp_frames: int = 500
+    delay_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ramp_frames <= 0:
+            raise ConfigurationError("ramp_frames must be positive")
+        if self.delay_frames < 0:
+            raise ConfigurationError("delay_frames must be non-negative")
+
+    def temperature_at(self, frame_index: int) -> float:
+        if frame_index < 0:
+            raise ConfigurationError("frame_index must be non-negative")
+        progressed = frame_index - self.delay_frames
+        if progressed <= 0:
+            return self.start_c
+        if progressed >= self.ramp_frames:
+            return self.end_c
+        fraction = progressed / self.ramp_frames
+        return self.start_c + (self.end_c - self.start_c) * fraction
 
 
 def warm_cold_warm(

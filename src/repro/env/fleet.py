@@ -129,6 +129,39 @@ class FleetStartObservation:
         """Fleet size N."""
         return len(self.cpu_temperature_c)
 
+    def take(self, indices: np.ndarray) -> "FleetStartObservation":
+        """The observation restricted to the sessions in ``indices``.
+
+        Used by sub-fleet policy combinators: every per-session array is
+        fancy-indexed (so element ``j`` of the result is session
+        ``indices[j]`` of the full observation) while the shared scalars are
+        passed through unchanged.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return FleetStartObservation(
+            frame_index=self.frame_index,
+            datasets=tuple(self.datasets[i] for i in indices),
+            cpu_temperature_c=self.cpu_temperature_c[indices],
+            gpu_temperature_c=self.gpu_temperature_c[indices],
+            cpu_level=self.cpu_level[indices],
+            gpu_level=self.gpu_level[indices],
+            cpu_num_levels=self.cpu_num_levels,
+            gpu_num_levels=self.gpu_num_levels,
+            latency_constraint_ms=self.latency_constraint_ms[indices],
+            remaining_budget_ms=self.remaining_budget_ms[indices],
+            previous_latency_ms=(
+                None
+                if self.previous_latency_ms is None
+                else self.previous_latency_ms[indices]
+            ),
+            cpu_utilisation=self.cpu_utilisation[indices],
+            gpu_utilisation=self.gpu_utilisation[indices],
+            ambient_temperature_c=self.ambient_temperature_c[indices],
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=self.cpu_throttled[indices],
+            gpu_throttled=self.gpu_throttled[indices],
+        )
+
     def session(self, i: int) -> FrameStartObservation:
         """The scalar observation session ``i`` would see."""
         return FrameStartObservation(
@@ -183,6 +216,30 @@ class FleetMidObservation:
     def num_sessions(self) -> int:
         """Fleet size N."""
         return len(self.cpu_temperature_c)
+
+    def take(self, indices: np.ndarray) -> "FleetMidObservation":
+        """The observation restricted to the sessions in ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return FleetMidObservation(
+            frame_index=self.frame_index,
+            datasets=tuple(self.datasets[i] for i in indices),
+            cpu_temperature_c=self.cpu_temperature_c[indices],
+            gpu_temperature_c=self.gpu_temperature_c[indices],
+            cpu_level=self.cpu_level[indices],
+            gpu_level=self.gpu_level[indices],
+            cpu_num_levels=self.cpu_num_levels,
+            gpu_num_levels=self.gpu_num_levels,
+            latency_constraint_ms=self.latency_constraint_ms[indices],
+            remaining_budget_ms=self.remaining_budget_ms[indices],
+            stage1_latency_ms=self.stage1_latency_ms[indices],
+            num_proposals=self.num_proposals[indices],
+            cpu_utilisation=self.cpu_utilisation[indices],
+            gpu_utilisation=self.gpu_utilisation[indices],
+            ambient_temperature_c=self.ambient_temperature_c[indices],
+            throttle_threshold_c=self.throttle_threshold_c,
+            cpu_throttled=self.cpu_throttled[indices],
+            gpu_throttled=self.gpu_throttled[indices],
+        )
 
     def session(self, i: int) -> MidFrameObservation:
         """The scalar observation session ``i`` would see."""
@@ -246,6 +303,30 @@ class FleetFrameResult:
     def latency_slack_ms(self) -> np.ndarray:
         """Per-session ``L - l_i``; negative where the constraint broke."""
         return self.latency_constraint_ms - self.total_latency_ms
+
+    def take(self, indices: np.ndarray) -> "FleetFrameResult":
+        """The frame result restricted to the sessions in ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return FleetFrameResult(
+            index=self.index,
+            datasets=tuple(self.datasets[i] for i in indices),
+            num_proposals=self.num_proposals[indices],
+            stage1_latency_ms=self.stage1_latency_ms[indices],
+            stage2_latency_ms=self.stage2_latency_ms[indices],
+            total_latency_ms=self.total_latency_ms[indices],
+            latency_constraint_ms=self.latency_constraint_ms[indices],
+            met_constraint=self.met_constraint[indices],
+            cpu_temperature_c=self.cpu_temperature_c[indices],
+            gpu_temperature_c=self.gpu_temperature_c[indices],
+            cpu_level_stage1=self.cpu_level_stage1[indices],
+            gpu_level_stage1=self.gpu_level_stage1[indices],
+            cpu_level_stage2=self.cpu_level_stage2[indices],
+            gpu_level_stage2=self.gpu_level_stage2[indices],
+            cpu_throttled=self.cpu_throttled[indices],
+            gpu_throttled=self.gpu_throttled[indices],
+            ambient_temperature_c=self.ambient_temperature_c[indices],
+            energy_j=self.energy_j[indices],
+        )
 
     def record(self, i: int) -> FrameRecord:
         """Materialise session ``i``'s scalar :class:`FrameRecord`."""
@@ -433,6 +514,40 @@ class PerSessionPolicies(FleetPolicy):
 # ---------------------------------------------------------------------------
 
 
+class SessionAmbient:
+    """Per-session ambient schedules for one fleet.
+
+    Wraps one :class:`~repro.env.ambient.AmbientProfile` per session and
+    exposes the same two methods the environment calls on a shared profile —
+    except they return length-N arrays, so heterogeneous fleets can give
+    every session its own day/night cycle, ramp or zone schedule.  Element
+    ``i`` is exactly what the scalar environment would compute for session
+    ``i``'s own profile, preserving the seed-for-seed equivalence contract.
+    """
+
+    def __init__(self, profiles: Sequence[AmbientProfile]):
+        if not profiles:
+            raise ConfigurationError("need at least one ambient profile")
+        self.profiles = tuple(profiles)
+
+    @property
+    def num_sessions(self) -> int:
+        """Fleet size N."""
+        return len(self.profiles)
+
+    def temperature_at(self, frame_index: int) -> np.ndarray:
+        """Per-session ambient temperatures when processing ``frame_index``."""
+        return np.array(
+            [profile.temperature_at(frame_index) for profile in self.profiles]
+        )
+
+    def initial_temperature(self) -> np.ndarray:
+        """Per-session ambient temperatures before the first frame."""
+        return np.array(
+            [profile.initial_temperature() for profile in self.profiles]
+        )
+
+
 class _Phase(enum.Enum):
     IDLE = "idle"
     STARTED = "started"
@@ -451,8 +566,11 @@ class BatchedInferenceEnvironment:
             :class:`repro.workload.fleet.FleetFrameStream`, the fast path
             that avoids per-session Python dispatch).
         latency_constraint_ms: Default per-frame latency constraint.
-        ambient: Shared ambient profile (frame-index driven; sessions are
-            lock-step so they observe the same schedule).
+        ambient: Ambient schedule — a single shared
+            :class:`~repro.env.ambient.AmbientProfile` (frame-index driven;
+            sessions are lock-step so they observe the same temperatures), a
+            prepared :class:`SessionAmbient`, or a sequence of one profile
+            per session (each session follows its own schedule).
         rngs: Per-session proposal-noise generators; defaults to
             ``default_rng(i)``.
         throttle_threshold_c: Temperature threshold exposed to controllers.
@@ -465,7 +583,7 @@ class BatchedInferenceEnvironment:
         detector: DetectorModel,
         streams: "Sequence[StreamLike] | object",
         latency_constraint_ms: float,
-        ambient: AmbientProfile | None = None,
+        ambient: "AmbientProfile | SessionAmbient | Sequence[AmbientProfile] | None" = None,
         rngs: Sequence[np.random.Generator] | None = None,
         throttle_threshold_c: float | None = None,
         idle_between_frames_ms: float = 0.0,
@@ -491,7 +609,20 @@ class BatchedInferenceEnvironment:
         self.device = device
         self.detector = detector
         self.default_latency_constraint_ms = latency_constraint_ms
-        self.ambient = ambient if ambient is not None else ConstantAmbient()
+        if ambient is None:
+            self.ambient = ConstantAmbient()
+        elif hasattr(ambient, "temperature_at"):
+            self.ambient = ambient
+        else:
+            self.ambient = SessionAmbient(list(ambient))
+        if (
+            isinstance(self.ambient, SessionAmbient)
+            and self.ambient.num_sessions != num_sessions
+        ):
+            raise ConfigurationError(
+                f"got {self.ambient.num_sessions} ambient profiles for "
+                f"{num_sessions} sessions"
+            )
         self.throttle_threshold_c = (
             throttle_threshold_c
             if throttle_threshold_c is not None
@@ -579,11 +710,15 @@ class BatchedInferenceEnvironment:
             batch = self._batched_stream.next_frames()
             image_scale = batch.image_scale
             candidates = batch.scene_candidates
-            constraint = (
-                batch.latency_constraint_ms
-                if batch.latency_constraint_ms is not None
-                else np.full(self.num_sessions, default_constraint)
-            )
+            if batch.latency_constraint_ms is None:
+                constraint = np.full(self.num_sessions, default_constraint)
+            else:
+                constraint = batch.latency_constraint_ms
+                unset = np.isnan(constraint)
+                if unset.any():
+                    # NaN entries mark sessions without a per-session
+                    # override; they fall back to the experiment default.
+                    constraint = np.where(unset, default_constraint, constraint)
             datasets = batch.datasets
         else:
             image_scale = np.empty(self.num_sessions)
@@ -768,4 +903,191 @@ def run_fleet_episode(
         result = environment.run_second_stage()
         policy.end_frame(result)
         trace.append(result)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Grouped sub-fleets (heterogeneous fleets)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetSessionGroup:
+    """One homogeneous sub-fleet of a heterogeneous fleet run.
+
+    A heterogeneous fleet is partitioned into groups that share one device
+    model and one detector (the quantities the batched kernels require to be
+    uniform); everything else — dataset, ambient schedule, latency
+    constraint, seed, policy — may vary per session *within* the group.
+    Each group is one :class:`BatchedInferenceEnvironment` advanced as a
+    single batched kernel; ``session_indices`` maps the group's local
+    session order back to positions in the combined fleet.
+
+    Attributes:
+        environment: The group's batched environment (local sessions
+            ``0..n_g-1``).
+        policy: The fleet policy driving the group's sessions.
+        session_indices: Global fleet index of each local session.
+    """
+
+    environment: BatchedInferenceEnvironment
+    policy: FleetPolicy
+    session_indices: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.session_indices) != self.environment.num_sessions:
+            raise ExperimentError(
+                f"group has {self.environment.num_sessions} sessions but "
+                f"{len(self.session_indices)} session indices"
+            )
+
+
+_FRAME_RESULT_ARRAY_FIELDS = (
+    "num_proposals",
+    "stage1_latency_ms",
+    "stage2_latency_ms",
+    "total_latency_ms",
+    "latency_constraint_ms",
+    "met_constraint",
+    "cpu_temperature_c",
+    "gpu_temperature_c",
+    "cpu_level_stage1",
+    "gpu_level_stage1",
+    "cpu_level_stage2",
+    "gpu_level_stage2",
+    "cpu_throttled",
+    "gpu_throttled",
+    "ambient_temperature_c",
+    "energy_j",
+)
+
+
+def validate_session_partition(
+    session_indices: Sequence[Sequence[int]],
+    num_sessions: int,
+    allow_empty_groups: bool = True,
+) -> List[np.ndarray]:
+    """Check that the index groups partition ``0..N-1``; return int arrays.
+
+    The single definition of the partition invariant shared by the grouped
+    episode loop, :func:`interleave_frame_results` and the sub-fleet policy
+    combinator (:class:`repro.governors.fleet.SubFleetPolicies`): indices in
+    range, disjoint across groups, and together covering every session.
+    """
+    targets = [
+        np.asarray(indices, dtype=np.int64) for indices in session_indices
+    ]
+    seen = np.zeros(num_sessions, dtype=bool)
+    for target in targets:
+        if not allow_empty_groups and target.size == 0:
+            raise ConfigurationError("every group needs at least one session")
+        if target.size and (target.min() < 0 or target.max() >= num_sessions):
+            raise ConfigurationError(
+                f"session index out of range [0, {num_sessions - 1}]"
+            )
+        if seen[target].any():
+            raise ConfigurationError("groups must cover disjoint session indices")
+        seen[target] = True
+    if not seen.all():
+        missing = np.flatnonzero(~seen).tolist()
+        raise ConfigurationError(f"groups leave sessions {missing} uncovered")
+    return targets
+
+
+def _scatter_frame_results(
+    results: Sequence[FleetFrameResult],
+    targets: Sequence[np.ndarray],
+    num_sessions: int,
+) -> FleetFrameResult:
+    """Scatter pre-validated per-group results into one combined frame."""
+    index = results[0].index
+    arrays: dict[str, np.ndarray] = {}
+    datasets: List[str] = [""] * num_sessions
+    for field in _FRAME_RESULT_ARRAY_FIELDS:
+        arrays[field] = np.empty(num_sessions, dtype=getattr(results[0], field).dtype)
+    for result, target in zip(results, targets):
+        if result.index != index:
+            raise ExperimentError(
+                f"group frame indices diverged ({result.index} != {index})"
+            )
+        for field in _FRAME_RESULT_ARRAY_FIELDS:
+            arrays[field][target] = getattr(result, field)
+        for local, global_index in enumerate(target.tolist()):
+            datasets[global_index] = result.datasets[local]
+    return FleetFrameResult(index=index, datasets=tuple(datasets), **arrays)
+
+
+def interleave_frame_results(
+    results: Sequence[FleetFrameResult],
+    session_indices: Sequence[Sequence[int]],
+    num_sessions: int,
+) -> FleetFrameResult:
+    """Scatter per-group frame results back into one combined fleet frame.
+
+    The inverse of the partitioning that built the groups: array element
+    ``session_indices[g][j]`` of the combined result is element ``j`` of
+    group ``g``'s result, so the combined :class:`FleetFrameResult` is
+    ordered by global session index regardless of how sessions were grouped.
+    The episode loop validates the (fixed) partition once and scatters per
+    frame; this entry point validates on every call.
+    """
+    if not results:
+        raise ExperimentError("need at least one group result")
+    if len(results) != len(session_indices):
+        raise ExperimentError(
+            f"got {len(results)} group results for {len(session_indices)} "
+            f"index groups"
+        )
+    targets = validate_session_partition(session_indices, num_sessions)
+    return _scatter_frame_results(results, targets, num_sessions)
+
+
+def run_grouped_fleet_episode(
+    groups: Sequence[FleetSessionGroup],
+    num_frames: int,
+    reset_environments: bool = True,
+    reset_policies: bool = True,
+) -> FleetTrace:
+    """Run a heterogeneous fleet — several grouped sub-fleets — in lock-step.
+
+    The grouped analogue of :func:`run_fleet_episode`: every group advances
+    through the same three-phase frame protocol each iteration (each phase
+    as one batched kernel per group), and the per-group frame results are
+    re-interleaved into a single columnar :class:`FleetTrace` ordered by
+    global session index.  Groups never interact, so each session's
+    trajectory is bit-identical to what it would produce in a homogeneous
+    fleet — or a scalar run — of its own configuration and seed.
+
+    Returns:
+        The combined columnar trace over all groups' sessions.
+    """
+    if num_frames <= 0:
+        raise ExperimentError("num_frames must be positive")
+    if not groups:
+        raise ExperimentError("need at least one session group")
+    num_sessions = sum(group.environment.num_sessions for group in groups)
+    # The partition is fixed for the whole episode: validate it once and
+    # keep only the scatter on the per-frame path.
+    targets = validate_session_partition(
+        [group.session_indices for group in groups], num_sessions
+    )
+    for group in groups:
+        if reset_environments:
+            group.environment.reset()
+        if reset_policies:
+            group.policy.reset()
+    trace = FleetTrace(num_sessions)
+    for _ in range(num_frames):
+        for group in groups:
+            observation = group.environment.begin_frame()
+            group.environment.apply_decision(group.policy.begin_frame(observation))
+        for group in groups:
+            observation = group.environment.run_first_stage()
+            group.environment.apply_decision(group.policy.mid_frame(observation))
+        results = []
+        for group in groups:
+            result = group.environment.run_second_stage()
+            group.policy.end_frame(result)
+            results.append(result)
+        trace.append(_scatter_frame_results(results, targets, num_sessions))
     return trace

@@ -52,3 +52,7 @@ class ProtocolError(LotusError):
 
 class ExperimentError(LotusError):
     """An experiment runner was configured with an impossible combination."""
+
+
+class ScenarioError(LotusError):
+    """A scenario spec is invalid, unknown, or failed to (de)serialise."""

@@ -29,6 +29,7 @@ from repro.governors.fleet import (
     BatchedSchedutilGovernor,
     BatchedSimpleOndemandGovernor,
     BatchedUserspacePolicy,
+    SubFleetPolicies,
     build_batched_default_governor,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "PowersavePolicy",
     "SchedutilGovernor",
     "SimpleOndemandGovernor",
+    "SubFleetPolicies",
     "UserspacePolicy",
     "available_governors",
     "build_batched_default_governor",

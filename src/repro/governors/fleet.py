@@ -13,16 +13,18 @@ makes (the equivalence tests run both and compare traces).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.env.fleet import (
     FleetDecision,
+    FleetFrameResult,
     FleetMidObservation,
     FleetPolicy,
     FleetStartObservation,
+    validate_session_partition,
 )
 
 
@@ -233,6 +235,96 @@ class BatchedPowersavePolicy(FleetPolicy):
 
     def mid_frame(self, observation: FleetMidObservation) -> FleetDecision:
         return self._decision(observation)
+
+
+class SubFleetPolicies(FleetPolicy):
+    """Partition one fleet's sessions among several fleet policies.
+
+    The grouped sub-fleet path for *policies*: a heterogeneous group whose
+    sessions share a device and detector but run different methods (or the
+    same method with different seed blocks) is driven by one
+    ``SubFleetPolicies`` that slices the batch observation per sub-policy
+    (:meth:`FleetStartObservation.take`), lets each sub-policy decide over
+    its own sessions, and scatters the sub-decisions back into one masked
+    :class:`FleetDecision`.  Because vectorized kernels are elementwise and
+    scalar adapters materialise per-session observations, slicing preserves
+    every sub-policy's bit-exact behaviour.
+
+    Args:
+        policies: One fleet policy per sub-fleet.
+        session_indices: For each policy, the local session indices it
+            drives; together they must partition ``0..N-1`` disjointly.
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[FleetPolicy],
+        session_indices: Sequence[Sequence[int]],
+    ):
+        if not policies:
+            raise ConfigurationError("need at least one sub-policy")
+        if len(policies) != len(session_indices):
+            raise ConfigurationError(
+                f"got {len(policies)} policies for "
+                f"{len(session_indices)} index groups"
+            )
+        self.policies = list(policies)
+        total = sum(len(indices) for indices in session_indices)
+        self.indices = validate_session_partition(
+            session_indices, total, allow_empty_groups=False
+        )
+        self.num_sessions = total
+        self.name = f"sub-fleet({'+'.join(policy.name for policy in self.policies)})"
+
+    def reset(self) -> None:
+        for policy in self.policies:
+            policy.reset()
+
+    def _scatter(self, observation, decisions) -> FleetDecision | None:
+        if all(decision is None for decision in decisions):
+            return None
+        cpu = observation.cpu_level.copy()
+        gpu = observation.gpu_level.copy()
+        mask = np.zeros(self.num_sessions, dtype=bool)
+        for indices, decision in zip(self.indices, decisions):
+            if decision is None:
+                continue
+            if decision.mask is None:
+                cpu[indices] = decision.cpu_levels
+                gpu[indices] = decision.gpu_levels
+                mask[indices] = True
+            else:
+                selected = indices[decision.mask]
+                cpu[selected] = decision.cpu_levels[decision.mask]
+                gpu[selected] = decision.gpu_levels[decision.mask]
+                mask[selected] = True
+        return FleetDecision(cpu_levels=cpu, gpu_levels=gpu, mask=mask)
+
+    def begin_frame(self, observation: FleetStartObservation) -> FleetDecision | None:
+        decisions = [
+            policy.begin_frame(observation.take(indices))
+            for policy, indices in zip(self.policies, self.indices)
+        ]
+        return self._scatter(observation, decisions)
+
+    def mid_frame(self, observation: FleetMidObservation) -> FleetDecision | None:
+        decisions = [
+            policy.mid_frame(observation.take(indices))
+            for policy, indices in zip(self.policies, self.indices)
+        ]
+        return self._scatter(observation, decisions)
+
+    def end_frame(self, result: FleetFrameResult) -> None:
+        for policy, indices in zip(self.policies, self.indices):
+            policy.end_frame(result.take(indices))
+
+    def session_policy_names(self) -> List[str]:
+        """Per-session policy name, in local session order."""
+        names = [""] * self.num_sessions
+        for policy, indices in zip(self.policies, self.indices):
+            for index in indices.tolist():
+                names[index] = policy.name
+        return names
 
 
 GovernorPairBuilder = Callable[[], BatchedDefaultGovernorPolicy]

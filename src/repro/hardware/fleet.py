@@ -20,8 +20,11 @@ subtlety is leakage power, where ``math.exp`` is evaluated per session
 (NumPy's vectorized ``exp`` differs from libm by an ULP on ~4 % of inputs,
 which would break seed-for-seed trace equivalence).
 
-All sessions share one device *description* (a homogeneous fleet); run one
-fleet per device model to sweep heterogeneous hardware.
+All sessions share one device *description*; heterogeneous-hardware fleets
+run one ``DeviceFleet`` per device group (the grouped sub-fleet path built
+by :func:`repro.runtime.fleet.run_fleet_scenario`), with per-session
+initial-ambient arrays so sessions inside a group may still start in
+different environments.
 """
 
 from __future__ import annotations
@@ -143,15 +146,18 @@ class DeviceFleet:
         template: The device description all sessions share.  The template
             object itself is never mutated.
         num_sessions: Fleet size N.
-        ambient_temperature_c: Initial ambient temperature (the template's
-            current ambient by default).
+        ambient_temperature_c: Initial ambient temperature — a scalar shared
+            by the whole fleet, or a length-N array giving every session its
+            own initial ambient (heterogeneous ambient schedules start each
+            session in its own environment).  Defaults to the template's
+            current ambient.
     """
 
     def __init__(
         self,
         template: EdgeDevice,
         num_sessions: int,
-        ambient_temperature_c: float | None = None,
+        ambient_temperature_c: float | np.ndarray | None = None,
     ):
         if num_sessions <= 0:
             raise DeviceError("a fleet needs at least one session")
@@ -193,7 +199,9 @@ class DeviceFleet:
             if ambient_temperature_c is not None
             else thermal.ambient_temperature_c
         )
-        self.ambient_temperature_c = np.full(num_sessions, float(ambient))
+        self.ambient_temperature_c = np.broadcast_to(
+            np.asarray(ambient, dtype=float), (num_sessions,)
+        ).copy()
         self._temperatures = np.zeros((len(self._node_names), num_sessions))
         self._requested_cpu_level = np.zeros(num_sessions, dtype=np.int64)
         self._requested_gpu_level = np.zeros(num_sessions, dtype=np.int64)

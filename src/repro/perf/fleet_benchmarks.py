@@ -12,7 +12,10 @@ apples-to-apples.  Covered:
   throttle update) batched vs. a loop over scalar devices,
 * ``fleet_governor`` — one schedutil + simple_ondemand decision batched vs.
   the scalar governor loop,
-* ``fleet_proposals`` — proposal sampling batched vs. the scalar loop.
+* ``fleet_proposals`` — proposal sampling batched vs. the scalar loop,
+* ``fleet_heterogeneous`` — a mixed-device, mixed-ambient
+  ``mixed-edge-fleet`` scenario on the grouped sub-fleet engine vs. the
+  same sessions run one at a time as scalar scenario references.
 
 Run via ``python -m repro bench --suite fleet``; the report lands in
 ``BENCH_PR3.json`` by default.
@@ -171,6 +174,46 @@ def bench_fleet_proposals(
     report.add_pair("fleet_proposals", current, legacy)
 
 
+def bench_fleet_heterogeneous(
+    report: BenchReport, num_sessions: int, frames: int, repeats: int
+) -> None:
+    """Mixed-device/ambient scenario: grouped fleet engine vs. scalar loop.
+
+    Uses the governor-driven members of the built-in ``mixed-edge-fleet``
+    (the learning member is dropped so the comparison times the engine, not
+    DQN training); the scalar side runs each session's own spec + seed
+    through the scalar environment, exactly like the equivalence oracle.
+    """
+    from repro.runtime.fleet import run_fleet_scenario, scalar_reference_session
+    from repro.scenarios import FleetScenario, build_scenario
+
+    base = build_scenario("mixed-edge-fleet")
+    scenario = FleetScenario(
+        name="mixed-edge-fleet-bench",
+        members=tuple(
+            member
+            for member in base.members
+            if member.spec.method in ("default", "performance", "powersave", "fixed")
+        ),
+        description="governor-only members of mixed-edge-fleet",
+    )
+    assignments = scenario.session_assignments(num_sessions)
+
+    def run_grouped_side() -> None:
+        run_fleet_scenario(scenario, num_sessions=num_sessions, num_frames=frames)
+
+    def run_scalar_side() -> None:
+        for assignment in assignments:
+            scalar_reference_session(
+                assignment.spec, seed=assignment.seed, num_frames=frames
+            )
+
+    name = f"fleet_hetero_{num_sessions}x{frames}f"
+    current = measure(name, run_grouped_side, iterations=1, repeats=repeats)
+    legacy = measure(f"{name}_scalar", run_scalar_side, iterations=1, repeats=repeats)
+    report.add_pair("fleet_heterogeneous", current, legacy)
+
+
 def run_fleet_bench_suite(quick: bool = False, fleet_size: int = FLEET_SIZE) -> BenchReport:
     """Run every fleet microbenchmark and return the populated report.
 
@@ -185,10 +228,18 @@ def run_fleet_bench_suite(quick: bool = False, fleet_size: int = FLEET_SIZE) -> 
     micro_iters = 50 if quick else 400
     repeats = 2 if quick else 3
 
+    # The heterogeneous case splits the population into (device, detector)
+    # groups, so it needs a fleet-scale population before the batched
+    # kernels amortise; benchmark it at realistic sizes.
+    hetero_sessions = 48 if quick else 96
+
     bench_fleet_session(report, fleet_size, session_frames, session_repeats)
     bench_fleet_thermal(report, fleet_size, micro_iters, repeats)
     bench_fleet_governor(report, fleet_size, micro_iters, repeats)
     bench_fleet_proposals(report, fleet_size, micro_iters, repeats)
+    bench_fleet_heterogeneous(
+        report, hetero_sessions, session_frames, session_repeats
+    )
     return report
 
 

@@ -16,12 +16,20 @@ from repro.runtime.engine import (
     RuntimeReport,
     default_worker_count,
     execute_job,
+    scenario_jobs,
 )
 from repro.runtime.fleet import (
     FleetRunResult,
+    FleetScenarioResult,
+    ScenarioGroup,
     make_fleet_environment,
     make_fleet_policy,
+    make_group_environment,
+    make_member_policy,
     run_fleet,
+    run_fleet_scenario,
+    run_scenario,
+    scalar_reference_session,
 )
 from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
 from repro.runtime.sweep import SweepSpec, sweep_metrics_map
@@ -31,8 +39,10 @@ __all__ = [
     "ExperimentJob",
     "ExperimentRuntime",
     "FleetRunResult",
+    "FleetScenarioResult",
     "ResultCache",
     "RuntimeReport",
+    "ScenarioGroup",
     "SweepSpec",
     "config_fingerprint",
     "default_cache_dir",
@@ -41,6 +51,12 @@ __all__ = [
     "job_key",
     "make_fleet_environment",
     "make_fleet_policy",
+    "make_group_environment",
+    "make_member_policy",
     "run_fleet",
+    "run_fleet_scenario",
+    "run_scenario",
+    "scalar_reference_session",
+    "scenario_jobs",
     "sweep_metrics_map",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface of the experiment runtime (``python -m repro``).
 
-Eight subcommands drive the engine without writing any code:
+Nine subcommands drive the engine without writing any code:
 
 * ``run`` — execute one experiment cell and print its summary metrics.
 * ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
@@ -8,6 +8,10 @@ Eight subcommands drive the engine without writing any code:
   paper-style comparison table per device.
 * ``fleet`` — run one cell as N vectorized lock-step sessions in a single
   process (the fleet engine) and print per-session plus aggregate metrics.
+* ``scenario`` — the declarative front end: ``scenario list`` names the
+  registered scenario library, ``scenario show`` prints a scenario's JSON
+  spec, and ``scenario run`` executes a (possibly heterogeneous) scenario
+  on the grouped fleet engine with a per-group summary table.
 * ``report`` — render the same tables purely from the cache, listing any
   missing cells instead of running them (useful on machines that only hold
   the cache, e.g. when collecting results produced elsewhere).
@@ -24,6 +28,9 @@ Examples::
     python -m repro sweep --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019 --workers 4
     python -m repro fleet --method default --sessions 64 --frames 500
+    python -m repro scenario list
+    python -m repro scenario show mixed-edge-fleet
+    python -m repro scenario run mixed-edge-fleet --frames 300
     python -m repro report --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019
     python -m repro devices
@@ -280,6 +287,69 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import FleetScenario, available_scenarios, build_scenario
+
+    for name in available_scenarios():
+        scenario = build_scenario(name)
+        if isinstance(scenario, FleetScenario):
+            devices = sorted({m.spec.device for m in scenario.members})
+            summary = (
+                f"fleet     {len(scenario.members)} members, "
+                f"{scenario.total_sessions()} sessions x {scenario.num_frames} "
+                f"frames, devices: {', '.join(devices)}"
+            )
+        else:
+            summary = (
+                f"scenario  {scenario.device}/{scenario.detector}/"
+                f"{scenario.dataset}, {scenario.method}, "
+                f"{scenario.num_sessions} sessions x {scenario.num_frames} frames"
+            )
+        print(f"{name:<26s} {summary}")
+        description = getattr(scenario, "description", "")
+        if description and args.verbose:
+            print(f"{'':<26s} {description}")
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import build_scenario
+
+    print(build_scenario(args.name).to_json(indent=2))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import scenario_group_table
+    from repro.runtime.fleet import run_scenario
+
+    result = run_scenario(
+        args.name, num_sessions=args.sessions, num_frames=args.frames
+    )
+    scenario = result.scenario
+    print(
+        f"scenario: {args.name} — {result.num_sessions} sessions x "
+        f"{scenario.num_frames} frames in {len(result.groups)} "
+        f"group(s)"
+    )
+    if args.per_session:
+        for assignment in result.assignments:
+            session = result.sessions[assignment.index]
+            label = f"{assignment.index}: {assignment.spec.name} (seed {assignment.seed})"
+            print(_summary_line(label, session.metrics))
+    print()
+    print(scenario_group_table(result))
+    latencies = result.fleet_trace.latencies_ms()
+    met = result.fleet_trace.constraint_met()
+    print(
+        f"\naggregate: l={latencies.mean():8.1f} ms  "
+        f"R_L={met.mean() * 100:5.1f} %  "
+        f"{result.fleet_trace.total_frames} frames in {result.elapsed_s:.2f} s "
+        f"({result.aggregate_frames_per_second:,.0f} frames/s)"
+    )
+    return 0
+
+
 def _cmd_devices(args: argparse.Namespace) -> int:
     from repro.hardware.devices.registry import available_devices, build_device
 
@@ -406,6 +476,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one summary line per session in addition to the aggregate",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="list, inspect and run declarative scenarios (incl. "
+        "heterogeneous fleets)",
+    )
+    scenario_actions = scenario.add_subparsers(dest="action", required=True)
+    scenario_list = scenario_actions.add_parser(
+        "list", help="list the registered scenario library"
+    )
+    scenario_list.add_argument(
+        "--verbose", action="store_true", help="include scenario descriptions"
+    )
+    scenario_list.set_defaults(func=_cmd_scenario_list)
+    scenario_show = scenario_actions.add_parser(
+        "show", help="print a scenario's JSON spec"
+    )
+    scenario_show.add_argument("name", help="registered scenario name")
+    scenario_show.set_defaults(func=_cmd_scenario_show)
+    scenario_run = scenario_actions.add_parser(
+        "run", help="run a scenario on the grouped fleet engine"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    scenario_run.add_argument(
+        "--sessions", type=int, default=None,
+        help="total session count (default: the scenario's own)",
+    )
+    scenario_run.add_argument(
+        "--frames", type=int, default=None,
+        help="episode length override applied to every member",
+    )
+    scenario_run.add_argument(
+        "--per-session", action="store_true",
+        help="print one summary line per session in addition to the groups",
+    )
+    scenario_run.set_defaults(func=_cmd_scenario_run)
 
     report = subparsers.add_parser(
         "report", help="render tables from cached results only (no execution)"

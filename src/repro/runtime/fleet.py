@@ -21,32 +21,47 @@ Methods map onto fleet policies as follows:
   policies adapted through
   :class:`repro.env.fleet.PerSessionPolicies`, preserving exact scalar
   behaviour while still running on the vectorized environment.
+
+Heterogeneous fleets run through the *scenario* entry points
+(:func:`run_scenario` / :func:`run_fleet_scenario`): a
+:class:`~repro.scenarios.FleetScenario` is resolved into per-session
+assignments, sessions are partitioned into grouped sub-fleets sharing one
+device model and detector (the quantities the batched kernels require to be
+uniform), each group advances as one batched kernel with per-session
+datasets, ambient schedules, constraints and seeds, and the per-group
+results re-interleave into a single columnar :class:`FleetTrace` — with
+every session still bit-identical to the scalar run of its own spec and
+seed.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ScenarioError
 from repro.core.fleet import FleetLotusAgent
 from repro.core.training import SessionResult, session_result_from_trace
+from repro.detection.fleet import proposal_scale
 from repro.detection.registry import build_detector
 from repro.env.ambient import AmbientProfile, ConstantAmbient
 from repro.env.fleet import (
     BatchedInferenceEnvironment,
     FleetPolicy,
+    FleetSessionGroup,
     FleetTrace,
     PerSessionPolicies,
     run_fleet_episode,
+    run_grouped_fleet_episode,
 )
 from repro.governors.fleet import (
     BatchedPerformancePolicy,
     BatchedPowersavePolicy,
     BatchedUserspacePolicy,
+    SubFleetPolicies,
     build_batched_default_governor,
 )
 from repro.hardware.devices.registry import build_device
@@ -55,6 +70,11 @@ from repro.workload.fleet import FleetFrameStream
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.analysis.experiments import ExperimentSetting
+    from repro.scenarios import (
+        FleetScenario,
+        ScenarioSpec,
+        SessionAssignment,
+    )
 
 # The analysis layer itself imports the runtime (its runners execute through
 # the engine), so its symbols are imported lazily inside the functions below
@@ -147,15 +167,26 @@ def make_fleet_environment(
     )
 
 
-def make_fleet_policy(
+def make_member_policy(
     method: str,
     environment: BatchedInferenceEnvironment,
     num_frames: int,
-    seed: int = 0,
+    seeds: Sequence[int],
 ) -> FleetPolicy:
-    """Build a fleet policy by method name, sized for the environment."""
+    """Build a fleet policy for ``len(seeds)`` sessions of one method.
+
+    The policy-factory primitive shared by the homogeneous fleet path
+    (:func:`make_fleet_policy`, where the sessions span the whole
+    environment) and the scenario runner (where each member of a
+    heterogeneous group gets its own policy over its own session slice).
+    ``environment`` only contributes the device, detector and throttle
+    threshold; ``seeds`` gives session ``i`` its base seed (matching the
+    scalar run it must reproduce).
+    """
     from repro.analysis.experiments import make_policy
 
+    if not seeds:
+        raise ExperimentError("need at least one session seed")
     device = environment.device
     if method == "default":
         return build_batched_default_governor(device.name)
@@ -169,18 +200,15 @@ def make_fleet_policy(
             gpu_level=max(0, device.gpu.max_level - 1),
         )
     if method == "lotus-fleet":
-        detector = environment.detector
-        proposal_scale = float(
-            detector.proposal_model.max_proposals if detector.is_two_stage else 100
-        )
         from repro.core.config import LotusConfig
 
+        seed = seeds[0]
         return FleetLotusAgent(
             cpu_levels=device.cpu.num_levels,
             gpu_levels=device.gpu.num_levels,
             temperature_threshold_c=environment.throttle_threshold_c,
-            proposal_scale=proposal_scale,
-            num_sessions=environment.num_sessions,
+            proposal_scale=proposal_scale(environment.detector),
+            num_sessions=len(seeds),
             config=LotusConfig(seed=seed + 100).for_episode_length(num_frames),
             rng=np.random.default_rng(seed + 100),
         )
@@ -189,10 +217,24 @@ def make_fleet_policy(
     # device, detector and throttle threshold, which the fleet environment
     # exposes with the same attribute names.
     policies = [
-        make_policy(method, environment, num_frames, seed=seed + i)
-        for i in range(environment.num_sessions)
+        make_policy(method, environment, num_frames, seed=seed) for seed in seeds
     ]
     return PerSessionPolicies(policies)
+
+
+def make_fleet_policy(
+    method: str,
+    environment: BatchedInferenceEnvironment,
+    num_frames: int,
+    seed: int = 0,
+) -> FleetPolicy:
+    """Build a fleet policy by method name, sized for the environment."""
+    return make_member_policy(
+        method,
+        environment,
+        num_frames,
+        seeds=[seed + i for i in range(environment.num_sessions)],
+    )
 
 
 def run_fleet(
@@ -225,19 +267,49 @@ def run_fleet(
     )
 
 
+def _session_histories(
+    policy: FleetPolicy, num_sessions: int
+) -> Tuple[List[List[float]], List[List[float]]]:
+    """Per-session (losses, rewards) histories for any fleet policy shape.
+
+    Per-session adapters report each session's own histories; sub-fleet
+    combinators recurse into their partitions; shared policies (one network
+    across the sessions, e.g. the fleet-trained agent) replicate their
+    single history to every session.
+    """
+    if isinstance(policy, PerSessionPolicies):
+        return policy.loss_histories(), policy.reward_histories()
+    if isinstance(policy, SubFleetPolicies):
+        losses: List[List[float]] = [[] for _ in range(num_sessions)]
+        rewards: List[List[float]] = [[] for _ in range(num_sessions)]
+        for sub_policy, indices in zip(policy.policies, policy.indices):
+            sub_losses, sub_rewards = _session_histories(sub_policy, len(indices))
+            for local, index in enumerate(indices.tolist()):
+                losses[index] = sub_losses[local]
+                rewards[index] = sub_rewards[local]
+        return losses, rewards
+    shared_losses = list(getattr(policy, "loss_history", []))
+    shared_rewards = list(getattr(policy, "reward_history", []))
+    return (
+        [list(shared_losses) for _ in range(num_sessions)],
+        [list(shared_rewards) for _ in range(num_sessions)],
+    )
+
+
+def _session_policy_names(policy: FleetPolicy, num_sessions: int) -> List[str]:
+    """Per-session policy names (sub-fleet combinators resolve per slice)."""
+    if isinstance(policy, SubFleetPolicies):
+        return policy.session_policy_names()
+    return [policy.name] * num_sessions
+
+
 def _session_results(policy: FleetPolicy, fleet_trace: FleetTrace) -> List[SessionResult]:
     """Package each session's trace the way the scalar runtime would."""
-    if isinstance(policy, PerSessionPolicies):
-        losses = policy.loss_histories()
-        rewards = policy.reward_histories()
-    else:
-        losses = [list(getattr(policy, "loss_history", []))] * fleet_trace.num_sessions
-        rewards = [
-            list(getattr(policy, "reward_history", []))
-        ] * fleet_trace.num_sessions
+    losses, rewards = _session_histories(policy, fleet_trace.num_sessions)
+    names = _session_policy_names(policy, fleet_trace.num_sessions)
     return [
         session_result_from_trace(
-            policy.name,
+            names[i],
             fleet_trace.session_trace(i),
             losses=losses[i],
             rewards=rewards[i],
@@ -266,3 +338,309 @@ def scalar_reference_sessions(
         )
         results.append(OnlineSession(environment, policy).run(setting.num_frames))
     return results
+
+
+# ---------------------------------------------------------------------------
+# Scenario execution (heterogeneous fleets)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioGroup:
+    """One grouped sub-fleet of a scenario run, for reporting.
+
+    Attributes:
+        device: Device model shared by the group.
+        detector: Detector shared by the group.
+        session_indices: Global session index of each of the group's
+            sessions, in the group's local order.
+        spec_names: Scenario-spec name of each session (same order).
+        policy_name: Name of the fleet policy that drove the group.
+    """
+
+    device: str
+    detector: str
+    session_indices: Tuple[int, ...]
+    spec_names: Tuple[str, ...]
+    policy_name: str
+
+
+@dataclass(frozen=True)
+class FleetScenarioResult:
+    """Outcome of one heterogeneous scenario run.
+
+    Attributes:
+        scenario: The (possibly overridden) fleet scenario that ran.
+        assignments: Per-session resolution to specs and seeds, in global
+            session order.
+        groups: The grouped sub-fleets the sessions were partitioned into.
+        sessions: Per-session :class:`SessionResult` records, global order.
+        fleet_trace: The combined columnar trace (global session order).
+        elapsed_s: Wall-clock seconds spent in the episode loop.
+    """
+
+    scenario: FleetScenario
+    assignments: Tuple[SessionAssignment, ...]
+    groups: Tuple[ScenarioGroup, ...]
+    sessions: Tuple[SessionResult, ...]
+    fleet_trace: FleetTrace
+    elapsed_s: float
+
+    @property
+    def num_sessions(self) -> int:
+        """Total fleet size."""
+        return self.fleet_trace.num_sessions
+
+    @property
+    def aggregate_frames_per_second(self) -> float:
+        """Total frames processed across the fleet per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.fleet_trace.total_frames / self.elapsed_s
+
+    def group_sessions(self, group: ScenarioGroup) -> List[SessionResult]:
+        """The session results belonging to ``group``, in its local order."""
+        return [self.sessions[i] for i in group.session_indices]
+
+
+def make_group_environment(
+    device_name: str,
+    detector_name: str,
+    assignments: Sequence[SessionAssignment],
+) -> BatchedInferenceEnvironment:
+    """Build the batched environment of one grouped sub-fleet.
+
+    All assignments must share ``device_name``/``detector_name``; each
+    session gets its own dataset profile (per-session AR(1) workload
+    parameters), ambient schedule, resolved latency constraint, stream
+    generator (``default_rng(seed)``) and proposal generator
+    (``default_rng(seed + 1)``) — exactly the components the scalar
+    environment of that session's spec and seed would use.
+    """
+    from repro.analysis.experiments import (
+        _control_margin_c,
+        default_latency_constraint,
+    )
+
+    if not assignments:
+        raise ExperimentError("a session group needs at least one assignment")
+    for assignment in assignments:
+        if (
+            assignment.spec.device != device_name
+            or assignment.spec.detector != detector_name
+        ):
+            raise ExperimentError(
+                f"assignment {assignment.spec.name!r} does not belong to group "
+                f"({device_name}, {detector_name})"
+            )
+    device = build_device(device_name)
+    detector = build_detector(detector_name)
+    constraint_cache: Dict[str, float] = {}
+    constraints: List[float] = []
+    for assignment in assignments:
+        spec = assignment.spec
+        if spec.latency_constraint_ms is not None:
+            constraints.append(float(spec.latency_constraint_ms))
+            continue
+        if spec.dataset not in constraint_cache:
+            constraint_cache[spec.dataset] = default_latency_constraint(
+                device_name, detector_name, spec.dataset
+            )
+        constraints.append(constraint_cache[spec.dataset])
+    streams = FleetFrameStream(
+        [build_dataset(assignment.spec.dataset) for assignment in assignments],
+        [np.random.default_rng(assignment.seed) for assignment in assignments],
+        latency_constraint_ms=constraints,
+    )
+    rngs = [np.random.default_rng(assignment.seed + 1) for assignment in assignments]
+    trip = min(
+        device.cpu_throttle.trip_temperature_c, device.gpu_throttle.trip_temperature_c
+    )
+    return BatchedInferenceEnvironment(
+        device=device,
+        detector=detector,
+        streams=streams,
+        # Every session's constraint is fully resolved into the stream's
+        # per-session override array above (no NaN entries), so the
+        # environment-wide default is never consulted; any positive value
+        # satisfies the constructor.
+        latency_constraint_ms=constraints[0],
+        ambient=[assignment.spec.ambient for assignment in assignments],
+        rngs=rngs,
+        throttle_threshold_c=trip - _control_margin_c(trip),
+    )
+
+
+def _group_policy(
+    environment: BatchedInferenceEnvironment,
+    assignments: Sequence[SessionAssignment],
+    num_frames: int,
+) -> FleetPolicy:
+    """Build the (possibly partitioned) policy driving one session group."""
+    runs: List[Tuple[int, List[int], List[int]]] = []
+    for local, assignment in enumerate(assignments):
+        if runs and runs[-1][0] == assignment.member_index:
+            runs[-1][1].append(local)
+            runs[-1][2].append(assignment.seed)
+        else:
+            runs.append((assignment.member_index, [local], [assignment.seed]))
+    policies = [
+        make_member_policy(
+            assignments[locals_[0]].spec.method, environment, num_frames, seeds
+        )
+        for _, locals_, seeds in runs
+    ]
+    if len(policies) == 1:
+        return policies[0]
+    return SubFleetPolicies(policies, [locals_ for _, locals_, _ in runs])
+
+
+def run_fleet_scenario(
+    scenario: Union[FleetScenario, ScenarioSpec],
+    num_sessions: int | None = None,
+    num_frames: int | None = None,
+) -> FleetScenarioResult:
+    """Run a (possibly heterogeneous) scenario on the grouped fleet engine.
+
+    Sessions are resolved via
+    :meth:`~repro.scenarios.FleetScenario.session_assignments`, partitioned
+    into sub-fleets by (device, detector), advanced lock-step as one batched
+    kernel per group, and re-interleaved into one columnar trace in global
+    session order.  Session ``i`` is bit-for-bit the scalar run of
+    ``assignments[i].spec`` at seed ``assignments[i].seed``
+    (``tests/test_fleet_equivalence.py`` enforces this).
+
+    Args:
+        scenario: A :class:`~repro.scenarios.FleetScenario`, or a single
+            :class:`~repro.scenarios.ScenarioSpec` (treated as a
+            one-member fleet).
+        num_sessions: Total population override (default: the scenario's).
+        num_frames: Episode-length override applied to every member.
+    """
+    from repro.scenarios import FleetMember, FleetScenario, ScenarioSpec
+
+    if isinstance(scenario, ScenarioSpec):
+        scenario = FleetScenario(
+            name=scenario.name,
+            members=(FleetMember(scenario),),
+            description=scenario.description,
+        )
+    if not isinstance(scenario, FleetScenario):
+        raise ScenarioError(
+            f"expected a ScenarioSpec or FleetScenario, got {type(scenario).__name__}"
+        )
+    if num_frames is not None and num_frames != scenario.num_frames:
+        scenario = scenario.with_overrides(
+            members=tuple(
+                FleetMember(
+                    member.spec.with_overrides(num_frames=num_frames), member.weight
+                )
+                for member in scenario.members
+            )
+        )
+    frames = scenario.num_frames
+    assignments = scenario.session_assignments(num_sessions)
+
+    grouped: Dict[Tuple[str, str], List[SessionAssignment]] = {}
+    for assignment in assignments:
+        key = (assignment.spec.device, assignment.spec.detector)
+        grouped.setdefault(key, []).append(assignment)
+
+    session_groups: List[FleetSessionGroup] = []
+    for (device_name, detector_name), group_assignments in grouped.items():
+        environment = make_group_environment(
+            device_name, detector_name, group_assignments
+        )
+        policy = _group_policy(environment, group_assignments, frames)
+        session_groups.append(
+            FleetSessionGroup(
+                environment=environment,
+                policy=policy,
+                session_indices=tuple(a.index for a in group_assignments),
+            )
+        )
+
+    start = time.perf_counter()
+    fleet_trace = run_grouped_fleet_episode(session_groups, frames)
+    elapsed_s = time.perf_counter() - start
+
+    sessions: List[SessionResult | None] = [None] * len(assignments)
+    group_infos: List[ScenarioGroup] = []
+    for group, ((device_name, detector_name), group_assignments) in zip(
+        session_groups, grouped.items()
+    ):
+        losses, rewards = _session_histories(
+            group.policy, group.environment.num_sessions
+        )
+        names = _session_policy_names(group.policy, group.environment.num_sessions)
+        for local, assignment in enumerate(group_assignments):
+            sessions[assignment.index] = session_result_from_trace(
+                names[local],
+                fleet_trace.session_trace(assignment.index),
+                losses=losses[local],
+                rewards=rewards[local],
+            )
+        group_infos.append(
+            ScenarioGroup(
+                device=device_name,
+                detector=detector_name,
+                session_indices=group.session_indices,
+                spec_names=tuple(a.spec.name for a in group_assignments),
+                policy_name=group.policy.name,
+            )
+        )
+    return FleetScenarioResult(
+        scenario=scenario,
+        assignments=assignments,
+        groups=tuple(group_infos),
+        sessions=tuple(sessions),
+        fleet_trace=fleet_trace,
+        elapsed_s=elapsed_s,
+    )
+
+
+def run_scenario(
+    scenario: Union[FleetScenario, ScenarioSpec, str],
+    num_sessions: int | None = None,
+    num_frames: int | None = None,
+) -> FleetScenarioResult:
+    """Run a scenario by object or registered name.
+
+    The front door the CLI (``python -m repro scenario run``) and the
+    examples use: names resolve through the scenario registry, and both
+    scenario flavours execute on the grouped fleet engine.
+    """
+    if isinstance(scenario, str):
+        from repro.scenarios import build_scenario
+
+        scenario = build_scenario(scenario)
+    return run_fleet_scenario(scenario, num_sessions=num_sessions, num_frames=num_frames)
+
+
+def scalar_reference_session(
+    spec: ScenarioSpec,
+    seed: int | None = None,
+    num_frames: int | None = None,
+) -> SessionResult:
+    """Run the scalar reference of one scenario session (no warm-up).
+
+    The equivalence oracle of the scenario runner: the scalar environment
+    and policy are built exactly as :func:`run_fleet_scenario` builds the
+    session's slice of its group, so the returned trace must match that
+    session's column of the fleet trace bit for bit.
+    """
+    from repro.analysis.experiments import make_environment, make_policy
+    from repro.core.training import OnlineSession
+
+    if spec.method == "lotus-fleet":
+        raise ScenarioError(
+            "lotus-fleet trains one shared network across the fleet and has "
+            "no scalar reference session"
+        )
+    frames = spec.num_frames if num_frames is None else num_frames
+    setting = spec.setting().with_overrides(
+        seed=spec.seed if seed is None else seed, num_frames=frames
+    )
+    environment = make_environment(setting, ambient=spec.ambient)
+    policy = make_policy(spec.method, environment, frames, seed=setting.seed)
+    return OnlineSession(environment, policy).run(frames)

@@ -77,6 +77,8 @@ def ambient_fingerprint(ambient: Any) -> Optional[Dict[str, Any]]:
 
     if ambient is None:
         return None
+    # The constant/steps shapes predate the scenario codec and are kept
+    # verbatim so existing cache keys stay stable.
     if isinstance(ambient, ConstantAmbient):
         return {"kind": "constant", "temperature_c": float(ambient.temperature_c)}
     if isinstance(ambient, StepAmbient):
@@ -86,7 +88,17 @@ def ambient_fingerprint(ambient: Any) -> Optional[Dict[str, Any]]:
                 [int(s.num_frames), float(s.temperature_c)] for s in ambient.segments
             ],
         }
-    raise TypeError(f"cannot fingerprint ambient profile of type {type(ambient).__name__}")
+    # Every other library profile fingerprints through the scenario codec,
+    # so new serialisable profiles are cacheable without a second codec.
+    from repro.errors import ScenarioError
+    from repro.scenarios.spec import ambient_to_dict
+
+    try:
+        return ambient_to_dict(ambient)
+    except ScenarioError as exc:
+        raise TypeError(
+            f"cannot fingerprint ambient profile of type {type(ambient).__name__}"
+        ) from exc
 
 
 def config_fingerprint() -> Dict[str, Any]:

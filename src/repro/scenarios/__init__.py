@@ -1,0 +1,52 @@
+"""Declarative scenarios: serialisable run recipes and heterogeneous fleets.
+
+The scenario subsystem turns "what to run" into a first-class object:
+
+* :class:`ScenarioSpec` — one homogeneous population (device, detector,
+  dataset, method, ambient schedule, episode length, session count, seed
+  block) with lossless dict/JSON round-trips.
+* :class:`FleetScenario` — several weighted specs composed into one
+  heterogeneous population (mixed devices, workloads and ambients), the
+  input of :func:`repro.runtime.fleet.run_fleet_scenario`.
+* the validating registry (:func:`register_scenario`,
+  :func:`build_scenario`, :func:`available_scenarios`) with a built-in
+  library of named scenarios (``phone-diurnal``, ``drone-climb``,
+  ``cctv-burst``, ``thermal-soak``, ``mixed-edge-fleet``, ...), exposed on
+  the command line as ``python -m repro scenario list|show|run``.
+"""
+
+from repro.scenarios.spec import (
+    FLEET_ONLY_METHODS,
+    FleetMember,
+    FleetScenario,
+    Scenario,
+    ScenarioSpec,
+    SessionAssignment,
+    ambient_from_dict,
+    ambient_to_dict,
+    scenario_from_dict,
+    scenario_from_json,
+)
+from repro.scenarios.registry import (
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    validate_scenario,
+)
+
+__all__ = [
+    "FLEET_ONLY_METHODS",
+    "FleetMember",
+    "FleetScenario",
+    "Scenario",
+    "ScenarioSpec",
+    "SessionAssignment",
+    "ambient_from_dict",
+    "ambient_to_dict",
+    "available_scenarios",
+    "build_scenario",
+    "register_scenario",
+    "scenario_from_dict",
+    "scenario_from_json",
+    "validate_scenario",
+]

@@ -1,0 +1,284 @@
+"""Validating registry of named scenarios.
+
+Scenarios register under a unique name after full validation: the device,
+detector and dataset must exist in their registries, the method must be one
+the policy factories can build, and the ambient profile must be one of the
+serialisable library profiles (so every registered scenario is guaranteed
+to round-trip through JSON).  ``python -m repro scenario list|show|run``
+drives the registry from the command line.
+
+The built-in library covers the situations the paper and the examples care
+about — a phone living through day/night cycles, a drone climbing into cold
+air, a CCTV pole baking in midday sun, a soak test pinned at 40 °C — plus
+two heterogeneous fleets: ``mixed-edge-fleet`` (three device models, four
+ambient regimes in one population) and ``shared-device-mixed-load`` (one
+device group whose sessions split across methods and datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, ScenarioError
+from repro.env.ambient import (
+    AmbientSegment,
+    ConstantAmbient,
+    DiurnalAmbient,
+    LinearRampAmbient,
+    StepAmbient,
+    warm_cold_warm,
+)
+from repro.scenarios.spec import (
+    FLEET_ONLY_METHODS,
+    FleetMember,
+    FleetScenario,
+    Scenario,
+    ScenarioSpec,
+    ambient_to_dict,
+)
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def validate_scenario(scenario: Scenario) -> None:
+    """Check a scenario against the component registries; raise on problems.
+
+    Validates device, detector, dataset and method names, and that the
+    ambient profile serialises (fleet scenarios validate every member).
+    The spec dataclasses already enforce their structural invariants
+    (positive counts, matching episode lengths, positive weights) at
+    construction time.
+    """
+    if isinstance(scenario, FleetScenario):
+        for member in scenario.members:
+            validate_scenario(member.spec)
+        return
+    if not isinstance(scenario, ScenarioSpec):
+        raise ScenarioError(
+            f"expected a ScenarioSpec or FleetScenario, got {type(scenario).__name__}"
+        )
+    from repro.analysis.experiments import available_methods
+    from repro.detection.registry import build_detector
+    from repro.hardware.devices.registry import build_device
+    from repro.workload.dataset import build_dataset
+
+    try:
+        build_device(scenario.device)
+        build_detector(scenario.detector)
+        build_dataset(scenario.dataset)
+    except ConfigurationError as exc:
+        raise ScenarioError(f"scenario {scenario.name!r} is invalid: {exc}") from exc
+    methods = available_methods() + FLEET_ONLY_METHODS
+    if scenario.method not in methods:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} uses unknown method "
+            f"{scenario.method!r}; available: {methods}"
+        )
+    ambient_to_dict(scenario.ambient)
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> None:
+    """Validate and register ``scenario`` under its name."""
+    validate_scenario(scenario)
+    if scenario.name in _REGISTRY and not overwrite:
+        raise ScenarioError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+
+
+def available_scenarios() -> tuple:
+    """Names of all registered scenarios, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name.
+
+    The returned objects are frozen dataclasses; use ``with_overrides`` to
+    derive variants without touching the registry.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenario library
+# ---------------------------------------------------------------------------
+
+
+def _builtin_specs() -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            name="jetson-kitti-baseline",
+            device="jetson-orin-nano",
+            detector="faster_rcnn",
+            dataset="kitti",
+            method="lotus",
+            num_frames=1000,
+            num_sessions=4,
+            ambient=ConstantAmbient(25.0),
+            description="The paper's reference cell: FasterRCNN on KITTI on "
+            "a Jetson Orin Nano in a 25 C room, Lotus-managed.",
+        ),
+        ScenarioSpec(
+            name="phone-diurnal",
+            device="mi11-lite",
+            detector="yolo_v5",
+            dataset="kitti",
+            method="default",
+            num_frames=1000,
+            num_sessions=8,
+            ambient=DiurnalAmbient(
+                mean_c=27.0, amplitude_c=9.0, period_frames=600
+            ),
+            description="A phone running one-stage detection through warm "
+            "days and cool nights (sinusoidal ambient).",
+        ),
+        ScenarioSpec(
+            name="drone-climb",
+            device="jetson-orin-nano",
+            detector="mask_rcnn",
+            dataset="visdrone2019",
+            method="lotus",
+            num_frames=1000,
+            num_sessions=4,
+            ambient=LinearRampAmbient(
+                start_c=25.0, end_c=0.0, ramp_frames=500, delay_frames=100
+            ),
+            description="A surveillance drone climbing from warm ground "
+            "level into cold air while segmenting dense aerial scenes.",
+        ),
+        ScenarioSpec(
+            name="cctv-burst",
+            device="raspberry-pi-5",
+            detector="yolo_v5",
+            dataset="visdrone2019",
+            method="default",
+            num_frames=1000,
+            num_sessions=6,
+            ambient=StepAmbient(
+                [
+                    AmbientSegment(300, 24.0, label="overcast"),
+                    AmbientSegment(200, 38.0, label="sun on housing"),
+                    AmbientSegment(500, 24.0, label="overcast"),
+                ]
+            ),
+            description="A pole-mounted Raspberry Pi camera hit by a "
+            "midday-sun heat burst between overcast stretches.",
+        ),
+        ScenarioSpec(
+            name="thermal-soak",
+            device="mi11-lite",
+            detector="faster_rcnn",
+            dataset="kitti",
+            method="performance",
+            num_frames=1000,
+            num_sessions=4,
+            ambient=ConstantAmbient(40.0),
+            description="Worst-case soak test: a phone pinned at maximum "
+            "frequencies in a 40 C environment (throttling stress).",
+        ),
+        ScenarioSpec(
+            name="pi-smart-farm",
+            device="raspberry-pi-5",
+            detector="yolo_v5",
+            dataset="kitti",
+            method="default",
+            num_frames=1000,
+            num_sessions=6,
+            ambient=DiurnalAmbient(
+                mean_c=24.0, amplitude_c=12.0, period_frames=800, phase_frames=200
+            ),
+            description="A greenhouse monitoring Pi through wide day/night "
+            "temperature swings.",
+        ),
+        ScenarioSpec(
+            name="autonomous-driving",
+            device="jetson-orin-nano",
+            detector="faster_rcnn",
+            dataset="kitti",
+            method="lotus",
+            num_frames=900,
+            num_sessions=2,
+            ambient=ConstantAmbient(30.0),
+            description="In-vehicle perception: latency-constrained "
+            "FasterRCNN on KITTI in a 30 C cabin (examples/autonomous_driving.py).",
+        ),
+        ScenarioSpec(
+            name="drone-surveillance",
+            device="jetson-orin-nano",
+            detector="mask_rcnn",
+            dataset="visdrone2019",
+            method="lotus",
+            num_frames=900,
+            num_sessions=2,
+            ambient=warm_cold_warm(300),
+            description="The paper's Fig. 7a flight: warm ground, cold "
+            "altitude, warm ground (examples/drone_surveillance.py).",
+        ),
+        ScenarioSpec(
+            name="edge-kiosk",
+            device="mi11-lite",
+            detector="yolo_v5",
+            dataset="kitti",
+            method="powersave",
+            num_frames=1000,
+            num_sessions=4,
+            ambient=ConstantAmbient(28.0),
+            description="A battery-conscious indoor kiosk holding minimum "
+            "operating points in a warm lobby.",
+        ),
+    ]
+
+
+def _builtin_fleets(specs: Dict[str, ScenarioSpec]) -> List[FleetScenario]:
+    return [
+        FleetScenario(
+            name="mixed-edge-fleet",
+            members=(
+                FleetMember(specs["phone-diurnal"], weight=3.0),
+                FleetMember(specs["drone-climb"], weight=1.0),
+                FleetMember(specs["cctv-burst"], weight=2.0),
+                FleetMember(specs["thermal-soak"], weight=1.0),
+            ),
+            description="A heterogeneous edge population: phones through "
+            "day/night cycles, climbing drones, sun-baked CCTV poles and a "
+            "hot soak cell — three device models, four ambient regimes.",
+        ),
+        FleetScenario(
+            name="shared-device-mixed-load",
+            members=(
+                FleetMember(
+                    specs["jetson-kitti-baseline"].with_overrides(
+                        name="jetson-kitti-default", method="default"
+                    ),
+                    weight=1.0,
+                ),
+                FleetMember(
+                    specs["jetson-kitti-baseline"].with_overrides(
+                        name="jetson-visdrone-lotus",
+                        dataset="visdrone2019",
+                        seed=50,
+                    ),
+                    weight=1.0,
+                ),
+            ),
+            description="One Jetson device group whose sessions split "
+            "across workloads and methods — exercises the sub-fleet policy "
+            "partitioning inside a single batched group.",
+        ),
+    ]
+
+
+def _register_builtins() -> None:
+    specs = {spec.name: spec for spec in _builtin_specs()}
+    for spec in specs.values():
+        register_scenario(spec)
+    for fleet in _builtin_fleets(specs):
+        register_scenario(fleet)
+
+
+_register_builtins()

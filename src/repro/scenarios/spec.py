@@ -1,0 +1,538 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the complete, serialisable recipe for a
+population of identical sessions: which device runs which detector over
+which workload, under which ambient schedule and latency constraint, driven
+by which control method, for how many frames, across how many sessions, and
+from which seed block.  Two equal specs describe bit-identical runs, and a
+spec round-trips losslessly through ``to_dict``/``from_dict`` (and JSON), so
+scenarios can live in files, travel over the wire, and key caches.
+
+A :class:`FleetScenario` composes several weighted specs into one
+heterogeneous population: mixed devices, mixed detectors, mixed workloads,
+mixed ambients — the "traffic model" a single
+:func:`repro.runtime.fleet.run_fleet_scenario` call simulates.  Sessions
+are allocated to members by weight (largest-remainder, at least one session
+per member) and numbered member-by-member; session ``j`` of a member runs
+seed ``spec.seed + j``, exactly like a homogeneous fleet of that spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import ScenarioError
+from repro.env.ambient import (
+    AmbientProfile,
+    AmbientSegment,
+    ConstantAmbient,
+    DiurnalAmbient,
+    LinearRampAmbient,
+    StepAmbient,
+)
+
+#: Fleet-only methods accepted in scenarios on top of the scalar factory's
+#: list (``lotus-fleet`` trains one shared Q-network across the sessions and
+#: has no scalar counterpart).
+FLEET_ONLY_METHODS = ("lotus-fleet",)
+
+
+# ---------------------------------------------------------------------------
+# Ambient profile (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def ambient_to_dict(profile: AmbientProfile) -> Dict[str, Any]:
+    """Serialisable description of an ambient profile.
+
+    Supports the four library profiles (constant, stepped, diurnal, linear
+    ramp); raises :class:`ScenarioError` for custom profile types, which
+    cannot be promised to round-trip.
+    """
+    if isinstance(profile, ConstantAmbient):
+        return {"kind": "constant", "temperature_c": float(profile.temperature_c)}
+    if isinstance(profile, StepAmbient):
+        return {
+            "kind": "steps",
+            "segments": [
+                {
+                    "num_frames": int(segment.num_frames),
+                    "temperature_c": float(segment.temperature_c),
+                    "label": segment.label,
+                }
+                for segment in profile.segments
+            ],
+        }
+    if isinstance(profile, DiurnalAmbient):
+        return {
+            "kind": "diurnal",
+            "mean_c": float(profile.mean_c),
+            "amplitude_c": float(profile.amplitude_c),
+            "period_frames": int(profile.period_frames),
+            "phase_frames": int(profile.phase_frames),
+        }
+    if isinstance(profile, LinearRampAmbient):
+        return {
+            "kind": "linear_ramp",
+            "start_c": float(profile.start_c),
+            "end_c": float(profile.end_c),
+            "ramp_frames": int(profile.ramp_frames),
+            "delay_frames": int(profile.delay_frames),
+        }
+    raise ScenarioError(
+        f"cannot serialise ambient profile of type {type(profile).__name__}"
+    )
+
+
+def ambient_from_dict(payload: Dict[str, Any]) -> AmbientProfile:
+    """Rebuild an ambient profile from :func:`ambient_to_dict` output."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ScenarioError("ambient payload must be a dict with a 'kind' key")
+    kind = payload["kind"]
+    try:
+        if kind == "constant":
+            return ConstantAmbient(temperature_c=float(payload["temperature_c"]))
+        if kind == "steps":
+            return StepAmbient(
+                [
+                    AmbientSegment(
+                        num_frames=int(segment["num_frames"]),
+                        temperature_c=float(segment["temperature_c"]),
+                        label=str(segment.get("label", "")),
+                    )
+                    for segment in payload["segments"]
+                ]
+            )
+        if kind == "diurnal":
+            return DiurnalAmbient(
+                mean_c=float(payload["mean_c"]),
+                amplitude_c=float(payload["amplitude_c"]),
+                period_frames=int(payload["period_frames"]),
+                phase_frames=int(payload.get("phase_frames", 0)),
+            )
+        if kind == "linear_ramp":
+            return LinearRampAmbient(
+                start_c=float(payload["start_c"]),
+                end_c=float(payload["end_c"]),
+                ramp_frames=int(payload["ramp_frames"]),
+                delay_frames=int(payload.get("delay_frames", 0)),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScenarioError(f"malformed ambient payload for kind {kind!r}: {exc}") from exc
+    raise ScenarioError(f"unknown ambient kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One homogeneous population of sessions, fully described.
+
+    Attributes:
+        name: Scenario identifier (registry key / report label).
+        device: Device model name (:mod:`repro.hardware.devices.registry`).
+        detector: Detector cost-model name (:mod:`repro.detection.registry`).
+        dataset: Workload dataset profile name
+            (:mod:`repro.workload.dataset`).
+        method: Control method — any scalar method
+            (:func:`repro.analysis.experiments.make_policy`) or the
+            fleet-only ``lotus-fleet``.
+        num_frames: Episode length in frames.
+        num_sessions: Default population size when the scenario runs on the
+            fleet engine (a scalar run uses one session).
+        seed: Base seed of the scenario's seed block; session ``i`` runs
+            with seed ``seed + i``.
+        latency_constraint_ms: Explicit latency constraint, or ``None`` to
+            derive the default from the cost model.
+        ambient: Ambient-temperature schedule every session follows.
+        description: Human-readable description for listings.
+    """
+
+    name: str
+    device: str = "jetson-orin-nano"
+    detector: str = "faster_rcnn"
+    dataset: str = "kitti"
+    method: str = "default"
+    num_frames: int = 1000
+    num_sessions: int = 1
+    seed: int = 0
+    latency_constraint_ms: float | None = None
+    ambient: AmbientProfile = field(default_factory=ConstantAmbient)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if self.num_frames <= 0:
+            raise ScenarioError("num_frames must be positive")
+        if self.num_sessions <= 0:
+            raise ScenarioError("num_sessions must be positive")
+        if self.latency_constraint_ms is not None and self.latency_constraint_ms <= 0:
+            raise ScenarioError("latency_constraint_ms must be positive")
+        if not isinstance(self.ambient, AmbientProfile):
+            raise ScenarioError("ambient must be an AmbientProfile")
+
+    def with_overrides(self, **kwargs: Any) -> "ScenarioSpec":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def session_seed(self, session_index: int) -> int:
+        """Base seed of session ``session_index`` of this scenario."""
+        if session_index < 0:
+            raise ScenarioError("session_index must be non-negative")
+        return self.seed + session_index
+
+    def setting(self) -> Any:
+        """The :class:`~repro.analysis.experiments.ExperimentSetting` of one
+        session of this scenario (seeded with the block's base seed; pass
+        the spec's :attr:`ambient` alongside it for non-constant profiles).
+        """
+        from repro.analysis.experiments import ExperimentSetting
+
+        return ExperimentSetting(
+            device=self.device,
+            detector=self.detector,
+            dataset=self.dataset,
+            num_frames=self.num_frames,
+            latency_constraint_ms=self.latency_constraint_ms,
+            ambient_temperature_c=float(self.ambient.initial_temperature()),
+            seed=self.seed,
+        )
+
+    def resolved_latency_constraint_ms(self) -> float:
+        """The constraint in force: explicit, or the cost-model default."""
+        if self.latency_constraint_ms is not None:
+            return float(self.latency_constraint_ms)
+        from repro.analysis.experiments import default_latency_constraint
+
+        return default_latency_constraint(self.device, self.detector, self.dataset)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible description; inverse of :meth:`from_dict`."""
+        return {
+            "kind": "scenario",
+            "name": self.name,
+            "device": self.device,
+            "detector": self.detector,
+            "dataset": self.dataset,
+            "method": self.method,
+            "num_frames": int(self.num_frames),
+            "num_sessions": int(self.num_sessions),
+            "seed": int(self.seed),
+            "latency_constraint_ms": (
+                None
+                if self.latency_constraint_ms is None
+                else float(self.latency_constraint_ms)
+            ),
+            "ambient": ambient_to_dict(self.ambient),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise ScenarioError("scenario payload must be a dict")
+        kind = payload.get("kind", "scenario")
+        if kind != "scenario":
+            raise ScenarioError(f"expected kind 'scenario', got {kind!r}")
+        known = {
+            "kind",
+            "name",
+            "device",
+            "detector",
+            "dataset",
+            "method",
+            "num_frames",
+            "num_sessions",
+            "seed",
+            "latency_constraint_ms",
+            "ambient",
+            "description",
+        }
+        unexpected = set(payload) - known
+        if unexpected:
+            raise ScenarioError(f"unexpected scenario keys: {sorted(unexpected)}")
+        if "name" not in payload:
+            raise ScenarioError("scenario payload needs a 'name'")
+        constraint = payload.get("latency_constraint_ms")
+        try:
+            return cls(
+                name=str(payload["name"]),
+                device=str(payload.get("device", "jetson-orin-nano")),
+                detector=str(payload.get("detector", "faster_rcnn")),
+                dataset=str(payload.get("dataset", "kitti")),
+                method=str(payload.get("method", "default")),
+                num_frames=int(payload.get("num_frames", 1000)),
+                num_sessions=int(payload.get("num_sessions", 1)),
+                seed=int(payload.get("seed", 0)),
+                latency_constraint_ms=None if constraint is None else float(constraint),
+                ambient=(
+                    ambient_from_dict(payload["ambient"])
+                    if "ambient" in payload
+                    else ConstantAmbient()
+                ),
+                description=str(payload.get("description", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"malformed scenario payload: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# FleetScenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One weighted member of a heterogeneous fleet.
+
+    Attributes:
+        spec: The member's scenario spec.
+        weight: Relative share of the fleet's sessions this member receives
+            (must be positive and finite).
+    """
+
+    spec: ScenarioSpec
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, ScenarioSpec):
+            raise ScenarioError("member spec must be a ScenarioSpec")
+        if not math.isfinite(self.weight) or self.weight <= 0:
+            raise ScenarioError("member weight must be positive and finite")
+
+
+@dataclass(frozen=True)
+class SessionAssignment:
+    """One session of a heterogeneous fleet, resolved to its spec and seed.
+
+    Attributes:
+        index: Global session index within the fleet (trace column).
+        member_index: Which fleet member the session belongs to.
+        spec: The member's scenario spec.
+        seed: The session's base seed (``spec.seed`` + its local index
+            within the member).
+    """
+
+    index: int
+    member_index: int
+    spec: ScenarioSpec
+    seed: int
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A heterogeneous fleet: several weighted scenario specs, one run.
+
+    Members may differ in device, detector, dataset, method, ambient
+    schedule, constraint and seed block; they must agree on the episode
+    length (sessions advance lock-step).  Plain
+    :class:`ScenarioSpec` entries in ``members`` are wrapped as weight-1
+    members.
+
+    Attributes:
+        name: Fleet identifier (registry key / report label).
+        members: The weighted member specs.
+        num_sessions: Default total population size; ``None`` uses the sum
+            of the member specs' own ``num_sessions``.
+        description: Human-readable description for listings.
+    """
+
+    name: str
+    members: Tuple[FleetMember, ...]
+    num_sessions: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("fleet scenario name must be non-empty")
+        members = tuple(
+            member if isinstance(member, FleetMember) else FleetMember(member)
+            for member in self.members
+        )
+        if not members:
+            raise ScenarioError("a fleet scenario needs at least one member")
+        object.__setattr__(self, "members", members)
+        frames = {member.spec.num_frames for member in members}
+        if len(frames) > 1:
+            raise ScenarioError(
+                f"fleet members must share one episode length, got {sorted(frames)}"
+            )
+        if self.num_sessions is not None and self.num_sessions < len(members):
+            raise ScenarioError(
+                f"num_sessions={self.num_sessions} cannot cover "
+                f"{len(members)} members (need at least one session each)"
+            )
+
+    @property
+    def num_frames(self) -> int:
+        """Episode length shared by every member."""
+        return self.members[0].spec.num_frames
+
+    def total_sessions(self) -> int:
+        """Default fleet size: explicit, or the sum of member populations."""
+        if self.num_sessions is not None:
+            return int(self.num_sessions)
+        return sum(member.spec.num_sessions for member in self.members)
+
+    def allocate(self, total_sessions: int | None = None) -> Tuple[int, ...]:
+        """Sessions per member for a total of ``total_sessions``.
+
+        Largest-remainder allocation over the member weights, with every
+        member guaranteed at least one session; deterministic (remainder
+        ties break towards earlier members).
+        """
+        total = self.total_sessions() if total_sessions is None else int(total_sessions)
+        count = len(self.members)
+        if total < count:
+            raise ScenarioError(
+                f"cannot allocate {total} sessions across {count} members"
+            )
+        weights = [member.weight for member in self.members]
+        weight_sum = sum(weights)
+        ideal = [weight / weight_sum * total for weight in weights]
+        counts = [int(share) for share in ideal]
+        remainders = [share - count_ for share, count_ in zip(ideal, counts)]
+        order = sorted(range(count), key=lambda i: (-remainders[i], i))
+        for i in order[: total - sum(counts)]:
+            counts[i] += 1
+        for i in range(count):
+            if counts[i] == 0:
+                donor = max(range(count), key=lambda j: (counts[j], -j))
+                counts[donor] -= 1
+                counts[i] += 1
+        return tuple(counts)
+
+    def session_assignments(
+        self, total_sessions: int | None = None
+    ) -> Tuple[SessionAssignment, ...]:
+        """Resolve every session to its spec and seed, in fleet order.
+
+        Sessions are numbered member-by-member (member 0's sessions first);
+        the ``j``-th session of a member runs seed ``spec.seed + j``, so each
+        member behaves exactly like a homogeneous fleet of its own spec.
+        """
+        assignments: List[SessionAssignment] = []
+        counts = self.allocate(total_sessions)
+        for member_index, (member, count) in enumerate(zip(self.members, counts)):
+            for local in range(count):
+                assignments.append(
+                    SessionAssignment(
+                        index=len(assignments),
+                        member_index=member_index,
+                        spec=member.spec,
+                        seed=member.spec.session_seed(local),
+                    )
+                )
+        return tuple(assignments)
+
+    def with_overrides(self, **kwargs: Any) -> "FleetScenario":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible description; inverse of :meth:`from_dict`."""
+        return {
+            "kind": "fleet",
+            "name": self.name,
+            "num_sessions": self.num_sessions,
+            "members": [
+                {"weight": float(member.weight), "spec": member.spec.to_dict()}
+                for member in self.members
+            ],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FleetScenario":
+        """Rebuild a fleet scenario from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise ScenarioError("fleet payload must be a dict")
+        if payload.get("kind") != "fleet":
+            raise ScenarioError(f"expected kind 'fleet', got {payload.get('kind')!r}")
+        unexpected = set(payload) - {
+            "kind",
+            "name",
+            "num_sessions",
+            "members",
+            "description",
+        }
+        if unexpected:
+            raise ScenarioError(f"unexpected fleet keys: {sorted(unexpected)}")
+        if "name" not in payload or "members" not in payload:
+            raise ScenarioError("fleet payload needs 'name' and 'members'")
+        try:
+            members = tuple(
+                FleetMember(
+                    spec=ScenarioSpec.from_dict(entry["spec"]),
+                    weight=float(entry.get("weight", 1.0)),
+                )
+                for entry in payload["members"]
+            )
+            sessions = payload.get("num_sessions")
+            return cls(
+                name=str(payload["name"]),
+                members=members,
+                num_sessions=None if sessions is None else int(sessions),
+                description=str(payload.get("description", "")),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ScenarioError(f"malformed fleet payload: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to JSON; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetScenario":
+        """Rebuild a fleet scenario from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid fleet scenario JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+Scenario = Union[ScenarioSpec, FleetScenario]
+
+
+def scenario_from_dict(payload: Dict[str, Any]) -> Scenario:
+    """Rebuild either scenario flavour, dispatching on the ``kind`` key."""
+    if not isinstance(payload, dict):
+        raise ScenarioError("scenario payload must be a dict")
+    kind = payload.get("kind", "scenario")
+    if kind == "scenario":
+        return ScenarioSpec.from_dict(payload)
+    if kind == "fleet":
+        return FleetScenario.from_dict(payload)
+    raise ScenarioError(f"unknown scenario kind {kind!r}")
+
+
+def scenario_from_json(text: str) -> Scenario:
+    """Rebuild either scenario flavour from its JSON form."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+    return scenario_from_dict(payload)

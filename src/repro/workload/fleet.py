@@ -7,12 +7,23 @@ exactly as the scalar :class:`~repro.workload.generator.FrameStream`
 consumes it), and the AR(1) update plus clipping run as array operations.
 Session ``i`` of a fleet stream seeded with ``rngs[i]`` therefore emits the
 bit-identical frame sequence of ``FrameStream(dataset, rngs[i])``.
+
+The stream may be *heterogeneous*: passing one
+:class:`~repro.workload.dataset.DatasetProfile` per session gives every
+session its own AR(1) parameters (mean, innovation std, correlation,
+clipping range), image scale and dataset name, while the update still runs
+as one array step — the per-session random draw uses that session's own
+mean/std exactly as its scalar stream would, so heterogeneity does not
+disturb the bit-exactness contract.  Per-session latency-constraint
+overrides follow the same pattern: a sequence with ``None`` entries marks
+sessions that use the experiment default (encoded internally as NaN, which
+the fleet environment resolves back to its default constraint).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -30,7 +41,9 @@ class FleetFrameBatch:
         image_scale: Stage-1 work multiplier per session.
         scene_candidates: Candidate-object count per session.
         latency_constraint_ms: Per-session constraint overrides, or ``None``
-            when every session uses the experiment default.
+            when every session uses the experiment default.  Individual NaN
+            entries mark sessions without an override (the environment
+            substitutes its default constraint for them).
     """
 
     index: int
@@ -41,41 +54,89 @@ class FleetFrameBatch:
 
 
 class FleetFrameStream:
-    """N lock-step frame streams over one dataset profile.
+    """N lock-step frame streams, homogeneous or per-session heterogeneous.
 
     Args:
-        dataset: The dataset profile all sessions draw from.
+        dataset: Either one dataset profile shared by every session, or a
+            sequence of one profile per session (per-session AR(1)
+            parameters, image scales and dataset names).
         rngs: One generator per session; defines the fleet size.
-        latency_constraint_ms: Optional constraint override shared by every
-            frame (mirrors the scalar stream's per-frame override field).
+        latency_constraint_ms: Optional constraint override — a single float
+            shared by every session (mirroring the scalar stream's
+            per-frame override field), or a sequence with one entry per
+            session where ``None`` means "use the experiment default".
     """
 
     def __init__(
         self,
-        dataset: DatasetProfile,
+        dataset: Union[DatasetProfile, Sequence[DatasetProfile]],
         rngs: Sequence[np.random.Generator],
-        latency_constraint_ms: float | None = None,
+        latency_constraint_ms: Union[float, Sequence[float | None], None] = None,
     ):
         if not rngs:
             raise WorkloadError("need at least one generator (one per session)")
-        self.dataset = dataset
         self.num_sessions = len(rngs)
         self._rngs = list(rngs)
-        self._latency_constraint_ms = latency_constraint_ms
+        if isinstance(dataset, DatasetProfile):
+            profiles = [dataset] * self.num_sessions
+        else:
+            profiles = list(dataset)
+            if len(profiles) != self.num_sessions:
+                raise WorkloadError(
+                    f"got {len(profiles)} dataset profiles for "
+                    f"{self.num_sessions} sessions"
+                )
+            if not all(isinstance(p, DatasetProfile) for p in profiles):
+                raise WorkloadError("dataset entries must be DatasetProfile objects")
+        self.datasets = tuple(profiles)
+        self.dataset = profiles[0]
+        self._constraint = self._normalise_constraint(latency_constraint_ms)
         self._index = 0
-        process = dataset.scene_process()
-        self._mean = process.mean
-        self._innovation_std = process.innovation_std
-        self._correlation = process.correlation
-        self._minimum = process.minimum
-        self._maximum = process.maximum
-        stationary_std = process.stationary_std
+
+        processes = [profile.scene_process() for profile in profiles]
+        self._mean = np.array([p.mean for p in processes], dtype=float)
+        self._innovation_std = np.array(
+            [p.innovation_std for p in processes], dtype=float
+        )
+        self._correlation = np.array([p.correlation for p in processes], dtype=float)
+        self._minimum = np.array([p.minimum for p in processes], dtype=float)
+        self._maximum = np.array([p.maximum for p in processes], dtype=float)
+        self._image_scale = np.array(
+            [profile.image_scale for profile in profiles], dtype=float
+        )
+        self._names = tuple(profile.name for profile in profiles)
         # Mirror SceneComplexityProcess.reset(rng): one stationary draw per
-        # session from its own generator, clipped into range.
+        # session from its own generator (with that session's own mean and
+        # stationary std), clipped into that session's range.
         initial = np.array(
-            [rng.normal(self._mean, stationary_std) for rng in self._rngs]
+            [
+                rng.normal(process.mean, process.stationary_std)
+                for rng, process in zip(self._rngs, processes)
+            ]
         )
         self._current = np.clip(initial, self._minimum, self._maximum)
+
+    def _normalise_constraint(
+        self, latency_constraint_ms: Union[float, Sequence[float | None], None]
+    ) -> np.ndarray | None:
+        if latency_constraint_ms is None:
+            return None
+        if np.isscalar(latency_constraint_ms):
+            return np.full(self.num_sessions, float(latency_constraint_ms))
+        values = list(latency_constraint_ms)
+        if len(values) != self.num_sessions:
+            raise WorkloadError(
+                f"got {len(values)} constraint overrides for "
+                f"{self.num_sessions} sessions"
+            )
+        return np.array(
+            [float("nan") if value is None else float(value) for value in values]
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the sessions draw from more than one dataset profile."""
+        return len(set(self._names)) > 1
 
     @property
     def frames_emitted(self) -> int:
@@ -85,7 +146,10 @@ class FleetFrameStream:
     def next_frames(self) -> FleetFrameBatch:
         """Generate the next frame for every session in one array step."""
         innovations = np.array(
-            [rng.normal(0.0, self._innovation_std) for rng in self._rngs]
+            [
+                rng.normal(0.0, std)
+                for rng, std in zip(self._rngs, self._innovation_std.tolist())
+            ]
         )
         value = (
             self._mean + self._correlation * (self._current - self._mean) + innovations
@@ -93,13 +157,11 @@ class FleetFrameStream:
         self._current = np.clip(value, self._minimum, self._maximum)
         batch = FleetFrameBatch(
             index=self._index,
-            datasets=(self.dataset.name,) * self.num_sessions,
-            image_scale=np.full(self.num_sessions, self.dataset.image_scale),
+            datasets=self._names,
+            image_scale=self._image_scale.copy(),
             scene_candidates=self._current.copy(),
             latency_constraint_ms=(
-                None
-                if self._latency_constraint_ms is None
-                else np.full(self.num_sessions, self._latency_constraint_ms)
+                None if self._constraint is None else self._constraint.copy()
             ),
         )
         self._index += 1

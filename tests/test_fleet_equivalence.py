@@ -23,11 +23,18 @@ from repro.detection.fleet import (
 )
 from repro.detection.latency import ExecutionModel, compute_profile_for
 from repro.detection.registry import build_detector
+from repro.env.ambient import DiurnalAmbient, LinearRampAmbient
 from repro.governors.fleet import build_batched_default_governor
 from repro.governors.registry import build_default_governor
 from repro.hardware.devices.registry import available_devices, build_device
 from repro.hardware.fleet import DeviceFleet
-from repro.runtime.fleet import run_fleet, scalar_reference_sessions
+from repro.runtime.fleet import (
+    run_fleet,
+    run_scenario,
+    scalar_reference_session,
+    scalar_reference_sessions,
+)
+from repro.scenarios import FleetMember, FleetScenario, ScenarioSpec, build_scenario
 from repro.workload.dataset import build_dataset
 from repro.workload.fleet import FleetFrameStream
 from repro.workload.generator import FrameStream
@@ -76,6 +83,132 @@ def test_one_stage_detector_fleet_matches_scalar():
     fleet = run_fleet(setting, "default", 3)
     scalars = scalar_reference_sessions(setting, "default", 3)
     _assert_sessions_identical(fleet, scalars)
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous fleets (scenario runner)
+# ---------------------------------------------------------------------------
+
+
+def _assert_scenario_sessions_identical(result, num_frames, check_histories=False):
+    """Every session of a scenario run matches its own scalar reference."""
+    for assignment in result.assignments:
+        reference = scalar_reference_session(
+            assignment.spec, seed=assignment.seed, num_frames=num_frames
+        )
+        session = result.sessions[assignment.index]
+        assert len(session.trace) == len(reference.trace) == num_frames
+        for ours, theirs in zip(session.trace.records, reference.trace.records):
+            # Dataclass equality covers every field bit-for-bit.
+            assert ours == theirs
+        if check_histories:
+            assert session.losses == reference.losses
+            assert session.rewards == reference.rewards
+
+
+def test_heterogeneous_fleet_matches_scalar_runs_bit_for_bit():
+    """Mixed devices, detectors, datasets, ambients and constraints in one
+    fleet: each session must equal the scalar run of its own spec + seed."""
+    fleet = FleetScenario(
+        name="hetero-test",
+        members=(
+            FleetMember(
+                ScenarioSpec(
+                    name="jetson-kitti",
+                    device="jetson-orin-nano",
+                    detector="faster_rcnn",
+                    dataset="kitti",
+                    method="default",
+                    num_frames=60,
+                    seed=0,
+                    ambient=DiurnalAmbient(
+                        mean_c=25.0, amplitude_c=6.0, period_frames=40
+                    ),
+                ),
+                weight=2.0,
+            ),
+            FleetMember(
+                ScenarioSpec(
+                    name="phone-visdrone",
+                    device="mi11-lite",
+                    detector="faster_rcnn",
+                    dataset="visdrone2019",
+                    method="default",
+                    num_frames=60,
+                    seed=11,
+                    latency_constraint_ms=900.0,
+                    ambient=LinearRampAmbient(
+                        start_c=25.0, end_c=5.0, ramp_frames=30
+                    ),
+                ),
+            ),
+            # Shares the Jetson/FasterRCNN group with the first member but
+            # runs a different dataset, method, seed block and ambient — the
+            # sub-fleet policy partition and the per-session stream/ambient
+            # arrays all get exercised inside one batched group.
+            FleetMember(
+                ScenarioSpec(
+                    name="jetson-visdrone-powersave",
+                    device="jetson-orin-nano",
+                    detector="faster_rcnn",
+                    dataset="visdrone2019",
+                    method="powersave",
+                    num_frames=60,
+                    seed=23,
+                    ambient=LinearRampAmbient(
+                        start_c=30.0, end_c=20.0, ramp_frames=25, delay_frames=10
+                    ),
+                ),
+            ),
+        ),
+    )
+    result = run_scenario(fleet, num_sessions=5)
+    assert result.num_sessions == 5
+    assert len(result.groups) == 2
+    _assert_scenario_sessions_identical(result, num_frames=60)
+
+
+def test_mixed_method_group_learning_policies_match_scalar():
+    """Learning and governor sessions sharing one device group stay exact,
+    including their loss/reward histories."""
+    result = run_scenario("shared-device-mixed-load", num_sessions=4, num_frames=40)
+    assert len(result.groups) == 1
+    assert result.groups[0].policy_name.startswith("sub-fleet(")
+    _assert_scenario_sessions_identical(result, num_frames=40, check_histories=True)
+
+
+def test_builtin_mixed_edge_fleet_acceptance():
+    """The acceptance scenario: >=2 device profiles and >=2 ambient profiles
+    in one ``mixed-edge-fleet`` run, every session bit-exact vs. scalar."""
+    fleet = build_scenario("mixed-edge-fleet")
+    devices = {member.spec.device for member in fleet.members}
+    ambients = {type(member.spec.ambient) for member in fleet.members}
+    assert len(devices) >= 2
+    assert len(ambients) >= 2
+    result = run_scenario(fleet, num_sessions=6, num_frames=30)
+    assert result.num_sessions == 6
+    _assert_scenario_sessions_identical(result, num_frames=30)
+
+
+def test_homogeneous_scenario_matches_homogeneous_fleet_engine():
+    """A single-spec scenario reproduces the plain fleet path exactly."""
+    spec = ScenarioSpec(
+        name="homogeneous",
+        device="jetson-orin-nano",
+        detector="faster_rcnn",
+        dataset="kitti",
+        method="default",
+        num_frames=50,
+        num_sessions=3,
+        seed=2,
+    )
+    scenario_result = run_scenario(spec)
+    setting = ExperimentSetting(num_frames=50, seed=2)
+    fleet_result = run_fleet(setting, "default", 3)
+    for i in range(3):
+        ours = scenario_result.sessions[i].trace.records
+        theirs = fleet_result.sessions[i].trace.records
+        assert ours == theirs
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +329,37 @@ def test_fleet_frame_stream_matches_scalar_streams():
     for frame_index in range(25):
         batch = fleet_stream.next_frames()
         assert batch.index == frame_index
+        for i, stream in enumerate(scalar_streams):
+            frame = stream.next_frame()
+            assert batch.scene_candidates[i] == frame.scene_candidates
+            assert batch.image_scale[i] == frame.image_scale
+            assert batch.datasets[i] == frame.dataset
+
+
+def test_heterogeneous_fleet_frame_stream_matches_scalar_streams():
+    """Per-session AR(1) parameters: each session's stream equals the
+    scalar stream of its own dataset profile and generator, and per-session
+    constraint overrides pass through (None entries become NaN)."""
+    profiles = [
+        build_dataset("kitti"),
+        build_dataset("visdrone2019"),
+        build_dataset("kitti"),
+    ]
+    fleet_stream = FleetFrameStream(
+        profiles,
+        [np.random.default_rng(70 + i) for i in range(3)],
+        latency_constraint_ms=[250.0, None, 410.0],
+    )
+    assert fleet_stream.is_heterogeneous
+    scalar_streams = [
+        FrameStream(profile, np.random.default_rng(70 + i))
+        for i, profile in enumerate(profiles)
+    ]
+    for _ in range(25):
+        batch = fleet_stream.next_frames()
+        assert batch.latency_constraint_ms[0] == 250.0
+        assert np.isnan(batch.latency_constraint_ms[1])
+        assert batch.latency_constraint_ms[2] == 410.0
         for i, stream in enumerate(scalar_streams):
             frame = stream.next_frame()
             assert batch.scene_candidates[i] == frame.scene_candidates
