@@ -20,6 +20,10 @@ The package is organised bottom-up:
 * :mod:`repro.scenarios` — declarative, serialisable scenario specs and
   heterogeneous fleet compositions, with a validating registry of named
   scenarios.
+* :mod:`repro.policies` — the policy lifecycle: bit-exact training
+  checkpoints, the content-addressed policy zoo, frozen inference-only
+  deployment (``policy:<id>`` methods) and the cross-scenario
+  generalization matrix.
 * :mod:`repro.runtime` — the experiment execution engine: sweep expansion,
   a process-pool worker fleet, disk result caching, the vectorized fleet
   execution mode (homogeneous and grouped-heterogeneous) and the
@@ -69,9 +73,20 @@ from repro.env import (
     run_fleet_episode,
     summarize_trace,
 )
-from repro.errors import LotusError
+from repro.errors import LotusError, PolicyError
 from repro.governors import build_batched_default_governor, build_default_governor
 from repro.hardware import DeviceFleet, available_devices, build_device
+from repro.policies import (
+    FrozenLotusPolicy,
+    FrozenZttPolicy,
+    GeneralizationMatrix,
+    PolicyCheckpoint,
+    PolicyStore,
+    checkpoint_from_policy,
+    policy_from_checkpoint,
+    run_generalization_matrix,
+    train_policy,
+)
 from repro.runtime import (
     ExperimentJob,
     ExperimentRuntime,
@@ -95,7 +110,7 @@ from repro.scenarios import (
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
@@ -112,7 +127,13 @@ __all__ = [
     "FleetScenario",
     "FleetScenarioResult",
     "FleetTrace",
+    "FrozenLotusPolicy",
+    "FrozenZttPolicy",
+    "GeneralizationMatrix",
     "LinearRampAmbient",
+    "PolicyCheckpoint",
+    "PolicyError",
+    "PolicyStore",
     "ResultCache",
     "ScenarioSpec",
     "SweepSpec",
@@ -136,12 +157,14 @@ __all__ = [
     "build_detector",
     "build_device",
     "build_scenario",
+    "checkpoint_from_policy",
     "default_latency_constraint",
     "execute_setting",
     "make_environment",
     "make_fleet_environment",
     "make_fleet_policy",
     "make_policy",
+    "policy_from_checkpoint",
     "register_scenario",
     "run_comparison",
     "run_comparison_batch",
@@ -149,7 +172,9 @@ __all__ = [
     "run_fleet",
     "run_fleet_episode",
     "run_fleet_scenario",
+    "run_generalization_matrix",
     "run_scenario",
     "summarize_trace",
+    "train_policy",
     "__version__",
 ]

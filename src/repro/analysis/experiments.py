@@ -254,10 +254,17 @@ def make_policy(
 
     Supported methods: ``default``, ``ztt``, ``lotus``, the static policies
     ``performance`` / ``powersave`` / ``fixed`` (the profiling policy — the
-    highest thermally sustainable operating point), and the Lotus ablations
+    highest thermally sustainable operating point), the Lotus ablations
     ``lotus-single-action``, ``lotus-shared-buffer``,
-    ``lotus-always-cooldown``, ``lotus-no-slim``.
+    ``lotus-always-cooldown``, ``lotus-no-slim``, and ``policy:<id>`` —
+    a frozen, inference-only deployment of a trained checkpoint from the
+    policy zoo (:mod:`repro.policies`); the id is a content hash, so the
+    method name pins the exact network that runs.
     """
+    from repro.policies import frozen_policy_for_environment, is_policy_method
+
+    if is_policy_method(method):
+        return frozen_policy_for_environment(method, environment)
     device = environment.device
     detector = environment.detector
     scale = proposal_scale(detector)
@@ -322,7 +329,8 @@ def make_policy(
         policy.name = "lotus-no-slim"
         return policy
     raise ExperimentError(
-        f"unknown method {method!r}; available: {SCALAR_METHODS}"
+        f"unknown method {method!r}; available: {SCALAR_METHODS} "
+        f"(or policy:<id> for a stored frozen policy)"
     )
 
 

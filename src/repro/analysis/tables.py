@@ -123,6 +123,45 @@ def scenario_group_table(result, title: str = "") -> str:
     return table
 
 
+def generalization_matrix_table(matrix, title: str = "") -> str:
+    """Render the cross-scenario transfer grid of trained policies.
+
+    One row per policy (labelled with its short content id and the scenario
+    it was trained on), one column per evaluation scenario; each cell shows
+    the mean latency and satisfaction rate the frozen policy achieved on
+    that scenario.  Cells whose device geometry the policy cannot drive are
+    marked ``-``.
+
+    Args:
+        matrix: A completed
+            :class:`~repro.policies.matrix.GeneralizationMatrix`
+            (:func:`repro.policies.run_generalization_matrix`).
+        title: Optional heading line.
+    """
+    headers = ["Policy (trained on)"] + [spec.name for spec in matrix.scenarios]
+    rows = []
+    for record in matrix.policies:
+        trained_on = record.train_scenario or record.method or record.metadata.get(
+            "kind", "?"
+        )
+        row = [f"{record.policy_id[:10]} ({trained_on})"]
+        for spec in matrix.scenarios:
+            cell = matrix.cell(record.policy_id, spec.name)
+            if not cell.compatible or cell.session is None:
+                row.append("-")
+            else:
+                metrics = cell.session.metrics
+                row.append(
+                    f"{metrics.mean_latency_ms:.0f}ms "
+                    f"{metrics.satisfaction_rate * 100:.0f}%"
+                )
+        rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
 def metrics_row(metrics: EpisodeMetrics) -> Dict[str, float]:
     """Flatten the headline table quantities of one metrics object."""
     return {

@@ -219,6 +219,49 @@ class ZttPolicy(Policy):
         self._last_action = None
         self._pending_reward = None
 
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the agent's training state (see
+        :meth:`repro.core.agent.LotusAgent.state_dict` for the contract)."""
+        return {
+            "training": bool(self.training),
+            "step_count": int(self._step_count),
+            "loss_history": [float(v) for v in self._loss_history],
+            "reward_history": [float(v) for v in self._reward_history],
+            "rng": self.rng.bit_generator.state,
+            "cooldown": self.cooldown.state_dict(),
+            "learner": self.learner.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "last_state": None if self._last_state is None else self._last_state.copy(),
+            "last_action": None if self._last_action is None else int(self._last_action),
+            "pending_reward": (
+                None if self._pending_reward is None else float(self._pending_reward)
+            ),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this agent in place."""
+        self.learner.load_state_dict(payload["learner"])
+        self.buffer.load_state_dict(payload["buffer"])
+        self.cooldown.load_state_dict(payload["cooldown"])
+        self.rng.bit_generator.state = payload["rng"]
+        self.training = bool(payload["training"])
+        self._step_count = int(payload["step_count"])
+        self._loss_history = [float(v) for v in payload["loss_history"]]
+        self._reward_history = [float(v) for v in payload["reward_history"]]
+        self._last_state = (
+            None
+            if payload["last_state"] is None
+            else np.asarray(payload["last_state"], dtype=float)
+        )
+        self._last_action = (
+            None if payload["last_action"] is None else int(payload["last_action"])
+        )
+        self._pending_reward = (
+            None if payload["pending_reward"] is None else float(payload["pending_reward"])
+        )
+
     # -- state / reward --------------------------------------------------------------------
 
     def _encode(self, observation: FrameStartObservation) -> np.ndarray:

@@ -172,6 +172,98 @@ class LotusAgent(Policy):
         self._mid_action = None
         self._pending_transition = None
 
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the agent's training state.
+
+        Everything a decision or training step reads or mutates is captured
+        — network and target parameters, optimizer moments, both replay
+        rings, the exploration/cool-down counters, the reward window, the
+        RNG state and the in-flight transition bookkeeping — so that
+        save → load → continue is bit-identical to an uninterrupted run,
+        even mid-episode (the pending cross-frame transition survives).
+        """
+        pending = None
+        if self._pending_transition is not None:
+            state, action, reward = self._pending_transition
+            pending = {
+                "state": state.copy(),
+                "action": int(action),
+                "reward": float(reward),
+            }
+        return {
+            "training": bool(self.training),
+            "decision_count": int(self._decision_count),
+            "loss_history": [float(v) for v in self._loss_history],
+            "reward_history": [float(v) for v in self._reward_history],
+            "rng": self.rng.bit_generator.state,
+            "cooldown": self.cooldown.state_dict(),
+            "reward_calculator": self.reward_calculator.state_dict(),
+            "learner": self.learner.state_dict(),
+            "start_buffer": self.start_buffer.state_dict(),
+            "mid_buffer": (
+                None
+                if self.mid_buffer is self.start_buffer
+                else self.mid_buffer.state_dict()
+            ),
+            "start_state": None if self._start_state is None else self._start_state.copy(),
+            "start_action": None if self._start_action is None else int(self._start_action),
+            "mid_state": None if self._mid_state is None else self._mid_state.copy(),
+            "mid_action": None if self._mid_action is None else int(self._mid_action),
+            "pending_transition": pending,
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this agent in place.
+
+        The agent must have been constructed with the same configuration
+        and geometry as the one that produced the snapshot (the checkpoint
+        layer guarantees this by rebuilding from the stored config).
+        """
+        shared = payload["mid_buffer"] is None
+        if shared != (self.mid_buffer is self.start_buffer):
+            raise AgentError(
+                "snapshot and agent disagree on the shared-buffer ablation"
+            )
+        self.learner.load_state_dict(payload["learner"])
+        self.start_buffer.load_state_dict(payload["start_buffer"])
+        if not shared:
+            self.mid_buffer.load_state_dict(payload["mid_buffer"])
+        self.cooldown.load_state_dict(payload["cooldown"])
+        self.reward_calculator.load_state_dict(payload["reward_calculator"])
+        self.rng.bit_generator.state = payload["rng"]
+        self.training = bool(payload["training"])
+        self._decision_count = int(payload["decision_count"])
+        self._loss_history = [float(v) for v in payload["loss_history"]]
+        self._reward_history = [float(v) for v in payload["reward_history"]]
+        self._start_state = (
+            None
+            if payload["start_state"] is None
+            else np.asarray(payload["start_state"], dtype=float)
+        )
+        self._start_action = (
+            None if payload["start_action"] is None else int(payload["start_action"])
+        )
+        self._mid_state = (
+            None
+            if payload["mid_state"] is None
+            else np.asarray(payload["mid_state"], dtype=float)
+        )
+        self._mid_action = (
+            None if payload["mid_action"] is None else int(payload["mid_action"])
+        )
+        pending = payload["pending_transition"]
+        self._pending_transition = (
+            None
+            if pending is None
+            else (
+                np.asarray(pending["state"], dtype=float),
+                int(pending["action"]),
+                float(pending["reward"]),
+            )
+        )
+
     # -- helpers ------------------------------------------------------------------------
 
     def _select_action(

@@ -65,6 +65,17 @@ class CooldownSelector:
         """Reset the trigger counter (new episode / new training run)."""
         self._trigger_count = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot of the selector's mutable state (the trigger count)."""
+        return {"trigger_count": int(self._trigger_count)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        count = int(payload["trigger_count"])
+        if count < 0:
+            raise ConfigurationError("trigger_count must be non-negative")
+        self._trigger_count = count
+
     # -- behaviour -----------------------------------------------------------------------
 
     def is_overheated(

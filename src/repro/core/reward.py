@@ -105,6 +105,21 @@ class RewardCalculator:
         """Clear the latency-variation window (start of a new episode)."""
         self._recent_slacks.clear()
 
+    def state_dict(self) -> dict:
+        """Snapshot of the rolling variation window (the only mutable state)."""
+        return {"recent_slacks": [float(v) for v in self._recent_slacks]}
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        slacks = payload["recent_slacks"]
+        if len(slacks) > self.config.variation_window:
+            raise ConfigurationError(
+                f"snapshot holds {len(slacks)} slacks but the variation "
+                f"window is {self.config.variation_window}"
+            )
+        self._recent_slacks.clear()
+        self._recent_slacks.extend(float(v) for v in slacks)
+
     # -- component rewards ---------------------------------------------------------
 
     def observe_slack(self, slack_fraction: float) -> None:

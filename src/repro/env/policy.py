@@ -1,11 +1,12 @@
 """Policy interface.
 
 Everything that controls frequency in this repository — the reimplemented
-Linux default governors, the zTT baseline and the Lotus agent — implements
-the same small :class:`Policy` protocol: it may return a frequency decision
-at the start of a frame, another one after the RPN, and receives the frame's
-outcome as feedback.  The episode runner drives any policy through the same
-loop, which is what makes the head-to-head comparisons of Tables 1/2
+Linux default governors, the zTT baseline, the Lotus agent and the frozen
+checkpoint deployments of :mod:`repro.policies` — implements the same small
+:class:`Policy` protocol: it may return a frequency decision at the start
+of a frame, another one after the RPN, and receives the frame's outcome as
+feedback.  The episode runner drives any policy through the same loop,
+which is what makes the head-to-head comparisons of Tables 1/2
 straightforward.
 """
 

@@ -56,3 +56,9 @@ class ExperimentError(LotusError):
 
 class ScenarioError(LotusError):
     """A scenario spec is invalid, unknown, or failed to (de)serialise."""
+
+
+class PolicyError(LotusError):
+    """A policy checkpoint is corrupted, incompatible or unknown to the
+    policy store (truncated payloads, integrity-hash mismatches, format
+    version mismatches, unresolvable policy ids, geometry mismatches)."""

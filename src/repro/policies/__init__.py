@@ -1,0 +1,80 @@
+"""Policy lifecycle: checkpoints, the policy zoo, frozen deployment and the
+cross-scenario generalization matrix.
+
+The rest of the repository trains and evaluates inside one process; this
+layer makes trained agents *durable, versioned artifacts*:
+
+* :mod:`repro.policies.checkpoint` — lossless, integrity-hashed
+  serialisation of a full agent training state (network + target, Adam
+  moments, replay rings, schedules, RNG, in-flight transitions); save →
+  load → continue is bit-exact, even mid-episode.
+* :mod:`repro.policies.store` — the content-addressed policy zoo with
+  provenance metadata and parent lineage (``python -m repro policy
+  train|list|show|export|import``).
+* :mod:`repro.policies.frozen` — inference-only deployment of a stored
+  checkpoint through the ordinary :class:`~repro.env.policy.Policy`
+  protocol; the ``policy:<id>`` method string plugs one trained artifact
+  into scalar runs, fleets and declarative scenarios alike.
+* :mod:`repro.policies.train` — scenario-driven training into the zoo.
+* :mod:`repro.policies.matrix` — the train/eval transfer grid over the
+  scenario registry, executed on the cached experiment runtime
+  (``python -m repro policy eval-matrix``).
+"""
+
+from repro.policies.checkpoint import (
+    FORMAT_VERSION as CHECKPOINT_FORMAT_VERSION,
+    PolicyCheckpoint,
+    checkpoint_from_bytes,
+    checkpoint_from_policy,
+    checkpoint_to_bytes,
+    policy_from_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.policies.frozen import (
+    POLICY_METHOD_PREFIX,
+    FrozenLotusPolicy,
+    FrozenZttPolicy,
+    frozen_policy_for_environment,
+    frozen_policy_from_checkpoint,
+    is_policy_method,
+    policy_method_id,
+)
+from repro.policies.matrix import (
+    GeneralizationMatrix,
+    MatrixCell,
+    run_generalization_matrix,
+)
+from repro.policies.store import (
+    POLICY_DIR_ENV,
+    PolicyRecord,
+    PolicyStore,
+    default_policy_dir,
+)
+from repro.policies.train import train_policy
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "POLICY_DIR_ENV",
+    "POLICY_METHOD_PREFIX",
+    "FrozenLotusPolicy",
+    "FrozenZttPolicy",
+    "GeneralizationMatrix",
+    "MatrixCell",
+    "PolicyCheckpoint",
+    "PolicyRecord",
+    "PolicyStore",
+    "checkpoint_from_bytes",
+    "checkpoint_from_policy",
+    "checkpoint_to_bytes",
+    "default_policy_dir",
+    "frozen_policy_for_environment",
+    "frozen_policy_from_checkpoint",
+    "is_policy_method",
+    "policy_from_checkpoint",
+    "policy_method_id",
+    "read_checkpoint",
+    "run_generalization_matrix",
+    "train_policy",
+    "write_checkpoint",
+]

@@ -1,0 +1,268 @@
+"""The policy zoo: a content-addressed store of trained-policy checkpoints.
+
+Every entry is keyed by its checkpoint's content id (the SHA-256 of the
+canonical checkpoint payload, see :mod:`repro.policies.checkpoint`), so the
+same trained state always maps to the same id, ids are globally portable
+(export on one machine, import on another, identity preserved), and the id
+embedded in a ``policy:<id>`` method string pins the *exact* network that
+runs — which is also what makes eval-matrix cache keys sound: the
+checkpoint hash rides into the job fingerprint through the method name.
+
+Layout (sharded like Git objects)::
+
+    <root>/<id[:2]>/<id>/checkpoint.ckpt   # gzip envelope, integrity-hashed
+    <root>/<id[:2]>/<id>/meta.json         # provenance metadata
+
+Metadata records provenance, not behaviour: the training scenario, method,
+geometry, a hash of the code-relevant configuration fingerprint
+(:func:`repro.runtime.job.config_fingerprint`), the package version and the
+parent checkpoint id when a policy was trained by resuming another —
+the lineage chain of a policy is the transitive ``parent`` walk.
+
+The default store location is ``~/.cache/repro-lotus/policies`` and can be
+overridden with the ``REPRO_POLICY_DIR`` environment variable or
+per-instance — the same pattern the result cache uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PolicyError
+from repro.policies.checkpoint import (
+    PolicyCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+#: Environment variable that overrides the default policy-store directory.
+POLICY_DIR_ENV = "REPRO_POLICY_DIR"
+
+_CHECKPOINT_FILE = "checkpoint.ckpt"
+_META_FILE = "meta.json"
+
+
+def default_policy_dir() -> Path:
+    """The store directory used when none is given explicitly."""
+    override = os.environ.get(POLICY_DIR_ENV, "").strip()
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-lotus" / "policies"
+
+
+def config_fingerprint_hash() -> str:
+    """SHA-256 over the runtime's code-relevant configuration fingerprint."""
+    from repro.runtime.job import config_fingerprint
+
+    canonical = json.dumps(config_fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PolicyRecord:
+    """One zoo entry: the policy id, its provenance metadata and its file.
+
+    Attributes:
+        policy_id: Full content id (64 hex characters).
+        metadata: Provenance dict (kind, method, geometry, train scenario,
+            parent lineage, versions, creation time, ...).
+        path: Path of the checkpoint payload on disk.
+        size_bytes: On-disk size of the checkpoint payload.
+    """
+
+    policy_id: str
+    metadata: Dict[str, Any]
+    path: Path
+    size_bytes: int
+
+    @property
+    def method(self) -> str:
+        """Method name the policy was trained as."""
+        return str(self.metadata.get("method", ""))
+
+    @property
+    def train_scenario(self) -> Optional[str]:
+        """Name of the scenario the policy was trained on, if recorded."""
+        value = self.metadata.get("train_scenario")
+        return None if value is None else str(value)
+
+    @property
+    def parent(self) -> Optional[str]:
+        """Content id of the checkpoint this policy resumed from, if any."""
+        value = self.metadata.get("parent")
+        return None if value is None else str(value)
+
+
+class PolicyStore:
+    """Content-addressed, versioned store of policy checkpoints."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_policy_dir()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _entry_dir(self, policy_id: str) -> Path:
+        return self.root / policy_id[:2] / policy_id
+
+    def checkpoint_path(self, policy_id: str) -> Path:
+        """Payload path of a (full) policy id."""
+        return self._entry_dir(policy_id) / _CHECKPOINT_FILE
+
+    def contains(self, policy_id: str) -> bool:
+        """Whether a checkpoint is stored under the full ``policy_id``."""
+        return self.checkpoint_path(policy_id).exists()
+
+    def _ids(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        ids = []
+        for path in self.root.glob(f"*/*/{_CHECKPOINT_FILE}"):
+            ids.append(path.parent.name)
+        return sorted(ids)
+
+    # -- save / load ---------------------------------------------------------
+
+    def save(
+        self,
+        checkpoint: PolicyCheckpoint,
+        *,
+        train_scenario: str | None = None,
+        parent: str | None = None,
+        extra: Dict[str, Any] | None = None,
+    ) -> str:
+        """Store a checkpoint; returns its content id.
+
+        Saving the identical trained state twice is idempotent (same id,
+        first metadata wins).  ``extra`` merges additional provenance keys
+        (device, dataset, training frames, ...) into the metadata.
+        """
+        policy_id = checkpoint.content_id()
+        entry = self._entry_dir(policy_id)
+        entry.mkdir(parents=True, exist_ok=True)
+        path = entry / _CHECKPOINT_FILE
+        if not path.exists():
+            write_checkpoint(checkpoint, path)
+        meta_path = entry / _META_FILE
+        if not meta_path.exists():
+            from repro import __version__
+
+            metadata: Dict[str, Any] = {
+                "policy_id": policy_id,
+                "kind": checkpoint.kind,
+                "method": checkpoint.method,
+                "geometry": checkpoint.geometry,
+                "train_scenario": train_scenario,
+                "parent": parent,
+                "repro_version": checkpoint.repro_version or __version__,
+                "config_fingerprint": config_fingerprint_hash(),
+                "created_at": time.time(),
+            }
+            if extra:
+                metadata.update(extra)
+            tmp = meta_path.with_name(meta_path.name + ".tmp")
+            tmp.write_text(json.dumps(metadata, indent=2, sort_keys=True))
+            tmp.replace(meta_path)
+        return policy_id
+
+    def resolve(self, id_or_prefix: str) -> str:
+        """Expand a (possibly abbreviated) policy id to the unique full id."""
+        prefix = id_or_prefix.strip().lower()
+        if not prefix:
+            raise PolicyError("policy id must be non-empty")
+        if self.contains(prefix):
+            return prefix
+        matches = [pid for pid in self._ids() if pid.startswith(prefix)]
+        if not matches:
+            raise PolicyError(
+                f"unknown policy {id_or_prefix!r} in store {self.root}; "
+                f"run `python -m repro policy list` to see the zoo"
+            )
+        if len(matches) > 1:
+            raise PolicyError(
+                f"policy id prefix {id_or_prefix!r} is ambiguous: "
+                f"{', '.join(pid[:12] for pid in matches)}"
+            )
+        return matches[0]
+
+    def load_checkpoint(self, id_or_prefix: str) -> PolicyCheckpoint:
+        """Load and verify the checkpoint of a stored policy."""
+        policy_id = self.resolve(id_or_prefix)
+        checkpoint = read_checkpoint(self.checkpoint_path(policy_id))
+        if checkpoint.content_id() != policy_id:
+            raise PolicyError(
+                f"store entry {policy_id[:12]} does not match its content id "
+                f"(corrupted store)"
+            )
+        return checkpoint
+
+    def record(self, id_or_prefix: str) -> PolicyRecord:
+        """The :class:`PolicyRecord` of a stored policy."""
+        policy_id = self.resolve(id_or_prefix)
+        path = self.checkpoint_path(policy_id)
+        meta_path = self._entry_dir(policy_id) / _META_FILE
+        metadata: Dict[str, Any] = {}
+        if meta_path.exists():
+            try:
+                metadata = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise PolicyError(
+                    f"corrupted metadata for policy {policy_id[:12]}: {exc}"
+                ) from exc
+        return PolicyRecord(
+            policy_id=policy_id,
+            metadata=metadata,
+            path=path,
+            size_bytes=path.stat().st_size,
+        )
+
+    def list(self) -> List[PolicyRecord]:
+        """All stored policies, oldest first (by recorded creation time)."""
+        records = [self.record(pid) for pid in self._ids()]
+        records.sort(key=lambda r: (r.metadata.get("created_at", 0.0), r.policy_id))
+        return records
+
+    def lineage(self, id_or_prefix: str) -> List[str]:
+        """The parent chain of a policy, newest first (starts with itself)."""
+        chain = [self.resolve(id_or_prefix)]
+        seen = set(chain)
+        while True:
+            parent = self.record(chain[-1]).parent
+            if parent is None or parent in seen or not self.contains(parent):
+                if parent is not None and parent not in seen:
+                    chain.append(parent)  # recorded but not present locally
+                return chain
+            chain.append(parent)
+            seen.add(parent)
+
+    # -- export / import -----------------------------------------------------
+
+    def export(self, id_or_prefix: str, destination: str | Path) -> Path:
+        """Copy a policy's checkpoint file out of the store."""
+        policy_id = self.resolve(id_or_prefix)
+        destination = Path(destination)
+        if destination.is_dir():
+            destination = destination / f"{policy_id[:16]}.ckpt"
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_bytes(self.checkpoint_path(policy_id).read_bytes())
+        return destination
+
+    def import_checkpoint(
+        self, source: str | Path, *, train_scenario: str | None = None
+    ) -> str:
+        """Verify an external checkpoint file and add it to the store.
+
+        The content id is recomputed from the payload, so an imported
+        checkpoint lands under the same id the exporting store used.
+        """
+        checkpoint = read_checkpoint(source)
+        return self.save(
+            checkpoint,
+            train_scenario=train_scenario,
+            extra={"imported_from": str(source)},
+        )

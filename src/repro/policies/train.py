@@ -1,0 +1,131 @@
+"""Scenario-driven policy training into the zoo.
+
+``train_policy`` is the lifecycle's front door: pick a (scalar) scenario
+spec, train its learning method online for the spec's episode, capture a
+checkpoint of the full training state and file it in the policy store with
+provenance metadata.  Passing ``resume`` continues training from a stored
+checkpoint instead of a fresh agent — the saved child records the parent id,
+building the zoo's lineage chain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import PolicyError, ScenarioError
+from repro.policies.checkpoint import checkpoint_from_policy, policy_from_checkpoint
+from repro.policies.store import PolicyStore
+
+
+def train_policy(
+    spec,
+    *,
+    store: PolicyStore | None = None,
+    num_frames: int | None = None,
+    seed: int | None = None,
+    method: str | None = None,
+    resume: str | None = None,
+) -> Tuple[str, "object"]:
+    """Train one policy on a scenario and save it into the zoo.
+
+    Args:
+        spec: A :class:`~repro.scenarios.ScenarioSpec` (or registered
+            scenario name) describing the training cell; fleet scenarios
+            have no single training session and are rejected.
+        store: Target policy store (default: :class:`PolicyStore`).
+        num_frames / seed / method: Optional overrides of the spec's
+            episode length, base seed and method.
+        resume: Optional policy id (or unique prefix) to continue training
+            from; the spec's method is ignored in favour of the
+            checkpoint's (combining ``resume`` with an explicit ``method``
+            override is an error), and the saved child records the parent
+            lineage.  The scenario's device must expose the same
+            frequency-level geometry the checkpoint was trained for.
+
+    Returns:
+        ``(policy_id, session_result)`` — the stored content id and the
+        training session's :class:`~repro.core.training.SessionResult`.
+    """
+    from repro.analysis.experiments import make_environment, make_policy
+    from repro.core.training import session_result_from_trace
+    from repro.env.episode import run_episode
+    from repro.scenarios import FleetScenario, ScenarioSpec, build_scenario
+
+    if isinstance(spec, str):
+        spec = build_scenario(spec)
+    if isinstance(spec, FleetScenario):
+        raise ScenarioError(
+            f"cannot train on fleet scenario {spec.name!r}; pick one of its "
+            f"member specs (training is one scalar session)"
+        )
+    if not isinstance(spec, ScenarioSpec):
+        raise ScenarioError(
+            f"expected a ScenarioSpec or registered name, got {type(spec).__name__}"
+        )
+    if resume is not None and method is not None:
+        raise PolicyError(
+            "cannot combine a method override with resume: the checkpoint "
+            "fixes the method; drop --method or train a fresh policy"
+        )
+    overrides = {}
+    if num_frames is not None:
+        overrides["num_frames"] = num_frames
+    if seed is not None:
+        overrides["seed"] = seed
+    if method is not None:
+        overrides["method"] = method
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    store = store if store is not None else PolicyStore()
+    setting = spec.setting()
+    environment = make_environment(setting, ambient=spec.ambient)
+
+    parent: str | None = None
+    if resume is not None:
+        parent = store.resolve(resume)
+        checkpoint = store.load_checkpoint(parent)
+        geometry = checkpoint.geometry
+        device = environment.device
+        if (
+            int(device.cpu.num_levels) != int(geometry["cpu_levels"])
+            or int(device.gpu.num_levels) != int(geometry["gpu_levels"])
+        ):
+            raise PolicyError(
+                f"cannot resume {parent[:12]} on scenario {spec.name!r}: it "
+                f"was trained for a {geometry['cpu_levels']}x"
+                f"{geometry['gpu_levels']} level action space but device "
+                f"{spec.device!r} exposes {device.cpu.num_levels}x"
+                f"{device.gpu.num_levels} levels"
+            )
+        policy = policy_from_checkpoint(checkpoint)
+        policy.set_training(True)
+    else:
+        policy = make_policy(spec.method, environment, setting.num_frames, seed=setting.seed)
+        if not hasattr(policy, "state_dict"):
+            raise PolicyError(
+                f"method {spec.method!r} is not checkpointable; only the "
+                f"learning agents (lotus variants, ztt) persist training state"
+            )
+
+    trace = run_episode(environment, policy, setting.num_frames)
+    result = session_result_from_trace(
+        policy.name,
+        trace,
+        losses=list(getattr(policy, "loss_history", [])),
+        rewards=list(getattr(policy, "reward_history", [])),
+    )
+    checkpoint = checkpoint_from_policy(policy)
+    policy_id = store.save(
+        checkpoint,
+        train_scenario=spec.name,
+        parent=parent,
+        extra={
+            "device": spec.device,
+            "detector": spec.detector,
+            "dataset": spec.dataset,
+            "num_frames": int(setting.num_frames),
+            "seed": int(setting.seed),
+        },
+    )
+    return policy_id, result

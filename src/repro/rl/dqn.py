@@ -533,6 +533,39 @@ class DqnLearner:
             for grad in gradients:
                 grad *= scale
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of everything a training step mutates.
+
+        Captures the online and target parameter buffers, the optimizer's
+        moments/step counter and the learner's own step counter.  The
+        scratch caches (pair views, gradient buffers, kernel plans) are pure
+        functions of the configuration and are rebuilt lazily after a
+        restore, so a restored learner continues bit-identically.
+        """
+        return {
+            "train_steps": int(self.train_steps),
+            "online_parameters": self.network.flat_parameters.copy(),
+            "target_parameters": self.target_network.flat_parameters.copy(),
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place (same geometry)."""
+        online = np.asarray(payload["online_parameters"], dtype=float)
+        target = np.asarray(payload["target_parameters"], dtype=float)
+        flat = self.network.flat_parameters
+        if online.shape != flat.shape or target.shape != flat.shape:
+            raise AgentError(
+                f"parameter snapshot shapes {online.shape}/{target.shape} do "
+                f"not match the network's flat buffer {flat.shape}"
+            )
+        flat[...] = online
+        self.target_network.flat_parameters[...] = target
+        self.train_steps = int(payload["train_steps"])
+        self.optimizer.load_state_dict(self._params, payload["optimizer"])
+
     def sync_target(self) -> None:
         """Copy the online network's parameters into the target network."""
         if self._pair_buffer is not None:

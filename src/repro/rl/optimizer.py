@@ -112,6 +112,19 @@ class Optimizer:
         """
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copyable snapshot of the optimizer's mutable state (moments,
+        step counter, learning rate) for checkpointing."""
+        raise NotImplementedError
+
+    def load_state_dict(self, parameters: Sequence[np.ndarray], payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        ``parameters`` sizes the moment store when the snapshot carries
+        moments (the parameter list must match the one training used).
+        """
+        raise NotImplementedError
+
 
 def _validate_step_args(
     parameters: Sequence[np.ndarray],
@@ -225,6 +238,37 @@ class Sgd(Optimizer):
         v += flat_gradients
         np.multiply(v, self.learning_rate, out=flat_gradients)
         flat_parameters -= flat_gradients
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "sgd",
+            "learning_rate": float(self.learning_rate),
+            "momentum": float(self.momentum),
+            "step_count": int(self.step_count),
+            "velocity": None if self._velocity_flat is None else self._velocity_flat.copy(),
+        }
+
+    def load_state_dict(self, parameters: Sequence[np.ndarray], payload: dict) -> None:
+        if payload.get("kind") != "sgd":
+            raise ConfigurationError(
+                f"expected an 'sgd' optimizer snapshot, got {payload.get('kind')!r}"
+            )
+        self.set_learning_rate(float(payload["learning_rate"]))
+        self.step_count = int(payload["step_count"])
+        velocity = payload.get("velocity")
+        if velocity is not None:
+            self._ensure_state(parameters)
+            velocity = np.asarray(velocity, dtype=float)
+            if velocity.shape != self._velocity_flat.shape:
+                raise ConfigurationError(
+                    f"velocity snapshot has shape {velocity.shape}, optimizer "
+                    f"state has {self._velocity_flat.shape}"
+                )
+            self._velocity_flat[...] = velocity
+        elif self._velocity_flat is not None:
+            # Snapshot taken before the first step: rolling a live optimizer
+            # back must clear its momentum, not keep it.
+            self._velocity_flat.fill(0.0)
 
 
 class Adam(Optimizer):
@@ -435,3 +479,43 @@ class Adam(Optimizer):
         flat_gradients += self.epsilon
         s /= flat_gradients
         flat_parameters -= s
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "adam",
+            "learning_rate": float(self.learning_rate),
+            "beta1": float(self.beta1),
+            "beta2": float(self.beta2),
+            "epsilon": float(self.epsilon),
+            "step_count": int(self.step_count),
+            "first_moment": None if self._m_flat is None else self._m_flat.copy(),
+            "second_moment": None if self._v_flat is None else self._v_flat.copy(),
+        }
+
+    def load_state_dict(self, parameters: Sequence[np.ndarray], payload: dict) -> None:
+        if payload.get("kind") != "adam":
+            raise ConfigurationError(
+                f"expected an 'adam' optimizer snapshot, got {payload.get('kind')!r}"
+            )
+        self.set_learning_rate(float(payload["learning_rate"]))
+        self.step_count = int(payload["step_count"])
+        first = payload.get("first_moment")
+        second = payload.get("second_moment")
+        if (first is None) != (second is None):
+            raise ConfigurationError("Adam snapshot must carry both moments or neither")
+        if first is not None:
+            self._ensure_state(parameters)
+            first = np.asarray(first, dtype=float)
+            second = np.asarray(second, dtype=float)
+            if first.shape != self._m_flat.shape or second.shape != self._v_flat.shape:
+                raise ConfigurationError(
+                    f"moment snapshots have shapes {first.shape}/{second.shape}, "
+                    f"optimizer state has {self._m_flat.shape}"
+                )
+            self._m_flat[...] = first
+            self._v_flat[...] = second
+        elif self._m_flat is not None:
+            # Snapshot taken before the first step: rolling a live optimizer
+            # back must clear its moments, not keep them.
+            self._m_flat.fill(0.0)
+            self._v_flat.fill(0.0)

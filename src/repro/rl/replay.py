@@ -262,6 +262,91 @@ class ReplayBuffer:
         self._size = 0
         self._next = 0
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, copyable snapshot of the ring state.
+
+        Only the live rows (physical indices ``0 .. size-1``; when the ring
+        has wrapped ``size == capacity`` so that is every row) are stored —
+        unwritten rows are zeros and are re-zeroed on load.  Together with
+        the write cursor this reproduces the exact physical layout, so
+        seeded sampling from a restored buffer is bit-identical to sampling
+        from the original.
+        """
+        return {
+            "capacity": int(self.capacity),
+            "size": int(self._size),
+            "next": int(self._next),
+            "total_pushed": int(self._total_pushed),
+            "dim": int(self._dim),
+            "uniform_next_width": (
+                None
+                if self._uniform_next_width is None
+                else float(self._uniform_next_width)
+            ),
+            "state_pairs": (
+                None if self._state_pairs is None else self._state_pairs[: self._size].copy()
+            ),
+            "scalar_pairs": (
+                None if self._scalar_pairs is None else self._scalar_pairs[: self._size].copy()
+            ),
+            "actions": (
+                None if self._actions is None else self._actions[: self._size].copy()
+            ),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` in place.
+
+        The buffer must have been constructed with the same capacity as the
+        snapshot (the capacity is a configuration constant, not state).
+        """
+        try:
+            capacity = int(payload["capacity"])
+            size = int(payload["size"])
+            next_index = int(payload["next"])
+            total_pushed = int(payload["total_pushed"])
+            dim = int(payload["dim"])
+            uniform = payload["uniform_next_width"]
+            state_pairs = payload["state_pairs"]
+            scalar_pairs = payload["scalar_pairs"]
+            actions = payload["actions"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplayBufferError(f"malformed replay-buffer state: {exc}") from exc
+        if capacity != self.capacity:
+            raise ReplayBufferError(
+                f"snapshot capacity {capacity} does not match buffer capacity "
+                f"{self.capacity}"
+            )
+        if not 0 <= size <= capacity or not 0 <= next_index < max(capacity, 1):
+            raise ReplayBufferError("replay-buffer snapshot indices out of range")
+        if dim > 0:
+            if state_pairs is None or scalar_pairs is None or actions is None:
+                raise ReplayBufferError("replay-buffer snapshot is missing columns")
+            state_pairs = np.asarray(state_pairs, dtype=float)
+            scalar_pairs = np.asarray(scalar_pairs, dtype=float)
+            actions = np.asarray(actions)
+            if (
+                state_pairs.shape != (size, 2 * dim)
+                or scalar_pairs.shape != (size, 2)
+                or actions.shape != (size,)
+            ):
+                raise ReplayBufferError("replay-buffer snapshot column shapes mismatch")
+            self._allocate(dim)
+            self._state_pairs[:size] = state_pairs
+            self._scalar_pairs[:size] = scalar_pairs
+            self._actions[:size] = actions
+        else:
+            self._dim = 0
+            self._state_pairs = None
+            self._scalar_pairs = None
+            self._actions = None
+        self._size = size
+        self._next = next_index
+        self._total_pushed = total_pushed
+        self._uniform_next_width = None if uniform is None else float(uniform)
+
     def latest(self) -> Transition:
         """The most recently pushed transition."""
         if self._size == 0:

@@ -10,7 +10,7 @@ stored back for next time.  See :mod:`repro.runtime.cli` for the
 ``python -m repro`` command-line front end.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.cache import CacheEntry, CacheStats, ResultCache, default_cache_dir
 from repro.runtime.engine import (
     ExperimentRuntime,
     RuntimeReport,
@@ -35,6 +35,7 @@ from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
 from repro.runtime.sweep import SweepSpec, sweep_metrics_map
 
 __all__ = [
+    "CacheEntry",
     "CacheStats",
     "ExperimentJob",
     "ExperimentRuntime",

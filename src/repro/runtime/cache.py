@@ -20,9 +20,10 @@ import gzip
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.trace import FrameRecord, Trace
@@ -55,6 +56,24 @@ class CacheStats:
 
     entries: int
     total_bytes: int
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result's on-disk footprint.
+
+    Attributes:
+        key: The job hash the entry is stored under.
+        path: Payload path on disk.
+        size_bytes: Compressed payload size.
+        modified: Last-modified time (epoch seconds) — entries are written
+            once, so this is effectively the completion time of the job.
+    """
+
+    key: str
+    path: Path
+    size_bytes: int
+    modified: float
 
 
 class ResultCache:
@@ -161,14 +180,81 @@ class ResultCache:
             total += path.stat().st_size
         return CacheStats(entries=entries, total_bytes=total)
 
+    def entries(self) -> List[CacheEntry]:
+        """Every stored entry with its on-disk size, newest first.
+
+        Entries deleted between the directory scan and the stat (another
+        process pruning concurrently) are skipped, not raised.
+        """
+        items: List[CacheEntry] = []
+        for path in self._iter_entries():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            items.append(
+                CacheEntry(
+                    key=path.name[: -len(".json.gz")],
+                    path=path,
+                    size_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        items.sort(key=lambda entry: (-entry.modified, entry.key))
+        return items
+
+    def _remove_empty_shards(self) -> None:
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+
+    def prune(
+        self,
+        keep_latest: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> int:
+        """Delete old entries; returns the number removed.
+
+        Args:
+            keep_latest: Keep only the N most recently written entries.
+            max_age_days: Delete entries older than this many days.
+            now: Reference time (epoch seconds; defaults to the current
+                time) — injectable for tests.
+
+        At least one criterion must be given; when both are, an entry is
+        removed if *either* applies.  Long eval-matrix campaigns use this to
+        keep the result cache bounded.
+        """
+        if keep_latest is None and max_age_days is None:
+            raise ExperimentError("prune needs keep_latest and/or max_age_days")
+        if keep_latest is not None and keep_latest < 0:
+            raise ExperimentError("keep_latest must be non-negative")
+        if max_age_days is not None and max_age_days < 0:
+            raise ExperimentError("max_age_days must be non-negative")
+        reference = time.time() if now is None else now
+        entries = self.entries()  # newest first
+        doomed = {}
+        if keep_latest is not None:
+            for entry in entries[keep_latest:]:
+                doomed[entry.path] = entry
+        if max_age_days is not None:
+            cutoff = reference - max_age_days * 86_400.0
+            for entry in entries:
+                if entry.modified < cutoff:
+                    doomed[entry.path] = entry
+        for path in doomed:
+            with contextlib.suppress(FileNotFoundError):
+                path.unlink()
+        self._remove_empty_shards()
+        return len(doomed)
+
     def clear(self) -> int:
         """Delete every stored entry; returns the number removed."""
         removed = 0
         for path in list(self._iter_entries()):
             path.unlink()
             removed += 1
-        if self.root.exists():
-            for shard in self.root.iterdir():
-                if shard.is_dir() and not any(shard.iterdir()):
-                    shard.rmdir()
+        self._remove_empty_shards()
         return removed

@@ -1,6 +1,6 @@
 """Command-line interface of the experiment runtime (``python -m repro``).
 
-Nine subcommands drive the engine without writing any code:
+Ten subcommands drive the engine without writing any code:
 
 * ``run`` — execute one experiment cell and print its summary metrics.
 * ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
@@ -15,12 +15,22 @@ Nine subcommands drive the engine without writing any code:
 * ``report`` — render the same tables purely from the cache, listing any
   missing cells instead of running them (useful on machines that only hold
   the cache, e.g. when collecting results produced elsewhere).
+* ``policy`` — the policy lifecycle: ``policy train`` trains a scenario's
+  learning method and files the checkpoint in the content-addressed policy
+  zoo, ``policy list``/``show`` inspect the zoo (metadata, lineage),
+  ``policy export``/``import`` move checkpoints between machines, and
+  ``policy eval-matrix`` runs M frozen policies × N registry scenarios
+  through the cached runtime and renders the transfer table.
 * ``devices`` / ``detectors`` — list the registered device and detector
   models with their key parameters.
-* ``cache`` — inspect or clear the result cache.
+* ``cache`` — inspect (``info``/``list``), clear or ``prune`` the result
+  cache (``--keep-latest`` / ``--max-age-days``).
 * ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``
   or ``--suite fleet``) and write the ``BENCH_*.json`` perf-trajectory
   report.
+
+``python -m repro --version`` prints the package version; an unknown
+subcommand exits non-zero with a one-line message.
 
 Examples::
 
@@ -29,12 +39,16 @@ Examples::
         --datasets kitti,visdrone2019 --workers 4
     python -m repro fleet --method default --sessions 64 --frames 500
     python -m repro scenario list
-    python -m repro scenario show mixed-edge-fleet
     python -m repro scenario run mixed-edge-fleet --frames 300
+    python -m repro policy train --scenario jetson-kitti-baseline --frames 400
+    python -m repro policy eval-matrix --policies 3f2a,9c1d \
+        --scenarios jetson-kitti-baseline,drone-climb --frames 300
+    python -m repro run --method policy:3f2a --frames 300
     python -m repro report --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019
     python -m repro devices
     python -m repro cache info
+    python -m repro cache prune --keep-latest 200
     python -m repro bench --suite fleet --quick
 """
 
@@ -407,6 +421,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ExperimentError
+
     cache = ResultCache(args.cache_dir)
     if args.action == "path":
         print(cache.root)
@@ -417,11 +435,148 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries         : {stats.entries}")
         print(f"size            : {stats.total_bytes / 1e6:.2f} MB")
         return 0
+    if args.action == "list":
+        entries = cache.entries()
+        now = time.time()
+        for entry in entries:
+            age_days = max(0.0, now - entry.modified) / 86_400.0
+            print(
+                f"{entry.key[:16]}  {entry.size_bytes / 1e3:9.1f} kB  "
+                f"{age_days:7.1f} d old"
+            )
+        total = sum(entry.size_bytes for entry in entries)
+        print(f"{len(entries)} entries, {total / 1e6:.2f} MB under {cache.root}")
+        return 0
+    if args.action == "prune":
+        if args.keep_latest is None and args.max_age_days is None:
+            raise ExperimentError(
+                "cache prune needs --keep-latest and/or --max-age-days"
+            )
+        before = cache.stats()
+        removed = cache.prune(
+            keep_latest=args.keep_latest, max_age_days=args.max_age_days
+        )
+        after = cache.stats()
+        freed = before.total_bytes - after.total_bytes
+        print(
+            f"pruned {removed} cached results ({freed / 1e6:.2f} MB) from "
+            f"{cache.root}; {after.entries} entries remain"
+        )
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
         return 0
     raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
+# ---------------------------------------------------------------------------
+# Policy lifecycle subcommands
+# ---------------------------------------------------------------------------
+
+
+def _policy_store(args: argparse.Namespace):
+    from repro.policies import PolicyStore
+
+    return PolicyStore(args.policy_dir)
+
+
+def _cmd_policy_train(args: argparse.Namespace) -> int:
+    from repro.policies import train_policy
+
+    store = _policy_store(args)
+    policy_id, result = train_policy(
+        args.scenario,
+        store=store,
+        num_frames=args.frames,
+        seed=args.seed,
+        method=args.method,
+        resume=args.resume,
+    )
+    if args.quiet:
+        print(policy_id)
+        return 0
+    print(
+        f"trained {result.policy_name} on scenario {args.scenario!r}"
+        + (f" (resumed from {store.resolve(args.resume)[:12]})" if args.resume else "")
+    )
+    print(_summary_line("training episode", result.metrics))
+    print(f"policy id: {policy_id}")
+    print(f"stored in: {store.root}")
+    return 0
+
+
+def _cmd_policy_list(args: argparse.Namespace) -> int:
+    store = _policy_store(args)
+    records = store.list()
+    for record in records:
+        lineage = f" <- {record.parent[:12]}" if record.parent else ""
+        scenario = record.train_scenario or "-"
+        print(
+            f"{record.policy_id[:16]}  {record.method:<22s} "
+            f"{scenario:<26s} {record.size_bytes / 1e3:8.1f} kB{lineage}"
+        )
+    print(f"{len(records)} policies under {store.root}")
+    return 0
+
+
+def _cmd_policy_show(args: argparse.Namespace) -> int:
+    import json
+
+    store = _policy_store(args)
+    record = store.record(args.id)
+    print(json.dumps(record.metadata, indent=2, sort_keys=True))
+    lineage = store.lineage(record.policy_id)
+    if len(lineage) > 1:
+        print("lineage: " + " <- ".join(pid[:12] for pid in lineage))
+    return 0
+
+
+def _cmd_policy_export(args: argparse.Namespace) -> int:
+    store = _policy_store(args)
+    destination = store.export(args.id, args.path)
+    print(f"exported {store.resolve(args.id)[:16]} to {destination}")
+    return 0
+
+
+def _cmd_policy_import(args: argparse.Namespace) -> int:
+    store = _policy_store(args)
+    policy_id = store.import_checkpoint(args.path)
+    print(f"imported {args.path} as {policy_id}")
+    return 0
+
+
+def _cmd_policy_eval_matrix(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import generalization_matrix_table
+    from repro.policies import run_generalization_matrix
+
+    store = _policy_store(args)
+    runtime = ExperimentRuntime(max_workers=args.workers, cache=_cache_from(args))
+
+    def progress(done: int, total: int, job, hit: bool) -> None:
+        status = "cached" if hit else "ran"
+        print(
+            f"  [{done}/{total}] {status:>6s}  {job.method[:22]} on "
+            f"{job.setting.device}/{job.setting.dataset}",
+            flush=True,
+        )
+
+    matrix = run_generalization_matrix(
+        args.policies,
+        scenarios=list(args.scenarios) if args.scenarios else None,
+        num_frames=args.frames,
+        runtime=runtime,
+        store=store,
+        progress=progress if not args.quiet else None,
+    )
+    print(
+        f"eval-matrix: {len(matrix.policies)} policies x "
+        f"{len(matrix.scenarios)} scenarios — "
+        f"{matrix.cache_hits} cache hits, {matrix.executed} executed"
+    )
+    print()
+    print(generalization_matrix_table(matrix))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -431,11 +586,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run Lotus reproduction experiments through the cached runtime.",
     )
+    parser.add_argument(
+        "--version", action="version", version=__version__,
+        help="print the repro package version and exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    # Recorded for main()'s unknown-command pre-scan (avoids poking at
+    # argparse internals there).
+    parser.repro_commands = subparsers.choices  # type: ignore[attr-defined]
 
     run = subparsers.add_parser(
         "run", help="run one experiment cell", description=_cmd_run.__doc__
@@ -534,10 +698,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detectors.set_defaults(func=_cmd_detectors)
 
-    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear", "path"))
+    cache = subparsers.add_parser(
+        "cache", help="inspect, list, prune or clear the result cache"
+    )
+    cache.add_argument(
+        "action", choices=("info", "list", "prune", "clear", "path"),
+        help="info: totals; list: per-entry sizes/ages; prune: delete old "
+        "entries; clear: delete everything; path: print the directory",
+    )
+    cache.add_argument(
+        "--keep-latest", type=int, default=None,
+        help="prune: keep only the N most recently written entries",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: delete entries older than D days",
+    )
     _add_cache_arguments(cache)
     cache.set_defaults(func=_cmd_cache)
+
+    policy = subparsers.add_parser(
+        "policy",
+        help="policy lifecycle: train into the zoo, inspect it, deploy "
+        "frozen checkpoints, run the generalization eval-matrix",
+    )
+    policy_actions = policy.add_subparsers(dest="action", required=True)
+
+    def _add_policy_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--policy-dir", default=None,
+            help="policy store directory (default: REPRO_POLICY_DIR or "
+            "~/.cache/repro-lotus/policies)",
+        )
+
+    policy_train = policy_actions.add_parser(
+        "train", help="train a scenario's learning method and store the checkpoint"
+    )
+    policy_train.add_argument("--scenario", required=True, help="registered scenario name")
+    policy_train.add_argument(
+        "--frames", type=int, default=None,
+        help="training episode length override (default: the scenario's)",
+    )
+    policy_train.add_argument(
+        "--seed", type=int, default=None, help="base seed override"
+    )
+    policy_train.add_argument(
+        "--method", default=None,
+        help="method override (must be a learning method: lotus variants, "
+        "ztt); cannot be combined with --resume",
+    )
+    policy_train.add_argument(
+        "--resume", default=None, metavar="ID",
+        help="continue training from a stored checkpoint (records lineage; "
+        "the checkpoint fixes the method and device geometry)",
+    )
+    policy_train.add_argument(
+        "--quiet", action="store_true",
+        help="print only the resulting policy id (for scripting)",
+    )
+    _add_policy_dir(policy_train)
+    policy_train.set_defaults(func=_cmd_policy_train)
+
+    policy_list = policy_actions.add_parser("list", help="list the policy zoo")
+    _add_policy_dir(policy_list)
+    policy_list.set_defaults(func=_cmd_policy_list)
+
+    policy_show = policy_actions.add_parser(
+        "show", help="print a stored policy's metadata and lineage"
+    )
+    policy_show.add_argument("id", help="policy id (full or unique prefix)")
+    _add_policy_dir(policy_show)
+    policy_show.set_defaults(func=_cmd_policy_show)
+
+    policy_export = policy_actions.add_parser(
+        "export", help="copy a checkpoint file out of the store"
+    )
+    policy_export.add_argument("id", help="policy id (full or unique prefix)")
+    policy_export.add_argument("path", help="destination file or directory")
+    _add_policy_dir(policy_export)
+    policy_export.set_defaults(func=_cmd_policy_export)
+
+    policy_import = policy_actions.add_parser(
+        "import", help="verify an external checkpoint file and add it to the store"
+    )
+    policy_import.add_argument("path", help="checkpoint file to import")
+    _add_policy_dir(policy_import)
+    policy_import.set_defaults(func=_cmd_policy_import)
+
+    policy_matrix = policy_actions.add_parser(
+        "eval-matrix",
+        help="evaluate M frozen policies x N scenarios on the cached runtime",
+    )
+    policy_matrix.add_argument(
+        "--policies", type=_split, required=True,
+        help="comma-separated policy ids (full or unique prefixes)",
+    )
+    policy_matrix.add_argument(
+        "--scenarios", type=_split, default=None,
+        help="comma-separated scenario names (default: every scalar "
+        "scenario in the registry)",
+    )
+    policy_matrix.add_argument(
+        "--frames", type=int, default=None,
+        help="evaluation episode length override applied to every cell",
+    )
+    policy_matrix.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for uncached cells (default: 1)",
+    )
+    policy_matrix.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    policy_matrix.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    _add_cache_arguments(policy_matrix)
+    _add_policy_dir(policy_matrix)
+    policy_matrix.set_defaults(func=_cmd_policy_eval_matrix)
 
     bench = subparsers.add_parser(
         "bench",
@@ -566,9 +839,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Library errors (unknown device/method/dataset, invalid frame counts,
-    ...) are reported as a one-line message instead of a traceback.
+    ...) and unknown top-level subcommands are reported as a one-line
+    message instead of a traceback or a bare argparse usage dump (nested
+    actions, e.g. ``policy <action>``, keep argparse's usage output, which
+    lists the valid choices).
     """
-    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    parser = build_parser()
+    commands = tuple(getattr(parser, "repro_commands", ()))
+    first = next((a for a in arguments if not a.startswith("-")), None)
+    if first is not None and first not in commands:
+        print(
+            f"error: unknown command {first!r}; available commands: "
+            f"{', '.join(commands)}",
+            file=sys.stderr,
+        )
+        return 2
+    args = parser.parse_args(arguments)
     try:
         return args.func(args)
     except LotusError as error:

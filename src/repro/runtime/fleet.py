@@ -17,6 +17,11 @@ Methods map onto fleet policies as follows:
   (:class:`repro.core.fleet.FleetLotusAgent`): one shared Q-network fed by
   every session's experience (a new capability, not a scalar-equivalent
   mode).
+* ``policy:<id>`` — frozen deployment of one stored checkpoint from the
+  policy zoo (:mod:`repro.policies`): the artifact is loaded and verified
+  once, rebuilt as one inference-only instance per session, and adapted
+  through :class:`repro.env.fleet.PerSessionPolicies` — bit-identical to
+  the scalar frozen run of each session's seed.
 * anything else (``lotus``, ``ztt``, the ablations) — per-session scalar
   policies adapted through
   :class:`repro.env.fleet.PerSessionPolicies`, preserving exact scalar
@@ -212,6 +217,28 @@ def make_member_policy(
             config=LotusConfig(seed=seed + 100).for_episode_length(num_frames),
             rng=np.random.default_rng(seed + 100),
         )
+    from repro.policies import is_policy_method
+
+    if is_policy_method(method):
+        # Frozen deployment of one stored artifact across the member's
+        # sessions: resolve and verify the checkpoint once, then rebuild one
+        # inference-only instance per session (each session needs its own
+        # transient frame bookkeeping) — not one store read per session.
+        from repro.policies import (
+            PolicyStore,
+            frozen_policy_from_checkpoint,
+            policy_method_id,
+        )
+
+        store = PolicyStore()
+        policy_id = store.resolve(policy_method_id(method))
+        checkpoint = store.load_checkpoint(policy_id)
+        frozen = []
+        for _ in seeds:
+            instance = frozen_policy_from_checkpoint(checkpoint, policy_id=policy_id)
+            instance.validate_environment(environment)
+            frozen.append(instance)
+        return PerSessionPolicies(frozen)
     # Fall back to exact per-session scalar policies (lotus, ztt, ablations,
     # and any future registered method): make_policy only inspects the
     # device, detector and throttle threshold, which the fleet environment

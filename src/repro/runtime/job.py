@@ -15,6 +15,12 @@ code-relevant configuration (agent hyper-parameter defaults, reward
 defaults, margin-derivation constants and the package version).  Changing
 any configuration default therefore invalidates the cache automatically,
 while re-rendering a table with unchanged code is a pure cache hit.
+
+Frozen-policy jobs (method ``policy:<id>``, see :mod:`repro.policies`) get
+checkpoint-exact keys for free: the id *is* the SHA-256 of the checkpoint
+payload, so the trained network's content hash rides into the job key
+through the method name — retraining a policy yields a new id and therefore
+new cells, while re-evaluating an unchanged artifact is a pure cache hit.
 """
 
 from __future__ import annotations

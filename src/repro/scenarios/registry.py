@@ -69,10 +69,24 @@ def validate_scenario(scenario: Scenario) -> None:
     except ConfigurationError as exc:
         raise ScenarioError(f"scenario {scenario.name!r} is invalid: {exc}") from exc
     methods = available_methods() + FLEET_ONLY_METHODS
-    if scenario.method not in methods:
+    # "policy:<id>" deploys a frozen checkpoint from the (machine-local)
+    # policy zoo; only the shape is validated here — the id resolves against
+    # the store at run time (see repro.policies.frozen).
+    from repro.errors import PolicyError
+    from repro.policies.frozen import is_policy_method, policy_method_id
+
+    if is_policy_method(scenario.method):
+        try:
+            policy_method_id(scenario.method)
+        except PolicyError as exc:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} uses an invalid policy:<id> "
+                f"method: {exc}"
+            ) from exc
+    elif scenario.method not in methods:
         raise ScenarioError(
             f"scenario {scenario.name!r} uses unknown method "
-            f"{scenario.method!r}; available: {methods}"
+            f"{scenario.method!r}; available: {methods} (or policy:<id>)"
         )
     ambient_to_dict(scenario.ambient)
 

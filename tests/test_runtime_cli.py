@@ -46,6 +46,54 @@ def test_cli_requires_a_subcommand(capsys):
     assert excinfo.value.code != 0
 
 
+def test_cli_version_prints_package_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == repro.__version__
+
+
+def test_cli_unknown_subcommand_exits_cleanly(capsys):
+    assert main(["frobnicate"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command 'frobnicate'" in err
+    assert "available commands:" in err and "policy" in err
+    assert "usage:" not in err  # no bare argparse dump
+
+
+def test_cli_cache_list_and_prune(tmp_path, capsys):
+    cell_args = [
+        "--datasets", "kitti", "--methods", "default,fixed,powersave",
+        "--frames", "10", "--cache-dir", str(tmp_path), "--workers", "1",
+        "--quiet",
+    ]
+    assert main(["sweep", *cell_args]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 entries" in out and "kB" in out and "d old" in out
+
+    # prune without a criterion is a clean error, not a traceback
+    assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+    assert "keep-latest" in capsys.readouterr().err
+
+    assert main([
+        "cache", "prune", "--keep-latest", "1", "--cache-dir", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 2 cached results" in out and "1 entries remain" in out
+
+    assert main([
+        "cache", "prune", "--max-age-days", "0", "--cache-dir", str(tmp_path),
+    ]) == 0
+    assert "pruned 1 cached results" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    assert "entries         : 0" in capsys.readouterr().out
+
+
 def test_cli_reports_library_errors_without_traceback(tmp_path, capsys):
     code = main([
         "run", "--method", "nonsense", "--frames", "5", "--cache-dir", str(tmp_path),
