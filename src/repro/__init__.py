@@ -93,12 +93,17 @@ from repro.runtime import (
     FleetRunResult,
     FleetScenarioResult,
     ResultCache,
+    ShardPlan,
+    ShardedScenarioResult,
     SweepSpec,
     make_fleet_environment,
     make_fleet_policy,
+    plan_shards,
     run_fleet,
     run_fleet_scenario,
     run_scenario,
+    run_sharded_fleet,
+    run_sharded_scenario,
 )
 from repro.scenarios import (
     FleetMember,
@@ -110,7 +115,7 @@ from repro.scenarios import (
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
@@ -136,6 +141,8 @@ __all__ = [
     "PolicyStore",
     "ResultCache",
     "ScenarioSpec",
+    "ShardPlan",
+    "ShardedScenarioResult",
     "SweepSpec",
     "InferenceEnvironment",
     "LotusAgent",
@@ -164,6 +171,7 @@ __all__ = [
     "make_fleet_environment",
     "make_fleet_policy",
     "make_policy",
+    "plan_shards",
     "policy_from_checkpoint",
     "register_scenario",
     "run_comparison",
@@ -174,6 +182,8 @@ __all__ = [
     "run_fleet_scenario",
     "run_generalization_matrix",
     "run_scenario",
+    "run_sharded_fleet",
+    "run_sharded_scenario",
     "summarize_trace",
     "train_policy",
     "__version__",

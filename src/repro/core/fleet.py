@@ -22,6 +22,7 @@ from typing import List
 
 import numpy as np
 
+from repro.errors import AgentError
 from repro.core.action import JointActionSpace
 from repro.core.config import LotusConfig
 from repro.core.cooldown import CooldownSelector
@@ -176,6 +177,127 @@ class FleetLotusAgent(FleetPolicy):
         self._mid_states = None
         self._mid_actions = None
         self._pending = None
+
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the fleet agent's training state.
+
+        The fleet analogue of :meth:`repro.core.agent.LotusAgent.state_dict`:
+        everything a decision or training step reads or mutates is captured —
+        the shared network and target parameters, optimizer moments, both
+        replay rings, the exploration/cool-down counters, one reward
+        calculator per session, the RNG state and the in-flight per-session
+        transition arrays — so that save → load → continue is bit-identical
+        to an uninterrupted fleet run, even mid-episode.
+        """
+        pending = None
+        if self._pending is not None:
+            states, actions, rewards = self._pending
+            pending = {
+                "states": states.copy(),
+                "actions": actions.copy(),
+                "rewards": rewards.copy(),
+            }
+        return {
+            "num_sessions": int(self.num_sessions),
+            "training": bool(self.training),
+            "decision_count": int(self._decision_count),
+            "decision_points": int(self._decision_points),
+            "loss_history": [float(v) for v in self._loss_history],
+            "reward_history": [float(v) for v in self._reward_history],
+            "rng": self.rng.bit_generator.state,
+            "cooldown": self.cooldown.state_dict(),
+            "reward_calculators": [
+                calculator.state_dict() for calculator in self.reward_calculators
+            ],
+            "learner": self.learner.state_dict(),
+            "start_buffer": self.start_buffer.state_dict(),
+            "mid_buffer": (
+                None
+                if self.mid_buffer is self.start_buffer
+                else self.mid_buffer.state_dict()
+            ),
+            "start_states": (
+                None if self._start_states is None else self._start_states.copy()
+            ),
+            "start_actions": (
+                None if self._start_actions is None else self._start_actions.copy()
+            ),
+            "mid_states": None if self._mid_states is None else self._mid_states.copy(),
+            "mid_actions": (
+                None if self._mid_actions is None else self._mid_actions.copy()
+            ),
+            "pending": pending,
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this agent in place.
+
+        The agent must have been constructed with the same configuration,
+        geometry and fleet size as the one that produced the snapshot (the
+        checkpoint layer guarantees this by rebuilding from the stored
+        config and geometry).
+        """
+        if int(payload["num_sessions"]) != self.num_sessions:
+            raise AgentError(
+                f"snapshot was captured from a {payload['num_sessions']}-session "
+                f"fleet but this agent drives {self.num_sessions} sessions"
+            )
+        shared = payload["mid_buffer"] is None
+        if shared != (self.mid_buffer is self.start_buffer):
+            raise AgentError(
+                "snapshot and agent disagree on the shared-buffer ablation"
+            )
+        calculators = payload["reward_calculators"]
+        if len(calculators) != len(self.reward_calculators):
+            raise AgentError(
+                f"snapshot carries {len(calculators)} reward calculators for "
+                f"{len(self.reward_calculators)} sessions"
+            )
+        self.learner.load_state_dict(payload["learner"])
+        self.start_buffer.load_state_dict(payload["start_buffer"])
+        if not shared:
+            self.mid_buffer.load_state_dict(payload["mid_buffer"])
+        self.cooldown.load_state_dict(payload["cooldown"])
+        for calculator, snapshot in zip(self.reward_calculators, calculators):
+            calculator.load_state_dict(snapshot)
+        self.rng.bit_generator.state = payload["rng"]
+        self.training = bool(payload["training"])
+        self._decision_count = int(payload["decision_count"])
+        self._decision_points = int(payload["decision_points"])
+        self._loss_history = [float(v) for v in payload["loss_history"]]
+        self._reward_history = [float(v) for v in payload["reward_history"]]
+        self._start_states = (
+            None
+            if payload["start_states"] is None
+            else np.asarray(payload["start_states"], dtype=float)
+        )
+        self._start_actions = (
+            None
+            if payload["start_actions"] is None
+            else np.asarray(payload["start_actions"], dtype=np.int64)
+        )
+        self._mid_states = (
+            None
+            if payload["mid_states"] is None
+            else np.asarray(payload["mid_states"], dtype=float)
+        )
+        self._mid_actions = (
+            None
+            if payload["mid_actions"] is None
+            else np.asarray(payload["mid_actions"], dtype=np.int64)
+        )
+        pending = payload["pending"]
+        self._pending = (
+            None
+            if pending is None
+            else (
+                np.asarray(pending["states"], dtype=float),
+                np.asarray(pending["actions"], dtype=np.int64),
+                np.asarray(pending["rewards"], dtype=float),
+            )
+        )
 
     # -- encoding -----------------------------------------------------------------------
 

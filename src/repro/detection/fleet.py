@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import DetectorError
 from repro.detection.detector import DetectorModel
+from repro.rl.fused import fused_fleet
 from repro.detection.latency import DeviceComputeProfile
 
 
@@ -105,12 +106,24 @@ def propose_batch(
     if not detector.is_two_stage:
         return np.zeros(len(scene_candidates), dtype=np.int64)
     model = detector.proposal_model
-    expected = scene_candidates * model.keep_ratio
+    factor = None
     if model.noise_std > 0:
         draws = np.array(
             [rng.normal(0.0, model.noise_std) for rng in rngs], dtype=float
         )
-        expected = expected * np.exp(draws)
+        factor = np.exp(draws)
+    kernel = fused_fleet()
+    if kernel is not None:
+        scene = np.ascontiguousarray(scene_candidates, dtype=float)
+        counts = np.empty(scene.size, dtype=np.int64)
+        kernel.fleet_proposal_tail(
+            scene, float(model.keep_ratio), factor,
+            float(model.min_proposals), float(model.max_proposals), counts,
+        )
+        return counts
+    expected = scene_candidates * model.keep_ratio
+    if factor is not None:
+        expected = expected * factor
     counts = np.clip(np.rint(expected), model.min_proposals, model.max_proposals)
     return counts.astype(np.int64)
 

@@ -58,6 +58,11 @@ class ScenarioError(LotusError):
     """A scenario spec is invalid, unknown, or failed to (de)serialise."""
 
 
+class ShardError(ExperimentError):
+    """A fleet could not be split across worker shards as requested (invalid
+    shard count, or a shared-network member that must not be divided)."""
+
+
 class PolicyError(LotusError):
     """A policy checkpoint is corrupted, incompatible or unknown to the
     policy store (truncated payloads, integrity-hash mismatches, format

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import DeviceError
 from repro.hardware.device import CPU_NODE, GPU_NODE, EdgeDevice
+from repro.rl.fused import fused_fleet
 from repro.hardware.frequency import FrequencyTable
 from repro.hardware.power import PowerModel
 from repro.hardware.throttle import ThrottleConfig
@@ -188,6 +189,13 @@ class DeviceFleet:
             for (a, b), conductance in thermal.couplings.items()
         ]
         self.max_substep_s = thermal.max_substep_s
+        # Flat coupling tables and work buffers for the fused thermal kernel
+        # (kept even when the kernel is unavailable: they are tiny).
+        self._coup_a = np.array([a for a, _, _ in self._couplings], dtype=np.int64)
+        self._coup_b = np.array([b for _, b, _ in self._couplings], dtype=np.int64)
+        self._coup_c = np.array([c for _, _, c in self._couplings], dtype=float)
+        self._dt_scratch = np.empty(num_sessions)
+        self._deltas_scratch = np.empty((len(self._node_names), num_sessions))
 
         self._cpu_throttler = _ThrottlerArrays(template.cpu_throttle, num_sessions)
         self._gpu_throttler = _ThrottlerArrays(template.gpu_throttle, num_sessions)
@@ -342,6 +350,16 @@ class DeviceFleet:
         power[self._cpu_node] = cpu_power_w
         power[self._gpu_node] = gpu_power_w
         remaining = duration_ms / 1e3
+        kernel = fused_fleet()
+        if kernel is not None:
+            kernel.fleet_thermal_advance(
+                self._temperatures, power, self.ambient_temperature_c,
+                self._resistance, self._heat_capacity,
+                self._coup_a, self._coup_b, self._coup_c,
+                remaining, self.max_substep_s,
+                self._dt_scratch, self._deltas_scratch,
+            )
+            return
         temps = self._temperatures
         while True:
             active = remaining > 1e-12

@@ -29,19 +29,25 @@ from repro.perf.benchmarks import (
 )
 from repro.perf.fleet_benchmarks import (
     DEFAULT_FLEET_OUTPUT,
+    DEFAULT_SHARD_OUTPUT,
     FLEET_SIZE,
     FLEET_SPEEDUP_TARGETS,
+    SHARD_THROUGHPUT_TARGET_FPS,
     run_fleet_bench_suite,
+    run_shard_bench_suite,
     write_fleet_report,
+    write_shard_report,
 )
 
 __all__ = [
     "BenchReport",
     "BenchResult",
     "DEFAULT_FLEET_OUTPUT",
+    "DEFAULT_SHARD_OUTPUT",
     "DEFAULT_OUTPUT",
     "FLEET_SIZE",
     "FLEET_SPEEDUP_TARGETS",
+    "SHARD_THROUGHPUT_TARGET_FPS",
     "SPEEDUP_TARGETS",
     "Timer",
     "format_report",
@@ -49,6 +55,8 @@ __all__ = [
     "measure_pair",
     "run_bench_suite",
     "run_fleet_bench_suite",
+    "run_shard_bench_suite",
     "write_fleet_report",
+    "write_shard_report",
     "write_report",
 ]

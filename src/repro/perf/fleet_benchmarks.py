@@ -19,11 +19,21 @@ apples-to-apples.  Covered:
 
 Run via ``python -m repro bench --suite fleet``; the report lands in
 ``BENCH_PR3.json`` by default.
+
+The module also carries the *shard-scaling* suite (``--suite shards``,
+``BENCH_PR6.json``): one homogeneous default-governor fleet cell run
+through :func:`repro.runtime.shards.run_sharded_fleet` at increasing shard
+counts, recording aggregate frames/second per count next to the host's
+core count and the documented multi-core throughput target
+(:data:`SHARD_THROUGHPUT_TARGET_FPS`).  Shard results are byte-identical
+to the unsharded run (``tests/test_fleet_sharding.py``), so the suite
+measures pure engine scaling, not a relaxed variant.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -51,6 +61,21 @@ FLEET_SIZE = 64
 #: Acceptance floors recorded into the report for context (the benchmark
 #: itself does not gate on them; tests/test_fleet_perf.py does).
 FLEET_SPEEDUP_TARGETS = {"fleet_session": 5.0}
+
+#: Label and default output of the shard-scaling suite.
+SHARD_BENCH_LABEL = "PR6"
+DEFAULT_SHARD_OUTPUT = f"BENCH_{SHARD_BENCH_LABEL}.json"
+
+#: Shard counts the scaling suite sweeps by default.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Documented multi-core throughput target: 1M+ aggregate frames/second.
+#: A single core sustains roughly 40-100k frames/s on the default-governor
+#: cell depending on hardware, so the target needs >= 10-16 physical cores
+#: with near-linear shard scaling; the report records the host's measured
+#: per-shard-count throughput and core count next to this constant so a
+#: single-core CI record is never mistaken for a target miss.
+SHARD_THROUGHPUT_TARGET_FPS = 1_000_000.0
 
 
 def bench_fleet_session(
@@ -212,6 +237,97 @@ def bench_fleet_heterogeneous(
     current = measure(name, run_grouped_side, iterations=1, repeats=repeats)
     legacy = measure(f"{name}_scalar", run_scalar_side, iterations=1, repeats=repeats)
     report.add_pair("fleet_heterogeneous", current, legacy)
+
+
+def bench_shard_scaling(
+    report: BenchReport,
+    fleet_size: int,
+    frames: int,
+    shard_counts: tuple[int, ...],
+    repeats: int,
+) -> None:
+    """One default-governor fleet cell at every shard count in the sweep.
+
+    Records one result per count (``fleet_shards_{k}of{N}x{F}f``) plus a
+    ``fleet_shards_{k}`` speedup relative to the single-shard run for every
+    ``k > 1``.  On a single-core host those ratios fall below 1 (process
+    overhead with no parallel hardware) — that is signal, not failure.
+    """
+    from repro.runtime.shards import run_sharded_fleet
+
+    setting = ExperimentSetting(num_frames=frames, seed=0)
+    results: dict[int, object] = {}
+    for shards in shard_counts:
+        name = f"fleet_shards_{shards}of{fleet_size}x{frames}f"
+        results[shards] = report.add(
+            measure(
+                name,
+                lambda shards=shards: run_sharded_fleet(
+                    setting, "default", fleet_size, shards
+                ),
+                iterations=1,
+                repeats=repeats,
+            )
+        )
+    base = results.get(1)
+    if base is not None:
+        for shards, result in results.items():
+            if shards != 1:
+                report.speedups[f"fleet_shards_{shards}"] = (
+                    base.best_s / result.best_s
+                )
+
+
+def run_shard_bench_suite(
+    quick: bool = False,
+    fleet_size: int | None = None,
+    shard_counts: tuple[int, ...] | None = None,
+) -> BenchReport:
+    """Run the shard-scaling sweep and return the populated report.
+
+    Args:
+        quick: CI-smoke mode — a small fleet, short episode and the
+            ``(1, 2)`` counts only, to prove execution health.
+        fleet_size: Sessions in the benchmarked cell (default 32 quick /
+            256 full).
+        shard_counts: Shard counts to sweep (default ``(1, 2)`` quick /
+            :data:`DEFAULT_SHARD_COUNTS` full).
+    """
+    report = BenchReport(label=SHARD_BENCH_LABEL, quick=quick)
+    size = fleet_size if fleet_size is not None else (32 if quick else 256)
+    frames = 20 if quick else 50
+    repeats = 1 if quick else 3
+    counts = shard_counts if shard_counts is not None else (
+        (1, 2) if quick else DEFAULT_SHARD_COUNTS
+    )
+    bench_shard_scaling(report, size, frames, tuple(counts), repeats)
+    return report
+
+
+def write_shard_report(report: BenchReport, output: str | Path) -> Path:
+    """Serialise a shard-scaling report plus throughput metadata.
+
+    Adds the per-shard-count aggregate frames/second table, the host core
+    count the sweep actually had, and the documented multi-core target so
+    the record is self-describing.
+    """
+    path = Path(output)
+    payload = report.to_dict()
+    payload["host_cpu_count"] = os.cpu_count()
+    payload["throughput_target_frames_per_second"] = SHARD_THROUGHPUT_TARGET_FPS
+    throughput: dict[str, float] = {}
+    for result in report.results:
+        if not result.name.startswith("fleet_shards_"):
+            continue
+        shards, _, rest = result.name.removeprefix("fleet_shards_").partition("of")
+        sessions, _, frames = rest.partition("x")
+        total_frames = int(sessions) * int(frames.removesuffix("f"))
+        throughput[shards] = total_frames / result.best_s
+    payload["shard_throughput_frames_per_second"] = throughput
+    if throughput:
+        payload["best_observed_frames_per_second"] = max(throughput.values())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_fleet_bench_suite(quick: bool = False, fleet_size: int = FLEET_SIZE) -> BenchReport:

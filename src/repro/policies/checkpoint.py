@@ -1,7 +1,8 @@
 """Lossless, versioned policy checkpoints.
 
 A checkpoint is the complete, self-contained description of a trained
-agent: its kind (``lotus`` or ``ztt``), the method name it was built as,
+agent: its kind (``lotus``, ``lotus-fleet`` or ``ztt``), the method name
+it was built as,
 the action-space geometry it was sized for, its full hyper-parameter
 configuration and a :meth:`state_dict` snapshot of every mutable training
 quantity — flat network parameters (online and target), Adam moments,
@@ -41,6 +42,7 @@ from repro.errors import PolicyError
 from repro.baselines.ztt import ZttConfig, ZttPolicy
 from repro.core.agent import LotusAgent
 from repro.core.config import LotusConfig
+from repro.core.fleet import FleetLotusAgent
 from repro.core.reward import RewardConfig
 from repro.env.policy import Policy
 
@@ -52,7 +54,7 @@ FORMAT_NAME = "repro-policy-checkpoint"
 FORMAT_VERSION = 1
 
 #: Checkpointable policy kinds and the classes they rebuild into.
-CHECKPOINT_KINDS = ("lotus", "ztt")
+CHECKPOINT_KINDS = ("lotus", "lotus-fleet", "ztt")
 
 
 # ---------------------------------------------------------------------------
@@ -168,7 +170,8 @@ class PolicyCheckpoint:
     the dataclass-generated field comparison would be ill-defined).
 
     Attributes:
-        kind: ``"lotus"`` or ``"ztt"`` — which agent class rebuilds it.
+        kind: ``"lotus"``, ``"lotus-fleet"`` or ``"ztt"`` — which agent
+            class rebuilds it.
         method: The method name the policy was built as (``"lotus"``,
             ``"ztt"``, or an ablation such as ``"lotus-single-action"``);
             restored onto the rebuilt policy's ``name``.
@@ -234,9 +237,10 @@ class PolicyCheckpoint:
 def checkpoint_from_policy(policy: Policy) -> PolicyCheckpoint:
     """Capture a checkpoint from a live agent.
 
-    Supports the scalar learning agents (:class:`LotusAgent` including its
-    ablation variants, and :class:`ZttPolicy`).  Non-learning policies have
-    no training state to persist and are refused.
+    Supports the learning agents (:class:`LotusAgent` including its
+    ablation variants, the fleet-trained :class:`FleetLotusAgent`, and
+    :class:`ZttPolicy`).  Non-learning policies have no training state to
+    persist and are refused.
     """
     from repro import __version__
 
@@ -249,6 +253,21 @@ def checkpoint_from_policy(policy: Policy) -> PolicyCheckpoint:
                 "gpu_levels": int(policy.encoder.gpu_levels),
                 "temperature_threshold_c": float(policy.temperature_threshold_c),
                 "proposal_scale": float(policy.encoder.proposal_scale),
+            },
+            config=dataclasses.asdict(policy.config),
+            state=policy.state_dict(),
+            repro_version=__version__,
+        )
+    if isinstance(policy, FleetLotusAgent):
+        return PolicyCheckpoint(
+            kind="lotus-fleet",
+            method=policy.name,
+            geometry={
+                "cpu_levels": int(policy.action_space.cpu_levels),
+                "gpu_levels": int(policy.action_space.gpu_levels),
+                "temperature_threshold_c": float(policy.temperature_threshold_c),
+                "proposal_scale": float(policy.proposal_scale),
+                "num_sessions": int(policy.num_sessions),
             },
             config=dataclasses.asdict(policy.config),
             state=policy.state_dict(),
@@ -343,6 +362,17 @@ def policy_from_checkpoint(
                 gpu_levels=int(geometry["gpu_levels"]),
                 temperature_threshold_c=float(geometry["temperature_threshold_c"]),
                 proposal_scale=float(geometry["proposal_scale"]),
+                config=config,
+                rng=np.random.default_rng(0),
+            )
+        elif checkpoint.kind == "lotus-fleet":
+            config = lotus_config_from_dict(checkpoint.config)
+            agent = FleetLotusAgent(
+                cpu_levels=int(geometry["cpu_levels"]),
+                gpu_levels=int(geometry["gpu_levels"]),
+                temperature_threshold_c=float(geometry["temperature_threshold_c"]),
+                proposal_scale=float(geometry["proposal_scale"]),
+                num_sessions=int(geometry["num_sessions"]),
                 config=config,
                 rng=np.random.default_rng(0),
             )

@@ -147,6 +147,12 @@ def frozen_policy_from_checkpoint(
         return FrozenLotusPolicy(checkpoint, policy_id=policy_id)
     if checkpoint.kind == "ztt":
         return FrozenZttPolicy(checkpoint, policy_id=policy_id)
+    if checkpoint.kind == "lotus-fleet":
+        raise PolicyError(
+            "lotus-fleet checkpoints train one shared network across a whole "
+            "fleet and have no per-session frozen form; resume training with "
+            "`policy train --resume` instead of deploying via policy:<id>"
+        )
     raise PolicyError(f"unknown checkpoint kind {checkpoint.kind!r}")
 
 

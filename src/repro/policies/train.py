@@ -1,11 +1,18 @@
 """Scenario-driven policy training into the zoo.
 
-``train_policy`` is the lifecycle's front door: pick a (scalar) scenario
-spec, train its learning method online for the spec's episode, capture a
-checkpoint of the full training state and file it in the policy store with
-provenance metadata.  Passing ``resume`` continues training from a stored
-checkpoint instead of a fresh agent — the saved child records the parent id,
-building the zoo's lineage chain.
+``train_policy`` is the lifecycle's front door: pick a scenario spec, train
+its learning method online for the spec's episode, capture a checkpoint of
+the full training state and file it in the policy store with provenance
+metadata.  Passing ``resume`` continues training from a stored checkpoint
+instead of a fresh agent — the saved child records the parent id, building
+the zoo's lineage chain.
+
+Most methods train as one scalar session.  ``lotus-fleet`` is the
+exception: it learns one shared Q-network from ``spec.num_sessions``
+concurrent sessions, so its training episode runs on the vectorized fleet
+engine instead of the scalar runner — same checkpoint envelope, same store,
+same resume semantics (the fleet size is part of the checkpoint geometry
+and must match on resume).
 """
 
 from __future__ import annotations
@@ -30,8 +37,10 @@ def train_policy(
 
     Args:
         spec: A :class:`~repro.scenarios.ScenarioSpec` (or registered
-            scenario name) describing the training cell; fleet scenarios
-            have no single training session and are rejected.
+            scenario name) describing the training cell; heterogeneous
+            fleet scenarios have no single training session and are
+            rejected.  A spec whose method is ``lotus-fleet`` trains on
+            the fleet engine with ``spec.num_sessions`` sessions.
         store: Target policy store (default: :class:`PolicyStore`).
         num_frames / seed / method: Optional overrides of the spec's
             episode length, base seed and method.
@@ -79,13 +88,44 @@ def train_policy(
 
     store = store if store is not None else PolicyStore()
     setting = spec.setting()
-    environment = make_environment(setting, ambient=spec.ambient)
 
     parent: str | None = None
+    parent_checkpoint = None
     if resume is not None:
         parent = store.resolve(resume)
-        checkpoint = store.load_checkpoint(parent)
-        geometry = checkpoint.geometry
+        parent_checkpoint = store.load_checkpoint(parent)
+
+    # The checkpoint fixes the training regime on resume, exactly like it
+    # fixes the method: a lotus-fleet parent resumes on the fleet engine
+    # (with the fleet size stored in its geometry), everything else resumes
+    # as one scalar session.
+    fleet_training = (
+        parent_checkpoint.kind == "lotus-fleet"
+        if parent_checkpoint is not None
+        else spec.method == "lotus-fleet"
+    )
+
+    if fleet_training:
+        from repro.env.fleet import run_fleet_episode
+        from repro.runtime.fleet import (
+            _session_results,
+            make_fleet_environment,
+            make_fleet_policy,
+        )
+
+        num_sessions = (
+            int(parent_checkpoint.geometry["num_sessions"])
+            if parent_checkpoint is not None
+            else int(spec.num_sessions)
+        )
+        environment = make_fleet_environment(
+            setting, num_sessions, ambient=spec.ambient
+        )
+    else:
+        environment = make_environment(setting, ambient=spec.ambient)
+
+    if parent_checkpoint is not None:
+        geometry = parent_checkpoint.geometry
         device = environment.device
         if (
             int(device.cpu.num_levels) != int(geometry["cpu_levels"])
@@ -98,34 +138,49 @@ def train_policy(
                 f"{spec.device!r} exposes {device.cpu.num_levels}x"
                 f"{device.gpu.num_levels} levels"
             )
-        policy = policy_from_checkpoint(checkpoint)
+        policy = policy_from_checkpoint(parent_checkpoint)
         policy.set_training(True)
+    elif fleet_training:
+        policy = make_fleet_policy(
+            spec.method, environment, setting.num_frames, seed=setting.seed
+        )
     else:
         policy = make_policy(spec.method, environment, setting.num_frames, seed=setting.seed)
         if not hasattr(policy, "state_dict"):
             raise PolicyError(
                 f"method {spec.method!r} is not checkpointable; only the "
-                f"learning agents (lotus variants, ztt) persist training state"
+                f"learning agents (lotus variants, lotus-fleet, ztt) persist "
+                f"training state"
             )
 
-    trace = run_episode(environment, policy, setting.num_frames)
-    result = session_result_from_trace(
-        policy.name,
-        trace,
-        losses=list(getattr(policy, "loss_history", [])),
-        rewards=list(getattr(policy, "reward_history", [])),
-    )
+    if fleet_training:
+        fleet_trace = run_fleet_episode(environment, policy, setting.num_frames)
+        # The zoo records one SessionResult per training run; for a fleet
+        # run that is session 0's trace (every session shares the same
+        # network and loss history).
+        result = _session_results(policy, fleet_trace)[0]
+    else:
+        trace = run_episode(environment, policy, setting.num_frames)
+        result = session_result_from_trace(
+            policy.name,
+            trace,
+            losses=list(getattr(policy, "loss_history", [])),
+            rewards=list(getattr(policy, "reward_history", [])),
+        )
     checkpoint = checkpoint_from_policy(policy)
+    extra = {
+        "device": spec.device,
+        "detector": spec.detector,
+        "dataset": spec.dataset,
+        "num_frames": int(setting.num_frames),
+        "seed": int(setting.seed),
+    }
+    if fleet_training:
+        extra["num_sessions"] = int(environment.num_sessions)
     policy_id = store.save(
         checkpoint,
         train_scenario=spec.name,
         parent=parent,
-        extra={
-            "device": spec.device,
-            "detector": spec.detector,
-            "dataset": spec.dataset,
-            "num_frames": int(setting.num_frames),
-            "seed": int(setting.seed),
-        },
+        extra=extra,
     )
     return policy_id, result

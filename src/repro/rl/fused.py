@@ -1,4 +1,4 @@
-"""Optional C fused kernels for the optimizer hot loop (self-verified).
+"""Optional C fused kernels for the optimizer and fleet hot loops (self-verified).
 
 The Adam update is elementwise over five same-sized buffers; in NumPy it
 takes ~14 whole-array passes (each a separate ufunc call reading and
@@ -7,6 +7,17 @@ This module compiles that loop with gcc at first use — strictly IEEE
 (``-ffp-contract=off``, no fast-math), with every floating-point operation
 written in the exact operand pairing and order of the NumPy sequence in
 :meth:`repro.rl.optimizer.Adam.step_flat` — and loads it via ctypes.
+
+The same library also carries the batched *fleet* kernels (see
+:func:`fused_fleet`): RC thermal sub-stepping
+(:meth:`~repro.hardware.fleet.DeviceFleet.advance_thermal`), the AR(1)
+scene-complexity advance (:meth:`~repro.workload.fleet.FleetFrameStream.
+next_frames`), the proposal-count rint/clip tail
+(:func:`~repro.detection.fleet.propose_batch`) and the bias-add + ReLU of
+the stacked Q forward (:class:`~repro.rl.slimmable.SlimmableMLP`).  Random
+draws and transcendentals (``exp``) stay in NumPy — libm need not match
+NumPy's vectorized routines bit for bit — so each kernel covers only the
+elementwise tail whose C arithmetic is exactly reproducible.
 
 Safety model: the kernel is used only if (a) a C compiler is available,
 (b) compilation succeeds, and (c) a load-time self-test reproduces the
@@ -119,6 +130,120 @@ void adam_step_multi(long k, const long *rows, const long *cols,
                          ms[i], vs[i], lr, beta1, beta2, eps, bc1, bc2);
     }
 }
+
+/* ---- batched fleet kernels --------------------------------------------- */
+
+/* RC thermal sub-stepping over a (nodes x n) fleet temperature matrix,
+   mirroring DeviceFleet.advance_thermal exactly:
+
+     while any(remaining > 1e-12):
+         dt      = active ? min(max_substep, remaining) : 0      per session
+         deltas  = ((power - (T - ambient)/R) - coupled) / C * dt
+                   -- ALL rows from pre-step temps (two-pass via scratch)
+         T      += deltas;  remaining -= dt
+
+   Couplings are visited in list order per row (first as node_a, then as
+   node_b), accumulating `coupled = coupled + c * (T_row - T_other)` in the
+   same addition order as the NumPy loop.  Sessions that finish early take
+   zero-length sub-steps until the longest-running session completes. */
+void fleet_thermal_advance(long nodes, long n, double *temps,
+                           const double *power, const double *ambient,
+                           const double *resistance,
+                           const double *heat_capacity,
+                           long ncoup, const long *ca, const long *cb,
+                           const double *cc, double *remaining,
+                           double max_substep, double *dt, double *deltas) {
+    for (;;) {
+        int any_active = 0;
+        for (long j = 0; j < n; j++) {
+            double rem = remaining[j];
+            if (rem > 1e-12) {
+                any_active = 1;
+                dt[j] = max_substep < rem ? max_substep : rem;
+            } else {
+                dt[j] = 0.0;
+            }
+        }
+        if (!any_active) break;
+        for (long r = 0; r < nodes; r++) {
+            const double *tr = temps + r * n;
+            const double *pr = power + r * n;
+            double *dr = deltas + r * n;
+            double res = resistance[r];
+            double hc = heat_capacity[r];
+            for (long j = 0; j < n; j++) {
+                double to_ambient = (tr[j] - ambient[j]) / res;
+                double coupled = 0.0;
+                for (long k = 0; k < ncoup; k++) {
+                    if (ca[k] == r) {
+                        coupled = coupled + cc[k] * (tr[j] - temps[cb[k] * n + j]);
+                    } else if (cb[k] == r) {
+                        coupled = coupled + cc[k] * (tr[j] - temps[ca[k] * n + j]);
+                    }
+                }
+                double net_flow = (pr[j] - to_ambient) - coupled;
+                dr[j] = (net_flow / hc) * dt[j];
+            }
+        }
+        for (long i = 0; i < nodes * n; i++) {
+            temps[i] += deltas[i];
+        }
+        for (long j = 0; j < n; j++) {
+            remaining[j] -= dt[j];
+        }
+    }
+}
+
+/* One AR(1) step per session, in place:
+     v = (mean + corr * (current - mean)) + innovation; clip to [lo, hi]
+   Clip as minimum(maximum(v, lo), hi) with NumPy's `in1 >= in2 ? in1 : in2`
+   tie handling. */
+void fleet_ar1_advance(long n, double *current, const double *mean,
+                       const double *corr, const double *innov,
+                       const double *lo, const double *hi) {
+    for (long i = 0; i < n; i++) {
+        double v = (mean[i] + corr[i] * (current[i] - mean[i])) + innov[i];
+        v = v >= lo[i] ? v : lo[i];   /* maximum(v, lo) */
+        v = v <= hi[i] ? v : hi[i];   /* minimum(., hi) */
+        current[i] = v;
+    }
+}
+
+/* Proposal-count tail: expected = scene * keep_ratio [* noise_factor],
+   counts = clip(rint(expected), min_p, max_p) as int64.  The noise factor
+   (exp of the per-session draws) is computed by NumPy and passed in; C
+   rint() under the default rounding mode is round-half-to-even, exactly
+   np.rint.  The final cast is exact: the clipped value is integral. */
+void fleet_proposal_tail(long n, const double *scene, double keep_ratio,
+                         long has_factor, const double *factor,
+                         double min_p, double max_p, long long *out) {
+    for (long i = 0; i < n; i++) {
+        double e = scene[i] * keep_ratio;
+        if (has_factor) e = e * factor[i];
+        double r = rint(e);
+        r = r >= min_p ? r : min_p;
+        r = r <= max_p ? r : max_p;
+        out[i] = (long long)r;
+    }
+}
+
+/* Fused bias add + ReLU for one hidden layer of the stacked Q forward:
+     z[i][j] += b[j];  act[i][j] = maximum(z[i][j], 0.0)
+   `act` may alias `z` (the inference path reuses the matmul output).  The
+   comparison is `zv >= 0.0 ? zv : 0.0`, NumPy maximum's tie rule, so the
+   sign of a -0.0 pre-activation survives exactly as in NumPy. */
+void bias_relu(long rows, long cols, double *z, const double *b,
+               double *act) {
+    for (long r = 0; r < rows; r++) {
+        double *zr = z + r * cols;
+        double *ar = act + r * cols;
+        for (long c = 0; c < cols; c++) {
+            double zv = zr[c] + b[c];
+            zr[c] = zv;
+            ar[c] = zv >= 0.0 ? zv : 0.0;
+        }
+    }
+}
 """
 
 # -ffp-contract=off: no multiply-add fusion (rounding must match NumPy's
@@ -201,6 +326,33 @@ class _FusedAdam:
         self._huber_prep.argtypes = [
             ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
             ctypes.c_double, ctypes.c_double, ctypes.c_void_p, ctypes.c_void_p,
+        ]
+        self._fleet_thermal = lib.fleet_thermal_advance
+        self._fleet_thermal.restype = None
+        self._fleet_thermal.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_double, ctypes.c_void_p, ctypes.c_void_p,
+        ]
+        self._fleet_ar1 = lib.fleet_ar1_advance
+        self._fleet_ar1.restype = None
+        self._fleet_ar1.argtypes = [
+            ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ]
+        self._proposal_tail = lib.fleet_proposal_tail
+        self._proposal_tail.restype = None
+        self._proposal_tail.argtypes = [
+            ctypes.c_long, ctypes.c_void_p, ctypes.c_double,
+            ctypes.c_long, ctypes.c_void_p,
+            ctypes.c_double, ctypes.c_double, ctypes.c_void_p,
+        ]
+        self._bias_relu = lib.bias_relu
+        self._bias_relu.restype = None
+        self._bias_relu.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p,
         ]
 
     @staticmethod
@@ -297,6 +449,81 @@ class _FusedAdam:
             n, predictions_addr, targets_addr, delta, count,
             losses_addr, grad_addr,
         )
+
+    # -- fleet kernels -------------------------------------------------------
+
+    def fleet_thermal_advance(
+        self,
+        temps: np.ndarray,
+        power: np.ndarray,
+        ambient: np.ndarray,
+        resistance: np.ndarray,
+        heat_capacity: np.ndarray,
+        coup_a: np.ndarray,
+        coup_b: np.ndarray,
+        coup_c: np.ndarray,
+        remaining: np.ndarray,
+        max_substep: float,
+        dt_scratch: np.ndarray,
+        deltas_scratch: np.ndarray,
+    ) -> None:
+        """Advance a ``(nodes, n)`` fleet thermal matrix in place.
+
+        ``remaining`` (seconds, length n) is consumed in place; ``dt_scratch``
+        (length n) and ``deltas_scratch`` (``(nodes, n)``) are caller-owned
+        work buffers.  All arrays must be C-contiguous float64 (coupling
+        endpoint indices int64).
+        """
+        nodes, n = temps.shape
+        self._fleet_thermal(
+            nodes, n, self._ptr(temps), self._ptr(power), self._ptr(ambient),
+            self._ptr(resistance), self._ptr(heat_capacity),
+            coup_a.size, self._ptr(coup_a), self._ptr(coup_b),
+            self._ptr(coup_c), self._ptr(remaining), max_substep,
+            self._ptr(dt_scratch), self._ptr(deltas_scratch),
+        )
+
+    def fleet_ar1_advance(
+        self,
+        current: np.ndarray,
+        mean: np.ndarray,
+        corr: np.ndarray,
+        innovations: np.ndarray,
+        minimum: np.ndarray,
+        maximum: np.ndarray,
+    ) -> None:
+        """One clipped AR(1) step over per-session streams, in place."""
+        self._fleet_ar1(
+            current.size, self._ptr(current), self._ptr(mean),
+            self._ptr(corr), self._ptr(innovations),
+            self._ptr(minimum), self._ptr(maximum),
+        )
+
+    def fleet_proposal_tail(
+        self,
+        scene_candidates: np.ndarray,
+        keep_ratio: float,
+        factor: np.ndarray | None,
+        min_proposals: float,
+        max_proposals: float,
+        out: np.ndarray,
+    ) -> None:
+        """rint/clip tail of the batched proposal draw into int64 ``out``."""
+        self._proposal_tail(
+            scene_candidates.size, self._ptr(scene_candidates), keep_ratio,
+            0 if factor is None else 1,
+            0 if factor is None else self._ptr(factor),
+            min_proposals, max_proposals, self._ptr(out),
+        )
+
+    def bias_relu(self, z: np.ndarray, b: np.ndarray, act: np.ndarray) -> None:
+        """``z += b`` then ``act = maximum(z, 0)`` for one hidden layer.
+
+        ``z`` and ``act`` are ``(batch, units)`` C-contiguous float64 and may
+        be the same array; ``b`` is the contiguous active bias slice.
+        """
+        rows, cols = z.shape
+        self._bias_relu(rows, cols, self._ptr(z), self._ptr(b), self._ptr(act))
 
     def step_flat(
         self,
@@ -437,9 +664,103 @@ def _self_test(kernel: _FusedAdam) -> bool:
     losses_c = np.empty(97)
     grad_c = np.empty(97)
     kernel.huber_prep(preds, targs, delta, cnt, losses_c, grad_c)
-    return np.array_equal(
-        losses_ref.view(np.int64), losses_c.view(np.int64)
-    ) and np.array_equal(grad_ref.view(np.int64), grad_c.view(np.int64))
+    if not (
+        np.array_equal(losses_ref.view(np.int64), losses_c.view(np.int64))
+        and np.array_equal(grad_ref.view(np.int64), grad_c.view(np.int64))
+    ):
+        return False
+    # Fleet thermal sub-stepping vs. the DeviceFleet.advance_thermal NumPy
+    # loop: mixed durations (zero, sub-step-sized, multi-step) so sessions
+    # finish at different iterations.
+    nodes, n = 3, 11
+    temps0 = rng.normal(45.0, 10.0, size=(nodes, n))
+    power = np.abs(rng.normal(4.0, 2.0, size=(nodes, n)))
+    ambient = rng.normal(25.0, 3.0, size=n)
+    resistance = np.abs(rng.normal(2.0, 0.5, size=nodes)) + 0.1
+    heat_capacity = np.abs(rng.normal(20.0, 5.0, size=nodes)) + 1.0
+    couplings = [(0, 1, 0.8), (1, 2, 0.35)]
+    max_substep = 0.05
+    remaining0 = np.concatenate(
+        [np.zeros(2), rng.uniform(0.0, 0.3, size=n - 2)]
+    )
+    t_ref = temps0.copy()
+    remaining = remaining0.copy()
+    while True:
+        active = remaining > 1e-12
+        if not active.any():
+            break
+        dt = np.where(active, np.minimum(max_substep, remaining), 0.0)
+        deltas = np.empty_like(t_ref)
+        for row in range(nodes):
+            to_ambient = (t_ref[row] - ambient) / resistance[row]
+            coupled = np.zeros(n)
+            for node_a, node_b, conductance in couplings:
+                if row == node_a:
+                    coupled = coupled + conductance * (t_ref[row] - t_ref[node_b])
+                elif row == node_b:
+                    coupled = coupled + conductance * (t_ref[row] - t_ref[node_a])
+            net_flow_w = power[row] - to_ambient - coupled
+            deltas[row] = net_flow_w / heat_capacity[row] * dt
+        t_ref += deltas
+        remaining = remaining - dt
+    t_c = temps0.copy()
+    kernel.fleet_thermal_advance(
+        t_c, power, ambient, resistance, heat_capacity,
+        np.array([a for a, _, _ in couplings], dtype=np.int64),
+        np.array([b for _, b, _ in couplings], dtype=np.int64),
+        np.array([c for _, _, c in couplings], dtype=float),
+        remaining0.copy(), max_substep, np.empty(n), np.empty((nodes, n)),
+    )
+    if not np.array_equal(t_ref.view(np.int64), t_c.view(np.int64)):
+        return False
+    # AR(1) advance vs. the FleetFrameStream.next_frames op sequence,
+    # including values that land outside [lo, hi] on both sides.
+    cur0 = rng.normal(50.0, 30.0, size=64)
+    mean = rng.normal(50.0, 10.0, size=64)
+    corr = rng.uniform(0.2, 0.99, size=64)
+    innov = rng.normal(0.0, 20.0, size=64)
+    lo = np.full(64, 10.0)
+    hi = np.full(64, 90.0)
+    ar_ref = np.clip(mean + corr * (cur0 - mean) + innov, lo, hi)
+    ar_c = cur0.copy()
+    kernel.fleet_ar1_advance(ar_c, mean, corr, innov, lo, hi)
+    if not np.array_equal(ar_ref.view(np.int64), ar_c.view(np.int64)):
+        return False
+    # Proposal tail vs. rint/clip/astype, with explicit half-way values so
+    # a round-half-away rint would be caught, with and without the noise
+    # factor.
+    scene = np.concatenate(
+        [np.array([0.5, 1.5, 2.5, 3.5, 250.0, 1e4]), rng.uniform(0, 400, 57)]
+    )
+    keep_ratio, min_p, max_p = 1.0, 1.0, 300.0
+    factor = np.exp(rng.normal(0.0, 0.2, size=scene.size))
+    for fac in (None, factor):
+        expected = scene * keep_ratio
+        if fac is not None:
+            expected = expected * fac
+        counts_ref = np.clip(np.rint(expected), min_p, max_p).astype(np.int64)
+        counts_c = np.empty(scene.size, dtype=np.int64)
+        kernel.fleet_proposal_tail(scene, keep_ratio, fac, min_p, max_p, counts_c)
+        if not np.array_equal(counts_ref, counts_c):
+            return False
+    # Bias add + ReLU vs. `z += b; maximum(z, 0)`, separate-output and
+    # aliased (act is z) forms.
+    z0 = rng.normal(size=(17, 23))
+    bias = rng.normal(size=23)
+    z_ref = z0.copy()
+    z_ref += bias
+    act_ref = np.maximum(z_ref, 0.0)
+    z_c = z0.copy()
+    act_c = np.empty_like(z_c)
+    kernel.bias_relu(z_c, bias, act_c)
+    if not (
+        np.array_equal(z_ref.view(np.int64), z_c.view(np.int64))
+        and np.array_equal(act_ref.view(np.int64), act_c.view(np.int64))
+    ):
+        return False
+    z_alias = z0.copy()
+    kernel.bias_relu(z_alias, bias, z_alias)
+    return np.array_equal(act_ref.view(np.int64), z_alias.view(np.int64))
 
 
 def _cache_dir() -> Path:
@@ -529,3 +850,17 @@ def fused_adam() -> _FusedAdam | None:
     except Exception:
         _kernel = None
     return _kernel
+
+
+def fused_fleet() -> _FusedAdam | None:
+    """The verified fleet kernels, or ``None`` if unavailable.
+
+    The fleet kernels live in the same compiled library as the Adam ones
+    and share its resolution: one compile + bitwise self-test per process,
+    one ``REPRO_FUSED=0`` kill switch for everything.  The separate entry
+    point exists so fleet call sites (:mod:`repro.hardware.fleet`,
+    :mod:`repro.workload.fleet`, :mod:`repro.detection.fleet`,
+    :mod:`repro.rl.slimmable`) read as requesting fleet kernels, not an
+    optimizer.
+    """
+    return fused_adam()

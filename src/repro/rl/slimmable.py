@@ -27,7 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.rl.fused import fused_adam
+from repro.rl.fused import fused_adam, fused_fleet
 from repro.rl.network import he_init
 
 
@@ -300,13 +300,19 @@ class SlimmableMLP:
             self._forward_scratch[key] = cache
         cache.inputs = x
         current = x
+        kernel = fused_fleet()
         for layer_index, (w, b) in enumerate(views):
             z = cache.pre_activations[layer_index]
             np.matmul(current, w, out=z)
-            z += b
             if layer_index < last:
-                current = np.maximum(z, 0.0, out=cache.activations[layer_index])
+                if kernel is not None:
+                    current = cache.activations[layer_index]
+                    kernel.bias_relu(z, b, current)
+                else:
+                    z += b
+                    current = np.maximum(z, 0.0, out=cache.activations[layer_index])
             else:
+                z += b
                 current = z
         return current, cache
 
@@ -330,10 +336,17 @@ class SlimmableMLP:
         """Trusted inference path: ``x`` must be a 2-D float batch."""
         views = self._views_for(width)
         last = len(views) - 1
+        kernel = fused_fleet()
         for layer_index, (w, b) in enumerate(views):
             z = x @ w
-            z += b
-            x = np.maximum(z, 0.0) if layer_index < last else z
+            if layer_index < last and kernel is not None:
+                # Fused bias + ReLU in place: z is this layer's fresh matmul
+                # output, so the pre-activation need not survive.
+                kernel.bias_relu(z, b, z)
+                x = z
+            else:
+                z += b
+                x = np.maximum(z, 0.0) if layer_index < last else z
         return x
 
     def backward_sliced(

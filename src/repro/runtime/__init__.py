@@ -32,6 +32,13 @@ from repro.runtime.fleet import (
     scalar_reference_session,
 )
 from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
+from repro.runtime.shards import (
+    ShardPlan,
+    ShardedScenarioResult,
+    plan_shards,
+    run_sharded_fleet,
+    run_sharded_scenario,
+)
 from repro.runtime.sweep import SweepSpec, sweep_metrics_map
 
 __all__ = [
@@ -44,6 +51,8 @@ __all__ = [
     "ResultCache",
     "RuntimeReport",
     "ScenarioGroup",
+    "ShardPlan",
+    "ShardedScenarioResult",
     "SweepSpec",
     "config_fingerprint",
     "default_cache_dir",
@@ -54,9 +63,12 @@ __all__ = [
     "make_fleet_policy",
     "make_group_environment",
     "make_member_policy",
+    "plan_shards",
     "run_fleet",
     "run_fleet_scenario",
     "run_scenario",
+    "run_sharded_fleet",
+    "run_sharded_scenario",
     "scalar_reference_session",
     "scenario_jobs",
     "sweep_metrics_map",

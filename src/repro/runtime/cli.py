@@ -25,9 +25,9 @@ Ten subcommands drive the engine without writing any code:
   models with their key parameters.
 * ``cache`` — inspect (``info``/``list``), clear or ``prune`` the result
   cache (``--keep-latest`` / ``--max-age-days``).
-* ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``
-  or ``--suite fleet``) and write the ``BENCH_*.json`` perf-trajectory
-  report.
+* ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``,
+  ``--suite fleet`` or ``--suite shards``) and write the ``BENCH_*.json``
+  perf-trajectory report.
 
 ``python -m repro --version`` prints the package version; an unknown
 subcommand exits non-zero with a one-line message.
@@ -38,6 +38,8 @@ Examples::
     python -m repro sweep --detectors faster_rcnn,mask_rcnn \
         --datasets kitti,visdrone2019 --workers 4
     python -m repro fleet --method default --sessions 64 --frames 500
+    python -m repro fleet run --shards 4 --sessions 64 --frames 500
+    python -m repro fleet run cctv-burst --shards 2 --per-session
     python -m repro scenario list
     python -m repro scenario run mixed-edge-fleet --frames 300
     python -m repro policy train --scenario jetson-kitti-baseline --frames 400
@@ -263,33 +265,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.analysis.experiments import ExperimentSetting
-    from repro.runtime.fleet import run_fleet
-
-    if args.training_frames:
-        raise LotusError(
-            "fleet mode has no pre-evaluation warm-up phase (learning methods "
-            "train within the episode itself); drop --training-frames or use "
-            "`python -m repro run`"
-        )
-    setting = ExperimentSetting(
-        device=args.device,
-        detector=args.detector,
-        dataset=args.dataset,
-        num_frames=args.frames,
-        latency_constraint_ms=args.constraint_ms,
-        ambient_temperature_c=args.ambient_c,
-        seed=args.seed,
-    )
-    result = run_fleet(setting, args.method, args.sessions)
-    print(
-        f"fleet: {args.sessions} sessions x {args.frames} frames, "
-        f"{result.policy_name} on {args.dataset}/{args.detector} ({args.device})"
-    )
-    if args.per_session:
-        for i, session in enumerate(result.sessions):
-            print(_summary_line(f"session {i} (seed {setting.seed + i})", session.metrics))
+def _print_fleet_aggregate(result) -> None:
     latencies = result.fleet_trace.latencies_ms()
     met = result.fleet_trace.constraint_met()
     print(
@@ -298,6 +274,70 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{result.fleet_trace.total_frames} frames in {result.elapsed_s:.2f} s "
         f"({result.aggregate_frames_per_second:,.0f} frames/s)"
     )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import ExperimentSetting
+    from repro.runtime.fleet import run_fleet
+    from repro.runtime.shards import run_sharded_fleet, run_sharded_scenario
+
+    if args.training_frames:
+        raise LotusError(
+            "fleet mode has no pre-evaluation warm-up phase (learning methods "
+            "train within the episode itself); drop --training-frames or use "
+            "`python -m repro run`"
+        )
+    if args.scenario is not None:
+        # `fleet run SCENARIO --shards N`: shard a registered scenario's
+        # fleet across worker processes (trace byte-identical to the
+        # single-process `scenario run`).
+        result = run_sharded_scenario(
+            args.scenario,
+            args.shards,
+            num_sessions=args.sessions,
+            num_frames=args.frames,
+        )
+        print(
+            f"fleet: scenario {args.scenario} — {result.num_sessions} sessions "
+            f"x {result.scenario.num_frames} frames across "
+            f"{result.num_shards} shard(s)"
+        )
+        if args.per_session:
+            for assignment in result.assignments:
+                session = result.sessions[assignment.index]
+                label = (
+                    f"{assignment.index}: {assignment.spec.name} "
+                    f"(seed {assignment.seed})"
+                )
+                print(_summary_line(label, session.metrics))
+        _print_fleet_aggregate(result)
+        return 0
+
+    sessions = args.sessions if args.sessions is not None else 64
+    frames = args.frames if args.frames is not None else 1000
+    setting = ExperimentSetting(
+        device=args.device,
+        detector=args.detector,
+        dataset=args.dataset,
+        num_frames=frames,
+        latency_constraint_ms=args.constraint_ms,
+        ambient_temperature_c=args.ambient_c,
+        seed=args.seed,
+    )
+    if args.shards > 1:
+        result = run_sharded_fleet(setting, args.method, sessions, args.shards)
+    else:
+        result = run_fleet(setting, args.method, sessions)
+    shard_note = f" ({args.shards} shards)" if args.shards > 1 else ""
+    print(
+        f"fleet: {sessions} sessions x {frames} frames, "
+        f"{result.policy_name} on {args.dataset}/{args.detector} "
+        f"({args.device}){shard_note}"
+    )
+    if args.per_session:
+        for i, session in enumerate(result.sessions):
+            print(_summary_line(f"session {i} (seed {setting.seed + i})", session.metrics))
+    _print_fleet_aggregate(result)
     return 0
 
 
@@ -400,15 +440,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         DEFAULT_FLEET_OUTPUT,
         DEFAULT_OUTPUT,
+        DEFAULT_SHARD_OUTPUT,
         FLEET_SPEEDUP_TARGETS,
         format_report,
         run_bench_suite,
         run_fleet_bench_suite,
+        run_shard_bench_suite,
         write_fleet_report,
         write_report,
+        write_shard_report,
     )
 
-    if args.suite == "fleet":
+    if args.suite == "shards":
+        report = run_shard_bench_suite(quick=args.quick)
+        print(format_report(report))
+        path = write_shard_report(report, args.output or DEFAULT_SHARD_OUTPUT)
+    elif args.suite == "fleet":
         report = run_fleet_bench_suite(quick=args.quick)
         print(format_report(report, targets=FLEET_SPEEDUP_TARGETS))
         path = write_fleet_report(report, args.output or DEFAULT_FLEET_OUTPUT)
@@ -628,18 +675,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = subparsers.add_parser(
         "fleet",
-        help="run one cell as N vectorized lock-step sessions (fleet engine)",
+        help="run one cell (or a scenario) as N vectorized lock-step "
+        "sessions, optionally sharded over worker processes",
+    )
+    fleet.add_argument(
+        "action", nargs="?", choices=("run",), default=None,
+        help="optional action: `fleet run [SCENARIO] --shards N` (bare "
+        "`fleet` with cell flags is equivalent to `fleet run`)",
+    )
+    fleet.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name to run sharded (cell flags other "
+        "than --sessions/--frames/--shards are ignored)",
     )
     _add_cell_arguments(fleet, plural=False)
     fleet.add_argument(
-        "--sessions", type=int, default=64,
-        help="fleet size N (one session per seed, seeds seed..seed+N-1)",
+        "--sessions", type=int, default=None,
+        help="fleet size N (one session per seed, seeds seed..seed+N-1; "
+        "default: 64 for cells, the scenario's own total for scenarios)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=1,
+        help="split the fleet across this many worker processes; the "
+        "re-interleaved trace is byte-identical to --shards 1",
     )
     fleet.add_argument(
         "--per-session", action="store_true",
         help="print one summary line per session in addition to the aggregate",
     )
-    fleet.set_defaults(func=_cmd_fleet)
+    fleet.set_defaults(func=_cmd_fleet, frames=None)
 
     scenario = subparsers.add_parser(
         "scenario",
@@ -817,9 +881,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a perf microbenchmark suite and write BENCH_*.json",
     )
     bench.add_argument(
-        "--suite", choices=("rl", "fleet"), default="rl",
-        help="which suite to run: the RL hot path (BENCH_PR2.json) or the "
-        "fleet engine (BENCH_PR3.json)",
+        "--suite", choices=("rl", "fleet", "shards"), default="rl",
+        help="which suite to run: the RL hot path (BENCH_PR2.json), the "
+        "fleet engine (BENCH_PR3.json) or shard scaling (BENCH_PR6.json)",
     )
     bench.add_argument(
         "--quick", action="store_true",

@@ -1,0 +1,522 @@
+"""Sharded multi-core fleet execution: one fleet, many worker processes.
+
+The fleet engine (:mod:`repro.runtime.fleet`) advances every session of a
+scenario inside one NumPy program; this module splits that program across
+the process-pool runtime.  A scenario's session assignments are partitioned
+into contiguous *shards*, each shard runs as an independent grouped fleet
+episode in its own worker process, and the per-shard columnar traces are
+re-interleaved (via the grouped-partition machinery of
+:mod:`repro.env.fleet`) into a single :class:`~repro.env.fleet.FleetTrace`
+in global session order.
+
+Because sessions never interact inside the engine — every session's
+streams, proposal noise, device column and policy state are its own — the
+re-interleaved trace is **byte-identical** to the unsharded run, for any
+shard count (``tests/test_fleet_sharding.py`` enforces this against every
+registered scenario).
+
+The one coupling in the whole system is the fleet-trained
+``lotus-fleet`` agent: one shared Q-network learns from *all* of its
+member's sessions, so splitting such a member would change its batch
+composition and replay contents.  The shard planner therefore treats each
+maximal run of consecutive same-member ``lotus-fleet`` sessions as an
+*atom* that is never divided: scenarios containing fleet-trained members
+still shard bit-exactly (whole atoms move between workers), while a fleet
+that is one big ``lotus-fleet`` member degrades to a single shard.  The
+homogeneous cell entry point (:func:`run_sharded_fleet`) refuses
+``lotus-fleet`` with more than one shard outright, with a typed
+:class:`~repro.errors.ShardError`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.core.training import SessionResult, session_result_from_trace
+from repro.env.fleet import (
+    FleetFrameResult,
+    FleetSessionGroup,
+    FleetTrace,
+    _scatter_frame_results,
+    run_fleet_episode,
+    run_grouped_fleet_episode,
+    validate_session_partition,
+)
+from repro.runtime.fleet import (
+    FleetRunResult,
+    _group_policy,
+    _session_histories,
+    _session_policy_names,
+    make_fleet_environment,
+    make_fleet_policy,
+    make_group_environment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.analysis.experiments import ExperimentSetting
+    from repro.env.ambient import AmbientProfile
+    from repro.scenarios import FleetScenario, ScenarioSpec, SessionAssignment
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard of a fleet run: a contiguous block of global sessions.
+
+    Attributes:
+        index: Shard number (``0..num_shards-1`` after empty shards are
+            dropped).
+        start: First global session index of the block (inclusive).
+        stop: One past the last global session index (exclusive).
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def num_sessions(self) -> int:
+        """Sessions in this shard."""
+        return self.stop - self.start
+
+    @property
+    def session_indices(self) -> np.ndarray:
+        """Global session indices of the shard, in order."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def _forbidden_cuts(assignments: Sequence["SessionAssignment"]) -> List[bool]:
+    """Which inter-session boundaries must not be cut by a shard edge.
+
+    ``result[i]`` forbids a cut between global sessions ``i`` and ``i+1``.
+    A maximal run of consecutive same-member ``lotus-fleet`` assignments
+    (consecutive in their device/detector group's local order, which is the
+    global order filtered to the group) trains one shared agent over the
+    whole run; every global boundary the run spans is pinned so the run
+    lands in one shard intact.
+    """
+    n = len(assignments)
+    forbidden = [False] * max(n - 1, 0)
+    last_in_group: Dict[Tuple[str, str], Tuple[int, int, str]] = {}
+    for i, assignment in enumerate(assignments):
+        key = (assignment.spec.device, assignment.spec.detector)
+        previous = last_in_group.get(key)
+        if previous is not None:
+            prev_index, prev_member, prev_method = previous
+            if (
+                prev_method == "lotus-fleet"
+                and assignment.spec.method == "lotus-fleet"
+                and prev_member == assignment.member_index
+            ):
+                for j in range(prev_index, i):
+                    forbidden[j] = True
+        last_in_group[key] = (i, assignment.member_index, assignment.spec.method)
+    return forbidden
+
+
+def plan_shards(
+    assignments: Sequence["SessionAssignment"], num_shards: int
+) -> List[ShardPlan]:
+    """Split session assignments into at most ``num_shards`` contiguous shards.
+
+    The split is deterministic and balanced by session count; indivisible
+    ``lotus-fleet`` atoms (see :func:`_forbidden_cuts`) are never cut, and
+    when there are fewer divisible segments (or sessions) than requested
+    shards, fewer shards are returned instead of empty ones — asking for
+    more shards than sessions is not an error.
+    """
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    n = len(assignments)
+    if n == 0:
+        raise ShardError("cannot shard an empty fleet")
+    forbidden = _forbidden_cuts(assignments)
+    bounds = [0] + [i + 1 for i in range(n - 1) if not forbidden[i]] + [n]
+    segments = list(zip(bounds[:-1], bounds[1:]))
+
+    shards: List[ShardPlan] = []
+    i = 0
+    for k in range(num_shards):
+        if i >= len(segments):
+            break
+        remaining_shards = num_shards - k
+        remaining_sessions = n - segments[i][0]
+        target = math.ceil(remaining_sessions / remaining_shards)
+        start, stop = segments[i]
+        i += 1
+        while i < len(segments) and stop - start < target:
+            stop = segments[i][1]
+            i += 1
+        shards.append(ShardPlan(index=k, start=start, stop=stop))
+    if i < len(segments):
+        # Rounding left a tail of segments; fold it into the last shard.
+        last = shards[-1]
+        shards[-1] = ShardPlan(index=last.index, start=last.start, stop=n)
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level so the process pool can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def _shard_session_groups(
+    shard_assignments: Sequence["SessionAssignment"],
+    num_frames: int,
+    base: int,
+) -> Tuple[List[FleetSessionGroup], List[Tuple[Tuple[str, str], list]]]:
+    """Build the grouped sub-fleets of one shard, with shard-local indices.
+
+    Mirrors the grouping of :func:`repro.runtime.fleet.run_fleet_scenario`
+    restricted to the shard's assignment slice: same (device, detector)
+    keying in first-appearance order, same per-group environment and policy
+    construction — so each session's behaviour is exactly its behaviour in
+    the unsharded run (``base`` rebases global indices onto the shard).
+    """
+    grouped: Dict[Tuple[str, str], list] = {}
+    for assignment in shard_assignments:
+        key = (assignment.spec.device, assignment.spec.detector)
+        grouped.setdefault(key, []).append(assignment)
+    session_groups: List[FleetSessionGroup] = []
+    for (device_name, detector_name), group_assignments in grouped.items():
+        environment = make_group_environment(
+            device_name, detector_name, group_assignments
+        )
+        policy = _group_policy(environment, group_assignments, num_frames)
+        session_groups.append(
+            FleetSessionGroup(
+                environment=environment,
+                policy=policy,
+                session_indices=tuple(a.index - base for a in group_assignments),
+            )
+        )
+    return session_groups, list(grouped.items())
+
+
+def _run_scenario_shard(
+    scenario: "FleetScenario",
+    num_sessions: int,
+    start: int,
+    stop: int,
+):
+    """Run one scenario shard; returns its frames and per-session histories.
+
+    Executed inside a worker process (or inline for single-shard runs).
+    The scenario is re-resolved in the worker — assignment resolution is
+    deterministic — and the shard runs the global sessions ``start..stop-1``
+    as its own grouped fleet episode.
+    """
+    assignments = scenario.session_assignments(num_sessions)[start:stop]
+    frames = scenario.num_frames
+    session_groups, grouped = _shard_session_groups(assignments, frames, start)
+    trace = run_grouped_fleet_episode(session_groups, frames)
+    count = stop - start
+    losses: List[List[float]] = [[] for _ in range(count)]
+    rewards: List[List[float]] = [[] for _ in range(count)]
+    names: List[str] = [""] * count
+    for group, (_, group_assignments) in zip(session_groups, grouped):
+        group_losses, group_rewards = _session_histories(
+            group.policy, group.environment.num_sessions
+        )
+        group_names = _session_policy_names(
+            group.policy, group.environment.num_sessions
+        )
+        for local, assignment in enumerate(group_assignments):
+            losses[assignment.index - start] = group_losses[local]
+            rewards[assignment.index - start] = group_rewards[local]
+            names[assignment.index - start] = group_names[local]
+    return list(trace), losses, rewards, names
+
+
+def _run_fleet_shard(
+    setting: "ExperimentSetting",
+    method: str,
+    offset: int,
+    count: int,
+    ambient: "AmbientProfile | None",
+):
+    """Run one homogeneous-cell shard: sessions ``offset..offset+count-1``.
+
+    The shard environment is the fleet environment of the base setting with
+    its seed advanced by ``offset``: session ``i`` of the shard gets stream
+    generator ``default_rng(seed + offset + i)`` and proposal generator
+    ``default_rng(seed + offset + i + 1)`` — exactly sessions
+    ``offset..offset+count-1`` of the full fleet (and of the scalar runs).
+    """
+    shard_setting = setting.with_overrides(seed=setting.seed + offset)
+    environment = make_fleet_environment(shard_setting, count, ambient=ambient)
+    policy = make_fleet_policy(
+        method, environment, setting.num_frames, seed=shard_setting.seed
+    )
+    trace = run_fleet_episode(environment, policy, setting.num_frames)
+    losses, rewards = _session_histories(policy, count)
+    names = _session_policy_names(policy, count)
+    return list(trace), losses, rewards, names, policy.name
+
+
+# ---------------------------------------------------------------------------
+# Re-interleave
+# ---------------------------------------------------------------------------
+
+
+def _interleave_shard_traces(
+    shard_frames: Sequence[List[FleetFrameResult]],
+    shards: Sequence[ShardPlan],
+    num_sessions: int,
+) -> FleetTrace:
+    """Merge per-shard frame lists into one trace in global session order.
+
+    The shard partition is validated once, then each frame index scatters
+    the shards' columnar results into a combined
+    :class:`~repro.env.fleet.FleetFrameResult` — the same machinery the
+    grouped episode loop uses, so a sharded trace is indistinguishable
+    from (bitwise equal to) a single-process one.
+    """
+    targets = validate_session_partition(
+        [shard.session_indices for shard in shards], num_sessions
+    )
+    lengths = {len(frames) for frames in shard_frames}
+    if len(lengths) != 1:
+        raise ShardError(f"shards returned unequal frame counts: {sorted(lengths)}")
+    trace = FleetTrace(num_sessions)
+    for frame_index in range(lengths.pop()):
+        trace.append(
+            _scatter_frame_results(
+                [frames[frame_index] for frames in shard_frames],
+                targets,
+                num_sessions,
+            )
+        )
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardedScenarioResult:
+    """Outcome of one sharded scenario run.
+
+    Attributes:
+        scenario: The (possibly overridden) fleet scenario that ran.
+        assignments: Per-session resolution to specs and seeds, global order.
+        shards: The contiguous session blocks the fleet was split into.
+        sessions: Per-session :class:`SessionResult` records, global order.
+        fleet_trace: The re-interleaved columnar trace — byte-identical to
+            the unsharded :func:`repro.runtime.fleet.run_fleet_scenario`
+            trace of the same scenario.
+        elapsed_s: Wall-clock seconds spent running and merging the shards.
+    """
+
+    scenario: "FleetScenario"
+    assignments: tuple
+    shards: Tuple[ShardPlan, ...]
+    sessions: Tuple[SessionResult, ...]
+    fleet_trace: FleetTrace
+    elapsed_s: float
+
+    @property
+    def num_shards(self) -> int:
+        """Number of (non-empty) shards that actually ran."""
+        return len(self.shards)
+
+    @property
+    def num_sessions(self) -> int:
+        """Total fleet size."""
+        return self.fleet_trace.num_sessions
+
+    @property
+    def aggregate_frames_per_second(self) -> float:
+        """Total frames processed across the fleet per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.fleet_trace.total_frames / self.elapsed_s
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_sharded_scenario(
+    scenario: Union["FleetScenario", "ScenarioSpec", str],
+    num_shards: int,
+    num_sessions: int | None = None,
+    num_frames: int | None = None,
+) -> ShardedScenarioResult:
+    """Run a scenario's fleet split across ``num_shards`` worker processes.
+
+    The sharded counterpart of :func:`repro.runtime.fleet.run_scenario`:
+    sessions are planned into contiguous shards (:func:`plan_shards`), each
+    shard executes the scenario's grouped fleet episode over its own block
+    in a separate process, and the results re-interleave into one trace in
+    global session order — byte-identical to the unsharded run.  A single
+    (planned) shard runs inline with no pool.
+
+    Args:
+        scenario: A :class:`~repro.scenarios.FleetScenario`, a single
+            :class:`~repro.scenarios.ScenarioSpec`, or a registered name.
+        num_shards: Requested shard count (>= 1).  The planner may return
+            fewer shards than requested (small fleets, indivisible
+            ``lotus-fleet`` atoms); never more.
+        num_sessions: Total population override (default: the scenario's).
+        num_frames: Episode-length override applied to every member.
+    """
+    from repro.scenarios import FleetMember, FleetScenario, ScenarioSpec, build_scenario
+
+    if isinstance(scenario, str):
+        scenario = build_scenario(scenario)
+    if isinstance(scenario, ScenarioSpec):
+        scenario = FleetScenario(
+            name=scenario.name,
+            members=(FleetMember(scenario),),
+            description=scenario.description,
+        )
+    if num_frames is not None and num_frames != scenario.num_frames:
+        scenario = scenario.with_overrides(
+            members=tuple(
+                FleetMember(
+                    member.spec.with_overrides(num_frames=num_frames), member.weight
+                )
+                for member in scenario.members
+            )
+        )
+    assignments = scenario.session_assignments(num_sessions)
+    total = len(assignments)
+    shards = tuple(plan_shards(assignments, num_shards))
+
+    start_time = time.perf_counter()
+    if len(shards) == 1:
+        shard_results = [
+            _run_scenario_shard(scenario, total, shards[0].start, shards[0].stop)
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(
+                    _run_scenario_shard, scenario, total, shard.start, shard.stop
+                )
+                for shard in shards
+            ]
+            shard_results = [future.result() for future in futures]
+    fleet_trace = _interleave_shard_traces(
+        [frames for frames, _, _, _ in shard_results], shards, total
+    )
+    elapsed_s = time.perf_counter() - start_time
+
+    sessions: List[SessionResult] = [None] * total  # type: ignore[list-item]
+    for shard, (_, losses, rewards, names) in zip(shards, shard_results):
+        for local in range(shard.num_sessions):
+            index = shard.start + local
+            sessions[index] = session_result_from_trace(
+                names[local],
+                fleet_trace.session_trace(index),
+                losses=losses[local],
+                rewards=rewards[local],
+            )
+    return ShardedScenarioResult(
+        scenario=scenario,
+        assignments=assignments,
+        shards=shards,
+        sessions=tuple(sessions),
+        fleet_trace=fleet_trace,
+        elapsed_s=elapsed_s,
+    )
+
+
+def run_sharded_fleet(
+    setting: "ExperimentSetting",
+    method: str,
+    num_sessions: int,
+    num_shards: int,
+    ambient: "AmbientProfile | None" = None,
+) -> FleetRunResult:
+    """Run one homogeneous (setting, method) fleet cell across shards.
+
+    The sharded counterpart of :func:`repro.runtime.fleet.run_fleet`,
+    returning the same :class:`~repro.runtime.fleet.FleetRunResult` with a
+    byte-identical ``fleet_trace``.  Shard ``k`` owns a contiguous block of
+    sessions and rebuilds exactly their environments and policies from the
+    block's seed offset; ``lotus-fleet`` (one shared network across the
+    whole fleet) cannot be divided and is refused for ``num_shards > 1``.
+    """
+    if num_shards < 1:
+        raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+    if num_sessions <= 0:
+        raise ShardError("num_sessions must be positive")
+    if method == "lotus-fleet" and num_shards > 1:
+        raise ShardError(
+            "lotus-fleet trains one shared network across the whole fleet and "
+            "cannot be split across shards; run with --shards 1, or shard a "
+            "scenario whose lotus-fleet members are smaller than the fleet"
+        )
+    blocks = [
+        block
+        for block in np.array_split(
+            np.arange(num_sessions, dtype=np.int64), min(num_shards, num_sessions)
+        )
+        if block.size
+    ]
+
+    start_time = time.perf_counter()
+    if len(blocks) == 1:
+        shard_results = [
+            _run_fleet_shard(setting, method, 0, num_sessions, ambient)
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=len(blocks)) as pool:
+            futures = [
+                pool.submit(
+                    _run_fleet_shard,
+                    setting,
+                    method,
+                    int(block[0]),
+                    int(block.size),
+                    ambient,
+                )
+                for block in blocks
+            ]
+            shard_results = [future.result() for future in futures]
+    shards = tuple(
+        ShardPlan(index=k, start=int(block[0]), stop=int(block[-1]) + 1)
+        for k, block in enumerate(blocks)
+    )
+    fleet_trace = _interleave_shard_traces(
+        [frames for frames, _, _, _, _ in shard_results], shards, num_sessions
+    )
+    elapsed_s = time.perf_counter() - start_time
+
+    sessions: List[SessionResult] = []
+    for shard, (_, losses, rewards, names, _) in zip(shards, shard_results):
+        for local in range(shard.num_sessions):
+            index = shard.start + local
+            sessions.append(
+                session_result_from_trace(
+                    names[local],
+                    fleet_trace.session_trace(index),
+                    losses=losses[local],
+                    rewards=rewards[local],
+                )
+            )
+    return FleetRunResult(
+        setting=setting,
+        method=method,
+        num_sessions=num_sessions,
+        policy_name=shard_results[0][4],
+        sessions=tuple(sessions),
+        fleet_trace=fleet_trace,
+        elapsed_s=elapsed_s,
+    )

@@ -28,6 +28,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.rl.fused import fused_fleet
 from repro.workload.dataset import DatasetProfile
 
 
@@ -151,10 +152,19 @@ class FleetFrameStream:
                 for rng, std in zip(self._rngs, self._innovation_std.tolist())
             ]
         )
-        value = (
-            self._mean + self._correlation * (self._current - self._mean) + innovations
-        )
-        self._current = np.clip(value, self._minimum, self._maximum)
+        kernel = fused_fleet()
+        if kernel is not None:
+            kernel.fleet_ar1_advance(
+                self._current, self._mean, self._correlation,
+                innovations, self._minimum, self._maximum,
+            )
+        else:
+            value = (
+                self._mean
+                + self._correlation * (self._current - self._mean)
+                + innovations
+            )
+            self._current = np.clip(value, self._minimum, self._maximum)
         batch = FleetFrameBatch(
             index=self._index,
             datasets=self._names,

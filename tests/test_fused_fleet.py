@@ -1,0 +1,280 @@
+"""Bitwise agreement tests for the fused fleet kernels.
+
+Every fleet kernel in :mod:`repro.rl.fused` (RC thermal sub-stepping,
+clipped AR(1) stream advance, the rint/clip proposal tail, fused
+bias-add + ReLU) must produce output **bit-identical** to the NumPy
+expressions it replaces — that is the whole contract that lets
+``REPRO_FUSED=0`` remain a pure kill switch rather than a different
+numerical mode.  These tests re-state each kernel's NumPy reference
+inline and compare against the C output through int64 bit patterns over
+randomized shapes and fill levels.
+
+When the toolchain is unavailable (``fused_fleet()`` returns ``None``)
+the kernel-vs-reference tests skip; the kill-switch test always runs,
+in a subprocess so it sees a fresh resolution cache.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.rl.fused import fused_adam, fused_fleet
+
+kernel = fused_fleet()
+
+needs_kernel = pytest.mark.skipif(
+    kernel is None, reason="fused kernels unavailable on this host"
+)
+
+
+# ---------------------------------------------------------------------------
+# NumPy references (mirror the REPRO_FUSED=0 fallback paths exactly)
+# ---------------------------------------------------------------------------
+
+
+def reference_thermal_advance(
+    temps, power, ambient, resistance, heat_capacity, couplings,
+    remaining, max_substep,
+):
+    """The NumPy sub-stepping loop of ``DeviceFleet.advance_thermal``."""
+    temps = temps.copy()
+    remaining = remaining.copy()
+    nodes = temps.shape[0]
+    while True:
+        dt = np.minimum(remaining, max_substep)
+        dt[remaining <= 1e-12] = 0.0
+        if not np.any(dt > 0.0):
+            break
+        deltas = np.empty_like(temps)
+        for row in range(nodes):
+            coupled = np.zeros(temps.shape[1])
+            for a, b, c in couplings:
+                if a == row:
+                    coupled = coupled + c * (temps[row] - temps[b])
+                elif b == row:
+                    coupled = coupled + c * (temps[row] - temps[a])
+            leak = (temps[row] - ambient) / resistance[row]
+            deltas[row] = (power[row] - leak - coupled) / heat_capacity[row] * dt
+        temps += deltas
+        remaining = remaining - dt
+    return temps
+
+
+def reference_ar1_advance(current, mean, corr, innovations, minimum, maximum):
+    """The NumPy value/clip expression of ``WorkloadStreams.next_frames``."""
+    value = mean + corr * (current - mean) + innovations
+    return np.clip(value, minimum, maximum)
+
+
+def reference_proposal_tail(
+    scene, keep_ratio, factor, min_proposals, max_proposals
+):
+    """The NumPy rint/clip tail of ``propose_batch``."""
+    expected = scene * keep_ratio
+    if factor is not None:
+        expected = expected * factor
+    return np.clip(
+        np.rint(expected), min_proposals, max_proposals
+    ).astype(np.int64)
+
+
+def reference_bias_relu(z, b):
+    """``z += b`` then ``maximum(z, 0.0)``."""
+    z = z + b
+    return z, np.maximum(z, 0.0)
+
+
+def assert_bitwise_equal(a, b, label):
+    __tracebackhide__ = True
+    assert a.dtype == b.dtype and a.shape == b.shape
+    if a.dtype.kind == "f":
+        assert np.array_equal(a.view(np.int64), b.view(np.int64)), label
+    else:
+        assert np.array_equal(a, b), label
+
+
+# ---------------------------------------------------------------------------
+# Kernel vs reference
+# ---------------------------------------------------------------------------
+
+
+@needs_kernel
+class TestFleetThermalAdvance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numpy_substepping_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        nodes = int(rng.integers(2, 5))
+        n = int(rng.integers(1, 40))
+        temps = rng.uniform(30.0, 80.0, (nodes, n))
+        power = rng.uniform(0.5, 8.0, (nodes, n))
+        ambient = rng.uniform(15.0, 35.0, n)
+        resistance = rng.uniform(1.0, 6.0, nodes)
+        heat_capacity = rng.uniform(2.0, 20.0, nodes)
+        couplings = [
+            (a, b, float(rng.uniform(0.05, 1.0)))
+            for a in range(nodes)
+            for b in range(a + 1, nodes)
+            if rng.random() < 0.6
+        ]
+        # Mixed durations: some sessions idle (zero), some mid-sub-step.
+        remaining = rng.uniform(0.0, 0.33, n)
+        remaining[rng.random(n) < 0.25] = 0.0
+        max_substep = 0.05
+
+        expected = reference_thermal_advance(
+            temps, power, ambient, resistance, heat_capacity, couplings,
+            remaining, max_substep,
+        )
+
+        got = np.ascontiguousarray(temps)
+        coup_a = np.array([a for a, _, _ in couplings], dtype=np.int64)
+        coup_b = np.array([b for _, b, _ in couplings], dtype=np.int64)
+        coup_c = np.array([c for _, _, c in couplings], dtype=float)
+        rem = remaining.copy()
+        kernel.fleet_thermal_advance(
+            got, power, ambient, resistance, heat_capacity,
+            coup_a, coup_b, coup_c, rem, max_substep,
+            np.empty(n), np.empty((nodes, n)),
+        )
+        assert_bitwise_equal(got, expected, f"thermal temps differ (seed {seed})")
+        assert np.all(rem <= 1e-12)
+
+    def test_zero_duration_is_a_no_op(self):
+        rng = np.random.default_rng(99)
+        temps = rng.uniform(30.0, 80.0, (2, 7))
+        before = temps.copy()
+        kernel.fleet_thermal_advance(
+            temps,
+            rng.uniform(0.5, 8.0, (2, 7)),
+            rng.uniform(15.0, 35.0, 7),
+            rng.uniform(1.0, 6.0, 2),
+            rng.uniform(2.0, 20.0, 2),
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([0.4]),
+            np.zeros(7),
+            0.05,
+            np.empty(7),
+            np.empty((2, 7)),
+        )
+        assert_bitwise_equal(temps, before, "zero-duration advance mutated temps")
+
+
+@needs_kernel
+class TestFleetAr1Advance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numpy_clip_bitwise(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(1, 129))
+        mean = rng.uniform(20.0, 60.0, n)
+        corr = rng.uniform(0.0, 0.99, n)
+        minimum = mean - rng.uniform(5.0, 30.0, n)
+        maximum = mean + rng.uniform(5.0, 30.0, n)
+        # Seed some sessions outside the band so both clip edges engage.
+        current = rng.uniform(-40.0, 140.0, n)
+        innovations = rng.normal(0.0, 20.0, n)
+
+        expected = reference_ar1_advance(
+            current, mean, corr, innovations, minimum, maximum
+        )
+        got = current.copy()
+        kernel.fleet_ar1_advance(got, mean, corr, innovations, minimum, maximum)
+        assert_bitwise_equal(got, expected, f"AR(1) values differ (seed {seed})")
+
+
+@needs_kernel
+class TestFleetProposalTail:
+    #: rint must round half to even, exactly like np.rint.
+    HALFWAY = np.array([0.5, 1.5, 2.5, 3.5, 4.5, -0.5])
+
+    @pytest.mark.parametrize("with_factor", (False, True))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_numpy_rint_clip_bitwise(self, seed, with_factor):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(1, 200))
+        scene = np.concatenate(
+            [rng.uniform(0.0, 400.0, n), self.HALFWAY / 0.7]
+        )
+        factor = np.exp(rng.normal(0.0, 0.1, scene.size)) if with_factor else None
+        keep_ratio, min_p, max_p = 0.7, 10.0, 300.0
+
+        expected = reference_proposal_tail(scene, keep_ratio, factor, min_p, max_p)
+        got = np.empty(scene.size, dtype=np.int64)
+        kernel.fleet_proposal_tail(scene, keep_ratio, factor, min_p, max_p, got)
+        assert_bitwise_equal(got, expected, f"proposal counts differ (seed {seed})")
+
+    def test_half_to_even_rounding(self):
+        got = np.empty(self.HALFWAY.size, dtype=np.int64)
+        kernel.fleet_proposal_tail(self.HALFWAY, 1.0, None, -100.0, 100.0, got)
+        assert got.tolist() == [0, 2, 2, 4, 4, -0]
+
+
+@needs_kernel
+class TestBiasRelu:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_numpy_bitwise(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        rows = int(rng.integers(1, 65))
+        cols = int(rng.integers(1, 129))
+        z = rng.normal(0.0, 1.0, (rows, cols))
+        b = rng.normal(0.0, 1.0, cols)
+
+        expected_z, expected_act = reference_bias_relu(z, b)
+        got_z = z.copy()
+        got_act = np.empty_like(z)
+        kernel.bias_relu(got_z, b, got_act)
+        assert_bitwise_equal(got_z, expected_z, "pre-activations differ")
+        assert_bitwise_equal(got_act, expected_act, "activations differ")
+
+    def test_aliased_output_matches(self):
+        """``_predict_2d`` calls the kernel with act aliased onto z."""
+        rng = np.random.default_rng(7)
+        z = rng.normal(0.0, 1.0, (9, 33))
+        b = rng.normal(0.0, 1.0, 33)
+        _, expected_act = reference_bias_relu(z, b)
+        kernel.bias_relu(z, b, z)
+        assert_bitwise_equal(z, expected_act, "aliased activations differ")
+
+    def test_negative_zero_bias_tie(self):
+        """maximum(-0.0, 0.0) keeps NumPy's in1-wins tie rule bitwise."""
+        z = np.array([[-1.0, 1.0, -0.0]])
+        b = np.array([1.0, -1.0, 0.0])
+        expected_z, expected_act = reference_bias_relu(z, b)
+        act = np.empty_like(z)
+        kernel.bias_relu(z, b, act)
+        assert_bitwise_equal(z, expected_z, "ties: pre-activations differ")
+        assert_bitwise_equal(act, expected_act, "ties: activations differ")
+
+
+# ---------------------------------------------------------------------------
+# Kill switch
+# ---------------------------------------------------------------------------
+
+
+class TestKillSwitch:
+    def test_repro_fused_zero_disables_every_kernel(self):
+        """REPRO_FUSED=0 must turn off Adam and fleet kernels alike."""
+        code = (
+            "from repro.rl.fused import fused_adam, fused_fleet\n"
+            "assert fused_adam() is None\n"
+            "assert fused_fleet() is None\n"
+        )
+        env = dict(os.environ, REPRO_FUSED="0")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+
+    def test_fused_fleet_shares_resolution_with_fused_adam(self):
+        """Both accessors return the same cached object (or both None)."""
+        assert fused_fleet() is fused_adam()

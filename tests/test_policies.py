@@ -125,6 +125,155 @@ class TestBitExactResume:
             checkpoint_from_policy(policy)
 
 
+def _fleet_traces_equal(frames_a, frames_b) -> bool:
+    """Bitwise equality of two lists of FleetFrameResult records."""
+    from repro.env.fleet import _FRAME_RESULT_ARRAY_FIELDS
+
+    if len(frames_a) != len(frames_b):
+        return False
+    for fa, fb in zip(frames_a, frames_b):
+        if fa.index != fb.index or fa.datasets != fb.datasets:
+            return False
+        for field in _FRAME_RESULT_ARRAY_FIELDS:
+            a = np.asarray(getattr(fa, field))
+            b = np.asarray(getattr(fb, field))
+            if not np.array_equal(a, b):
+                return False
+    return True
+
+
+class TestFleetCheckpointResume:
+    """lotus-fleet: one shared network trained across a whole fleet.
+
+    The checkpoint captures the complete fleet training state — shared
+    learner, per-session replay rings, reward calculators, cooldown,
+    pending cross-frame transitions and the shared RNG — so save → load →
+    continue equals an uninterrupted fleet run frame for frame on every
+    session.
+    """
+
+    def _fleet_split_run(self, total_frames, split, seed, num_sessions):
+        from repro.env.fleet import run_fleet_episode
+        from repro.runtime.fleet import make_fleet_environment, make_fleet_policy
+
+        setting = ExperimentSetting(num_frames=total_frames, seed=seed)
+        env_full = make_fleet_environment(setting, num_sessions)
+        policy_full = make_fleet_policy(
+            "lotus-fleet", env_full, total_frames, seed=seed
+        )
+        trace_full = run_fleet_episode(env_full, policy_full, total_frames)
+
+        env_split = make_fleet_environment(setting, num_sessions)
+        policy_head = make_fleet_policy(
+            "lotus-fleet", env_split, total_frames, seed=seed
+        )
+        trace_head = run_fleet_episode(env_split, policy_head, split)
+        blob = checkpoint_to_bytes(checkpoint_from_policy(policy_head))
+        policy_tail = policy_from_checkpoint(checkpoint_from_bytes(blob))
+        trace_tail = run_fleet_episode(
+            env_split,
+            policy_tail,
+            total_frames - split,
+            reset_environment=False,
+            reset_policy=False,
+        )
+        return policy_full, trace_full, policy_tail, trace_head, trace_tail
+
+    def test_mid_episode_resume_is_bit_exact(self):
+        policy_full, trace_full, tail, trace_head, trace_tail = (
+            self._fleet_split_run(total_frames=40, split=17, seed=3, num_sessions=4)
+        )
+        assert _fleet_traces_equal(
+            list(trace_head) + list(trace_tail), list(trace_full)
+        )
+        assert tail.loss_history == policy_full.loss_history
+        assert tail.reward_history == policy_full.reward_history
+        assert np.array_equal(
+            tail.network.flat_parameters, policy_full.network.flat_parameters
+        )
+        assert np.array_equal(
+            tail.learner.target_network.flat_parameters,
+            policy_full.learner.target_network.flat_parameters,
+        )
+
+    def test_per_session_traces_survive_the_round_trip(self):
+        _, trace_full, _, trace_head, trace_tail = self._fleet_split_run(
+            total_frames=24, split=11, seed=9, num_sessions=3
+        )
+        for session in range(3):
+            resumed = list(trace_head.session_trace(session)) + list(
+                trace_tail.session_trace(session)
+            )
+            assert resumed == list(trace_full.session_trace(session))
+
+    def test_checkpoint_kind_and_geometry(self):
+        from repro.env.fleet import run_fleet_episode
+        from repro.runtime.fleet import make_fleet_environment, make_fleet_policy
+
+        setting = ExperimentSetting(num_frames=12, seed=1)
+        env = make_fleet_environment(setting, 3)
+        policy = make_fleet_policy("lotus-fleet", env, 12, seed=1)
+        run_fleet_episode(env, policy, 12)
+        checkpoint = checkpoint_from_policy(policy)
+        assert checkpoint.kind == "lotus-fleet"
+        assert checkpoint.geometry["num_sessions"] == 3
+        restored = policy_from_checkpoint(
+            checkpoint_from_bytes(checkpoint_to_bytes(checkpoint))
+        )
+        assert restored.num_sessions == 3
+        assert np.array_equal(
+            restored.network.flat_parameters, policy.network.flat_parameters
+        )
+
+    def test_session_count_mismatch_is_refused(self):
+        from repro.errors import AgentError
+        from repro.env.fleet import run_fleet_episode
+        from repro.runtime.fleet import make_fleet_environment, make_fleet_policy
+
+        setting = ExperimentSetting(num_frames=8, seed=2)
+        env4 = make_fleet_environment(setting, 4)
+        agent4 = make_fleet_policy("lotus-fleet", env4, 8, seed=2)
+        run_fleet_episode(env4, agent4, 8)
+        env3 = make_fleet_environment(setting, 3)
+        agent3 = make_fleet_policy("lotus-fleet", env3, 8, seed=2)
+        with pytest.raises(AgentError, match="4-session fleet"):
+            agent3.load_state_dict(agent4.state_dict())
+
+    def test_frozen_deployment_is_refused(self):
+        from repro.env.fleet import run_fleet_episode
+        from repro.runtime.fleet import make_fleet_environment, make_fleet_policy
+
+        setting = ExperimentSetting(num_frames=8, seed=0)
+        env = make_fleet_environment(setting, 2)
+        policy = make_fleet_policy("lotus-fleet", env, 8, seed=0)
+        run_fleet_episode(env, policy, 8)
+        with pytest.raises(PolicyError, match="no per-session frozen form"):
+            frozen_policy_from_checkpoint(checkpoint_from_policy(policy))
+
+    def test_train_and_resume_through_the_store(self, tmp_path):
+        from repro.scenarios import ScenarioSpec
+
+        store = PolicyStore(tmp_path / "zoo")
+        spec = ScenarioSpec(
+            name="fleet-train-cell",
+            method="lotus-fleet",
+            num_sessions=3,
+            num_frames=24,
+            seed=7,
+        )
+        policy_id, result = train_policy(spec, store=store)
+        checkpoint = store.load_checkpoint(policy_id)
+        assert checkpoint.kind == "lotus-fleet"
+        assert checkpoint.geometry["num_sessions"] == 3
+        assert len(result.trace) == 24
+
+        child_id, _ = train_policy(spec, store=store, resume=policy_id)
+        assert child_id != policy_id
+        child = store.load_checkpoint(child_id)
+        assert child.kind == "lotus-fleet"
+        assert child.geometry["num_sessions"] == 3
+
+
 class TestCheckpointRobustness:
     def _checkpoint_blob(self) -> bytes:
         setting = ExperimentSetting(num_frames=40, seed=1)
