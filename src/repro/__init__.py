@@ -16,7 +16,11 @@ The package is organised bottom-up:
 * :mod:`repro.rl` — the NumPy DQN substrate (slimmable MLP, Adam, replay).
 * :mod:`repro.core` — the Lotus agent, reward, cool-down and controller.
 * :mod:`repro.baselines` — the zTT learning-based baseline.
-* :mod:`repro.comms` — the simulated agent/client socket deployment.
+* :mod:`repro.comms` — the simulated agent/client socket deployment, with
+  lossy channels and a retry/dedup delivery protocol.
+* :mod:`repro.faults` — seeded declarative fault plans (sensor dropouts,
+  spikes, throttling storms, channel loss, worker crashes) and the
+  policy-boundary injection wrappers.
 * :mod:`repro.scenarios` — declarative, serialisable scenario specs and
   heterogeneous fleet compositions, with a validating registry of named
   scenarios.
@@ -73,7 +77,21 @@ from repro.env import (
     run_fleet_episode,
     summarize_trace,
 )
-from repro.errors import LotusError, PolicyError
+from repro.errors import FaultError, LotusError, PolicyError, ReproError
+from repro.faults import (
+    ChannelFaults,
+    FaultPlan,
+    FaultedFleetPolicy,
+    FaultedPolicy,
+    SensorDropout,
+    SensorSpike,
+    ThrottlingStorm,
+    WorkerCrash,
+    compile_fault_plan,
+    fault_fingerprint,
+    fault_plan_from_dict,
+    fault_plan_from_json,
+)
 from repro.governors import build_batched_default_governor, build_default_governor
 from repro.hardware import DeviceFleet, available_devices, build_device
 from repro.policies import (
@@ -87,14 +105,18 @@ from repro.policies import (
     run_generalization_matrix,
     train_policy,
 )
+from repro.analysis import ResilienceReport, resilience_report, resilience_table
+from repro.comms import LossyChannel, RemotePolicy, SimulatedChannel
 from repro.runtime import (
     ExperimentJob,
     ExperimentRuntime,
     FleetRunResult,
     FleetScenarioResult,
+    RecoveryReport,
     ResultCache,
     ShardPlan,
     ShardedScenarioResult,
+    SupervisedScenarioResult,
     SweepSpec,
     make_fleet_environment,
     make_fleet_policy,
@@ -104,6 +126,7 @@ from repro.runtime import (
     run_scenario,
     run_sharded_fleet,
     run_sharded_scenario,
+    run_supervised_scenario,
 )
 from repro.scenarios import (
     FleetMember,
@@ -115,15 +138,20 @@ from repro.scenarios import (
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
+    "ChannelFaults",
     "DeviceFleet",
     "DiurnalAmbient",
     "ExperimentJob",
     "ExperimentRuntime",
     "ExperimentSetting",
+    "FaultError",
+    "FaultPlan",
+    "FaultedFleetPolicy",
+    "FaultedPolicy",
     "FleetFrameStream",
     "FleetLotusAgent",
     "FleetMember",
@@ -136,14 +164,25 @@ __all__ = [
     "FrozenZttPolicy",
     "GeneralizationMatrix",
     "LinearRampAmbient",
+    "LossyChannel",
     "PolicyCheckpoint",
     "PolicyError",
     "PolicyStore",
+    "RecoveryReport",
+    "RemotePolicy",
+    "ReproError",
+    "ResilienceReport",
     "ResultCache",
     "ScenarioSpec",
+    "SensorDropout",
+    "SensorSpike",
     "ShardPlan",
     "ShardedScenarioResult",
+    "SimulatedChannel",
+    "SupervisedScenarioResult",
     "SweepSpec",
+    "ThrottlingStorm",
+    "WorkerCrash",
     "InferenceEnvironment",
     "LotusAgent",
     "LotusConfig",
@@ -165,8 +204,12 @@ __all__ = [
     "build_device",
     "build_scenario",
     "checkpoint_from_policy",
+    "compile_fault_plan",
     "default_latency_constraint",
     "execute_setting",
+    "fault_fingerprint",
+    "fault_plan_from_dict",
+    "fault_plan_from_json",
     "make_environment",
     "make_fleet_environment",
     "make_fleet_policy",
@@ -174,6 +217,8 @@ __all__ = [
     "plan_shards",
     "policy_from_checkpoint",
     "register_scenario",
+    "resilience_report",
+    "resilience_table",
     "run_comparison",
     "run_comparison_batch",
     "run_episode",
@@ -184,6 +229,7 @@ __all__ = [
     "run_scenario",
     "run_sharded_fleet",
     "run_sharded_scenario",
+    "run_supervised_scenario",
     "summarize_trace",
     "train_policy",
     "__version__",

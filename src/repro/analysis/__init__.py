@@ -8,6 +8,8 @@
   the paper's figures plot, exportable as text or CSV.
 * :mod:`repro.analysis.experiments` — one runner per paper experiment,
   shared by the benchmark harness and the examples.
+* :mod:`repro.analysis.resilience` — degraded-operation metrics (tail
+  latency, degraded-frame counts, crash-recovery summary) for faulted runs.
 """
 
 from repro.analysis.experiments import (
@@ -26,6 +28,11 @@ from repro.analysis.experiments import (
     run_stage_profiling,
 )
 from repro.analysis.figures import FigureSeries, series_to_csv, series_to_text
+from repro.analysis.resilience import (
+    ResilienceReport,
+    resilience_report,
+    resilience_table,
+)
 from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
 from repro.analysis.tables import comparison_table, format_table, scenario_group_table
 
@@ -33,6 +40,7 @@ __all__ = [
     "ComparisonResult",
     "ExperimentSetting",
     "FigureSeries",
+    "ResilienceReport",
     "available_methods",
     "comparison_table",
     "default_latency_constraint",
@@ -41,6 +49,8 @@ __all__ = [
     "make_environment",
     "make_policy",
     "reduction_percent",
+    "resilience_report",
+    "resilience_table",
     "run_ablation",
     "run_comparison",
     "run_detector_variation_study",

@@ -10,12 +10,19 @@ channel while accounting for the overhead — used by the overhead-analysis
 benchmark.
 """
 
-from repro.comms.channel import ChannelStats, SimulatedChannel
+from repro.comms.channel import (
+    ChannelStats,
+    DeliveryOutcome,
+    LossyChannel,
+    SimulatedChannel,
+)
 from repro.comms.protocol import Message, MessageKind, decode_message, encode_message
 from repro.comms.server import OverheadReport, RemotePolicy
 
 __all__ = [
     "ChannelStats",
+    "DeliveryOutcome",
+    "LossyChannel",
     "Message",
     "MessageKind",
     "OverheadReport",

@@ -5,11 +5,18 @@ a fixed per-message latency (the paper measures 1.92 ms per message on their
 setup) plus a bandwidth-dependent term for large payloads.  The channel
 keeps aggregate statistics so the overhead-analysis benchmark can report the
 same quantities as §4.4.2.
+
+:class:`LossyChannel` extends the model with seeded, independent
+per-message drop/delay/duplicate faults; :class:`RemotePolicy` drives it
+through :meth:`SimulatedChannel.attempt`, whose outcome says whether the
+message arrived so the retry protocol can resend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ProtocolError
 from repro.comms.protocol import Message, decode_message, encode_message
@@ -26,11 +33,17 @@ class ChannelStats:
         messages_sent: Number of messages transferred.
         bytes_sent: Total encoded payload bytes.
         total_latency_ms: Total time spent in transfers.
+        dropped: Messages lost in transit (lossy channels only).
+        delayed: Messages that incurred an extra queueing delay.
+        duplicated: Extra copies spuriously delivered by the network.
     """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     total_latency_ms: float = 0.0
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
 
     @property
     def mean_message_latency_ms(self) -> float:
@@ -38,6 +51,25 @@ class ChannelStats:
         if self.messages_sent == 0:
             return 0.0
         return self.total_latency_ms / self.messages_sent
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Result of one send attempt through a (possibly lossy) channel.
+
+    Attributes:
+        message: The delivered message (``None`` when lost).
+        delivered: Whether the message arrived at all.
+        latency_ms: Time the attempt occupied the link (a lost message
+            still consumed its transfer time before the sender times out).
+        duplicates: Extra copies delivered alongside the message; the
+            receiver is expected to discard them by sequence number.
+    """
+
+    message: Message | None
+    delivered: bool
+    latency_ms: float
+    duplicates: int = 0
 
 
 @dataclass
@@ -78,6 +110,16 @@ class SimulatedChannel:
         self.stats.total_latency_ms += latency_ms
         return decode_message(encoded), latency_ms
 
+    def attempt(self, message: Message) -> DeliveryOutcome:
+        """Send a message, reporting whether it arrived.
+
+        The lossless base channel always delivers; :class:`LossyChannel`
+        overrides this with its fault model.  Retry-capable senders should
+        use this instead of :meth:`transfer`.
+        """
+        decoded, latency_ms = self.transfer(message)
+        return DeliveryOutcome(message=decoded, delivered=True, latency_ms=latency_ms)
+
     def round_trip(self, request: Message, response: Message) -> float:
         """Latency of a request/response exchange."""
         _, up = self.transfer(request)
@@ -87,3 +129,64 @@ class SimulatedChannel:
     def reset_stats(self) -> None:
         """Clear the aggregate statistics."""
         self.stats = ChannelStats()
+
+
+@dataclass
+class LossyChannel(SimulatedChannel):
+    """A channel that drops, delays and duplicates messages.
+
+    Each :meth:`attempt` independently loses the message with
+    ``drop_rate``, adds ``delay_ms`` of queueing latency with
+    ``delay_rate`` and spuriously delivers an extra copy with
+    ``duplicate_rate``, all drawn from a generator seeded with ``seed`` —
+    the same seed always produces the same loss pattern, keeping faulted
+    comms runs reproducible.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ms: float = 25.0
+    duplicate_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("drop_rate", "delay_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ProtocolError(f"{name} must be within [0, 1], got {value}")
+        if self.delay_ms < 0:
+            raise ProtocolError("delay_ms must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def from_faults(cls, faults, seed: int = 0, **kwargs) -> "LossyChannel":
+        """Build a channel from a :class:`repro.faults.ChannelFaults` event."""
+        return cls(
+            drop_rate=faults.drop_rate,
+            delay_rate=faults.delay_rate,
+            delay_ms=faults.delay_ms,
+            duplicate_rate=faults.duplicate_rate,
+            seed=seed,
+            **kwargs,
+        )
+
+    def attempt(self, message: Message) -> DeliveryOutcome:
+        """Send a message through the lossy link."""
+        decoded, latency_ms = self.transfer(message)
+        if self._rng.random() < self.drop_rate:
+            self.stats.dropped += 1
+            return DeliveryOutcome(message=None, delivered=False, latency_ms=latency_ms)
+        duplicates = 0
+        if self._rng.random() < self.delay_rate:
+            self.stats.delayed += 1
+            latency_ms += self.delay_ms
+        if self._rng.random() < self.duplicate_rate:
+            self.stats.duplicated += 1
+            duplicates = 1
+        return DeliveryOutcome(
+            message=decoded,
+            delivered=True,
+            latency_ms=latency_ms,
+            duplicates=duplicates,
+        )

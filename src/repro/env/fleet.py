@@ -508,6 +508,29 @@ class PerSessionPolicies(FleetPolicy):
         """Per-session reward histories (empty lists where not recorded)."""
         return [list(getattr(p, "reward_history", [])) for p in self.policies]
 
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-session snapshots (``None`` entries for stateless policies)."""
+        return {
+            "policies": [
+                policy.state_dict() if hasattr(policy, "state_dict") else None
+                for policy in self.policies
+            ]
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into the session policies."""
+        states = payload["policies"]
+        if len(states) != len(self.policies):
+            raise ConfigurationError(
+                f"snapshot carries {len(states)} session policies for "
+                f"{len(self.policies)} sessions"
+            )
+        for policy, state in zip(self.policies, states):
+            if state is not None:
+                policy.load_state_dict(state)
+
 
 # ---------------------------------------------------------------------------
 # The environment
@@ -677,6 +700,76 @@ class BatchedInferenceEnvironment:
         self.state.previous_latency_ms = None
         self.state.cpu_utilisation = np.zeros(self.num_sessions)
         self.state.gpu_utilisation = np.zeros(self.num_sessions)
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the environment at a frame boundary.
+
+        Captures everything the next :meth:`begin_frame` →
+        :meth:`run_second_stage` cycle reads — device state, workload
+        cursors, proposal generators, the previous frame's latency and
+        utilisation feedback, and the frame counter — so a restored
+        environment continues bit-identically to an uninterrupted one.
+        Only valid between frames (phase ``idle``); per-frame transients
+        are rebuilt by the next frame and need not be captured.
+        """
+        if self._phase is not _Phase.IDLE:
+            raise ExperimentError(
+                f"state_dict is only valid at a frame boundary, not in phase "
+                f"{self._phase.value!r}"
+            )
+        if self._batched_stream is None:
+            raise ExperimentError(
+                "state_dict requires a batched fleet stream (FleetFrameStream)"
+            )
+        state = self.state
+        return {
+            "num_sessions": int(self.num_sessions),
+            "frame_index": int(self._frame_index),
+            "device": state.device.state_dict(),
+            "stream": self._batched_stream.state_dict(),
+            "rngs": [rng.bit_generator.state for rng in state.rngs],
+            "previous_latency_ms": (
+                None
+                if state.previous_latency_ms is None
+                else state.previous_latency_ms.copy()
+            ),
+            "cpu_utilisation": state.cpu_utilisation.copy(),
+            "gpu_utilisation": state.gpu_utilisation.copy(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this environment.
+
+        The environment must have been constructed from the same device,
+        detector, workload and generators as the one that produced the
+        snapshot (the recovery layer guarantees this by rebuilding the
+        shard deterministically before restoring).
+        """
+        if int(payload["num_sessions"]) != self.num_sessions:
+            raise ExperimentError(
+                f"snapshot was captured from a {payload['num_sessions']}-session "
+                f"environment but this one drives {self.num_sessions} sessions"
+            )
+        if self._batched_stream is None:
+            raise ExperimentError(
+                "load_state_dict requires a batched fleet stream (FleetFrameStream)"
+            )
+        state = self.state
+        state.device.load_state_dict(payload["device"])
+        self._batched_stream.load_state_dict(payload["stream"])
+        for rng, rng_state in zip(state.rngs, payload["rngs"]):
+            rng.bit_generator.state = rng_state
+        state.previous_latency_ms = (
+            None
+            if payload["previous_latency_ms"] is None
+            else np.array(payload["previous_latency_ms"], dtype=float)
+        )
+        state.cpu_utilisation = np.array(payload["cpu_utilisation"], dtype=float)
+        state.gpu_utilisation = np.array(payload["gpu_utilisation"], dtype=float)
+        self._phase = _Phase.IDLE
+        self._frame_index = int(payload["frame_index"])
 
     # -- decision application --------------------------------------------------------
 

@@ -1,16 +1,26 @@
 """Exception hierarchy for the Lotus reproduction.
 
-Every error raised by the library derives from :class:`LotusError` so that
-callers can catch library failures with a single ``except`` clause while
-still being able to distinguish configuration mistakes from runtime
-simulation faults.
+Every error raised by the library derives from :class:`ReproError` so that
+callers (and the CLI) can catch library failures with a single ``except``
+clause while still being able to distinguish configuration mistakes from
+runtime simulation faults.  :class:`LotusError` is the historical base
+class and remains the parent of every concrete error; it now derives from
+:class:`ReproError`, so both names catch everything.
 """
 
 from __future__ import annotations
 
 
-class LotusError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+class ReproError(Exception):
+    """Common base class of every error raised by :mod:`repro`.
+
+    The CLI catches this once to turn any library failure into a clean
+    one-line non-zero exit instead of a traceback.
+    """
+
+
+class LotusError(ReproError):
+    """Base class for all errors raised by :mod:`repro` (historical name)."""
 
 
 class ConfigurationError(LotusError):
@@ -47,7 +57,8 @@ class ReplayBufferError(AgentError):
 
 
 class ProtocolError(LotusError):
-    """The simulated agent/client communication channel was misused."""
+    """The simulated agent/client communication channel was misused, or a
+    message could not be delivered within the retry budget."""
 
 
 class ExperimentError(LotusError):
@@ -67,3 +78,9 @@ class PolicyError(LotusError):
     """A policy checkpoint is corrupted, incompatible or unknown to the
     policy store (truncated payloads, integrity-hash mismatches, format
     version mismatches, unresolvable policy ids, geometry mismatches)."""
+
+
+class FaultError(LotusError):
+    """A fault plan is invalid, failed to (de)serialise, or a fault event
+    references sessions, frames or shards outside the run it is attached
+    to."""

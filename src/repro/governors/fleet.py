@@ -326,6 +326,29 @@ class SubFleetPolicies(FleetPolicy):
                 names[index] = policy.name
         return names
 
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-sub-policy snapshots (``None`` entries for stateless ones)."""
+        return {
+            "policies": [
+                policy.state_dict() if hasattr(policy, "state_dict") else None
+                for policy in self.policies
+            ]
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into the sub-policies."""
+        states = payload["policies"]
+        if len(states) != len(self.policies):
+            raise ConfigurationError(
+                f"snapshot carries {len(states)} sub-policies for "
+                f"{len(self.policies)} groups"
+            )
+        for policy, state in zip(self.policies, states):
+            if state is not None:
+                policy.load_state_dict(state)
+
 
 GovernorPairBuilder = Callable[[], BatchedDefaultGovernorPolicy]
 

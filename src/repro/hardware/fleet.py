@@ -283,6 +283,55 @@ class DeviceFleet:
             np.asarray(ambient_temperature_c, dtype=float), (self.num_sessions,)
         ).copy()
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete snapshot of the fleet's mutable physical state.
+
+        Captures everything :meth:`execute` reads or mutates — node
+        temperatures, throttler hysteresis and engage counts, requested
+        and effective levels, energy and elapsed time — so that
+        save → load → continue is bit-identical to an uninterrupted run
+        at any frame boundary.  Configuration (device model, tables,
+        coupling) is not captured; the restoring fleet must be built from
+        the same device template with the same session count.
+        """
+        return {
+            "num_sessions": int(self.num_sessions),
+            "ambient_temperature_c": self.ambient_temperature_c.copy(),
+            "temperatures": self._temperatures.copy(),
+            "cpu_throttled": self._cpu_throttler.throttled.copy(),
+            "cpu_engage_count": self._cpu_throttler.engage_count.copy(),
+            "gpu_throttled": self._gpu_throttler.throttled.copy(),
+            "gpu_engage_count": self._gpu_throttler.engage_count.copy(),
+            "requested_cpu_level": self._requested_cpu_level.copy(),
+            "requested_gpu_level": self._requested_gpu_level.copy(),
+            "cpu_level": self.cpu_level.copy(),
+            "gpu_level": self.gpu_level.copy(),
+            "total_energy_j": self.total_energy_j.copy(),
+            "elapsed_ms": self.elapsed_ms.copy(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this fleet in place."""
+        if int(payload["num_sessions"]) != self.num_sessions:
+            raise DeviceError(
+                f"snapshot was captured from a {payload['num_sessions']}-session "
+                f"fleet but this fleet drives {self.num_sessions} sessions"
+            )
+        self.ambient_temperature_c = np.array(payload["ambient_temperature_c"], dtype=float)
+        self._temperatures[:] = payload["temperatures"]
+        self._cpu_throttler.throttled[:] = payload["cpu_throttled"]
+        self._cpu_throttler.engage_count[:] = payload["cpu_engage_count"]
+        self._gpu_throttler.throttled[:] = payload["gpu_throttled"]
+        self._gpu_throttler.engage_count[:] = payload["gpu_engage_count"]
+        self._requested_cpu_level[:] = payload["requested_cpu_level"]
+        self._requested_gpu_level[:] = payload["requested_gpu_level"]
+        self.cpu_level[:] = payload["cpu_level"]
+        self.gpu_level[:] = payload["gpu_level"]
+        self.total_energy_j[:] = payload["total_energy_j"]
+        self.elapsed_ms[:] = payload["elapsed_ms"]
+
     # -- control --------------------------------------------------------------------
 
     def request_levels(

@@ -14,6 +14,9 @@ bench`` from the microbenchmarks in this package.
 * :mod:`repro.perf.fleet_benchmarks` — the fleet-engine suite: a full
   fleet episode, the batched thermal/governor/proposal kernels, each timed
   against the equivalent loop over scalar objects (``BENCH_PR3.json``).
+* :mod:`repro.perf.fault_benchmarks` — the fault-tolerance suite: retry
+  overhead per message on clean vs lossy channels, and supervised crash
+  recovery time across fleet sizes (``BENCH_PR7.json``).
 * :mod:`repro.perf.legacy` — the RL reference: the original deque replay
   and mask-padded DQN update, kept verbatim as baseline and equivalence
   oracle.
@@ -26,6 +29,11 @@ from repro.perf.benchmarks import (
     format_report,
     run_bench_suite,
     write_report,
+)
+from repro.perf.fault_benchmarks import (
+    DEFAULT_FAULTS_OUTPUT,
+    run_fault_bench_suite,
+    write_fault_report,
 )
 from repro.perf.fleet_benchmarks import (
     DEFAULT_FLEET_OUTPUT,
@@ -42,6 +50,7 @@ from repro.perf.fleet_benchmarks import (
 __all__ = [
     "BenchReport",
     "BenchResult",
+    "DEFAULT_FAULTS_OUTPUT",
     "DEFAULT_FLEET_OUTPUT",
     "DEFAULT_SHARD_OUTPUT",
     "DEFAULT_OUTPUT",
@@ -54,8 +63,10 @@ __all__ = [
     "measure",
     "measure_pair",
     "run_bench_suite",
+    "run_fault_bench_suite",
     "run_fleet_bench_suite",
     "run_shard_bench_suite",
+    "write_fault_report",
     "write_fleet_report",
     "write_shard_report",
     "write_report",

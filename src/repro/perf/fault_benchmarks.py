@@ -1,0 +1,195 @@
+"""Fault-tolerance benchmark suite (``BENCH_PR7.json``).
+
+Two questions a fault-tolerant runtime must answer with numbers:
+
+* **What does reliability cost per message?**  The retry/dedup protocol of
+  :class:`~repro.comms.RemotePolicy` is benchmarked over a clean channel
+  and over a lossy one (20 % drop, 10 % duplicate); the report records the
+  per-message overhead of each and the retry counts the lossy episode
+  actually needed — the price of *zero lost decisions* under loss.
+* **How long does crash recovery take?**  A supervised sharded run with one
+  injected worker crash is timed against the same run without the crash,
+  across fleet sizes; the report records the measured recovery time (pool
+  rebuild + replay from the latest checkpoint) per size.
+
+Run via ``python -m repro bench --suite faults``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.comms.channel import LossyChannel, SimulatedChannel
+from repro.comms.server import RemotePolicy
+from repro.env.episode import run_episode
+from repro.faults.plan import FaultPlan, WorkerCrash
+from repro.perf.timer import BenchReport, BenchResult
+from repro.runtime.shards import run_supervised_scenario
+from repro.scenarios import build_scenario
+
+#: Default report filename; the label tracks the PR that recorded it.
+FAULT_BENCH_LABEL = "PR7"
+DEFAULT_FAULTS_OUTPUT = f"BENCH_{FAULT_BENCH_LABEL}.json"
+
+#: Channel-loss profile of the lossy retry benchmark.
+LOSSY_DROP_RATE = 0.2
+LOSSY_DUPLICATE_RATE = 0.1
+
+#: Fleet sizes the recovery benchmark sweeps (quick mode uses the first).
+DEFAULT_RECOVERY_FLEET_SIZES = (8, 16, 32)
+
+
+def _remote_episode(channel: SimulatedChannel, num_frames: int) -> RemotePolicy:
+    """Run one governor episode through ``channel``; returns the policy."""
+    from repro.analysis.experiments import ExperimentSetting, make_environment
+    from repro.governors.registry import build_default_governor
+
+    setting = ExperimentSetting(num_frames=num_frames, seed=0)
+    environment = make_environment(setting)
+    policy = RemotePolicy(build_default_governor(environment), channel=channel)
+    run_episode(environment, policy, num_frames)
+    return policy
+
+
+def bench_retry_overhead(report: BenchReport, num_frames: int, repeats: int) -> dict:
+    """Benchmark the delivery protocol on clean vs lossy channels.
+
+    Returns the overhead metadata (per-message stats from the lossy run)
+    recorded into the report payload.
+    """
+    clean_times = []
+    lossy_times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        clean_policy = _remote_episode(SimulatedChannel(), num_frames)
+        clean_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        lossy_policy = _remote_episode(
+            LossyChannel(
+                drop_rate=LOSSY_DROP_RATE,
+                duplicate_rate=LOSSY_DUPLICATE_RATE,
+                seed=7,
+            ),
+            num_frames,
+        )
+        lossy_times.append(time.perf_counter() - start)
+    report.add(
+        BenchResult(
+            name=f"remote_episode_clean_{num_frames}f",
+            iterations=num_frames,
+            repeats=repeats,
+            best_s=min(clean_times),
+            mean_s=sum(clean_times) / len(clean_times),
+        )
+    )
+    report.add(
+        BenchResult(
+            name=f"remote_episode_lossy_{num_frames}f",
+            iterations=num_frames,
+            repeats=repeats,
+            best_s=min(lossy_times),
+            mean_s=sum(lossy_times) / len(lossy_times),
+        )
+    )
+    clean = clean_policy.overhead_report()
+    lossy = lossy_policy.overhead_report()
+    messages = max(lossy.messages_per_frame * lossy.frames, 1.0)
+    return {
+        "drop_rate": LOSSY_DROP_RATE,
+        "duplicate_rate": LOSSY_DUPLICATE_RATE,
+        "clean_messages_per_frame": clean.messages_per_frame,
+        "lossy_messages_per_frame": lossy.messages_per_frame,
+        "lossy_retries": lossy.retries,
+        "lossy_retries_per_message": lossy.retries / messages,
+        "lossy_dropped_messages": lossy.dropped_messages,
+        "lossy_duplicates_discarded": lossy.duplicates_discarded,
+        "lossy_retry_wait_ms_per_frame": lossy.retry_wait_ms_per_frame,
+        "clean_overhead_ms_per_frame": clean.total_overhead_ms_per_frame,
+        "lossy_overhead_ms_per_frame": lossy.total_overhead_ms_per_frame,
+        "clean_channel_ms_per_message": clean.channel_ms_per_message,
+        "lossy_channel_ms_per_message": lossy.channel_ms_per_message,
+    }
+
+
+def bench_recovery_time(
+    report: BenchReport,
+    fleet_sizes: tuple[int, ...],
+    num_frames: int,
+    num_shards: int,
+) -> dict:
+    """Benchmark supervised crash recovery across fleet sizes.
+
+    For each size, runs the supervised scenario once cleanly and once with
+    an injected worker crash mid-episode; records both wall times and the
+    supervisor's measured recovery time.
+    """
+    recovery: dict[str, float] = {}
+    for size in fleet_sizes:
+        spec = build_scenario("cctv-burst").with_overrides(
+            num_frames=num_frames, num_sessions=size
+        )
+        clean = run_supervised_scenario(
+            spec, num_shards=num_shards, checkpoint_every=max(num_frames // 4, 1)
+        )
+        crashed = run_supervised_scenario(
+            spec,
+            num_shards=num_shards,
+            checkpoint_every=max(num_frames // 4, 1),
+            crashes=(WorkerCrash(frame=num_frames // 2, shard=num_shards - 1),),
+        )
+        report.add(
+            BenchResult(
+                name=f"supervised_clean_{size}x{num_frames}f",
+                iterations=num_frames,
+                repeats=1,
+                best_s=clean.elapsed_s,
+                mean_s=clean.elapsed_s,
+            )
+        )
+        report.add(
+            BenchResult(
+                name=f"supervised_crash_{size}x{num_frames}f",
+                iterations=num_frames,
+                repeats=1,
+                best_s=crashed.elapsed_s,
+                mean_s=crashed.elapsed_s,
+            )
+        )
+        recovery[str(size)] = crashed.recovery.recovery_s
+    return {"recovery_s_by_fleet_size": recovery, "num_shards": num_shards}
+
+
+def run_fault_bench_suite(quick: bool = False) -> tuple[BenchReport, dict]:
+    """Run the fault-tolerance suite; returns (report, extra metadata).
+
+    Args:
+        quick: CI-smoke mode — shorter episodes, one repeat and the
+            smallest recovery fleet only, to prove execution health.
+    """
+    report = BenchReport(label=FAULT_BENCH_LABEL, quick=quick)
+    retry_frames = 60 if quick else 300
+    retry_repeats = 1 if quick else 3
+    recovery_frames = 24 if quick else 60
+    sizes = (
+        DEFAULT_RECOVERY_FLEET_SIZES[:1] if quick else DEFAULT_RECOVERY_FLEET_SIZES
+    )
+    extra = {
+        "retry_overhead": bench_retry_overhead(report, retry_frames, retry_repeats),
+        "crash_recovery": bench_recovery_time(report, sizes, recovery_frames, 2),
+    }
+    return report, extra
+
+
+def write_fault_report(
+    report: BenchReport, extra: dict, output: str | Path
+) -> Path:
+    """Serialise the fault suite's report plus its overhead metadata."""
+    path = Path(output)
+    payload = report.to_dict()
+    payload["host_cpu_count"] = os.cpu_count()
+    payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

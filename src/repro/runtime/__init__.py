@@ -22,6 +22,7 @@ from repro.runtime.fleet import (
     FleetRunResult,
     FleetScenarioResult,
     ScenarioGroup,
+    collect_degraded,
     make_fleet_environment,
     make_fleet_policy,
     make_group_environment,
@@ -33,11 +34,14 @@ from repro.runtime.fleet import (
 )
 from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
 from repro.runtime.shards import (
+    RecoveryReport,
     ShardPlan,
     ShardedScenarioResult,
+    SupervisedScenarioResult,
     plan_shards,
     run_sharded_fleet,
     run_sharded_scenario,
+    run_supervised_scenario,
 )
 from repro.runtime.sweep import SweepSpec, sweep_metrics_map
 
@@ -48,12 +52,15 @@ __all__ = [
     "ExperimentRuntime",
     "FleetRunResult",
     "FleetScenarioResult",
+    "RecoveryReport",
     "ResultCache",
     "RuntimeReport",
     "ScenarioGroup",
     "ShardPlan",
     "ShardedScenarioResult",
+    "SupervisedScenarioResult",
     "SweepSpec",
+    "collect_degraded",
     "config_fingerprint",
     "default_cache_dir",
     "default_worker_count",
@@ -69,6 +76,7 @@ __all__ = [
     "run_scenario",
     "run_sharded_fleet",
     "run_sharded_scenario",
+    "run_supervised_scenario",
     "scalar_reference_session",
     "scenario_jobs",
     "sweep_metrics_map",

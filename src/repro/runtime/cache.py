@@ -214,6 +214,7 @@ class ResultCache:
         keep_latest: int | None = None,
         max_age_days: float | None = None,
         now: float | None = None,
+        dry_run: bool = False,
     ) -> int:
         """Delete old entries; returns the number removed.
 
@@ -222,6 +223,8 @@ class ResultCache:
             max_age_days: Delete entries older than this many days.
             now: Reference time (epoch seconds; defaults to the current
                 time) — injectable for tests.
+            dry_run: Report how many entries *would* be removed without
+                deleting anything.
 
         At least one criterion must be given; when both are, an entry is
         removed if *either* applies.  Long eval-matrix campaigns use this to
@@ -244,6 +247,8 @@ class ResultCache:
             for entry in entries:
                 if entry.modified < cutoff:
                     doomed[entry.path] = entry
+        if dry_run:
+            return len(doomed)
         for path in doomed:
             with contextlib.suppress(FileNotFoundError):
                 path.unlink()

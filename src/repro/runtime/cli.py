@@ -24,13 +24,23 @@ Ten subcommands drive the engine without writing any code:
 * ``devices`` / ``detectors`` — list the registered device and detector
   models with their key parameters.
 * ``cache`` — inspect (``info``/``list``), clear or ``prune`` the result
-  cache (``--keep-latest`` / ``--max-age-days``).
+  cache (``--keep-latest`` / ``--max-age-days``; add ``--dry-run`` to see
+  what prune would remove without deleting anything).
 * ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``,
-  ``--suite fleet`` or ``--suite shards``) and write the ``BENCH_*.json``
-  perf-trajectory report.
+  ``--suite fleet``, ``--suite shards`` or ``--suite faults``) and write
+  the ``BENCH_*.json`` perf-trajectory report.
+
+Fault injection: ``scenario run`` and ``fleet run`` accept ``--faults
+PLAN.json`` (a serialised :class:`~repro.faults.FaultPlan`) to run the
+scenario under injected faults; ``fleet run --supervised`` additionally
+runs the crash-recovering supervisor (``--checkpoint-every`` frames
+between spooled checkpoints) and ``--report PATH`` writes the degraded-
+operation metrics as JSON.
 
 ``python -m repro --version`` prints the package version; an unknown
-subcommand exits non-zero with a one-line message.
+subcommand exits non-zero with a one-line message.  Every library error
+derives from :class:`~repro.errors.ReproError` and is reported as a clean
+one-line message with a non-zero exit code.
 
 Examples::
 
@@ -50,8 +60,12 @@ Examples::
         --datasets kitti,visdrone2019
     python -m repro devices
     python -m repro cache info
-    python -m repro cache prune --keep-latest 200
+    python -m repro cache prune --keep-latest 200 --dry-run
     python -m repro bench --suite fleet --quick
+    python -m repro scenario run cctv-burst --faults plan.json
+    python -m repro fleet run cctv-burst --shards 2 --supervised \
+        --faults plan.json --report resilience.json
+    python -m repro bench --suite faults --quick
 """
 
 from __future__ import annotations
@@ -60,7 +74,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.errors import LotusError
+from repro.errors import LotusError, ReproError
 from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.engine import ExperimentRuntime, default_worker_count
 from repro.runtime.job import ExperimentJob
@@ -276,6 +290,40 @@ def _print_fleet_aggregate(result) -> None:
     )
 
 
+def _load_fault_plan(path: str | None):
+    """Read a serialised fault plan, or ``None`` when no path was given."""
+    if path is None:
+        return None
+    from pathlib import Path
+
+    from repro.errors import FaultError
+    from repro.faults.plan import fault_plan_from_json
+
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise FaultError(f"cannot read fault plan {path!r}: {exc}") from exc
+    return fault_plan_from_json(text)
+
+
+def _print_resilience(result, report_path: str | None) -> None:
+    """Print the degraded-operation summary; optionally write it as JSON."""
+    import json
+
+    from repro.analysis.resilience import resilience_report, resilience_table
+
+    report = resilience_report(result)
+    print()
+    print(resilience_table(report))
+    if report_path is not None:
+        from pathlib import Path
+
+        Path(report_path).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {report_path}")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import ExperimentSetting
     from repro.runtime.fleet import run_fleet
@@ -290,13 +338,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.scenario is not None:
         # `fleet run SCENARIO --shards N`: shard a registered scenario's
         # fleet across worker processes (trace byte-identical to the
-        # single-process `scenario run`).
-        result = run_sharded_scenario(
-            args.scenario,
-            args.shards,
-            num_sessions=args.sessions,
-            num_frames=args.frames,
-        )
+        # single-process `scenario run`).  With --supervised the shards run
+        # under the crash-recovering supervisor instead.
+        from repro.runtime.shards import run_supervised_scenario
+
+        scenario = args.scenario
+        plan = _load_fault_plan(args.faults)
+        if plan is not None:
+            from repro.scenarios import build_scenario
+
+            scenario = build_scenario(args.scenario).with_faults(plan)
+        if args.supervised:
+            result = run_supervised_scenario(
+                scenario,
+                args.shards,
+                num_sessions=args.sessions,
+                num_frames=args.frames,
+                checkpoint_every=args.checkpoint_every,
+            )
+        else:
+            result = run_sharded_scenario(
+                scenario,
+                args.shards,
+                num_sessions=args.sessions,
+                num_frames=args.frames,
+            )
         print(
             f"fleet: scenario {args.scenario} — {result.num_sessions} sessions "
             f"x {result.scenario.num_frames} frames across "
@@ -311,6 +377,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 )
                 print(_summary_line(label, session.metrics))
         _print_fleet_aggregate(result)
+        if args.supervised:
+            recovery = result.recovery
+            print(
+                f"supervisor: {recovery.crashes_detected} crash(es) detected, "
+                f"{recovery.restarts} restart(s), recovered shards "
+                f"{list(recovery.recovered_shards)}, "
+                f"recovery {recovery.recovery_s:.2f} s"
+            )
+        if args.supervised or plan is not None:
+            _print_resilience(result, args.report)
         return 0
 
     sessions = args.sessions if args.sessions is not None else 64
@@ -377,8 +453,14 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     from repro.analysis.tables import scenario_group_table
     from repro.runtime.fleet import run_scenario
 
+    target = args.name
+    plan = _load_fault_plan(args.faults)
+    if plan is not None:
+        from repro.scenarios import build_scenario
+
+        target = build_scenario(args.name).with_faults(plan)
     result = run_scenario(
-        args.name, num_sessions=args.sessions, num_frames=args.frames
+        target, num_sessions=args.sessions, num_frames=args.frames
     )
     scenario = result.scenario
     print(
@@ -401,6 +483,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         f"{result.fleet_trace.total_frames} frames in {result.elapsed_s:.2f} s "
         f"({result.aggregate_frames_per_second:,.0f} frames/s)"
     )
+    if plan is not None:
+        _print_resilience(result, args.report)
     return 0
 
 
@@ -438,20 +522,27 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
+        DEFAULT_FAULTS_OUTPUT,
         DEFAULT_FLEET_OUTPUT,
         DEFAULT_OUTPUT,
         DEFAULT_SHARD_OUTPUT,
         FLEET_SPEEDUP_TARGETS,
         format_report,
         run_bench_suite,
+        run_fault_bench_suite,
         run_fleet_bench_suite,
         run_shard_bench_suite,
+        write_fault_report,
         write_fleet_report,
         write_report,
         write_shard_report,
     )
 
-    if args.suite == "shards":
+    if args.suite == "faults":
+        report, extra = run_fault_bench_suite(quick=args.quick)
+        print(format_report(report))
+        path = write_fault_report(report, extra, args.output or DEFAULT_FAULTS_OUTPUT)
+    elif args.suite == "shards":
         report = run_shard_bench_suite(quick=args.quick)
         print(format_report(report))
         path = write_shard_report(report, args.output or DEFAULT_SHARD_OUTPUT)
@@ -501,8 +592,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             )
         before = cache.stats()
         removed = cache.prune(
-            keep_latest=args.keep_latest, max_age_days=args.max_age_days
+            keep_latest=args.keep_latest,
+            max_age_days=args.max_age_days,
+            dry_run=args.dry_run,
         )
+        if args.dry_run:
+            print(
+                f"dry run: would prune {removed} of {before.entries} cached "
+                f"results from {cache.root}"
+            )
+            return 0
         after = cache.stats()
         freed = before.total_bytes - after.total_bytes
         print(
@@ -703,6 +802,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-session", action="store_true",
         help="print one summary line per session in addition to the aggregate",
     )
+    fleet.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="scenario mode: inject the faults of this serialised FaultPlan",
+    )
+    fleet.add_argument(
+        "--supervised", action="store_true",
+        help="scenario mode: run shards under the crash-recovering "
+        "supervisor (workers checkpoint periodically and restart from "
+        "their latest checkpoint on death, bit-identically)",
+    )
+    fleet.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="N",
+        help="supervised mode: frames between spooled checkpoints (default 25)",
+    )
+    fleet.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the degraded-operation metrics as JSON (supervised or "
+        "faulted scenario runs)",
+    )
     fleet.set_defaults(func=_cmd_fleet, frames=None)
 
     scenario = subparsers.add_parser(
@@ -738,6 +856,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--per-session", action="store_true",
         help="print one summary line per session in addition to the groups",
+    )
+    scenario_run.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="inject the faults of this serialised FaultPlan into the run",
+    )
+    scenario_run.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the degraded-operation metrics as JSON (faulted runs)",
     )
     scenario_run.set_defaults(func=_cmd_scenario_run)
 
@@ -777,6 +903,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--max-age-days", type=float, default=None,
         help="prune: delete entries older than D days",
+    )
+    cache.add_argument(
+        "--dry-run", action="store_true",
+        help="prune: report what would be removed without deleting anything",
     )
     _add_cache_arguments(cache)
     cache.set_defaults(func=_cmd_cache)
@@ -881,9 +1011,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a perf microbenchmark suite and write BENCH_*.json",
     )
     bench.add_argument(
-        "--suite", choices=("rl", "fleet", "shards"), default="rl",
+        "--suite", choices=("rl", "fleet", "shards", "faults"), default="rl",
         help="which suite to run: the RL hot path (BENCH_PR2.json), the "
-        "fleet engine (BENCH_PR3.json) or shard scaling (BENCH_PR6.json)",
+        "fleet engine (BENCH_PR3.json), shard scaling (BENCH_PR6.json) or "
+        "fault tolerance (BENCH_PR7.json)",
     )
     bench.add_argument(
         "--quick", action="store_true",
@@ -922,7 +1053,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(arguments)
     try:
         return args.func(args)
-    except LotusError as error:
+    except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

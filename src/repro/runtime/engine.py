@@ -54,6 +54,7 @@ def execute_job(job: ExperimentJob) -> SessionResult:
         job.method,
         ambient=job.ambient,
         domain_datasets=job.domain_datasets,
+        faults=job.faults,
     )
 
 
@@ -93,6 +94,7 @@ def scenario_jobs(scenario, num_sessions: int | None = None) -> List[ExperimentJ
                 setting=spec.setting().with_overrides(seed=assignment.seed),
                 method=spec.method,
                 ambient=spec.ambient,
+                faults=spec.faults,
             )
         )
     return jobs

@@ -69,6 +69,8 @@ from repro.governors.fleet import (
     SubFleetPolicies,
     build_batched_default_governor,
 )
+from repro.faults.inject import FaultedFleetPolicy
+from repro.faults.plan import FaultSchedule, compile_fault_plan
 from repro.hardware.devices.registry import build_device
 from repro.workload.dataset import build_dataset
 from repro.workload.fleet import FleetFrameStream
@@ -304,6 +306,8 @@ def _session_histories(
     across the sessions, e.g. the fleet-trained agent) replicate their
     single history to every session.
     """
+    if isinstance(policy, FaultedFleetPolicy):
+        return _session_histories(policy.inner, num_sessions)
     if isinstance(policy, PerSessionPolicies):
         return policy.loss_histories(), policy.reward_histories()
     if isinstance(policy, SubFleetPolicies):
@@ -325,6 +329,8 @@ def _session_histories(
 
 def _session_policy_names(policy: FleetPolicy, num_sessions: int) -> List[str]:
     """Per-session policy names (sub-fleet combinators resolve per slice)."""
+    if isinstance(policy, FaultedFleetPolicy):
+        return _session_policy_names(policy.inner, num_sessions)
     if isinstance(policy, SubFleetPolicies):
         return policy.session_policy_names()
     return [policy.name] * num_sessions
@@ -404,6 +410,8 @@ class FleetScenarioResult:
         sessions: Per-session :class:`SessionResult` records, global order.
         fleet_trace: The combined columnar trace (global session order).
         elapsed_s: Wall-clock seconds spent in the episode loop.
+        degraded: ``(num_frames, num_sessions)`` bool mask of fault-degraded
+            cells, or ``None`` when the scenario carries no fault plan.
     """
 
     scenario: FleetScenario
@@ -412,6 +420,7 @@ class FleetScenarioResult:
     sessions: Tuple[SessionResult, ...]
     fleet_trace: FleetTrace
     elapsed_s: float
+    degraded: np.ndarray | None = None
 
     @property
     def num_sessions(self) -> int:
@@ -498,12 +507,51 @@ def make_group_environment(
     )
 
 
+def _group_fault_schedule(
+    assignments: Sequence[SessionAssignment], num_frames: int
+) -> FaultSchedule | None:
+    """Compile the merged fault schedule of one session group, if any.
+
+    Each assignment's spec may carry its own :class:`~repro.faults.FaultPlan`;
+    every column is compiled from that plan at the session's *global* index,
+    so the schedule is invariant under grouping and sharding.  Returns
+    ``None`` when no session of the group is ever faulted.
+    """
+    plans = [getattr(a.spec, "faults", None) for a in assignments]
+    if not any(plan is not None for plan in plans):
+        return None
+    shape = (num_frames, len(assignments))
+    dropout = np.zeros(shape, dtype=bool)
+    spike_c = np.zeros(shape, dtype=float)
+    storm = np.zeros(shape, dtype=bool)
+    for local, (assignment, plan) in enumerate(zip(assignments, plans)):
+        if plan is None:
+            continue
+        column = compile_fault_plan(plan, num_frames, [assignment.index])
+        dropout[:, local] = column.dropout[:, 0]
+        spike_c[:, local] = column.spike_c[:, 0]
+        storm[:, local] = column.storm[:, 0]
+    schedule = FaultSchedule(
+        sessions=tuple(a.index for a in assignments),
+        dropout=dropout,
+        spike_c=spike_c,
+        storm=storm,
+    )
+    return schedule if schedule.any_faults else None
+
+
 def _group_policy(
     environment: BatchedInferenceEnvironment,
     assignments: Sequence[SessionAssignment],
     num_frames: int,
 ) -> FleetPolicy:
-    """Build the (possibly partitioned) policy driving one session group."""
+    """Build the (possibly partitioned) policy driving one session group.
+
+    When any of the group's specs carries a fault plan with sensor or storm
+    events, the group policy is wrapped in a
+    :class:`~repro.faults.FaultedFleetPolicy` compiled for the group's
+    global session indices.
+    """
     runs: List[Tuple[int, List[int], List[int]]] = []
     for local, assignment in enumerate(assignments):
         if runs and runs[-1][0] == assignment.member_index:
@@ -518,8 +566,36 @@ def _group_policy(
         for _, locals_, seeds in runs
     ]
     if len(policies) == 1:
-        return policies[0]
-    return SubFleetPolicies(policies, [locals_ for _, locals_, _ in runs])
+        policy: FleetPolicy = policies[0]
+    else:
+        policy = SubFleetPolicies(policies, [locals_ for _, locals_, _ in runs])
+    schedule = _group_fault_schedule(assignments, num_frames)
+    if schedule is not None:
+        policy = FaultedFleetPolicy(policy, schedule)
+    return policy
+
+
+def collect_degraded(
+    session_groups: Sequence[FleetSessionGroup],
+    num_frames: int,
+    num_sessions: int,
+) -> np.ndarray | None:
+    """Assemble the fleet-wide degraded mask from fault-injection wrappers.
+
+    Scatters each :class:`~repro.faults.FaultedFleetPolicy`'s per-group
+    ``degraded`` matrix into a ``(num_frames, num_sessions)`` array using the
+    groups' session indices.  Returns ``None`` when no group was faulted.
+    """
+    if not any(
+        isinstance(group.policy, FaultedFleetPolicy) for group in session_groups
+    ):
+        return None
+    degraded = np.zeros((num_frames, num_sessions), dtype=bool)
+    for group in session_groups:
+        if isinstance(group.policy, FaultedFleetPolicy):
+            columns = np.asarray(group.session_indices, dtype=int)
+            degraded[:, columns] = group.policy.degraded[:num_frames]
+    return degraded
 
 
 def run_fleet_scenario(
@@ -623,6 +699,7 @@ def run_fleet_scenario(
         sessions=tuple(sessions),
         fleet_trace=fleet_trace,
         elapsed_s=elapsed_s,
+        degraded=collect_degraded(session_groups, frames, len(assignments)),
     )
 
 

@@ -31,14 +31,19 @@ homogeneous cell entry point (:func:`run_sharded_fleet`) refuses
 from __future__ import annotations
 
 import math
+import os
+import pickle
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ShardError
+from repro.errors import FaultError, ShardError
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.fleet import (
     FleetFrameResult,
@@ -49,11 +54,13 @@ from repro.env.fleet import (
     run_grouped_fleet_episode,
     validate_session_partition,
 )
+from repro.faults.plan import WorkerCrash
 from repro.runtime.fleet import (
     FleetRunResult,
     _group_policy,
     _session_histories,
     _session_policy_names,
+    collect_degraded,
     make_fleet_environment,
     make_fleet_policy,
     make_group_environment,
@@ -351,6 +358,33 @@ class ShardedScenarioResult:
 # ---------------------------------------------------------------------------
 
 
+def _resolve_scenario(
+    scenario: Union["FleetScenario", "ScenarioSpec", str],
+    num_frames: int | None = None,
+) -> "FleetScenario":
+    """Normalise a scenario argument into a (possibly overridden) fleet."""
+    from repro.scenarios import FleetMember, FleetScenario, ScenarioSpec, build_scenario
+
+    if isinstance(scenario, str):
+        scenario = build_scenario(scenario)
+    if isinstance(scenario, ScenarioSpec):
+        scenario = FleetScenario(
+            name=scenario.name,
+            members=(FleetMember(scenario),),
+            description=scenario.description,
+        )
+    if num_frames is not None and num_frames != scenario.num_frames:
+        scenario = scenario.with_overrides(
+            members=tuple(
+                FleetMember(
+                    member.spec.with_overrides(num_frames=num_frames), member.weight
+                )
+                for member in scenario.members
+            )
+        )
+    return scenario
+
+
 def run_sharded_scenario(
     scenario: Union["FleetScenario", "ScenarioSpec", str],
     num_shards: int,
@@ -375,25 +409,7 @@ def run_sharded_scenario(
         num_sessions: Total population override (default: the scenario's).
         num_frames: Episode-length override applied to every member.
     """
-    from repro.scenarios import FleetMember, FleetScenario, ScenarioSpec, build_scenario
-
-    if isinstance(scenario, str):
-        scenario = build_scenario(scenario)
-    if isinstance(scenario, ScenarioSpec):
-        scenario = FleetScenario(
-            name=scenario.name,
-            members=(FleetMember(scenario),),
-            description=scenario.description,
-        )
-    if num_frames is not None and num_frames != scenario.num_frames:
-        scenario = scenario.with_overrides(
-            members=tuple(
-                FleetMember(
-                    member.spec.with_overrides(num_frames=num_frames), member.weight
-                )
-                for member in scenario.members
-            )
-        )
+    scenario = _resolve_scenario(scenario, num_frames)
     assignments = scenario.session_assignments(num_sessions)
     total = len(assignments)
     shards = tuple(plan_shards(assignments, num_shards))
@@ -519,4 +535,354 @@ def run_sharded_fleet(
         sessions=tuple(sessions),
         fleet_trace=fleet_trace,
         elapsed_s=elapsed_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Supervised execution: crash detection and checkpoint recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What the supervisor observed and did about worker deaths.
+
+    Attributes:
+        crashes_detected: Worker deaths the supervisor observed (injected
+            crashes and real ones look identical: a broken process pool).
+        restarts: Shard executions that were resubmitted after a death.
+        recovered_shards: Indices of shards that completed only after at
+            least one restart.
+        checkpoint_every: The periodic checkpoint interval (frames) the
+            workers spooled at.
+        recovery_s: Wall-clock seconds spent re-running shards after the
+            first detected death (zero for a clean run).
+    """
+
+    crashes_detected: int
+    restarts: int
+    recovered_shards: Tuple[int, ...]
+    checkpoint_every: int
+    recovery_s: float
+
+
+@dataclass(frozen=True)
+class SupervisedScenarioResult:
+    """Outcome of one supervised (fault-tolerant) sharded scenario run.
+
+    Carries everything :class:`ShardedScenarioResult` does, plus the
+    supervisor's :class:`RecoveryReport` and the per-(frame, session)
+    degraded mask recorded by fault-injection wrappers (``None`` when the
+    scenario carries no fault plan).
+    """
+
+    scenario: "FleetScenario"
+    assignments: tuple
+    shards: Tuple[ShardPlan, ...]
+    sessions: Tuple[SessionResult, ...]
+    fleet_trace: FleetTrace
+    elapsed_s: float
+    recovery: RecoveryReport
+    degraded: Optional[np.ndarray] = None
+
+    @property
+    def num_shards(self) -> int:
+        """Number of (non-empty) shards that actually ran."""
+        return len(self.shards)
+
+    @property
+    def num_sessions(self) -> int:
+        """Total fleet size."""
+        return self.fleet_trace.num_sessions
+
+    @property
+    def aggregate_frames_per_second(self) -> float:
+        """Total frames processed across the fleet per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.fleet_trace.total_frames / self.elapsed_s
+
+
+def _checkpoint_write(path: Path, payload: dict) -> None:
+    """Atomically pickle a shard checkpoint (write-then-rename)."""
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _run_supervised_shard(
+    scenario: "FleetScenario",
+    num_sessions: int,
+    start: int,
+    stop: int,
+    shard_index: int,
+    spool_dir: str,
+    checkpoint_every: int,
+    crash_frame: Optional[int],
+):
+    """Run one scenario shard with periodic checkpoints and crash injection.
+
+    The frame loop mirrors :func:`repro.env.fleet.run_grouped_fleet_episode`
+    exactly, but pauses at frame boundaries to spool a checkpoint (the
+    environments' and policies' ``state_dict`` snapshots plus the frames
+    recorded so far) every ``checkpoint_every`` frames.  When a checkpoint
+    for this shard already exists in the spool, the worker resumes from it
+    instead of frame 0 — because every state a frame reads is captured, the
+    resumed run's remaining frames are bit-identical to an uninterrupted
+    one.
+
+    ``crash_frame`` injects a worker death: the process calls ``os._exit``
+    at the start of that frame, once — a marker file in the spool keeps the
+    restarted worker from crashing again.
+    """
+    assignments = scenario.session_assignments(num_sessions)[start:stop]
+    num_frames = scenario.num_frames
+    session_groups, grouped = _shard_session_groups(assignments, num_frames, start)
+    count = stop - start
+    targets = validate_session_partition(
+        [group.session_indices for group in session_groups], count
+    )
+    for group in session_groups:
+        group.environment.reset()
+        group.policy.reset()
+
+    spool = Path(spool_dir)
+    checkpoint_path = spool / f"shard-{shard_index}.ckpt"
+    crash_marker = spool / f"shard-{shard_index}.crashed"
+    frames: List[FleetFrameResult] = []
+    first_frame = 0
+    if checkpoint_path.exists():
+        with open(checkpoint_path, "rb") as handle:
+            payload = pickle.load(handle)
+        for group, environment_state, policy_state in zip(
+            session_groups, payload["environments"], payload["policies"]
+        ):
+            group.environment.load_state_dict(environment_state)
+            if policy_state is not None:
+                group.policy.load_state_dict(policy_state)
+        frames = payload["frames"]
+        first_frame = payload["frame"]
+
+    for frame in range(first_frame, num_frames):
+        if (
+            crash_frame is not None
+            and frame == crash_frame
+            and not crash_marker.exists()
+        ):
+            crash_marker.write_text(str(frame))
+            os._exit(43)
+        for group in session_groups:
+            observation = group.environment.begin_frame()
+            group.environment.apply_decision(group.policy.begin_frame(observation))
+        for group in session_groups:
+            observation = group.environment.run_first_stage()
+            group.environment.apply_decision(group.policy.mid_frame(observation))
+        results = []
+        for group in session_groups:
+            result = group.environment.run_second_stage()
+            group.policy.end_frame(result)
+            results.append(result)
+        frames.append(_scatter_frame_results(results, targets, count))
+        completed = frame + 1
+        if (
+            checkpoint_every > 0
+            and completed % checkpoint_every == 0
+            and completed < num_frames
+        ):
+            _checkpoint_write(
+                checkpoint_path,
+                {
+                    "frame": completed,
+                    "environments": [
+                        group.environment.state_dict() for group in session_groups
+                    ],
+                    "policies": [
+                        group.policy.state_dict()
+                        if hasattr(group.policy, "state_dict")
+                        else None
+                        for group in session_groups
+                    ],
+                    "frames": frames,
+                },
+            )
+
+    losses: List[List[float]] = [[] for _ in range(count)]
+    rewards: List[List[float]] = [[] for _ in range(count)]
+    names: List[str] = [""] * count
+    for group, (_, group_assignments) in zip(session_groups, grouped):
+        group_losses, group_rewards = _session_histories(
+            group.policy, group.environment.num_sessions
+        )
+        group_names = _session_policy_names(
+            group.policy, group.environment.num_sessions
+        )
+        for local, assignment in enumerate(group_assignments):
+            losses[assignment.index - start] = group_losses[local]
+            rewards[assignment.index - start] = group_rewards[local]
+            names[assignment.index - start] = group_names[local]
+    degraded = collect_degraded(session_groups, num_frames, count)
+    return frames, losses, rewards, names, degraded
+
+
+def run_supervised_scenario(
+    scenario: Union["FleetScenario", "ScenarioSpec", str],
+    num_shards: int,
+    num_sessions: int | None = None,
+    num_frames: int | None = None,
+    checkpoint_every: int = 25,
+    spool_dir: "str | Path | None" = None,
+    crashes: Sequence[WorkerCrash] = (),
+    max_restarts: int = 3,
+) -> SupervisedScenarioResult:
+    """Run a sharded scenario under a crash-recovering supervisor.
+
+    The fault-tolerant counterpart of :func:`run_sharded_scenario`: every
+    shard always runs in a worker process and spools a checkpoint every
+    ``checkpoint_every`` frames.  When a worker dies — injected through a
+    :class:`~repro.faults.WorkerCrash` event (on the scenario's fault plans
+    or passed via ``crashes``) or for real — the supervisor observes the
+    broken pool, rebuilds it, and resubmits the unfinished shards, which
+    resume from their latest checkpoints.  Because the checkpoints capture
+    every bit of state the frame loop reads, the recovered trace is
+    byte-identical to an uninterrupted run of the same scenario.
+
+    Args:
+        scenario: A fleet scenario, single spec, or registered name.
+        num_shards: Requested shard count (the planner may return fewer).
+        num_sessions: Total population override (default: the scenario's).
+        num_frames: Episode-length override applied to every member.
+        checkpoint_every: Frames between spooled checkpoints (``0``
+            disables periodic checkpoints; a crashed shard then restarts
+            from frame 0, still bit-identically).
+        spool_dir: Directory for checkpoints and crash markers; a
+            temporary directory (cleaned up on success) by default.
+        crashes: Extra injected worker crashes, merged with the crash
+            events of the scenario's fault plans.
+        max_restarts: Restart budget per shard; exceeding it raises
+            :class:`~repro.errors.ShardError`.
+    """
+    if checkpoint_every < 0:
+        raise ShardError("checkpoint_every must be non-negative")
+    scenario = _resolve_scenario(scenario, num_frames)
+    assignments = scenario.session_assignments(num_sessions)
+    total = len(assignments)
+    shards = tuple(plan_shards(assignments, num_shards))
+
+    all_crashes = list(crashes)
+    for member in scenario.members:
+        plan = getattr(member.spec, "faults", None)
+        if plan is not None:
+            all_crashes.extend(plan.crashes)
+    crash_by_shard: Dict[int, int] = {}
+    for crash in all_crashes:
+        if crash.shard >= len(shards):
+            raise FaultError(
+                f"worker crash targets shard {crash.shard} but the plan "
+                f"produced only {len(shards)} shard(s)"
+            )
+        frame = crash_by_shard.get(crash.shard)
+        crash_by_shard[crash.shard] = (
+            crash.frame if frame is None else min(frame, crash.frame)
+        )
+
+    own_spool = spool_dir is None
+    spool = Path(tempfile.mkdtemp(prefix="repro-spool-")) if own_spool else Path(spool_dir)
+    spool.mkdir(parents=True, exist_ok=True)
+
+    start_time = time.perf_counter()
+    first_death: float | None = None
+    pending: Dict[int, ShardPlan] = {shard.index: shard for shard in shards}
+    shard_results: Dict[int, tuple] = {}
+    crashes_detected = 0
+    restarts = 0
+    recovered: set = set()
+    rounds = 0
+    while pending:
+        if rounds > max_restarts * len(shards) + 1:
+            raise ShardError(
+                f"shards {sorted(pending)} kept dying after "
+                f"{restarts} restarts; giving up"
+            )
+        rounds += 1
+        with ProcessPoolExecutor(max_workers=len(pending)) as pool:
+            futures = {
+                pool.submit(
+                    _run_supervised_shard,
+                    scenario,
+                    total,
+                    shard.start,
+                    shard.stop,
+                    shard.index,
+                    str(spool),
+                    checkpoint_every,
+                    crash_by_shard.get(shard.index),
+                ): shard
+                for shard in pending.values()
+            }
+            round_broke = False
+            for future, shard in futures.items():
+                try:
+                    shard_results[shard.index] = future.result()
+                    pending.pop(shard.index, None)
+                except BrokenProcessPool:
+                    # Worker death (injected or real).  One death breaks
+                    # every still-pending future of the pool, so the round
+                    # counts as one detected crash; completed futures keep
+                    # their results, and everything else restarts from its
+                    # latest checkpoint in the next round.
+                    round_broke = True
+                    if first_death is None:
+                        first_death = time.perf_counter()
+            if round_broke:
+                crashes_detected += 1
+        if pending:
+            restarts += len(pending)
+            recovered |= set(pending)
+
+    ordered = [shard_results[shard.index] for shard in shards]
+    fleet_trace = _interleave_shard_traces(
+        [frames for frames, _, _, _, _ in ordered], shards, total
+    )
+    elapsed_s = time.perf_counter() - start_time
+    recovery_s = 0.0 if first_death is None else time.perf_counter() - first_death
+
+    degraded: Optional[np.ndarray] = None
+    if any(shard_degraded is not None for _, _, _, _, shard_degraded in ordered):
+        degraded = np.zeros((scenario.num_frames, total), dtype=bool)
+        for shard, (_, _, _, _, shard_degraded) in zip(shards, ordered):
+            if shard_degraded is not None:
+                degraded[:, shard.start : shard.stop] = shard_degraded
+
+    sessions: List[SessionResult] = [None] * total  # type: ignore[list-item]
+    for shard, (_, losses, rewards, names, _) in zip(shards, ordered):
+        for local in range(shard.num_sessions):
+            index = shard.start + local
+            sessions[index] = session_result_from_trace(
+                names[local],
+                fleet_trace.session_trace(index),
+                losses=losses[local],
+                rewards=rewards[local],
+            )
+
+    if own_spool:
+        for path in spool.iterdir():
+            path.unlink()
+        spool.rmdir()
+
+    return SupervisedScenarioResult(
+        scenario=scenario,
+        assignments=assignments,
+        shards=shards,
+        sessions=tuple(sessions),
+        fleet_trace=fleet_trace,
+        elapsed_s=elapsed_s,
+        recovery=RecoveryReport(
+            crashes_detected=crashes_detected,
+            restarts=restarts,
+            recovered_shards=tuple(sorted(recovered)),
+            checkpoint_every=checkpoint_every,
+            recovery_s=recovery_s,
+        ),
+        degraded=degraded,
     )

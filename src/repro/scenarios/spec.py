@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import ScenarioError
+from repro.faults.plan import FaultPlan, fault_plan_from_dict
 from repro.env.ambient import (
     AmbientProfile,
     AmbientSegment,
@@ -152,6 +153,9 @@ class ScenarioSpec:
         latency_constraint_ms: Explicit latency constraint, or ``None`` to
             derive the default from the cost model.
         ambient: Ambient-temperature schedule every session follows.
+        faults: Optional seeded fault plan (sensor dropouts/spikes,
+            throttling storms, channel loss, worker crashes) injected into
+            every run of the scenario; ``None`` runs fault-free.
         description: Human-readable description for listings.
     """
 
@@ -165,6 +169,7 @@ class ScenarioSpec:
     seed: int = 0
     latency_constraint_ms: float | None = None
     ambient: AmbientProfile = field(default_factory=ConstantAmbient)
+    faults: FaultPlan | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -178,10 +183,16 @@ class ScenarioSpec:
             raise ScenarioError("latency_constraint_ms must be positive")
         if not isinstance(self.ambient, AmbientProfile):
             raise ScenarioError("ambient must be an AmbientProfile")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ScenarioError("faults must be a FaultPlan or None")
 
     def with_overrides(self, **kwargs: Any) -> "ScenarioSpec":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def with_faults(self, plan: FaultPlan | None) -> "ScenarioSpec":
+        """Return a copy with the fault plan replaced (``None`` clears it)."""
+        return self.with_overrides(faults=plan)
 
     def session_seed(self, session_index: int) -> int:
         """Base seed of session ``session_index`` of this scenario."""
@@ -232,6 +243,7 @@ class ScenarioSpec:
                 else float(self.latency_constraint_ms)
             ),
             "ambient": ambient_to_dict(self.ambient),
+            "faults": None if self.faults is None else self.faults.to_dict(),
             "description": self.description,
         }
 
@@ -255,6 +267,7 @@ class ScenarioSpec:
             "seed",
             "latency_constraint_ms",
             "ambient",
+            "faults",
             "description",
         }
         unexpected = set(payload) - known
@@ -278,6 +291,11 @@ class ScenarioSpec:
                     ambient_from_dict(payload["ambient"])
                     if "ambient" in payload
                     else ConstantAmbient()
+                ),
+                faults=(
+                    None
+                    if payload.get("faults") is None
+                    else fault_plan_from_dict(payload["faults"])
                 ),
                 description=str(payload.get("description", "")),
             )
@@ -450,6 +468,15 @@ class FleetScenario:
     def with_overrides(self, **kwargs: Any) -> "FleetScenario":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def with_faults(self, plan: FaultPlan | None) -> "FleetScenario":
+        """Return a copy with ``plan`` attached to every member spec."""
+        return self.with_overrides(
+            members=tuple(
+                FleetMember(member.spec.with_faults(plan), member.weight)
+                for member in self.members
+            )
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible description; inverse of :meth:`from_dict`."""

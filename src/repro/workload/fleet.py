@@ -144,6 +144,35 @@ class FleetFrameStream:
         """Number of lock-step frames generated so far."""
         return self._index
 
+    # -- checkpointing -------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the stream's mutable cursor state.
+
+        Captures each session's generator state, the current AR(1) scene
+        values and the frame index — everything :meth:`next_frames` reads
+        or advances — so a restored stream emits the bit-identical frame
+        sequence an uninterrupted one would.
+        """
+        return {
+            "num_sessions": int(self.num_sessions),
+            "rngs": [rng.bit_generator.state for rng in self._rngs],
+            "current": self._current.copy(),
+            "index": int(self._index),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this stream in place."""
+        if int(payload["num_sessions"]) != self.num_sessions:
+            raise WorkloadError(
+                f"snapshot was captured from a {payload['num_sessions']}-session "
+                f"stream but this stream drives {self.num_sessions} sessions"
+            )
+        for rng, state in zip(self._rngs, payload["rngs"]):
+            rng.bit_generator.state = state
+        self._current = np.array(payload["current"], dtype=float)
+        self._index = int(payload["index"])
+
     def next_frames(self) -> FleetFrameBatch:
         """Generate the next frame for every session in one array step."""
         innovations = np.array(

@@ -2,16 +2,41 @@
 
 from __future__ import annotations
 
+import json
+import string
+
+import numpy as np
 import pytest
 
 from repro.errors import ProtocolError
-from repro.comms.channel import SimulatedChannel
+from repro.comms.channel import LossyChannel, SimulatedChannel
 from repro.comms.protocol import Message, MessageKind, decode_message, encode_message
 from repro.comms.server import RemotePolicy
 from repro.env.episode import run_episode
 from repro.governors.static import UserspacePolicy
 
 from tests.conftest import make_small_environment
+
+
+def random_payload(rng: np.random.Generator) -> dict:
+    """A randomized JSON-safe payload: scalars, strings, lists, nesting."""
+    letters = np.array(list(string.printable))
+
+    def value(depth: int):
+        choice = rng.integers(0, 6 if depth < 2 else 4)
+        if choice == 0:
+            return int(rng.integers(-(2**31), 2**31))
+        if choice == 1:
+            return float(rng.normal() * 10**int(rng.integers(-3, 6)))
+        if choice == 2:
+            return bool(rng.integers(0, 2))
+        if choice == 3:
+            return "".join(rng.choice(letters, size=rng.integers(0, 12)))
+        if choice == 4:
+            return [value(depth + 1) for _ in range(rng.integers(0, 4))]
+        return {f"k{i}": value(depth + 1) for i in range(rng.integers(0, 4))}
+
+    return {f"field_{i}": value(0) for i in range(rng.integers(1, 6))}
 
 
 def test_message_round_trip():
@@ -24,6 +49,37 @@ def test_message_round_trip():
     assert decoded.kind == MessageKind.STATE
     assert decoded.sequence == 7
     assert decoded.payload["gpu_level"] == 3
+
+
+def test_round_trip_property_over_randomized_payloads():
+    """encode∘decode is the identity for any JSON-safe payload."""
+    rng = np.random.default_rng(2024)
+    kinds = list(MessageKind)
+    for trial in range(50):
+        message = Message(
+            kind=kinds[trial % len(kinds)],
+            payload=random_payload(rng),
+            sequence=int(rng.integers(0, 2**31)),
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+
+def test_truncated_and_garbage_messages_are_rejected():
+    encoded = encode_message(
+        Message(kind=MessageKind.STATE, payload={"cpu_temperature_c": 63.2}, sequence=3)
+    )
+    for cut in (1, len(encoded) // 2, len(encoded) - 1):
+        with pytest.raises(ProtocolError):
+            decode_message(encoded[:cut])
+    for garbage in (b"", b"\xff\xfe\x00", b"[1, 2, 3]", b'"a string"', b"null"):
+        with pytest.raises(ProtocolError):
+            decode_message(garbage)
+    # Structurally valid JSON with wrong/missing fields is also rejected.
+    with pytest.raises(ProtocolError):
+        decode_message(json.dumps({"kind": "warp", "sequence": 0, "payload": {}}).encode())
+    with pytest.raises(ProtocolError):
+        decode_message(json.dumps({"kind": "state", "sequence": "x", "payload": {}}).encode())
 
 
 def test_message_validation():
@@ -52,6 +108,47 @@ def test_channel_latency_model():
     assert channel.stats.messages_sent == 0
     with pytest.raises(ProtocolError):
         SimulatedChannel(message_latency_ms=-1.0)
+
+
+def test_channel_bandwidth_term_matches_payload_size():
+    """latency = fixed latency + bits / bandwidth, byte for byte."""
+    channel = SimulatedChannel(message_latency_ms=2.0, bandwidth_mbps=1.0)
+    message = Message(kind=MessageKind.STATE, payload={"blob": "x" * 4000})
+    encoded = encode_message(message)
+    _, latency = channel.transfer(message)
+    expected = 2.0 + len(encoded) * 8 / (1.0 * 1e6) * 1e3
+    assert latency == pytest.approx(expected, rel=1e-9)
+    # Ten times the bandwidth shrinks only the transfer term.
+    fast = SimulatedChannel(message_latency_ms=2.0, bandwidth_mbps=10.0)
+    _, fast_latency = fast.transfer(message)
+    assert fast_latency == pytest.approx(2.0 + (expected - 2.0) / 10.0, rel=1e-9)
+
+
+def test_lossy_channel_statistics_and_outcomes():
+    channel = LossyChannel(
+        drop_rate=0.3, delay_rate=0.3, delay_ms=40.0, duplicate_rate=0.2, seed=99
+    )
+    message = Message(kind=MessageKind.ACK, payload={})
+    outcomes = [channel.attempt(message) for _ in range(200)]
+    delivered = [o for o in outcomes if o.delivered]
+    dropped = [o for o in outcomes if not o.delivered]
+    assert channel.stats.dropped == len(dropped)
+    assert channel.stats.duplicated == sum(o.duplicates for o in delivered)
+    # Seeded rates land near their nominal values over 200 trials.
+    assert 0.15 < len(dropped) / 200 < 0.45
+    assert all(o.message is None for o in dropped)
+    assert all(o.message is not None for o in delivered)
+    # The same seed reproduces the identical loss pattern.
+    replay = LossyChannel(
+        drop_rate=0.3, delay_rate=0.3, delay_ms=40.0, duplicate_rate=0.2, seed=99
+    )
+    replayed = [replay.attempt(message) for _ in range(200)]
+    assert [o.delivered for o in outcomes] == [o.delivered for o in replayed]
+    assert [o.duplicates for o in outcomes] == [o.duplicates for o in replayed]
+    with pytest.raises(ProtocolError):
+        LossyChannel(drop_rate=-0.1)
+    with pytest.raises(ProtocolError):
+        LossyChannel(delay_ms=-1.0)
 
 
 def test_remote_policy_wraps_and_accounts_overhead():
