@@ -28,6 +28,9 @@ The package is organised bottom-up:
   checkpoints, the content-addressed policy zoo, frozen inference-only
   deployment (``policy:<id>`` methods) and the cross-scenario
   generalization matrix.
+* :mod:`repro.store` — the chunked on-disk columnar trace format
+  (atomic spool-rename writer, per-chunk SHA-256) and the zero-copy
+  memory-mapped reader serving frames, session slices and column windows.
 * :mod:`repro.runtime` — the experiment execution engine: sweep expansion,
   a process-pool worker fleet, disk result caching, the vectorized fleet
   execution mode (homogeneous and grouped-heterogeneous) and the
@@ -77,7 +80,7 @@ from repro.env import (
     run_fleet_episode,
     summarize_trace,
 )
-from repro.errors import FaultError, LotusError, PolicyError, ReproError
+from repro.errors import FaultError, LotusError, PolicyError, ReproError, StoreError
 from repro.faults import (
     ChannelFaults,
     FaultPlan,
@@ -105,7 +108,14 @@ from repro.policies import (
     run_generalization_matrix,
     train_policy,
 )
-from repro.analysis import ResilienceReport, resilience_report, resilience_table
+from repro.analysis import (
+    FleetSummary,
+    ResilienceReport,
+    fleet_summary_table,
+    resilience_report,
+    resilience_table,
+    summarize_fleet,
+)
 from repro.comms import LossyChannel, RemotePolicy, SimulatedChannel
 from repro.runtime import (
     ExperimentJob,
@@ -136,9 +146,15 @@ from repro.scenarios import (
     build_scenario,
     register_scenario,
 )
+from repro.store import (
+    FleetTraceWriter,
+    MappedFleetTrace,
+    fleet_traces_bitwise_equal,
+    write_fleet_trace,
+)
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
@@ -159,12 +175,15 @@ __all__ = [
     "FleetRunResult",
     "FleetScenario",
     "FleetScenarioResult",
+    "FleetSummary",
     "FleetTrace",
+    "FleetTraceWriter",
     "FrozenLotusPolicy",
     "FrozenZttPolicy",
     "GeneralizationMatrix",
     "LinearRampAmbient",
     "LossyChannel",
+    "MappedFleetTrace",
     "PolicyCheckpoint",
     "PolicyError",
     "PolicyStore",
@@ -179,6 +198,7 @@ __all__ = [
     "ShardPlan",
     "ShardedScenarioResult",
     "SimulatedChannel",
+    "StoreError",
     "SupervisedScenarioResult",
     "SweepSpec",
     "ThrottlingStorm",
@@ -210,6 +230,8 @@ __all__ = [
     "fault_fingerprint",
     "fault_plan_from_dict",
     "fault_plan_from_json",
+    "fleet_summary_table",
+    "fleet_traces_bitwise_equal",
     "make_environment",
     "make_fleet_environment",
     "make_fleet_policy",
@@ -231,6 +253,8 @@ __all__ = [
     "run_sharded_scenario",
     "run_supervised_scenario",
     "summarize_trace",
+    "summarize_fleet",
     "train_policy",
+    "write_fleet_trace",
     "__version__",
 ]

@@ -10,6 +10,9 @@
   shared by the benchmark harness and the examples.
 * :mod:`repro.analysis.resilience` — degraded-operation metrics (tail
   latency, degraded-frame counts, crash-recovery summary) for faulted runs.
+* :mod:`repro.analysis.streaming` — bounded-memory single-pass aggregation
+  over columnar trace windows (exact p99 via chunked partials) for reports
+  over fleets too large to materialise.
 """
 
 from repro.analysis.experiments import (
@@ -34,16 +37,30 @@ from repro.analysis.resilience import (
     resilience_table,
 )
 from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
-from repro.analysis.tables import comparison_table, format_table, scenario_group_table
+from repro.analysis.streaming import (
+    FleetSummary,
+    StreamingPercentile,
+    streaming_trace_stats,
+    summarize_fleet,
+)
+from repro.analysis.tables import (
+    comparison_table,
+    fleet_summary_table,
+    format_table,
+    scenario_group_table,
+)
 
 __all__ = [
     "ComparisonResult",
     "ExperimentSetting",
     "FigureSeries",
+    "FleetSummary",
     "ResilienceReport",
+    "StreamingPercentile",
     "available_methods",
     "comparison_table",
     "default_latency_constraint",
+    "fleet_summary_table",
     "format_table",
     "improvement_percent",
     "make_environment",
@@ -61,5 +78,7 @@ __all__ = [
     "scenario_group_table",
     "series_to_csv",
     "series_to_text",
+    "streaming_trace_stats",
+    "summarize_fleet",
     "summary_statistics",
 ]

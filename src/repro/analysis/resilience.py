@@ -8,7 +8,11 @@ and — for supervised runs — what the crash-recovery machinery observed
 (worker deaths, restarts, time spent recovering).
 
 The metrics read the run's columnar trace and the degraded mask recorded by
-the fault-injection wrappers; nothing here re-runs anything.
+the fault-injection wrappers; nothing here re-runs anything.  Trace
+aggregation streams bounded column windows (see
+:mod:`repro.analysis.streaming`), so the report works unchanged — and in
+bounded memory — whether the trace is an in-memory
+:class:`~repro.env.fleet.FleetTrace` or a memory-mapped chunk store.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.streaming import streaming_trace_stats
 from repro.errors import ExperimentError
 
 
@@ -87,9 +92,12 @@ def resilience_report(result: Any) -> ResilienceReport:
     trace = getattr(result, "fleet_trace", None)
     if trace is None or len(trace) == 0:
         raise ExperimentError("resilience_report needs a result with a fleet trace")
-    latencies = trace.latencies_ms()
-    met = trace.constraint_met()
-    num_frames, num_sessions = latencies.shape
+    # Single streaming pass over bounded column windows: no
+    # (frames, sessions) matrix is ever materialised, so the report scales
+    # to memory-mapped traces far larger than RAM.
+    stats = streaming_trace_stats(trace)
+    shape = (stats.num_frames, stats.num_sessions)
+    total_cells = stats.num_frames * stats.num_sessions
 
     degraded = getattr(result, "degraded", None)
     if degraded is None:
@@ -97,10 +105,10 @@ def resilience_report(result: Any) -> ResilienceReport:
         degraded_sessions = 0
     else:
         degraded = np.asarray(degraded, dtype=bool)
-        if degraded.shape != latencies.shape:
+        if degraded.shape != shape:
             raise ExperimentError(
                 f"degraded mask shape {degraded.shape} does not match the "
-                f"trace shape {latencies.shape}"
+                f"trace shape {shape}"
             )
         degraded_cells = int(degraded.sum())
         degraded_sessions = int(degraded.any(axis=0).sum())
@@ -109,13 +117,13 @@ def resilience_report(result: Any) -> ResilienceReport:
     scenario = getattr(result, "scenario", None)
     return ResilienceReport(
         scenario=getattr(scenario, "name", str(scenario or "")),
-        num_frames=int(num_frames),
-        num_sessions=int(num_sessions),
-        mean_latency_ms=float(latencies.mean()),
-        p99_latency_ms=float(np.percentile(latencies, 99.0)),
-        constraint_met_fraction=float(met.mean()),
+        num_frames=stats.num_frames,
+        num_sessions=stats.num_sessions,
+        mean_latency_ms=stats.mean_latency_ms,
+        p99_latency_ms=stats.p99_latency_ms,
+        constraint_met_fraction=stats.constraint_met_fraction,
         degraded_cells=degraded_cells,
-        degraded_fraction=degraded_cells / float(latencies.size),
+        degraded_fraction=degraded_cells / float(total_cells),
         degraded_sessions=degraded_sessions,
         crashes_detected=0 if recovery is None else int(recovery.crashes_detected),
         restarts=0 if recovery is None else int(recovery.restarts),

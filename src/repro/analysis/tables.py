@@ -147,15 +147,68 @@ def generalization_matrix_table(matrix, title: str = "") -> str:
         row = [f"{record.policy_id[:10]} ({trained_on})"]
         for spec in matrix.scenarios:
             cell = matrix.cell(record.policy_id, spec.name)
-            if not cell.compatible or cell.session is None:
+            # Render from the cell's captured metrics so the table never
+            # touches session traces (falling back for cells built before
+            # metrics were captured at matrix construction).
+            metrics = cell.metrics
+            if metrics is None and cell.session is not None:
+                metrics = cell.session.metrics
+            if not cell.compatible or metrics is None:
                 row.append("-")
             else:
-                metrics = cell.session.metrics
                 row.append(
                     f"{metrics.mean_latency_ms:.0f}ms "
                     f"{metrics.satisfaction_rate * 100:.0f}%"
                 )
         rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def fleet_summary_table(summaries, title: str = "") -> str:
+    """Render one or more :class:`~repro.analysis.streaming.FleetSummary`.
+
+    The whole-fleet report layout: sessions, frames, mean/p99/max latency,
+    constraint satisfaction, throttling, temperatures, total energy.  The
+    summaries are computed streaming
+    (:func:`~repro.analysis.streaming.summarize_fleet`), so this renders a
+    10k-session report without ever materialising a trace.
+    """
+    from repro.analysis.streaming import FleetSummary
+
+    if isinstance(summaries, FleetSummary):
+        summaries = [summaries]
+    headers = [
+        "Sessions",
+        "Frames",
+        "l(ms)",
+        "p99(ms)",
+        "max(ms)",
+        "R_L",
+        "thr %",
+        "cpu C",
+        "gpu C",
+        "max C",
+        "energy kJ",
+    ]
+    rows = [
+        [
+            str(summary.num_sessions),
+            str(summary.num_frames),
+            f"{summary.mean_latency_ms:.1f}",
+            f"{summary.p99_latency_ms:.1f}",
+            f"{summary.max_latency_ms:.1f}",
+            f"{summary.constraint_met_fraction:.3f}",
+            f"{100.0 * summary.throttled_fraction:.1f}",
+            f"{summary.mean_cpu_temperature_c:.1f}",
+            f"{summary.mean_gpu_temperature_c:.1f}",
+            f"{summary.max_temperature_c:.1f}",
+            f"{summary.total_energy_j / 1000.0:.2f}",
+        ]
+        for summary in summaries
+    ]
     table = format_table(headers, rows)
     if title:
         return f"{title}\n{table}"

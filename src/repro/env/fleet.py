@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
@@ -359,11 +360,16 @@ class FleetFrameResult:
 class FleetTrace:
     """Columnar trace of a fleet episode: one FleetFrameResult per frame."""
 
+    #: Bound on the :meth:`session_trace` memo so fleet-wide sweeps over a
+    #: large trace don't keep every materialised scalar trace alive.
+    _SESSION_CACHE_LIMIT = 64
+
     def __init__(self, num_sessions: int):
         if num_sessions <= 0:
             raise ExperimentError("num_sessions must be positive")
         self.num_sessions = num_sessions
         self._frames: List[FleetFrameResult] = []
+        self._session_cache: "OrderedDict[int, Trace]" = OrderedDict()
 
     def append(self, frame: FleetFrameResult) -> None:
         """Append one completed fleet frame."""
@@ -373,6 +379,8 @@ class FleetTrace:
                 f"{self.num_sessions}"
             )
         self._frames.append(frame)
+        if self._session_cache:
+            self._session_cache.clear()
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -388,15 +396,67 @@ class FleetTrace:
         """Aggregate frames processed across the fleet (frames x sessions)."""
         return len(self._frames) * self.num_sessions
 
+    @property
+    def start_index(self) -> int:
+        """Global index of the first frame (0 for an empty trace)."""
+        return self._frames[0].index if self._frames else 0
+
     def session_trace(self, i: int) -> Trace:
-        """Materialise session ``i``'s scalar :class:`Trace`."""
+        """Materialise session ``i``'s scalar :class:`Trace`.
+
+        Results are memoized in a bounded FIFO (invalidated on append), so
+        harnesses that revisit the same sessions — metric summaries followed
+        by equivalence sweeps — build each session's ``FrameRecord`` objects
+        once instead of once per call.
+        """
         if not 0 <= i < self.num_sessions:
             raise ExperimentError(f"session {i} out of range [0, {self.num_sessions - 1}]")
-        return Trace([frame.record(i) for frame in self._frames])
+        cached = self._session_cache.get(i)
+        if cached is not None:
+            return cached
+        trace = Trace([frame.record(i) for frame in self._frames])
+        self._session_cache[i] = trace
+        while len(self._session_cache) > self._SESSION_CACHE_LIMIT:
+            self._session_cache.popitem(last=False)
+        return trace
 
     def to_traces(self) -> List[Trace]:
         """Materialise every session's scalar trace."""
         return [self.session_trace(i) for i in range(self.num_sessions)]
+
+    def column_window(self, name: str, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Frames ``[start, stop)`` of one column as a ``(frames, N)`` array.
+
+        The in-memory counterpart of
+        :meth:`repro.store.MappedFleetTrace.column_window`, so streaming
+        consumers can treat both trace representations uniformly.
+        """
+        frames = self._frames[start:stop]
+        if not frames:
+            dtype = (
+                getattr(self._frames[0], name).dtype if self._frames else np.float64
+            )
+            return np.empty((0, self.num_sessions), dtype=dtype)
+        return np.stack([getattr(frame, name) for frame in frames])
+
+    def iter_column_chunks(
+        self, name: str, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple]:
+        """Yield ``(frame_offset, block)`` windows of one column.
+
+        Mirrors :meth:`repro.store.MappedFleetTrace.iter_column_chunks`; the
+        in-memory trace serves one bounded block at a time too, so streaming
+        aggregation code paths are identical for both representations.
+        """
+        stop = len(self._frames) if stop is None else min(stop, len(self._frames))
+        chunk = 256
+        for lo in range(start, stop, chunk):
+            hi = min(lo + chunk, stop)
+            yield lo, self.column_window(name, lo, hi)
+
+    def datasets_window(self, start: int = 0, stop: int | None = None) -> List[tuple]:
+        """Per-frame dataset-name tuples for frames ``[start, stop)``."""
+        return [frame.datasets for frame in self._frames[start:stop]]
 
     def latencies_ms(self) -> np.ndarray:
         """Total latency as a ``(frames, sessions)`` matrix."""
@@ -972,14 +1032,24 @@ def run_fleet_episode(
     num_frames: int,
     reset_environment: bool = True,
     reset_policy: bool = True,
-) -> FleetTrace:
+    sink=None,
+):
     """Run ``policy`` on the fleet for ``num_frames`` lock-step frames.
 
     The single loop shared by every fleet experiment: the batch analogue of
     :func:`repro.env.episode.run_episode`.
 
+    Args:
+        sink: Optional frame sink with an ``append(FleetFrameResult)``
+            method — e.g. a :class:`repro.store.FleetTraceWriter` spooling
+            chunks to disk so the episode never holds the full trace in
+            memory.  Defaults to a fresh in-memory :class:`FleetTrace`.
+            When a writer is passed the caller owns sealing it
+            (``close()``).
+
     Returns:
-        The columnar :class:`FleetTrace` of all processed frames.
+        The sink — the columnar :class:`FleetTrace` of all processed frames
+        unless a custom sink was supplied.
     """
     if num_frames <= 0:
         raise ExperimentError("num_frames must be positive")
@@ -987,7 +1057,7 @@ def run_fleet_episode(
         environment.reset()
     if reset_policy:
         policy.reset()
-    trace = FleetTrace(environment.num_sessions)
+    trace = FleetTrace(environment.num_sessions) if sink is None else sink
     for _ in range(num_frames):
         start_observation = environment.begin_frame()
         environment.apply_decision(policy.begin_frame(start_observation))
@@ -1140,7 +1210,8 @@ def run_grouped_fleet_episode(
     num_frames: int,
     reset_environments: bool = True,
     reset_policies: bool = True,
-) -> FleetTrace:
+    sink=None,
+):
     """Run a heterogeneous fleet — several grouped sub-fleets — in lock-step.
 
     The grouped analogue of :func:`run_fleet_episode`: every group advances
@@ -1151,8 +1222,14 @@ def run_grouped_fleet_episode(
     trajectory is bit-identical to what it would produce in a homogeneous
     fleet — or a scalar run — of its own configuration and seed.
 
+    Args:
+        sink: Optional frame sink with ``append`` (see
+            :func:`run_fleet_episode`); defaults to an in-memory
+            :class:`FleetTrace`.
+
     Returns:
-        The combined columnar trace over all groups' sessions.
+        The sink — the combined columnar trace over all groups' sessions
+        unless a custom sink was supplied.
     """
     if num_frames <= 0:
         raise ExperimentError("num_frames must be positive")
@@ -1169,7 +1246,7 @@ def run_grouped_fleet_episode(
             group.environment.reset()
         if reset_policies:
             group.policy.reset()
-    trace = FleetTrace(num_sessions)
+    trace = FleetTrace(num_sessions) if sink is None else sink
     for _ in range(num_frames):
         for group in groups:
             observation = group.environment.begin_frame()

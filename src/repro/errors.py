@@ -80,6 +80,13 @@ class PolicyError(LotusError):
     version mismatches, unresolvable policy ids, geometry mismatches)."""
 
 
+class StoreError(LotusError):
+    """A columnar trace store artifact is invalid or unreadable: missing,
+    truncated or tampered chunk files, manifest corruption, format/version
+    mismatches, or writer misuse (non-contiguous frame indices, schema
+    drift between appended frames)."""
+
+
 class FaultError(LotusError):
     """A fault plan is invalid, failed to (de)serialise, or a fault event
     references sessions, frames or shards outside the run it is attached

@@ -17,6 +17,10 @@ bench`` from the microbenchmarks in this package.
 * :mod:`repro.perf.fault_benchmarks` — the fault-tolerance suite: retry
   overhead per message on clean vs lossy channels, and supervised crash
   recovery time across fleet sizes (``BENCH_PR7.json``).
+* :mod:`repro.perf.store_benchmarks` — the trace-store suite: chunked
+  columnar writes vs pickling, memory-mapped shard merges vs per-frame
+  object merges, and the bounded-memory 10k-session report under an
+  enforced heap ceiling (``BENCH_PR8.json``).
 * :mod:`repro.perf.legacy` — the RL reference: the original deque replay
   and mask-padded DQN update, kept verbatim as baseline and equivalence
   oracle.
@@ -34,6 +38,12 @@ from repro.perf.fault_benchmarks import (
     DEFAULT_FAULTS_OUTPUT,
     run_fault_bench_suite,
     write_fault_report,
+)
+from repro.perf.store_benchmarks import (
+    DEFAULT_STORE_OUTPUT,
+    STORE_BENCH_LABEL,
+    run_store_bench_suite,
+    write_store_report,
 )
 from repro.perf.fleet_benchmarks import (
     DEFAULT_FLEET_OUTPUT,
@@ -53,11 +63,13 @@ __all__ = [
     "DEFAULT_FAULTS_OUTPUT",
     "DEFAULT_FLEET_OUTPUT",
     "DEFAULT_SHARD_OUTPUT",
+    "DEFAULT_STORE_OUTPUT",
     "DEFAULT_OUTPUT",
     "FLEET_SIZE",
     "FLEET_SPEEDUP_TARGETS",
     "SHARD_THROUGHPUT_TARGET_FPS",
     "SPEEDUP_TARGETS",
+    "STORE_BENCH_LABEL",
     "Timer",
     "format_report",
     "measure",
@@ -66,8 +78,10 @@ __all__ = [
     "run_fault_bench_suite",
     "run_fleet_bench_suite",
     "run_shard_bench_suite",
+    "run_store_bench_suite",
     "write_fault_report",
     "write_fleet_report",
     "write_shard_report",
+    "write_store_report",
     "write_report",
 ]

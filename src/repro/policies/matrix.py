@@ -38,6 +38,9 @@ class MatrixCell:
         reason: Human-readable skip reason for incompatible cells.
         session: The evaluation :class:`~repro.core.training.SessionResult`
             (``None`` for incompatible cells).
+        metrics: The session's whole-episode
+            :class:`~repro.env.metrics.EpisodeMetrics`, captured at build
+            time so renderers never have to touch the session's trace.
     """
 
     policy_id: str
@@ -45,6 +48,7 @@ class MatrixCell:
     compatible: bool
     reason: str = ""
     session: Optional[object] = None
+    metrics: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -211,6 +215,7 @@ def run_generalization_matrix(
                 compatible=compatible,
                 reason=reason,
                 session=session,
+                metrics=None if session is None else session.metrics,
             )
         )
     report = runtime.last_report

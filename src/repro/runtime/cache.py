@@ -2,11 +2,19 @@
 
 Completed :class:`~repro.core.training.SessionResult` objects are persisted
 as gzip-compressed JSON under a directory keyed by the job hash (see
-:mod:`repro.runtime.job`).  The payload stores the raw per-frame trace plus
-the policy's loss/reward histories; the summary metrics are *recomputed* on
+:mod:`repro.runtime.job`).  The payload stores the policy's loss/reward
+histories plus the per-frame trace; the summary metrics are *recomputed* on
 load through the same :func:`~repro.core.training.session_result_from_trace`
 path a fresh run uses, so a cache hit is guaranteed to yield bit-identical
 metrics to the run that produced it.
+
+Long traces do not live inside the JSON: past a frame threshold the trace
+is stored as a *sidecar blob* — a one-session columnar chunk store (see
+:mod:`repro.store`) in a ``<key>.blob/`` directory next to the payload —
+and the JSON carries only a reference.  Loads memory-map the blob, short
+traces stay inline, and every maintenance operation (``stats``, ``list``,
+``prune`` including ``--dry-run``, ``clear``) accounts for and removes
+blobs together with their payloads.
 
 The default cache location is ``~/.cache/repro-lotus`` and can be overridden
 with the ``REPRO_CACHE_DIR`` environment variable or per-instance.
@@ -19,6 +27,7 @@ import dataclasses
 import gzip
 import json
 import os
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass
@@ -27,14 +36,25 @@ from typing import Iterator, List, Optional
 
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.trace import FrameRecord, Trace
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, StoreError
 from repro.runtime.job import CACHE_SCHEMA_VERSION
+from repro.store import read_scalar_trace, write_scalar_trace
 
 #: Environment variable that overrides the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable that overrides the sidecar-blob frame threshold.
+CACHE_BLOB_ENV = "REPRO_CACHE_BLOB_FRAMES"
+
+#: Traces at least this many frames long are stored as columnar sidecar
+#: blobs instead of inline JSON rows.
+DEFAULT_BLOB_THRESHOLD_FRAMES = 512
+
 #: Column order used by the serialised trace payload.
 _TRACE_FIELDS = tuple(f.name for f in dataclasses.fields(FrameRecord))
+
+_BLOB_SUFFIX = ".blob"
+_PAYLOAD_SUFFIX = ".json.gz"
 
 
 def default_cache_dir() -> Path:
@@ -45,17 +65,39 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-lotus"
 
 
+def _default_blob_threshold() -> int:
+    override = os.environ.get(CACHE_BLOB_ENV, "").strip()
+    if override:
+        try:
+            return max(int(override), 1)
+        except ValueError:
+            pass
+    return DEFAULT_BLOB_THRESHOLD_FRAMES
+
+
+def _tree_bytes(path: Path) -> int:
+    total = 0
+    for item in path.rglob("*"):
+        with contextlib.suppress(OSError):
+            if item.is_file():
+                total += item.stat().st_size
+    return total
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Summary of a cache directory's contents.
 
     Attributes:
         entries: Number of stored session results.
-        total_bytes: Total size of the stored payloads on disk.
+        total_bytes: Total size of the stored payloads on disk, sidecar
+            blobs included.
+        blob_bytes: Portion of ``total_bytes`` held in sidecar blobs.
     """
 
     entries: int
     total_bytes: int
+    blob_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -65,15 +107,19 @@ class CacheEntry:
     Attributes:
         key: The job hash the entry is stored under.
         path: Payload path on disk.
-        size_bytes: Compressed payload size.
+        size_bytes: Compressed payload size plus the entry's sidecar blob,
+            if it has one.
         modified: Last-modified time (epoch seconds) — entries are written
             once, so this is effectively the completion time of the job.
+        blob_bytes: Size of the entry's columnar sidecar blob (0 when the
+            trace is inline JSON).
     """
 
     key: str
     path: Path
     size_bytes: int
     modified: float
+    blob_bytes: int = 0
 
 
 class ResultCache:
@@ -84,8 +130,17 @@ class ResultCache:
     single directory.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        blob_threshold_frames: int | None = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.blob_threshold_frames = (
+            _default_blob_threshold()
+            if blob_threshold_frames is None
+            else max(int(blob_threshold_frames), 1)
+        )
 
     # -- paths ---------------------------------------------------------------
 
@@ -93,7 +148,11 @@ class ResultCache:
         """Payload path of a cache key."""
         if not key:
             raise ExperimentError("cache key must be a non-empty string")
-        return self.root / key[:2] / f"{key}.json.gz"
+        return self.root / key[:2] / f"{key}{_PAYLOAD_SUFFIX}"
+
+    def blob_dir_for(self, key: str) -> Path:
+        """Sidecar-blob directory of a cache key (may not exist)."""
+        return self.path_for(key).parent / f"{key}{_BLOB_SUFFIX}"
 
     def contains(self, key: str) -> bool:
         """Whether a result is stored under ``key``."""
@@ -102,29 +161,58 @@ class ResultCache:
     def _iter_entries(self) -> Iterator[Path]:
         if not self.root.exists():
             return
-        yield from self.root.glob("*/*.json.gz")
+        yield from self.root.glob(f"*/*{_PAYLOAD_SUFFIX}")
 
     # -- round trip ----------------------------------------------------------
+
+    def _trace_is_contiguous(self, trace: Trace) -> bool:
+        records = trace.records
+        base = records[0].index if records else 0
+        return all(record.index == base + i for i, record in enumerate(records))
 
     def store(self, key: str, result: SessionResult) -> Path:
         """Persist ``result`` under ``key`` and return the payload path.
 
-        The write goes through a temporary file and an atomic rename so a
-        crashed or interrupted run never leaves a truncated payload behind.
+        Writes go through temporary files and atomic renames so a crashed
+        or interrupted run never leaves a truncated payload behind.  Traces
+        of at least ``blob_threshold_frames`` frames (with contiguous frame
+        indices) are written as a columnar sidecar blob *before* the JSON
+        payload that references it — the payload is the commit point, so a
+        crash in between leaves only an orphaned blob, never a payload
+        pointing at a missing or partial blob.
         """
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "policy_name": result.policy_name,
             "fields": list(_TRACE_FIELDS),
-            "records": [
-                [getattr(record, name) for name in _TRACE_FIELDS]
-                for record in result.trace
-            ],
             "losses": [float(v) for v in result.losses],
             "rewards": [float(v) for v in result.rewards],
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        use_blob = len(
+            result.trace
+        ) >= self.blob_threshold_frames and self._trace_is_contiguous(result.trace)
+        if use_blob:
+            blob_dir = self.blob_dir_for(key)
+            tmp_dir = Path(
+                tempfile.mkdtemp(dir=path.parent, prefix=f".{key}{_BLOB_SUFFIX}-")
+            )
+            try:
+                write_scalar_trace(result.trace, tmp_dir)
+                if blob_dir.exists():
+                    shutil.rmtree(blob_dir)
+                os.replace(tmp_dir, blob_dir)
+            except BaseException:
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+                raise
+            payload["trace_blob"] = blob_dir.name
+            payload["num_frames"] = len(result.trace)
+        else:
+            payload["records"] = [
+                [getattr(record, name) for name in _TRACE_FIELDS]
+                for record in result.trace
+            ]
         # Unique temp name per writer: two processes storing the same key
         # concurrently (shared cache directory) must not clobber each
         # other's half-written payload before the atomic rename.
@@ -138,14 +226,21 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
             raise
+        if not use_blob:
+            # A smaller re-store under the same key supersedes any stale
+            # sidecar blob from a previous schema or threshold.
+            stale = self.blob_dir_for(key)
+            if stale.exists():
+                shutil.rmtree(stale, ignore_errors=True)
         return path
 
     def load(self, key: str) -> Optional[SessionResult]:
         """Load the result stored under ``key``; ``None`` on miss.
 
         Entries written by an incompatible schema version, or corrupted on
-        disk, are treated as misses (and are overwritten by the next store)
-        rather than raised, so a stale cache can never break a sweep.
+        disk — including missing, truncated or tampered sidecar blobs — are
+        treated as misses (and are overwritten by the next store) rather
+        than raised, so a stale cache can never break a sweep.
         """
         path = self.path_for(key)
         if not path.exists():
@@ -159,9 +254,25 @@ class ResultCache:
             return None
         if payload.get("fields") != list(_TRACE_FIELDS):
             return None
-        trace = Trace(
-            [FrameRecord(**dict(zip(_TRACE_FIELDS, row))) for row in payload["records"]]
-        )
+        blob_name = payload.get("trace_blob")
+        if blob_name is not None:
+            # The reference is a bare directory name inside the entry's
+            # shard; reject anything path-like outright.
+            if Path(blob_name).name != blob_name:
+                return None
+            try:
+                trace = read_scalar_trace(path.parent / blob_name)
+            except StoreError:
+                return None
+            if len(trace) != payload.get("num_frames", len(trace)):
+                return None
+        else:
+            trace = Trace(
+                [
+                    FrameRecord(**dict(zip(_TRACE_FIELDS, row)))
+                    for row in payload["records"]
+                ]
+            )
         return session_result_from_trace(
             payload["policy_name"],
             trace,
@@ -172,19 +283,23 @@ class ResultCache:
     # -- maintenance ---------------------------------------------------------
 
     def stats(self) -> CacheStats:
-        """Entry count and total payload size of the cache."""
+        """Entry count and total size (payloads plus blobs) of the cache."""
         entries = 0
         total = 0
-        for path in self._iter_entries():
+        blobs = 0
+        for entry in self.entries():
             entries += 1
-            total += path.stat().st_size
-        return CacheStats(entries=entries, total_bytes=total)
+            total += entry.size_bytes
+            blobs += entry.blob_bytes
+        return CacheStats(entries=entries, total_bytes=total, blob_bytes=blobs)
 
     def entries(self) -> List[CacheEntry]:
         """Every stored entry with its on-disk size, newest first.
 
-        Entries deleted between the directory scan and the stat (another
-        process pruning concurrently) are skipped, not raised.
+        ``size_bytes`` covers the payload *and* its sidecar blob, so
+        ``cache list`` and prune decisions see the true footprint.  Entries
+        deleted between the directory scan and the stat (another process
+        pruning concurrently) are skipped, not raised.
         """
         items: List[CacheEntry] = []
         for path in self._iter_entries():
@@ -192,16 +307,39 @@ class ResultCache:
                 stat = path.stat()
             except FileNotFoundError:
                 continue
+            key = path.name[: -len(_PAYLOAD_SUFFIX)]
+            blob = path.parent / f"{key}{_BLOB_SUFFIX}"
+            blob_bytes = _tree_bytes(blob) if blob.is_dir() else 0
             items.append(
                 CacheEntry(
-                    key=path.name[: -len(".json.gz")],
+                    key=key,
                     path=path,
-                    size_bytes=stat.st_size,
+                    size_bytes=stat.st_size + blob_bytes,
                     modified=stat.st_mtime,
+                    blob_bytes=blob_bytes,
                 )
             )
         items.sort(key=lambda entry: (-entry.modified, entry.key))
         return items
+
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        with contextlib.suppress(FileNotFoundError):
+            entry.path.unlink()
+        blob = entry.path.parent / f"{entry.key}{_BLOB_SUFFIX}"
+        if blob.is_dir():
+            shutil.rmtree(blob, ignore_errors=True)
+
+    def _remove_orphan_blobs(self) -> None:
+        """Drop blob directories whose payload no longer exists (a crash
+        between blob write and payload commit, or an interrupted prune)."""
+        if not self.root.exists():
+            return
+        for blob in self.root.glob(f"*/*{_BLOB_SUFFIX}"):
+            if not blob.is_dir():
+                continue
+            key = blob.name[: -len(_BLOB_SUFFIX)]
+            if not (blob.parent / f"{key}{_PAYLOAD_SUFFIX}").exists():
+                shutil.rmtree(blob, ignore_errors=True)
 
     def _remove_empty_shards(self) -> None:
         if self.root.exists():
@@ -216,7 +354,7 @@ class ResultCache:
         now: float | None = None,
         dry_run: bool = False,
     ) -> int:
-        """Delete old entries; returns the number removed.
+        """Delete old entries (payloads and blobs); returns the number removed.
 
         Args:
             keep_latest: Keep only the N most recently written entries.
@@ -249,17 +387,18 @@ class ResultCache:
                     doomed[entry.path] = entry
         if dry_run:
             return len(doomed)
-        for path in doomed:
-            with contextlib.suppress(FileNotFoundError):
-                path.unlink()
+        for entry in doomed.values():
+            self._remove_entry(entry)
+        self._remove_orphan_blobs()
         self._remove_empty_shards()
         return len(doomed)
 
     def clear(self) -> int:
-        """Delete every stored entry; returns the number removed."""
+        """Delete every stored entry (and blob); returns the number removed."""
         removed = 0
-        for path in list(self._iter_entries()):
-            path.unlink()
+        for entry in self.entries():
+            self._remove_entry(entry)
             removed += 1
+        self._remove_orphan_blobs()
         self._remove_empty_shards()
         return removed

@@ -34,7 +34,7 @@ from typing import Any, Dict, Optional, Tuple
 
 #: Bumped whenever the serialised payload layout or the key derivation
 #: changes incompatibly; keys embed it so stale entries are never read.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

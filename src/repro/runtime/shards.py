@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import shutil
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -46,6 +47,7 @@ import numpy as np
 from repro.errors import FaultError, ShardError
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.fleet import (
+    _FRAME_RESULT_ARRAY_FIELDS,
     FleetFrameResult,
     FleetSessionGroup,
     FleetTrace,
@@ -54,6 +56,7 @@ from repro.env.fleet import (
     run_grouped_fleet_episode,
     validate_session_partition,
 )
+from repro.store import FleetTraceWriter, MappedFleetTrace
 from repro.faults.plan import WorkerCrash
 from repro.runtime.fleet import (
     FleetRunResult,
@@ -211,24 +214,41 @@ def _shard_session_groups(
     return session_groups, list(grouped.items())
 
 
+def _spool_store_path(spool_dir: str, start: int, stop: int) -> Path:
+    return Path(spool_dir) / f"shard-{start:06d}-{stop:06d}"
+
+
 def _run_scenario_shard(
     scenario: "FleetScenario",
     num_sessions: int,
     start: int,
     stop: int,
+    spool_dir: Optional[str] = None,
 ):
-    """Run one scenario shard; returns its frames and per-session histories.
+    """Run one scenario shard; returns its trace and per-session histories.
 
     Executed inside a worker process (or inline for single-shard runs).
     The scenario is re-resolved in the worker — assignment resolution is
     deterministic — and the shard runs the global sessions ``start..stop-1``
     as its own grouped fleet episode.
+
+    With ``spool_dir`` set (the pooled path) the shard sinks its frames
+    incrementally into a columnar chunk store under that directory and
+    returns only the manifest path, so traces cross the process boundary
+    through ``mmap``-able files instead of pickled frame objects.  Without
+    it (inline single-shard runs) the in-memory :class:`FleetTrace` is
+    returned directly.
     """
     assignments = scenario.session_assignments(num_sessions)[start:stop]
     frames = scenario.num_frames
     session_groups, grouped = _shard_session_groups(assignments, frames, start)
-    trace = run_grouped_fleet_episode(session_groups, frames)
     count = stop - start
+    if spool_dir is None:
+        payload = run_grouped_fleet_episode(session_groups, frames)
+    else:
+        writer = FleetTraceWriter(_spool_store_path(spool_dir, start, stop), count)
+        run_grouped_fleet_episode(session_groups, frames, sink=writer)
+        payload = str(writer.close())
     losses: List[List[float]] = [[] for _ in range(count)]
     rewards: List[List[float]] = [[] for _ in range(count)]
     names: List[str] = [""] * count
@@ -243,7 +263,7 @@ def _run_scenario_shard(
             losses[assignment.index - start] = group_losses[local]
             rewards[assignment.index - start] = group_rewards[local]
             names[assignment.index - start] = group_names[local]
-    return list(trace), losses, rewards, names
+    return payload, losses, rewards, names
 
 
 def _run_fleet_shard(
@@ -252,6 +272,7 @@ def _run_fleet_shard(
     offset: int,
     count: int,
     ambient: "AmbientProfile | None",
+    spool_dir: Optional[str] = None,
 ):
     """Run one homogeneous-cell shard: sessions ``offset..offset+count-1``.
 
@@ -260,16 +281,27 @@ def _run_fleet_shard(
     generator ``default_rng(seed + offset + i)`` and proposal generator
     ``default_rng(seed + offset + i + 1)`` — exactly sessions
     ``offset..offset+count-1`` of the full fleet (and of the scalar runs).
+
+    As with :func:`_run_scenario_shard`, ``spool_dir`` switches the return
+    payload from an in-memory trace to the manifest path of a spooled
+    columnar chunk store.
     """
     shard_setting = setting.with_overrides(seed=setting.seed + offset)
     environment = make_fleet_environment(shard_setting, count, ambient=ambient)
     policy = make_fleet_policy(
         method, environment, setting.num_frames, seed=shard_setting.seed
     )
-    trace = run_fleet_episode(environment, policy, setting.num_frames)
+    if spool_dir is None:
+        payload = run_fleet_episode(environment, policy, setting.num_frames)
+    else:
+        writer = FleetTraceWriter(
+            _spool_store_path(spool_dir, offset, offset + count), count
+        )
+        run_fleet_episode(environment, policy, setting.num_frames, sink=writer)
+        payload = str(writer.close())
     losses, rewards = _session_histories(policy, count)
     names = _session_policy_names(policy, count)
-    return list(trace), losses, rewards, names, policy.name
+    return payload, losses, rewards, names, policy.name
 
 
 # ---------------------------------------------------------------------------
@@ -277,35 +309,103 @@ def _run_fleet_shard(
 # ---------------------------------------------------------------------------
 
 
+def _as_shard_trace(entry):
+    """Normalise one shard payload into a columnar trace-like.
+
+    Accepts a manifest path (opened as a zero-copy
+    :class:`~repro.store.MappedFleetTrace`), any object exposing the
+    column-window protocol (``FleetTrace`` or an already-open mapped trace),
+    or — for backwards compatibility — a plain list of
+    :class:`~repro.env.fleet.FleetFrameResult` frames.
+    """
+    if isinstance(entry, (str, Path)):
+        return MappedFleetTrace(entry), True
+    if hasattr(entry, "column_window"):
+        return entry, False
+    if not entry:
+        raise ShardError("shard returned an empty frame list")
+    wrapped = FleetTrace(entry[0].num_sessions)
+    for frame in entry:
+        wrapped.append(frame)
+    return wrapped, False
+
+
 def _interleave_shard_traces(
-    shard_frames: Sequence[List[FleetFrameResult]],
+    shard_traces: Sequence[object],
     shards: Sequence[ShardPlan],
     num_sessions: int,
+    block_frames: int = 256,
 ) -> FleetTrace:
-    """Merge per-shard frame lists into one trace in global session order.
+    """Merge per-shard traces into one trace in global session order.
 
-    The shard partition is validated once, then each frame index scatters
-    the shards' columnar results into a combined
-    :class:`~repro.env.fleet.FleetFrameResult` — the same machinery the
-    grouped episode loop uses, so a sharded trace is indistinguishable
-    from (bitwise equal to) a single-process one.
+    Shard payloads are columnar trace-likes — in practice the manifest
+    paths of spooled chunk stores, opened here as memory-mapped column
+    views (see :func:`_as_shard_trace`).  The shard partition is validated
+    once, then the merge scatters ``block_frames``-frame column windows
+    straight into combined per-frame arrays: no shard trace is ever
+    unpickled or materialised frame-object by frame-object, and peak merge
+    memory is one block per column rather than every shard's full trace.
+    The scatter applies the same partition machinery the grouped episode
+    loop uses, so a sharded trace is indistinguishable from (bitwise equal
+    to) a single-process one.
     """
     targets = validate_session_partition(
         [shard.session_indices for shard in shards], num_sessions
     )
-    lengths = {len(frames) for frames in shard_frames}
-    if len(lengths) != 1:
-        raise ShardError(f"shards returned unequal frame counts: {sorted(lengths)}")
-    trace = FleetTrace(num_sessions)
-    for frame_index in range(lengths.pop()):
-        trace.append(
-            _scatter_frame_results(
-                [frames[frame_index] for frames in shard_frames],
-                targets,
-                num_sessions,
+    normalised = [_as_shard_trace(entry) for entry in shard_traces]
+    traces = [trace for trace, _ in normalised]
+    try:
+        lengths = {len(trace) for trace in traces}
+        if len(lengths) != 1:
+            raise ShardError(
+                f"shards returned unequal frame counts: {sorted(lengths)}"
             )
-        )
-    return trace
+        num_frames = lengths.pop()
+        starts = {trace.start_index for trace in traces}
+        if len(starts) != 1:
+            raise ShardError(
+                f"shard frame indices diverged: starts {sorted(starts)}"
+            )
+        start_index = starts.pop()
+        target_lists = [target.tolist() for target in targets]
+        merged = FleetTrace(num_sessions)
+        for lo in range(0, num_frames, block_frames):
+            hi = min(lo + block_frames, num_frames)
+            blocks: Dict[str, np.ndarray] = {}
+            for field in _FRAME_RESULT_ARRAY_FIELDS:
+                first = traces[0].column_window(field, lo, hi)
+                out = np.empty((hi - lo, num_sessions), dtype=first.dtype)
+                out[:, targets[0]] = first
+                for trace, target in zip(traces[1:], targets[1:]):
+                    window = trace.column_window(field, lo, hi)
+                    if window.dtype != first.dtype:
+                        raise ShardError(
+                            f"shard column {field!r} dtypes diverged: "
+                            f"{window.dtype} != {first.dtype}"
+                        )
+                    out[:, target] = window
+                blocks[field] = out
+            dataset_rows = [[""] * num_sessions for _ in range(hi - lo)]
+            for trace, target in zip(traces, target_lists):
+                for row, datasets in zip(dataset_rows, trace.datasets_window(lo, hi)):
+                    for local, global_index in enumerate(target):
+                        row[global_index] = datasets[local]
+            for offset in range(hi - lo):
+                merged.append(
+                    FleetFrameResult(
+                        index=start_index + lo + offset,
+                        datasets=tuple(dataset_rows[offset]),
+                        **{
+                            field: blocks[field][offset]
+                            for field in _FRAME_RESULT_ARRAY_FIELDS
+                        },
+                    )
+                )
+        return merged
+    finally:
+        for trace, opened in normalised:
+            if opened:
+                trace.close()
 
 
 # ---------------------------------------------------------------------------
@@ -416,21 +516,33 @@ def run_sharded_scenario(
 
     start_time = time.perf_counter()
     if len(shards) == 1:
+        # A single planned shard runs inline and already covers every
+        # session in global order: its trace is the fleet trace.
         shard_results = [
             _run_scenario_shard(scenario, total, shards[0].start, shards[0].stop)
         ]
+        fleet_trace = shard_results[0][0]
     else:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [
-                pool.submit(
-                    _run_scenario_shard, scenario, total, shard.start, shard.stop
-                )
-                for shard in shards
-            ]
-            shard_results = [future.result() for future in futures]
-    fleet_trace = _interleave_shard_traces(
-        [frames for frames, _, _, _ in shard_results], shards, total
-    )
+        spool = tempfile.mkdtemp(prefix="repro-shards-")
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [
+                    pool.submit(
+                        _run_scenario_shard,
+                        scenario,
+                        total,
+                        shard.start,
+                        shard.stop,
+                        spool,
+                    )
+                    for shard in shards
+                ]
+                shard_results = [future.result() for future in futures]
+            fleet_trace = _interleave_shard_traces(
+                [payload for payload, _, _, _ in shard_results], shards, total
+            )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
 
     sessions: List[SessionResult] = [None] * total  # type: ignore[list-item]
@@ -488,31 +600,39 @@ def run_sharded_fleet(
     ]
 
     start_time = time.perf_counter()
-    if len(blocks) == 1:
-        shard_results = [
-            _run_fleet_shard(setting, method, 0, num_sessions, ambient)
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=len(blocks)) as pool:
-            futures = [
-                pool.submit(
-                    _run_fleet_shard,
-                    setting,
-                    method,
-                    int(block[0]),
-                    int(block.size),
-                    ambient,
-                )
-                for block in blocks
-            ]
-            shard_results = [future.result() for future in futures]
     shards = tuple(
         ShardPlan(index=k, start=int(block[0]), stop=int(block[-1]) + 1)
         for k, block in enumerate(blocks)
     )
-    fleet_trace = _interleave_shard_traces(
-        [frames for frames, _, _, _, _ in shard_results], shards, num_sessions
-    )
+    if len(blocks) == 1:
+        shard_results = [
+            _run_fleet_shard(setting, method, 0, num_sessions, ambient)
+        ]
+        fleet_trace = shard_results[0][0]
+    else:
+        spool = tempfile.mkdtemp(prefix="repro-shards-")
+        try:
+            with ProcessPoolExecutor(max_workers=len(blocks)) as pool:
+                futures = [
+                    pool.submit(
+                        _run_fleet_shard,
+                        setting,
+                        method,
+                        int(block[0]),
+                        int(block.size),
+                        ambient,
+                        spool,
+                    )
+                    for block in blocks
+                ]
+                shard_results = [future.result() for future in futures]
+            fleet_trace = _interleave_shard_traces(
+                [payload for payload, _, _, _, _ in shard_results],
+                shards,
+                num_sessions,
+            )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
 
     sessions: List[SessionResult] = []
@@ -635,6 +755,10 @@ def _run_supervised_shard(
     ``crash_frame`` injects a worker death: the process calls ``os._exit``
     at the start of that frame, once — a marker file in the spool keeps the
     restarted worker from crashing again.
+
+    The completed trace is spooled as a columnar chunk store next to the
+    checkpoints and only its manifest path is returned, so the supervisor
+    merges memory-mapped columns instead of unpickling frame lists.
     """
     assignments = scenario.session_assignments(num_sessions)[start:stop]
     num_frames = scenario.num_frames
@@ -722,7 +846,18 @@ def _run_supervised_shard(
             rewards[assignment.index - start] = group_rewards[local]
             names[assignment.index - start] = group_names[local]
     degraded = collect_degraded(session_groups, num_frames, count)
-    return frames, losses, rewards, names, degraded
+
+    # Spool the completed trace as a chunk store.  A stale store can exist
+    # if this worker's previous incarnation finished but its result was
+    # lost when another worker broke the pool; rebuild it from scratch.
+    store_dir = spool / f"shard-{shard_index}-trace"
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+    writer = FleetTraceWriter(store_dir, count)
+    for frame_result in frames:
+        writer.append(frame_result)
+    manifest = writer.close()
+    return str(manifest), losses, rewards, names, degraded
 
 
 def run_supervised_scenario(
@@ -842,7 +977,7 @@ def run_supervised_scenario(
 
     ordered = [shard_results[shard.index] for shard in shards]
     fleet_trace = _interleave_shard_traces(
-        [frames for frames, _, _, _, _ in ordered], shards, total
+        [payload for payload, _, _, _, _ in ordered], shards, total
     )
     elapsed_s = time.perf_counter() - start_time
     recovery_s = 0.0 if first_death is None else time.perf_counter() - first_death
@@ -866,9 +1001,9 @@ def run_supervised_scenario(
             )
 
     if own_spool:
-        for path in spool.iterdir():
-            path.unlink()
-        spool.rmdir()
+        # The spool now holds directories (spooled trace stores) alongside
+        # checkpoint and marker files.
+        shutil.rmtree(spool, ignore_errors=True)
 
     return SupervisedScenarioResult(
         scenario=scenario,

@@ -1,0 +1,29 @@
+"""Chunked on-disk columnar trace store (see :mod:`repro.store.columnar`)."""
+
+from repro.store.columnar import (
+    DATASET_CODE_COLUMN,
+    DEFAULT_CHUNK_FRAMES,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+    FleetTraceWriter,
+    MappedFleetTrace,
+    fleet_traces_bitwise_equal,
+    read_scalar_trace,
+    write_fleet_trace,
+    write_scalar_trace,
+)
+
+__all__ = [
+    "DATASET_CODE_COLUMN",
+    "DEFAULT_CHUNK_FRAMES",
+    "MANIFEST_NAME",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "FleetTraceWriter",
+    "MappedFleetTrace",
+    "fleet_traces_bitwise_equal",
+    "read_scalar_trace",
+    "write_fleet_trace",
+    "write_scalar_trace",
+]

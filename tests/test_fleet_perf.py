@@ -57,6 +57,51 @@ def test_committed_fleet_report_records_the_acceptance_numbers():
     ]
 
 
+class TestShardSpeedupHonesty:
+    """Sub-1x shard 'speedups' must be labelled, not silently recorded."""
+
+    def test_single_core_overhead_is_flagged_as_expected(self):
+        from repro.perf.fleet_benchmarks import annotate_shard_speedups
+
+        notes = annotate_shard_speedups(
+            {"fleet_shards_2": 0.8, "fleet_shards_8": 0.4}, host_cpu_count=1
+        )
+        for note in notes.values():
+            assert note.startswith("expected single-core overhead")
+            assert "1 core" in note
+
+    def test_parallel_host_sub_1x_is_a_regression(self):
+        from repro.perf.fleet_benchmarks import annotate_shard_speedups
+
+        notes = annotate_shard_speedups(
+            {"fleet_shards_2": 0.8, "fleet_shards_4": 3.1, "fleet_shards_16": 0.9},
+            host_cpu_count=8,
+        )
+        assert notes["fleet_shards_2"].startswith("regression")
+        assert notes["fleet_shards_4"] == "ok"
+        # More shards than cores cannot be expected to scale.
+        assert notes["fleet_shards_16"].startswith("expected single-core overhead")
+
+    def test_committed_shard_report_annotates_every_sub_1x_entry(self):
+        """BENCH_PR6.json labels its recorded host and every sub-1x ratio."""
+        from pathlib import Path
+
+        from repro.perf import DEFAULT_SHARD_OUTPUT
+
+        path = Path(__file__).resolve().parents[1] / DEFAULT_SHARD_OUTPUT
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["host_cpu_count"], int)
+        assert payload["parallel_hardware_available"] == (
+            payload["host_cpu_count"] > 1
+        )
+        for family, ratio in payload["speedups"].items():
+            note = payload["speedup_notes"][family]
+            if ratio >= 1.0:
+                assert note == "ok"
+            else:
+                assert note != "ok" and str(payload["host_cpu_count"]) in note
+
+
 def test_bench_cli_fleet_suite_writes_default_report(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     import repro.perf as perf_pkg

@@ -43,7 +43,18 @@ FRAMES = 6
 
 
 def assert_traces_identical(trace_a, trace_b) -> None:
-    """Bitwise trace equality: every frame, every column, every session."""
+    """Bitwise trace equality: every frame, every column, every session.
+
+    The passing case runs entirely over blocked column views
+    (:func:`repro.store.fleet_traces_bitwise_equal`) — linear in the trace
+    and free of per-frame object rebuilding — so the full-registry sweep
+    stays cheap as fleets grow.  Only on a mismatch does the harness drop
+    into the frame-by-frame loop to name the first offending column.
+    """
+    from repro.store import fleet_traces_bitwise_equal
+
+    if fleet_traces_bitwise_equal(trace_a, trace_b):
+        return
     frames_a, frames_b = list(trace_a), list(trace_b)
     assert len(frames_a) == len(frames_b)
     assert trace_a.num_sessions == trace_b.num_sessions
@@ -59,6 +70,7 @@ def assert_traces_identical(trace_a, trace_b) -> None:
                 ), f"frame {fa.index}: {field} differs bitwise"
             else:
                 assert np.array_equal(a, b), f"frame {fa.index}: {field} differs"
+    pytest.fail("column-view comparison reported a mismatch the frame loop missed")
 
 
 def _hetero_scenario(frames: int = FRAMES) -> FleetScenario:

@@ -1,0 +1,366 @@
+"""The columnar trace store: round-trips, rejection, merge byte-identity.
+
+Three contracts, in the order a store lives through them:
+
+* **Round-trip** — a trace written through :class:`FleetTraceWriter` and
+  read back via :class:`MappedFleetTrace` is byte-identical to the
+  in-memory :class:`~repro.env.fleet.FleetTrace`, across randomized
+  shapes and chunk geometries, including NaN payloads and ``-0.0``.
+* **Rejection** — truncated, tampered or version-mismatched artifacts
+  raise a typed :class:`~repro.errors.StoreError` (a
+  :class:`~repro.errors.ReproError`), never a silent wrong read; writer
+  misuse (non-contiguous indices, wrong fleet width, empty close) is
+  rejected the same way.
+* **Merge identity** — a sharded run whose workers spool stores to disk
+  re-interleaves through the memory-mapped merge path into a trace
+  byte-identical to the unsharded run.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.env.fleet import FleetFrameResult, FleetTrace, _FRAME_RESULT_ARRAY_FIELDS
+from repro.env.trace import Trace
+from repro.errors import ReproError, StoreError
+from repro.store import (
+    DEFAULT_CHUNK_FRAMES,
+    MANIFEST_NAME,
+    FleetTraceWriter,
+    MappedFleetTrace,
+    fleet_traces_bitwise_equal,
+    read_scalar_trace,
+    write_fleet_trace,
+    write_scalar_trace,
+)
+
+
+def make_trace(
+    num_sessions: int,
+    num_frames: int,
+    seed: int = 0,
+    start_index: int = 0,
+    special_floats: bool = False,
+) -> FleetTrace:
+    """A deterministic random trace; optionally salted with NaN and -0.0."""
+    rng = np.random.default_rng(seed)
+    datasets = tuple(
+        ("kitti", "visdrone2019")[int(rng.integers(0, 2))]
+        for _ in range(num_sessions)
+    )
+    trace = FleetTrace(num_sessions)
+    for frame in range(num_frames):
+        shape = (num_sessions,)
+        floats = {
+            name: rng.random(shape) * 100.0
+            for name in (
+                "stage1_latency_ms",
+                "stage2_latency_ms",
+                "total_latency_ms",
+                "latency_constraint_ms",
+                "cpu_temperature_c",
+                "gpu_temperature_c",
+                "ambient_temperature_c",
+                "energy_j",
+            )
+        }
+        if special_floats:
+            # Salt every float column with the representations plain "=="
+            # comparison would miss: NaN (with a payload), -0.0 and +0.0.
+            for values in floats.values():
+                values[rng.integers(0, num_sessions)] = np.nan
+                values[rng.integers(0, num_sessions)] = -0.0
+                values[rng.integers(0, num_sessions)] = 0.0
+        trace.append(
+            FleetFrameResult(
+                index=start_index + frame,
+                datasets=datasets,
+                num_proposals=rng.integers(1, 300, shape, dtype=np.int64),
+                met_constraint=rng.random(shape) < 0.9,
+                cpu_level_stage1=rng.integers(0, 8, shape, dtype=np.int64),
+                gpu_level_stage1=rng.integers(0, 8, shape, dtype=np.int64),
+                cpu_level_stage2=rng.integers(0, 8, shape, dtype=np.int64),
+                gpu_level_stage2=rng.integers(0, 8, shape, dtype=np.int64),
+                cpu_throttled=rng.random(shape) < 0.05,
+                gpu_throttled=rng.random(shape) < 0.05,
+                **floats,
+            )
+        )
+    return trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "num_sessions,num_frames,chunk_frames",
+        [
+            (1, 1, DEFAULT_CHUNK_FRAMES),
+            (1, 7, 3),
+            (5, 12, 4),  # exact multiple of the chunk size
+            (5, 13, 4),  # ragged final chunk
+            (17, 2, 1),  # one frame per chunk
+            (3, 40, 64),  # single chunk bigger than the trace
+        ],
+    )
+    def test_randomized_shapes_round_trip_bitwise(
+        self, tmp_path, num_sessions, num_frames, chunk_frames
+    ):
+        trace = make_trace(
+            num_sessions, num_frames, seed=num_sessions * 100 + num_frames,
+            special_floats=True,
+        )
+        path = write_fleet_trace(trace, tmp_path / "store", chunk_frames=chunk_frames)
+        mapped = MappedFleetTrace(path, verify=True)
+        assert fleet_traces_bitwise_equal(trace, mapped)
+        assert fleet_traces_bitwise_equal(mapped, trace)
+        assert len(mapped) == num_frames
+        assert mapped.num_sessions == num_sessions
+
+    def test_frames_and_windows_match_the_source(self, tmp_path):
+        trace = make_trace(4, 11, seed=3, special_floats=True)
+        mapped = MappedFleetTrace(write_fleet_trace(trace, tmp_path / "s", chunk_frames=4))
+        for source, roundtripped in zip(trace, mapped):
+            assert source.index == roundtripped.index
+            assert source.datasets == roundtripped.datasets
+            for field in _FRAME_RESULT_ARRAY_FIELDS:
+                a, b = getattr(source, field), getattr(roundtripped, field)
+                assert a.dtype == b.dtype
+                if a.dtype.kind == "f":
+                    assert np.array_equal(a.view(np.int64), b.view(np.int64))
+                else:
+                    assert np.array_equal(a, b)
+        window = mapped.column_window("total_latency_ms", 2, 9)
+        dense = trace.column_window("total_latency_ms", 2, 9)
+        assert np.array_equal(window.view(np.int64), dense.view(np.int64))
+        assert mapped.datasets_window(1, 5) == trace.datasets_window(1, 5)
+        assert mapped[-1].index == trace[len(trace) - 1].index
+
+    def test_nonzero_start_index_is_preserved(self, tmp_path):
+        trace = make_trace(3, 5, seed=9, start_index=40)
+        mapped = MappedFleetTrace(write_fleet_trace(trace, tmp_path / "s"))
+        assert mapped.start_index == 40
+        assert [frame.index for frame in mapped] == [40, 41, 42, 43, 44]
+        assert fleet_traces_bitwise_equal(trace, mapped)
+
+    def test_session_trace_matches_in_memory_rebuild(self, tmp_path):
+        trace = make_trace(6, 9, seed=5, special_floats=True)
+        mapped = MappedFleetTrace(write_fleet_trace(trace, tmp_path / "s", chunk_frames=2))
+        for session in range(6):
+            direct = trace.session_trace(session)
+            via_store = mapped.session_trace(session)
+            assert isinstance(via_store, Trace)
+            for a, b in zip(direct, via_store):
+                assert a == b or (
+                    # NaN-salted records: compare fields bitwise.
+                    all(
+                        np.float64(getattr(a, f)).view(np.int64)
+                        == np.float64(getattr(b, f)).view(np.int64)
+                        if isinstance(getattr(a, f), float)
+                        else getattr(a, f) == getattr(b, f)
+                        for f in a.__dataclass_fields__
+                    )
+                )
+
+    def test_scalar_trace_round_trip(self, tmp_path):
+        fleet = make_trace(1, 17, seed=21, special_floats=True)
+        scalar = fleet.session_trace(0)
+        write_scalar_trace(scalar, tmp_path / "scalar", chunk_frames=5)
+        loaded = read_scalar_trace(tmp_path / "scalar")
+        assert len(loaded) == len(scalar)
+        for a, b in zip(scalar, loaded):
+            for field in a.__dataclass_fields__:
+                va, vb = getattr(a, field), getattr(b, field)
+                if isinstance(va, float):
+                    assert np.float64(va).view(np.int64) == np.float64(vb).view(np.int64)
+                else:
+                    assert va == vb
+
+    def test_mapped_chunk_cache_is_bounded(self, tmp_path):
+        trace = make_trace(2, 24, seed=8)
+        mapped = MappedFleetTrace(
+            write_fleet_trace(trace, tmp_path / "s", chunk_frames=2),
+            map_cache_chunks=3,
+        )
+        for _ in mapped.iter_column_chunks("total_latency_ms"):
+            assert len(mapped._maps) <= 3
+        assert fleet_traces_bitwise_equal(trace, mapped)
+        with pytest.raises(StoreError):
+            MappedFleetTrace(tmp_path / "s", map_cache_chunks=0)
+
+
+class TestRejection:
+    def setup_store(self, tmp_path, **kwargs):
+        trace = make_trace(3, 10, seed=1)
+        path = write_fleet_trace(trace, tmp_path / "store", chunk_frames=4, **kwargs)
+        return trace, path
+
+    def test_store_error_is_a_repro_error(self):
+        assert issubclass(StoreError, ReproError)
+
+    def test_missing_manifest_is_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreError, match="no manifest"):
+            MappedFleetTrace(tmp_path / "empty")
+
+    def test_corrupt_manifest_json_is_rejected(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreError, match="corrupt store manifest"):
+            MappedFleetTrace(path)
+
+    def test_format_and_version_mismatch_are_rejected(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        manifest = json.loads(path.read_text())
+        for key, value, pattern in (
+            ("format", "someone-elses/v9", "unknown store format"),
+            ("version", 99, "not supported"),
+        ):
+            tampered = dict(manifest)
+            tampered[key] = value
+            path.write_text(json.dumps(tampered), encoding="utf-8")
+            with pytest.raises(StoreError, match=pattern):
+                MappedFleetTrace(path)
+
+    def test_truncated_chunk_is_rejected_at_open(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        chunk = next(path.parent.glob("chunk-*.bin"))
+        chunk.write_bytes(chunk.read_bytes()[:-8])
+        with pytest.raises(StoreError, match="truncated"):
+            MappedFleetTrace(path)
+
+    def test_missing_chunk_is_rejected_at_open(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        next(path.parent.glob("chunk-*.bin")).unlink()
+        with pytest.raises(StoreError):
+            MappedFleetTrace(path)
+
+    def test_tampered_chunk_fails_verification(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        chunk = sorted(path.parent.glob("chunk-*.bin"))[0]
+        payload = bytearray(chunk.read_bytes())
+        payload[10] ^= 0xFF  # same size, different bytes
+        chunk.write_bytes(bytes(payload))
+        MappedFleetTrace(path)  # size checks alone cannot see this
+        with pytest.raises(StoreError, match="SHA-256"):
+            MappedFleetTrace(path, verify=True)
+
+    def test_schema_drift_in_manifest_columns_is_rejected(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        manifest = json.loads(path.read_text())
+        manifest["columns"] = manifest["columns"][:-1]
+        path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(StoreError):
+            MappedFleetTrace(path)
+
+    def test_writer_rejects_non_contiguous_frame_indices(self, tmp_path):
+        trace = make_trace(2, 3, seed=4)
+        writer = FleetTraceWriter(tmp_path / "w", num_sessions=2)
+        writer.append(trace[0])
+        with pytest.raises(StoreError, match="contiguous"):
+            writer.append(trace[2])
+
+    def test_writer_rejects_wrong_fleet_width(self, tmp_path):
+        narrow = make_trace(2, 1, seed=4)
+        writer = FleetTraceWriter(tmp_path / "w", num_sessions=3)
+        with pytest.raises(StoreError):
+            writer.append(narrow[0])
+
+    def test_writer_rejects_empty_close_and_existing_store(self, tmp_path):
+        with pytest.raises(StoreError, match="no frames"):
+            FleetTraceWriter(tmp_path / "w", num_sessions=2).close()
+        _, path = self.setup_store(tmp_path)
+        with pytest.raises(StoreError, match="already"):
+            FleetTraceWriter(path.parent, num_sessions=3)
+
+    def test_aborted_writer_leaves_no_readable_store(self, tmp_path):
+        trace = make_trace(2, 6, seed=6)
+        try:
+            with FleetTraceWriter(tmp_path / "w", num_sessions=2) as writer:
+                writer.append(trace[0])
+                raise RuntimeError("simulated crash mid-episode")
+        except RuntimeError:
+            pass
+        # No manifest was written, so the partial spool is not a store.
+        with pytest.raises(StoreError):
+            MappedFleetTrace(tmp_path / "w")
+
+    def test_scalar_reader_rejects_fleet_stores(self, tmp_path):
+        _, path = self.setup_store(tmp_path)
+        with pytest.raises(StoreError, match="1-session"):
+            read_scalar_trace(path)
+
+
+class TestShardedMergeIdentity:
+    def test_sharded_run_is_byte_identical_through_the_mmap_merge(self):
+        from repro.runtime.fleet import run_fleet_scenario
+        from repro.runtime.shards import run_sharded_scenario
+        from repro.scenarios import build_scenario
+
+        scenario = build_scenario("cctv-burst").with_overrides(num_frames=6)
+        reference = run_fleet_scenario(scenario, num_sessions=6)
+        sharded = run_sharded_scenario(scenario, num_sessions=6, num_shards=3)
+        assert fleet_traces_bitwise_equal(
+            reference.fleet_trace, sharded.fleet_trace
+        )
+
+    def test_interleave_accepts_manifest_paths(self, tmp_path):
+        from repro.runtime.shards import ShardPlan, _interleave_shard_traces
+
+        full = make_trace(6, 8, seed=30, special_floats=True)
+        shards = [ShardPlan(0, 0, 2), ShardPlan(1, 2, 6)]
+        payloads = []
+        for shard in shards:
+            part = FleetTrace(shard.num_sessions)
+            for frame in full:
+                part.append(
+                    FleetFrameResult(
+                        index=frame.index,
+                        datasets=frame.datasets[shard.start : shard.stop],
+                        **{
+                            field: getattr(frame, field)[shard.start : shard.stop]
+                            for field in _FRAME_RESULT_ARRAY_FIELDS
+                        },
+                    )
+                )
+            payloads.append(
+                str(write_fleet_trace(part, tmp_path / f"shard-{shard.index}"))
+            )
+        merged = _interleave_shard_traces(payloads, shards, 6)
+        assert fleet_traces_bitwise_equal(merged, full)
+
+    def test_store_is_smaller_than_or_close_to_pickle(self, tmp_path):
+        """Column blocks carry no per-object overhead: sanity-check size."""
+        trace = make_trace(64, 32, seed=12)
+        store = write_fleet_trace(trace, tmp_path / "s").parent
+        store_bytes = sum(p.stat().st_size for p in store.iterdir())
+        pickled = pickle.dumps(list(trace), protocol=pickle.HIGHEST_PROTOCOL)
+        assert store_bytes < len(pickled) * 1.05
+
+
+class TestMemoizedSessionTraces:
+    def test_session_trace_is_memoized_and_invalidated_on_append(self):
+        trace = make_trace(3, 4, seed=2)
+        first = trace.session_trace(1)
+        assert trace.session_trace(1) is first
+        trace.append(
+            FleetFrameResult(
+                index=4,
+                datasets=trace[0].datasets,
+                **{
+                    field: getattr(trace[0], field).copy()
+                    for field in _FRAME_RESULT_ARRAY_FIELDS
+                },
+            )
+        )
+        rebuilt = trace.session_trace(1)
+        assert rebuilt is not first
+        assert len(rebuilt) == 5
+
+    def test_cache_is_bounded(self):
+        trace = make_trace(FleetTrace._SESSION_CACHE_LIMIT + 8, 2, seed=13)
+        for session in range(trace.num_sessions):
+            trace.session_trace(session)
+        assert len(trace._session_cache) <= FleetTrace._SESSION_CACHE_LIMIT

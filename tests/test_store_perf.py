@@ -1,0 +1,94 @@
+"""The trace-store perf suite: benchmarks, report schema, CLI, artifact."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_STORE_OUTPUT,
+    BenchReport,
+    format_report,
+    run_store_bench_suite,
+    write_store_report,
+)
+from repro.perf.timer import BenchResult
+from repro.runtime.cli import main as cli_main
+
+
+def test_quick_store_suite_runs_and_report_is_written(tmp_path):
+    report, extra = run_store_bench_suite(quick=True)
+    names = {r.name for r in report.results}
+    assert any(n.startswith("store_write_") for n in names)
+    assert any(n.startswith("mmap_merge_") for n in names)
+    assert any(n.endswith("_object") for n in names)
+    assert any(n.endswith("_streaming") for n in names)
+    assert {"store_write", "mmap_merge", "report_peak_rss"} <= set(report.speedups)
+
+    bounded = extra["bounded_report"]
+    # Both report children rendered the same numbers from different
+    # representations; only summation order may differ.
+    assert bounded["summary_max_rel_delta"] < 1e-9
+    assert bounded["streaming"]["store_bytes"] > 0
+    if sys.platform.startswith("linux"):
+        assert bounded["streaming"]["rss_limit_enforced"] is True
+    assert extra["write_bench"]["store_bytes"] > 0
+    assert extra["write_bench"]["pickle_bytes"] > 0
+
+    out = tmp_path / "bench-store.json"
+    payload = json.loads(write_store_report(report, extra, out).read_text())
+    assert payload["label"] == "PR8"
+    assert payload["quick"] is True
+    assert payload["bounded_report"]["streaming"]["mode"] == "streaming"
+    assert "store_write" in format_report(report)
+
+
+def test_committed_store_report_records_the_acceptance_numbers():
+    """BENCH_PR8.json at the repo root carries the PR's acceptance claim."""
+    path = Path(__file__).resolve().parents[1] / DEFAULT_STORE_OUTPUT
+    payload = json.loads(path.read_text())
+    assert payload["label"] == "PR8"
+    assert payload["quick"] is False
+    bounded = payload["bounded_report"]
+    # The 10k-session report ran, streaming, under an enforced heap ceiling
+    # the object path's measured peak does not fit under.
+    assert bounded["streaming"]["sessions"] == 10_000
+    assert bounded["streaming"]["rss_limit_enforced"] is True
+    assert bounded["streaming"]["peak_rss_mb"] < bounded["streaming"]["rss_limit_mb"]
+    assert bounded["object"]["peak_rss_mb"] > bounded["streaming"]["rss_limit_mb"]
+    assert bounded["peak_rss_ratio"] > 1.5
+    # Both paths agreed on every report quantity.
+    assert bounded["summary_max_rel_delta"] < 1e-9
+    # The memory-mapped merge beats the unpickle-and-scatter object merge.
+    assert payload["speedups"]["mmap_merge"] > 1.0
+    # Before/after wall times of both microbenchmark families are recorded.
+    names = set(payload["benchmarks"])
+    for family in ("store_write", "mmap_merge"):
+        assert any(n.startswith(family) and not n.endswith(("_pickle", "_objects")) for n in names)
+        assert any(n.endswith(("_pickle", "_objects")) and n.startswith(family) for n in names)
+
+
+def test_bench_cli_store_suite_writes_default_report(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    import repro.perf as perf_pkg
+
+    stub = BenchReport(label="PR8", quick=True)
+    stub.add_pair(
+        "mmap_merge",
+        BenchResult("mmap_merge_4x16x16f", 1, 1, 0.02, 0.02),
+        BenchResult("mmap_merge_4x16x16f_objects", 1, 1, 0.08, 0.08),
+    )
+    extra = {"bounded_report": {"peak_rss_ratio": 2.0}}
+    monkeypatch.setattr(
+        perf_pkg, "run_store_bench_suite", lambda quick: (stub, extra)
+    )
+    exit_code = cli_main(["bench", "--suite", "store", "--quick"])
+    assert exit_code == 0
+    assert "mmap_merge" in capsys.readouterr().out
+    payload = json.loads((tmp_path / "BENCH_PR8.json").read_text())
+    assert payload["label"] == "PR8"
+    assert payload["speedups"]["mmap_merge"] == pytest.approx(4.0)
+    assert payload["bounded_report"]["peak_rss_ratio"] == pytest.approx(2.0)
