@@ -122,6 +122,8 @@ from repro.runtime import (
     ExperimentRuntime,
     FleetRunResult,
     FleetScenarioResult,
+    FleetWorkerPool,
+    PoolRunReport,
     RecoveryReport,
     ResultCache,
     ShardPlan,
@@ -131,12 +133,15 @@ from repro.runtime import (
     make_fleet_environment,
     make_fleet_policy,
     plan_shards,
+    pool_enabled,
     run_fleet,
     run_fleet_scenario,
     run_scenario,
     run_sharded_fleet,
     run_sharded_scenario,
     run_supervised_scenario,
+    shared_pool,
+    shutdown_shared_pool,
 )
 from repro.scenarios import (
     FleetMember,
@@ -154,7 +159,7 @@ from repro.store import (
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
@@ -178,6 +183,7 @@ __all__ = [
     "FleetSummary",
     "FleetTrace",
     "FleetTraceWriter",
+    "FleetWorkerPool",
     "FrozenLotusPolicy",
     "FrozenZttPolicy",
     "GeneralizationMatrix",
@@ -187,6 +193,7 @@ __all__ = [
     "PolicyCheckpoint",
     "PolicyError",
     "PolicyStore",
+    "PoolRunReport",
     "RecoveryReport",
     "RemotePolicy",
     "ReproError",
@@ -238,6 +245,7 @@ __all__ = [
     "make_policy",
     "plan_shards",
     "policy_from_checkpoint",
+    "pool_enabled",
     "register_scenario",
     "resilience_report",
     "resilience_table",
@@ -252,6 +260,8 @@ __all__ = [
     "run_sharded_fleet",
     "run_sharded_scenario",
     "run_supervised_scenario",
+    "shared_pool",
+    "shutdown_shared_pool",
     "summarize_trace",
     "summarize_fleet",
     "train_policy",

@@ -21,6 +21,11 @@ bench`` from the microbenchmarks in this package.
   columnar writes vs pickling, memory-mapped shard merges vs per-frame
   object merges, and the bounded-memory 10k-session report under an
   enforced heap ceiling (``BENCH_PR8.json``).
+* :mod:`repro.perf.pool_benchmarks` — the persistent-pool suite: warm
+  shared-pool vs cold pool-per-episode sharded throughput, back-to-back
+  matrix re-renders, the fused-vs-NumPy ``lotus-fleet`` train step, and
+  the aggregate frames/s headline against the 1M+ target
+  (``BENCH_PR9.json``).
 * :mod:`repro.perf.legacy` — the RL reference: the original deque replay
   and mask-padded DQN update, kept verbatim as baseline and equivalence
   oracle.
@@ -45,6 +50,13 @@ from repro.perf.store_benchmarks import (
     run_store_bench_suite,
     write_store_report,
 )
+from repro.perf.pool_benchmarks import (
+    DEFAULT_POOL_OUTPUT,
+    POOL_BENCH_LABEL,
+    POOL_THROUGHPUT_TARGET_FPS,
+    run_pool_bench_suite,
+    write_pool_report,
+)
 from repro.perf.fleet_benchmarks import (
     DEFAULT_FLEET_OUTPUT,
     DEFAULT_SHARD_OUTPUT,
@@ -62,9 +74,12 @@ __all__ = [
     "BenchResult",
     "DEFAULT_FAULTS_OUTPUT",
     "DEFAULT_FLEET_OUTPUT",
+    "DEFAULT_POOL_OUTPUT",
     "DEFAULT_SHARD_OUTPUT",
     "DEFAULT_STORE_OUTPUT",
     "DEFAULT_OUTPUT",
+    "POOL_BENCH_LABEL",
+    "POOL_THROUGHPUT_TARGET_FPS",
     "FLEET_SIZE",
     "FLEET_SPEEDUP_TARGETS",
     "SHARD_THROUGHPUT_TARGET_FPS",
@@ -77,10 +92,12 @@ __all__ = [
     "run_bench_suite",
     "run_fault_bench_suite",
     "run_fleet_bench_suite",
+    "run_pool_bench_suite",
     "run_shard_bench_suite",
     "run_store_bench_suite",
     "write_fault_report",
     "write_fleet_report",
+    "write_pool_report",
     "write_shard_report",
     "write_store_report",
     "write_report",

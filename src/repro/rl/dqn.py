@@ -163,6 +163,7 @@ class DqnLearner:
             predictions = np.zeros(batch_size)
             huber = (np.zeros(batch_size), np.zeros(batch_size), np.zeros(batch_size))
             error, _abs_error, quadratic = huber
+            flat_index = np.zeros(batch_size, dtype=np.intp)
             scratch = (
                 np.arange(batch_size),
                 max_next_q,
@@ -172,16 +173,19 @@ class DqnLearner:
                 # (batch, actions) plane, a reusable index buffer, and the
                 # ravelled view itself.
                 np.arange(batch_size) * self.network.output_dim,
-                np.zeros(batch_size, dtype=np.intp),
+                flat_index,
                 grad_outputs.reshape(-1),
                 predictions,
-                # Fixed buffer addresses for the fused Huber kernel:
-                # (predictions, targets==max_next_q, losses, grad).
+                # Fixed buffer addresses for the fused Huber kernels:
+                # (predictions, targets==max_next_q, losses, grad,
+                #  flat_index, flat grad_outputs plane).
                 (
                     predictions.ctypes.data,
                     max_next_q.ctypes.data,
                     quadratic.ctypes.data,
                     error.ctypes.data,
+                    flat_index.ctypes.data,
+                    grad_outputs.ctypes.data,
                 ),
             )
             self._scratch[batch_size] = scratch
@@ -323,13 +327,51 @@ class DqnLearner:
         views = self._pair_views_for(width)
         scratch = self._pair_scratch_for(width, x.shape[0])
         last = len(views) - 1
+        kernel = self._kernel
         current: np.ndarray = x
         for layer_index, (w, b) in enumerate(views):
             z = scratch[layer_index]
             np.matmul(current, w, out=z)
-            z += b
-            current = z if layer_index == last else np.maximum(z, 0.0, out=z)
+            if kernel is not None:
+                # One fused C pass over both halves: bias add plus (on
+                # hidden layers) the ReLU, bit-identical to the ufunc pair.
+                kernel.pair_bias_relu(z, b, relu=layer_index != last)
+                current = z
+            else:
+                z += b
+                current = z if layer_index == last else np.maximum(z, 0.0, out=z)
         return current[0], current[1]
+
+    def _pair_targets_fused(
+        self, x: np.ndarray, width: float, rewards: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Fused double-DQN TD-target pass (requires the C kernels).
+
+        Runs the stacked pair forward with matmul + fused pair bias/ReLU
+        per hidden layer; the final layer's matmul output (bias not yet
+        added) feeds straight into the ``pair_q_targets`` kernel, which
+        folds in the bias, takes the online argmax with NumPy's exact
+        semantics, gathers the target value at that action and writes
+        ``(target_q * discount) + rewards`` into ``out`` — the same
+        operand pairings as the NumPy sequence, in one pass.
+        """
+        if not rewards.flags["C_CONTIGUOUS"]:
+            # Ring buffers hand out a strided column view of the scalar
+            # plane; the kernel wants unit stride.
+            rewards = np.ascontiguousarray(rewards)
+        views = self._pair_views_for(width)
+        scratch = self._pair_scratch_for(width, x.shape[0])
+        last = len(views) - 1
+        kernel = self._kernel
+        current: np.ndarray = x
+        for layer_index, (w, b) in enumerate(views):
+            z = scratch[layer_index]
+            np.matmul(current, w, out=z)
+            if layer_index == last:
+                kernel.pair_q_targets(z, b, self.config.discount, rewards, out)
+            else:
+                kernel.pair_bias_relu(z, b, relu=True)
+                current = z
 
     def train_batch(
         self,
@@ -382,12 +424,22 @@ class DqnLearner:
             first_width = float(next_widths[0])
             if np.all(next_widths == first_width):
                 uniform = first_width
+        fused_targets = False
         if uniform is not None:
             # Uniform next width (each Lotus buffer bootstraps at one fixed
             # width): a single grouped pass, no per-group index arrays; with
             # the pair buffer in place, the online and target forwards run
             # as one stacked pass.
-            if self._pair_buffer is not None and self.config.double_dqn:
+            if (
+                self._pair_buffer is not None
+                and self.config.double_dqn
+                and self._kernel is not None
+            ):
+                # Fully fused tail: argmax + gather + discount/reward fold
+                # happen inside the C kernel, straight off the last matmul.
+                self._pair_targets_fused(next_states, uniform, rewards, max_next_q)
+                fused_targets = True
+            elif self._pair_buffer is not None and self.config.double_dqn:
                 online_q, target_q = self._predict_pair(next_states, uniform)
                 best_actions = online_q.argmax(axis=1)
                 max_next_q[...] = target_q[batch_indices, best_actions]
@@ -412,9 +464,11 @@ class DqnLearner:
                 else:
                     max_next_q[group] = np.max(target_q, axis=1)
         # targets = rewards + discount * max_next_q, in place in the scratch
-        # (the exact addend pairs of the original expression).
-        max_next_q *= self.config.discount
-        max_next_q += rewards
+        # (the exact addend pairs of the original expression; the fused
+        # kernel already folded them in).
+        if not fused_targets:
+            max_next_q *= self.config.discount
+            max_next_q += rewards
         targets = max_next_q
 
         if self._pair_buffer is not None:
@@ -425,32 +479,32 @@ class DqnLearner:
         # both the prediction gather and the gradient scatter.
         np.add(row_offsets, actions, out=flat_index)
         if self._kernel is not None:
-            # Gather into the fixed prediction buffer, then one fused C call
-            # for the Huber elementwise work (addresses precomputed; the
-            # pairwise loss mean stays with NumPy).
-            outputs.reshape(-1).take(flat_index, out=prediction_scratch)
-            self._kernel.huber_prep_raw(
+            # One fused C call for the whole Huber tail: gather the taken
+            # predictions, elementwise loss/gradient prep, and zero-fill +
+            # scatter into the (batch, actions) gradient scratch (addresses
+            # precomputed; the pairwise loss mean stays with NumPy).
+            self._kernel.q_huber_scatter_raw(
                 batch_size,
-                huber_addrs[0],
+                self.network.output_dim,
+                outputs.ctypes.data,
+                huber_addrs[4],
                 huber_addrs[1],
                 self.config.huber_delta,
                 float(batch_size),
                 huber_addrs[2],
-                huber_addrs[3],
+                huber_addrs[5],
             )
             loss = float(np.add.reduce(huber_scratch[2]) / batch_size)
-            grad_predictions = huber_scratch[0]
         else:
             predictions = outputs.reshape(-1)[flat_index]
             loss, grad_predictions = self._huber_scratch(
                 predictions, targets, huber_scratch
             )
-
-        # Fused Huber-gradient scatter into the reusable (batch, actions)
-        # scratch: only the taken actions carry gradient, everything else
-        # stays at the zeros the buffer was (re)set to.
-        grad_outputs.fill(0.0)
-        flat_grad_outputs[flat_index] = grad_predictions
+            # Huber-gradient scatter into the reusable (batch, actions)
+            # scratch: only the taken actions carry gradient, everything
+            # else stays at the zeros the buffer was (re)set to.
+            grad_outputs.fill(0.0)
+            flat_grad_outputs[flat_index] = grad_predictions
         flat_grad, weight_views, bias_views, gradients, full_width, plan = (
             self._grad_scratch_for(width)
         )

@@ -244,6 +244,80 @@ void bias_relu(long rows, long cols, double *z, const double *b,
         }
     }
 }
+
+/* Fused bias add (+ optional ReLU) over one (2, batch, units) layer of the
+   stacked online/target pair forward, in place.  The two halves carry
+   different bias vectors (the online and target parameters live a fixed
+   byte offset apart in the shared pair buffer), hence two base pointers.
+   Ops per element match `z += b; maximum(z, 0, out=z)` exactly — same
+   addition, same `zv >= 0.0 ? zv : 0.0` tie rule as bias_relu above. */
+void pair_bias_relu(long batch, long units, double *z, const double *b0,
+                    const double *b1, long relu) {
+    for (long h = 0; h < 2; h++) {
+        const double *b = h ? b1 : b0;
+        double *zh = z + h * batch * units;
+        for (long r = 0; r < batch; r++) {
+            double *zr = zh + r * units;
+            for (long c = 0; c < units; c++) {
+                double zv = zr[c] + b[c];
+                zr[c] = relu ? (zv >= 0.0 ? zv : 0.0) : zv;
+            }
+        }
+    }
+}
+
+/* The double-DQN TD-target tail, fused over the final (2, batch, actions)
+   pair layer straight after its matmul (bias not yet added): per sample,
+   bias-add the online row, argmax it with NumPy's exact semantics (first
+   occurrence wins ties, any NaN wins immediately at its first position),
+   gather the target Q at that action (bias added on the fly — same
+   addition as the full broadcast, just only at the gathered cell), and
+   emit `(target_q * discount) + rewards[i]` — the exact operand pairing
+   of the NumPy sequence `max_next_q *= discount; max_next_q += rewards`. */
+void pair_q_targets(long batch, long actions, const double *z,
+                    const double *b0, const double *b1, double discount,
+                    const double *rewards, double *out) {
+    const double *ztgt = z + batch * actions;
+    for (long i = 0; i < batch; i++) {
+        const double *onl = z + i * actions;
+        long best = 0;
+        double bestv = onl[0] + b0[0];
+        if (!isnan(bestv)) {
+            for (long c = 1; c < actions; c++) {
+                double v = onl[c] + b0[c];
+                if (isnan(v)) { best = c; break; }
+                if (v > bestv) { bestv = v; best = c; }
+            }
+        }
+        double tv = ztgt[i * actions + best] + b1[best];
+        out[i] = (tv * discount) + rewards[i];
+    }
+}
+
+/* Fused Q gather + Huber prep + gradient scatter: gathers the taken
+   (row, action) predictions from the ravelled (batch, actions) output
+   plane, runs the exact huber_prep op sequence against the targets, and
+   scatters the per-sample gradients into a zeroed (batch * actions) flat
+   gradient plane.  Replaces take + huber_prep + fill(0) + fancy-index
+   scatter with one pass; the loss mean over `losses` stays with NumPy. */
+void q_huber_scatter(long n, long actions, const double *outputs,
+                     const long *flat_index, const double *targets,
+                     double delta, double count, double *losses,
+                     double *grad_flat) {
+    for (long i = 0; i < n * actions; i++) {
+        grad_flat[i] = 0.0;
+    }
+    for (long i = 0; i < n; i++) {
+        double e = outputs[flat_index[i]] - targets[i];
+        double a = fabs(e);
+        double q = a < delta ? a : delta;       /* minimum(abs, delta) */
+        double l = a - q;                       /* linear part */
+        losses[i] = (0.5 * (q * q)) + (delta * l);
+        double c = e > -delta ? e : -delta;     /* maximum(e, -delta) */
+        c = c < delta ? c : delta;              /* minimum(., delta)  */
+        grad_flat[flat_index[i]] = c / count;
+    }
+}
 """
 
 # -ffp-contract=off: no multiply-add fusion (rounding must match NumPy's
@@ -352,6 +426,25 @@ class _FusedAdam:
         self._bias_relu.restype = None
         self._bias_relu.argtypes = [
             ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p,
+        ]
+        self._pair_bias_relu = lib.pair_bias_relu
+        self._pair_bias_relu.restype = None
+        self._pair_bias_relu.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_long,
+        ]
+        self._pair_q_targets = lib.pair_q_targets
+        self._pair_q_targets.restype = None
+        self._pair_q_targets.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_double, ctypes.c_void_p, ctypes.c_void_p,
+        ]
+        self._q_huber_scatter = lib.q_huber_scatter
+        self._q_huber_scatter.restype = None
+        self._q_huber_scatter.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_double, ctypes.c_double, ctypes.c_void_p,
             ctypes.c_void_p,
         ]
 
@@ -524,6 +617,66 @@ class _FusedAdam:
         """
         rows, cols = z.shape
         self._bias_relu(rows, cols, self._ptr(z), self._ptr(b), self._ptr(act))
+
+    def pair_bias_relu(self, z: np.ndarray, b: np.ndarray, relu: bool) -> None:
+        """Bias add (+ ReLU when ``relu``) over one stacked pair layer.
+
+        ``z`` is the C-contiguous ``(2, batch, units)`` activation scratch
+        (online half first); ``b`` is the strided ``(2, 1, units)`` pair
+        bias view, whose two halves sit ``b.strides[0]`` bytes apart in the
+        shared pair parameter buffer.
+        """
+        _, batch, units = z.shape
+        b0 = b.ctypes.data
+        self._pair_bias_relu(
+            batch, units, self._ptr(z), b0, b0 + b.strides[0], 1 if relu else 0
+        )
+
+    def pair_q_targets(
+        self,
+        z: np.ndarray,
+        b: np.ndarray,
+        discount: float,
+        rewards: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Double-DQN TD targets from the biasless final pair layer.
+
+        ``z`` is the ``(2, batch, actions)`` output of the last stacked
+        matmul (bias NOT yet added — the kernel folds it in); ``b`` the
+        ``(2, 1, actions)`` pair bias view.  Writes
+        ``(target_q[argmax online_q] * discount) + rewards`` into ``out``.
+        """
+        _, batch, actions = z.shape
+        b0 = b.ctypes.data
+        self._pair_q_targets(
+            batch, actions, self._ptr(z), b0, b0 + b.strides[0],
+            discount, self._ptr(rewards), self._ptr(out),
+        )
+
+    def q_huber_scatter_raw(
+        self,
+        n: int,
+        actions: int,
+        outputs_addr: int,
+        flat_index_addr: int,
+        targets_addr: int,
+        delta: float,
+        count: float,
+        losses_addr: int,
+        grad_flat_addr: int,
+    ) -> None:
+        """Fused Q gather + Huber prep + gradient scatter (raw addresses).
+
+        Zero-fills the ``n * actions`` flat gradient plane, then per sample
+        gathers ``outputs[flat_index[i]]``, computes the Huber loss/gradient
+        against ``targets`` with the exact ``huber_prep`` op sequence, and
+        scatters the gradient back at ``flat_index[i]``.
+        """
+        self._q_huber_scatter(
+            n, actions, outputs_addr, flat_index_addr, targets_addr,
+            delta, count, losses_addr, grad_flat_addr,
+        )
 
     def step_flat(
         self,
@@ -760,7 +913,82 @@ def _self_test(kernel: _FusedAdam) -> bool:
         return False
     z_alias = z0.copy()
     kernel.bias_relu(z_alias, bias, z_alias)
-    return np.array_equal(act_ref.view(np.int64), z_alias.view(np.int64))
+    if not np.array_equal(act_ref.view(np.int64), z_alias.view(np.int64)):
+        return False
+    # Pair bias add (+ ReLU) over a (2, batch, units) stacked layer, with
+    # the two bias halves living `half` bytes apart like the real pair
+    # parameter buffer (strided (2, 1, units) view), relu and no-relu forms.
+    units, half_elems, off = 23, 40, 3
+    pair_flat = rng.normal(size=off + half_elems + units)
+    pair_b = np.lib.stride_tricks.as_strided(
+        pair_flat[off : off + units],
+        shape=(2, 1, units),
+        strides=(half_elems * pair_flat.itemsize, 0, pair_flat.itemsize),
+    )
+    zp0 = rng.normal(size=(2, 17, units))
+    for relu in (True, False):
+        zp_ref = zp0.copy()
+        zp_ref += pair_b
+        if relu:
+            np.maximum(zp_ref, 0.0, out=zp_ref)
+        zp_c = zp0.copy()
+        kernel.pair_bias_relu(zp_c, pair_b, relu)
+        if not np.array_equal(zp_ref.view(np.int64), zp_c.view(np.int64)):
+            return False
+    # Double-DQN TD targets from the biasless final pair layer, including
+    # an exact post-bias tie (first occurrence must win), a NaN mid-row and
+    # a NaN at position 0 (NumPy argmax returns the first NaN's index).
+    actions, bq_half, bq_off = 5, 12, 2
+    bq_flat = rng.normal(size=bq_off + bq_half + actions)
+    bq = np.lib.stride_tricks.as_strided(
+        bq_flat[bq_off : bq_off + actions],
+        shape=(2, 1, actions),
+        strides=(bq_half * bq_flat.itemsize, 0, bq_flat.itemsize),
+    )
+    zq = rng.normal(size=(2, 9, actions))
+    bq_flat[bq_off + 1] = 0.25
+    bq_flat[bq_off + 4] = 0.25
+    zq[0, 2] = 0.0
+    zq[0, 2, 1] = 3.5
+    zq[0, 2, 4] = 3.5
+    zq[0, 1, 2] = np.nan
+    zq[0, 3, 0] = np.nan
+    rewards_q = rng.normal(size=9)
+    discount_q = 0.9
+    zq_biased = zq + bq
+    best_q = np.argmax(zq_biased[0], axis=1)
+    tv = zq_biased[1][np.arange(9), best_q]
+    out_ref = (tv * discount_q) + rewards_q
+    out_c = np.empty(9)
+    kernel.pair_q_targets(zq, bq, discount_q, rewards_q, out_c)
+    if not np.array_equal(out_ref.view(np.int64), out_c.view(np.int64)):
+        return False
+    # Fused gather + Huber prep + gradient scatter vs. the NumPy take /
+    # huber sequence / fill-and-fancy-index scatter, with errors on both
+    # sides of delta.
+    hb, ha = 13, 5
+    outs = rng.normal(scale=3.0, size=(hb, ha))
+    taken = rng.integers(ha, size=hb)
+    fi = (np.arange(hb) * ha + taken).astype(np.intp)
+    targs_h = rng.normal(size=hb)
+    preds_h = outs.reshape(-1)[fi]
+    err_h = preds_h - targs_h
+    abs_h = np.abs(err_h)
+    quad_h = np.minimum(abs_h, delta)
+    losses_href = 0.5 * (quad_h * quad_h) + delta * (abs_h - quad_h)
+    grad_vals = np.minimum(np.maximum(err_h, -delta), delta) / float(hb)
+    grad_flat_ref = np.zeros(hb * ha)
+    grad_flat_ref[fi] = grad_vals
+    losses_hc = np.empty(hb)
+    grad_flat_c = np.empty(hb * ha)
+    kernel.q_huber_scatter_raw(
+        hb, ha, outs.ctypes.data, fi.ctypes.data, targs_h.ctypes.data,
+        delta, float(hb), losses_hc.ctypes.data, grad_flat_c.ctypes.data,
+    )
+    return bool(
+        np.array_equal(losses_href.view(np.int64), losses_hc.view(np.int64))
+        and np.array_equal(grad_flat_ref.view(np.int64), grad_flat_c.view(np.int64))
+    )
 
 
 def _cache_dir() -> Path:

@@ -33,6 +33,15 @@ from repro.runtime.fleet import (
     scalar_reference_session,
 )
 from repro.runtime.job import ExperimentJob, config_fingerprint, job_key
+from repro.runtime.pool import (
+    FleetWorkerPool,
+    PoolRunReport,
+    PoolTask,
+    acquire_pool,
+    pool_enabled,
+    shared_pool,
+    shutdown_shared_pool,
+)
 from repro.runtime.shards import (
     RecoveryReport,
     ShardPlan,
@@ -52,6 +61,9 @@ __all__ = [
     "ExperimentRuntime",
     "FleetRunResult",
     "FleetScenarioResult",
+    "FleetWorkerPool",
+    "PoolRunReport",
+    "PoolTask",
     "RecoveryReport",
     "ResultCache",
     "RuntimeReport",
@@ -60,6 +72,7 @@ __all__ = [
     "ShardedScenarioResult",
     "SupervisedScenarioResult",
     "SweepSpec",
+    "acquire_pool",
     "collect_degraded",
     "config_fingerprint",
     "default_cache_dir",
@@ -71,6 +84,7 @@ __all__ = [
     "make_group_environment",
     "make_member_policy",
     "plan_shards",
+    "pool_enabled",
     "run_fleet",
     "run_fleet_scenario",
     "run_scenario",
@@ -79,5 +93,7 @@ __all__ = [
     "run_supervised_scenario",
     "scalar_reference_session",
     "scenario_jobs",
+    "shared_pool",
+    "shutdown_shared_pool",
     "sweep_metrics_map",
 ]

@@ -27,8 +27,9 @@ Ten subcommands drive the engine without writing any code:
   cache (``--keep-latest`` / ``--max-age-days``; add ``--dry-run`` to see
   what prune would remove without deleting anything).
 * ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``,
-  ``--suite fleet``, ``--suite shards``, ``--suite faults`` or
-  ``--suite store``) and write the ``BENCH_*.json`` perf-trajectory report.
+  ``--suite fleet``, ``--suite shards``, ``--suite faults``,
+  ``--suite store`` or ``--suite pool``) and write the ``BENCH_*.json``
+  perf-trajectory report.
 
 Fault injection: ``scenario run`` and ``fleet run`` accept ``--faults
 PLAN.json`` (a serialised :class:`~repro.faults.FaultPlan`) to run the
@@ -525,6 +526,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_FAULTS_OUTPUT,
         DEFAULT_FLEET_OUTPUT,
         DEFAULT_OUTPUT,
+        DEFAULT_POOL_OUTPUT,
         DEFAULT_SHARD_OUTPUT,
         DEFAULT_STORE_OUTPUT,
         FLEET_SPEEDUP_TARGETS,
@@ -532,10 +534,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench_suite,
         run_fault_bench_suite,
         run_fleet_bench_suite,
+        run_pool_bench_suite,
         run_shard_bench_suite,
         run_store_bench_suite,
         write_fault_report,
         write_fleet_report,
+        write_pool_report,
         write_report,
         write_shard_report,
         write_store_report,
@@ -545,6 +549,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report, extra = run_fault_bench_suite(quick=args.quick)
         print(format_report(report))
         path = write_fault_report(report, extra, args.output or DEFAULT_FAULTS_OUTPUT)
+    elif args.suite == "pool":
+        report, extra = run_pool_bench_suite(quick=args.quick)
+        print(format_report(report))
+        path = write_pool_report(report, extra, args.output or DEFAULT_POOL_OUTPUT)
     elif args.suite == "store":
         report, extra = run_store_bench_suite(quick=args.quick)
         print(format_report(report))
@@ -1018,10 +1026,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a perf microbenchmark suite and write BENCH_*.json",
     )
     bench.add_argument(
-        "--suite", choices=("rl", "fleet", "shards", "faults", "store"), default="rl",
+        "--suite",
+        choices=("rl", "fleet", "shards", "faults", "store", "pool"),
+        default="rl",
         help="which suite to run: the RL hot path (BENCH_PR2.json), the "
-        "fleet engine (BENCH_PR3.json), shard scaling (BENCH_PR6.json) or "
-        "fault tolerance (BENCH_PR7.json)",
+        "fleet engine (BENCH_PR3.json), shard scaling (BENCH_PR6.json), "
+        "fault tolerance (BENCH_PR7.json), the trace store "
+        "(BENCH_PR8.json) or the persistent worker pool (BENCH_PR9.json)",
     )
     bench.add_argument(
         "--quick", action="store_true",

@@ -5,8 +5,11 @@ objects into :class:`~repro.core.training.SessionResult` objects, using:
 
 * an optional :class:`~repro.runtime.cache.ResultCache` consulted before any
   work is scheduled (and updated after every completed job), and
-* a ``ProcessPoolExecutor``-backed worker pool for ``max_workers > 1``, with
-  a deterministic in-process serial path for ``max_workers = 1``.
+* the shared persistent worker pool (:mod:`repro.runtime.pool`) for
+  ``max_workers > 1`` — workers are spawned once per process and reused
+  across ``run()`` calls instead of rebuilt per call — with a deterministic
+  in-process serial path for ``max_workers = 1`` and a per-call
+  ``ProcessPoolExecutor`` fallback when ``REPRO_POOL=0``.
 
 Every job is fully self-describing and freshly seeded, so the parallel and
 serial paths produce identical results; the engine preserves the input
@@ -24,6 +27,7 @@ from repro.core.training import SessionResult
 from repro.errors import ExperimentError
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import ExperimentJob
+from repro.runtime.pool import PoolTask, pool_enabled, shared_pool
 
 #: Environment variable consulted by :func:`default_worker_count`.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -222,8 +226,21 @@ class ExperimentRuntime:
         if self.max_workers == 1 or len(pending) <= 1:
             for index in pending:
                 finish(index, execute_job(jobs[index]))
+        elif pool_enabled():
+            # The shared persistent pool: spawned once per process, reused
+            # across run() calls, clamped to the CPU count and scheduled
+            # in waves when pending jobs exceed workers.
+            pool = shared_pool()
+            pool.ensure_workers(min(self.max_workers, len(pending)))
+            tasks = [PoolTask(kind="job", args=(jobs[index],)) for index in pending]
+            pool.run_tasks(
+                tasks,
+                on_result=lambda position, result: finish(pending[position], result),
+            )
         else:
-            workers = min(self.max_workers, len(pending))
+            workers = min(
+                self.max_workers, len(pending), max(1, os.cpu_count() or 1)
+            )
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {index: pool.submit(execute_job, jobs[index]) for index in pending}
                 for index in pending:

@@ -36,8 +36,6 @@ import pickle
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
@@ -58,6 +56,12 @@ from repro.env.fleet import (
 )
 from repro.store import FleetTraceWriter, MappedFleetTrace
 from repro.faults.plan import WorkerCrash
+from repro.runtime.pool import (
+    PoolTask,
+    acquire_pool,
+    fleet_shard_fingerprint,
+    scenario_shard_fingerprint,
+)
 from repro.runtime.fleet import (
     FleetRunResult,
     _group_policy,
@@ -218,37 +222,13 @@ def _spool_store_path(spool_dir: str, start: int, stop: int) -> Path:
     return Path(spool_dir) / f"shard-{start:06d}-{stop:06d}"
 
 
-def _run_scenario_shard(
-    scenario: "FleetScenario",
-    num_sessions: int,
+def _collect_shard_histories(
+    session_groups: Sequence[FleetSessionGroup],
+    grouped: Sequence[Tuple[Tuple[str, str], list]],
     start: int,
-    stop: int,
-    spool_dir: Optional[str] = None,
-):
-    """Run one scenario shard; returns its trace and per-session histories.
-
-    Executed inside a worker process (or inline for single-shard runs).
-    The scenario is re-resolved in the worker — assignment resolution is
-    deterministic — and the shard runs the global sessions ``start..stop-1``
-    as its own grouped fleet episode.
-
-    With ``spool_dir`` set (the pooled path) the shard sinks its frames
-    incrementally into a columnar chunk store under that directory and
-    returns only the manifest path, so traces cross the process boundary
-    through ``mmap``-able files instead of pickled frame objects.  Without
-    it (inline single-shard runs) the in-memory :class:`FleetTrace` is
-    returned directly.
-    """
-    assignments = scenario.session_assignments(num_sessions)[start:stop]
-    frames = scenario.num_frames
-    session_groups, grouped = _shard_session_groups(assignments, frames, start)
-    count = stop - start
-    if spool_dir is None:
-        payload = run_grouped_fleet_episode(session_groups, frames)
-    else:
-        writer = FleetTraceWriter(_spool_store_path(spool_dir, start, stop), count)
-        run_grouped_fleet_episode(session_groups, frames, sink=writer)
-        payload = str(writer.close())
+    count: int,
+) -> Tuple[List[List[float]], List[List[float]], List[str]]:
+    """Per-session loss/reward histories and policy names of one shard."""
     losses: List[List[float]] = [[] for _ in range(count)]
     rewards: List[List[float]] = [[] for _ in range(count)]
     names: List[str] = [""] * count
@@ -263,7 +243,124 @@ def _run_scenario_shard(
             losses[assignment.index - start] = group_losses[local]
             rewards[assignment.index - start] = group_rewards[local]
             names[assignment.index - start] = group_names[local]
+    return losses, rewards, names
+
+
+def _build_scenario_shard(
+    scenario: "FleetScenario", num_sessions: int, start: int, stop: int
+):
+    """Construct one scenario shard's grouped sub-fleets (no episode run).
+
+    The build half of :func:`_run_scenario_shard`, split out so the
+    persistent pool (:mod:`repro.runtime.pool`) can pin the constructed
+    groups and skip this step on a warm fingerprint hit.
+    """
+    assignments = scenario.session_assignments(num_sessions)[start:stop]
+    frames = scenario.num_frames
+    session_groups, grouped = _shard_session_groups(assignments, frames, start)
+    return session_groups, grouped, frames
+
+
+def _execute_scenario_shard(
+    session_groups,
+    grouped,
+    frames: int,
+    start: int,
+    stop: int,
+    spool_dir: Optional[str],
+):
+    """Run one (pre-built) scenario shard's episode and collect histories.
+
+    With ``spool_dir`` set (the pooled path) the shard sinks its frames
+    incrementally into a columnar chunk store under that directory and
+    returns only the manifest path, so traces cross the process boundary
+    through ``mmap``-able files instead of pickled frame objects.  Without
+    it (inline single-shard runs) the in-memory :class:`FleetTrace` is
+    returned directly.
+    """
+    count = stop - start
+    if spool_dir is None:
+        payload = run_grouped_fleet_episode(session_groups, frames)
+    else:
+        writer = FleetTraceWriter(_spool_store_path(spool_dir, start, stop), count)
+        run_grouped_fleet_episode(session_groups, frames, sink=writer)
+        payload = str(writer.close())
+    losses, rewards, names = _collect_shard_histories(
+        session_groups, grouped, start, count
+    )
     return payload, losses, rewards, names
+
+
+def _run_scenario_shard(
+    scenario: "FleetScenario",
+    num_sessions: int,
+    start: int,
+    stop: int,
+    spool_dir: Optional[str] = None,
+):
+    """Run one scenario shard; returns its trace and per-session histories.
+
+    Executed inside a worker process (or inline for single-shard runs).
+    The scenario is re-resolved in the worker — assignment resolution is
+    deterministic — and the shard runs the global sessions ``start..stop-1``
+    as its own grouped fleet episode.
+    """
+    session_groups, grouped, frames = _build_scenario_shard(
+        scenario, num_sessions, start, stop
+    )
+    return _execute_scenario_shard(
+        session_groups, grouped, frames, start, stop, spool_dir
+    )
+
+
+def _build_fleet_shard(
+    setting: "ExperimentSetting",
+    method: str,
+    offset: int,
+    count: int,
+    ambient: "AmbientProfile | None",
+):
+    """Construct one homogeneous-cell shard's environment and policy.
+
+    The shard environment is the fleet environment of the base setting with
+    its seed advanced by ``offset``: session ``i`` of the shard gets stream
+    generator ``default_rng(seed + offset + i)`` and proposal generator
+    ``default_rng(seed + offset + i + 1)`` — exactly sessions
+    ``offset..offset+count-1`` of the full fleet (and of the scalar runs).
+    """
+    shard_setting = setting.with_overrides(seed=setting.seed + offset)
+    environment = make_fleet_environment(shard_setting, count, ambient=ambient)
+    policy = make_fleet_policy(
+        method, environment, setting.num_frames, seed=shard_setting.seed
+    )
+    return environment, policy
+
+
+def _execute_fleet_shard(
+    environment,
+    policy,
+    num_frames: int,
+    offset: int,
+    count: int,
+    spool_dir: Optional[str],
+):
+    """Run one (pre-built) homogeneous-cell shard's episode.
+
+    As with :func:`_execute_scenario_shard`, ``spool_dir`` switches the
+    return payload from an in-memory trace to the manifest path of a
+    spooled columnar chunk store.
+    """
+    if spool_dir is None:
+        payload = run_fleet_episode(environment, policy, num_frames)
+    else:
+        writer = FleetTraceWriter(
+            _spool_store_path(spool_dir, offset, offset + count), count
+        )
+        run_fleet_episode(environment, policy, num_frames, sink=writer)
+        payload = str(writer.close())
+    losses, rewards = _session_histories(policy, count)
+    names = _session_policy_names(policy, count)
+    return payload, losses, rewards, names, policy.name
 
 
 def _run_fleet_shard(
@@ -274,34 +371,11 @@ def _run_fleet_shard(
     ambient: "AmbientProfile | None",
     spool_dir: Optional[str] = None,
 ):
-    """Run one homogeneous-cell shard: sessions ``offset..offset+count-1``.
-
-    The shard environment is the fleet environment of the base setting with
-    its seed advanced by ``offset``: session ``i`` of the shard gets stream
-    generator ``default_rng(seed + offset + i)`` and proposal generator
-    ``default_rng(seed + offset + i + 1)`` — exactly sessions
-    ``offset..offset+count-1`` of the full fleet (and of the scalar runs).
-
-    As with :func:`_run_scenario_shard`, ``spool_dir`` switches the return
-    payload from an in-memory trace to the manifest path of a spooled
-    columnar chunk store.
-    """
-    shard_setting = setting.with_overrides(seed=setting.seed + offset)
-    environment = make_fleet_environment(shard_setting, count, ambient=ambient)
-    policy = make_fleet_policy(
-        method, environment, setting.num_frames, seed=shard_setting.seed
+    """Run one homogeneous-cell shard: sessions ``offset..offset+count-1``."""
+    environment, policy = _build_fleet_shard(setting, method, offset, count, ambient)
+    return _execute_fleet_shard(
+        environment, policy, setting.num_frames, offset, count, spool_dir
     )
-    if spool_dir is None:
-        payload = run_fleet_episode(environment, policy, setting.num_frames)
-    else:
-        writer = FleetTraceWriter(
-            _spool_store_path(spool_dir, offset, offset + count), count
-        )
-        run_fleet_episode(environment, policy, setting.num_frames, sink=writer)
-        payload = str(writer.close())
-    losses, rewards = _session_histories(policy, count)
-    names = _session_policy_names(policy, count)
-    return payload, losses, rewards, names, policy.name
 
 
 # ---------------------------------------------------------------------------
@@ -524,24 +598,26 @@ def run_sharded_scenario(
         fleet_trace = shard_results[0][0]
     else:
         spool = tempfile.mkdtemp(prefix="repro-shards-")
+        pool, owned = acquire_pool(len(shards))
         try:
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                futures = [
-                    pool.submit(
-                        _run_scenario_shard,
-                        scenario,
-                        total,
-                        shard.start,
-                        shard.stop,
-                        spool,
-                    )
-                    for shard in shards
-                ]
-                shard_results = [future.result() for future in futures]
+            tasks = [
+                PoolTask(
+                    kind="scenario-shard",
+                    args=(scenario, total, shard.start, shard.stop, spool),
+                    fingerprint=scenario_shard_fingerprint(
+                        scenario, total, shard.start, shard.stop
+                    ),
+                    shard_index=shard.index,
+                )
+                for shard in shards
+            ]
+            shard_results = pool.run_tasks(tasks).results
             fleet_trace = _interleave_shard_traces(
                 [payload for payload, _, _, _ in shard_results], shards, total
             )
         finally:
+            if owned:
+                pool.shutdown()
             shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
 
@@ -611,27 +687,35 @@ def run_sharded_fleet(
         fleet_trace = shard_results[0][0]
     else:
         spool = tempfile.mkdtemp(prefix="repro-shards-")
+        pool, owned = acquire_pool(len(blocks))
         try:
-            with ProcessPoolExecutor(max_workers=len(blocks)) as pool:
-                futures = [
-                    pool.submit(
-                        _run_fleet_shard,
+            tasks = [
+                PoolTask(
+                    kind="fleet-shard",
+                    args=(
                         setting,
                         method,
                         int(block[0]),
                         int(block.size),
                         ambient,
                         spool,
-                    )
-                    for block in blocks
-                ]
-                shard_results = [future.result() for future in futures]
+                    ),
+                    fingerprint=fleet_shard_fingerprint(
+                        setting, method, int(block[0]), int(block.size), ambient
+                    ),
+                    shard_index=k,
+                )
+                for k, block in enumerate(blocks)
+            ]
+            shard_results = pool.run_tasks(tasks).results
             fleet_trace = _interleave_shard_traces(
                 [payload for payload, _, _, _, _ in shard_results],
                 shards,
                 num_sessions,
             )
         finally:
+            if owned:
+                pool.shutdown()
             shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
 
@@ -669,7 +753,8 @@ class RecoveryReport:
 
     Attributes:
         crashes_detected: Worker deaths the supervisor observed (injected
-            crashes and real ones look identical: a broken process pool).
+            crashes and real ones look identical: an EOF on the worker's
+            pipe).
         restarts: Shard executions that were resubmitted after a death.
         recovered_shards: Indices of shards that completed only after at
             least one restart.
@@ -877,10 +962,12 @@ def run_supervised_scenario(
     ``checkpoint_every`` frames.  When a worker dies — injected through a
     :class:`~repro.faults.WorkerCrash` event (on the scenario's fault plans
     or passed via ``crashes``) or for real — the supervisor observes the
-    broken pool, rebuilds it, and resubmits the unfinished shards, which
-    resume from their latest checkpoints.  Because the checkpoints capture
-    every bit of state the frame loop reads, the recovered trace is
-    byte-identical to an uninterrupted run of the same scenario.
+    dead pipe, respawns a fresh worker into the same pool slot, and
+    resubmits the unfinished shard, which resumes from its latest
+    checkpoint while the other shards keep running.  Because the
+    checkpoints capture every bit of state the frame loop reads, the
+    recovered trace is byte-identical to an uninterrupted run of the same
+    scenario.
 
     Args:
         scenario: A fleet scenario, single spec, or registered name.
@@ -926,61 +1013,46 @@ def run_supervised_scenario(
     spool.mkdir(parents=True, exist_ok=True)
 
     start_time = time.perf_counter()
-    first_death: float | None = None
-    pending: Dict[int, ShardPlan] = {shard.index: shard for shard in shards}
-    shard_results: Dict[int, tuple] = {}
-    crashes_detected = 0
-    restarts = 0
-    recovered: set = set()
-    rounds = 0
-    while pending:
-        if rounds > max_restarts * len(shards) + 1:
-            raise ShardError(
-                f"shards {sorted(pending)} kept dying after "
-                f"{restarts} restarts; giving up"
-            )
-        rounds += 1
-        with ProcessPoolExecutor(max_workers=len(pending)) as pool:
-            futures = {
-                pool.submit(
-                    _run_supervised_shard,
-                    scenario,
-                    total,
-                    shard.start,
-                    shard.stop,
-                    shard.index,
-                    str(spool),
-                    checkpoint_every,
-                    crash_by_shard.get(shard.index),
-                ): shard
-                for shard in pending.values()
-            }
-            round_broke = False
-            for future, shard in futures.items():
-                try:
-                    shard_results[shard.index] = future.result()
-                    pending.pop(shard.index, None)
-                except BrokenProcessPool:
-                    # Worker death (injected or real).  One death breaks
-                    # every still-pending future of the pool, so the round
-                    # counts as one detected crash; completed futures keep
-                    # their results, and everything else restarts from its
-                    # latest checkpoint in the next round.
-                    round_broke = True
-                    if first_death is None:
-                        first_death = time.perf_counter()
-            if round_broke:
-                crashes_detected += 1
-        if pending:
-            restarts += len(pending)
-            recovered |= set(pending)
-
-    ordered = [shard_results[shard.index] for shard in shards]
+    tasks = [
+        PoolTask(
+            kind="supervised-shard",
+            args=(
+                scenario,
+                total,
+                shard.start,
+                shard.stop,
+                shard.index,
+                str(spool),
+                checkpoint_every,
+                crash_by_shard.get(shard.index),
+            ),
+            shard_index=shard.index,
+        )
+        for shard in shards
+    ]
+    pool, owned = acquire_pool(len(shards))
+    try:
+        # A dying worker (injected ``os._exit`` or a real fault) shows up
+        # as an EOF on its pipe; the pool respawns a fresh process into the
+        # same slot and resubmits the shard, which resumes from its latest
+        # spooled checkpoint.  Other shards keep running undisturbed.
+        run_report = pool.run_tasks(tasks, max_restarts=max_restarts)
+    finally:
+        if owned:
+            pool.shutdown()
+    ordered = run_report.results
     fleet_trace = _interleave_shard_traces(
         [payload for payload, _, _, _, _ in ordered], shards, total
     )
     elapsed_s = time.perf_counter() - start_time
-    recovery_s = 0.0 if first_death is None else time.perf_counter() - first_death
+    recovery_s = (
+        0.0
+        if run_report.first_death is None
+        else time.perf_counter() - run_report.first_death
+    )
+    crashes_detected = run_report.crashes_detected
+    restarts = run_report.restarts
+    recovered = set(run_report.recovered)
 
     degraded: Optional[np.ndarray] = None
     if any(shard_degraded is not None for _, _, _, _, shard_degraded in ordered):
