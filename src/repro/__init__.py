@@ -37,6 +37,10 @@ The package is organised bottom-up:
   ``python -m repro`` CLI.
 * :mod:`repro.analysis` — experiment runners, tables and figure series for
   every table and figure of the paper.
+* :mod:`repro.obs` — zero-overhead-when-off observability: span-based
+  tracing, typed counters/gauges, exact bounded-memory histograms, JSONL
+  sinks and the ``obs report`` rendering.  Off by default; ``REPRO_OBS=1``
+  or ``--obs`` turns it on without changing a single trace byte.
 
 Quickstart::
 
@@ -80,7 +84,14 @@ from repro.env import (
     run_fleet_episode,
     summarize_trace,
 )
-from repro.errors import FaultError, LotusError, PolicyError, ReproError, StoreError
+from repro.errors import (
+    FaultError,
+    LotusError,
+    ObsError,
+    PolicyError,
+    ReproError,
+    StoreError,
+)
 from repro.faults import (
     ChannelFaults,
     FaultPlan,
@@ -117,6 +128,7 @@ from repro.analysis import (
     summarize_fleet,
 )
 from repro.comms import LossyChannel, RemotePolicy, SimulatedChannel
+from repro.obs import ObsRegistry, obs_enabled
 from repro.runtime import (
     ExperimentJob,
     ExperimentRuntime,
@@ -159,7 +171,7 @@ from repro.store import (
 )
 from repro.workload import FleetFrameStream, available_datasets, build_dataset
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BatchedInferenceEnvironment",
@@ -190,6 +202,8 @@ __all__ = [
     "LinearRampAmbient",
     "LossyChannel",
     "MappedFleetTrace",
+    "ObsError",
+    "ObsRegistry",
     "PolicyCheckpoint",
     "PolicyError",
     "PolicyStore",
@@ -243,6 +257,7 @@ __all__ = [
     "make_fleet_environment",
     "make_fleet_policy",
     "make_policy",
+    "obs_enabled",
     "plan_shards",
     "policy_from_checkpoint",
     "pool_enabled",

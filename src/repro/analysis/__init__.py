@@ -39,6 +39,7 @@ from repro.analysis.resilience import (
 from repro.analysis.stats import improvement_percent, reduction_percent, summary_statistics
 from repro.analysis.streaming import (
     FleetSummary,
+    StreamingMoments,
     StreamingPercentile,
     streaming_trace_stats,
     summarize_fleet,
@@ -56,6 +57,7 @@ __all__ = [
     "FigureSeries",
     "FleetSummary",
     "ResilienceReport",
+    "StreamingMoments",
     "StreamingPercentile",
     "available_methods",
     "comparison_table",

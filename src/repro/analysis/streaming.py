@@ -90,6 +90,72 @@ class StreamingPercentile:
         return b - (b - a) * (1.0 - t)
 
 
+class StreamingMoments:
+    """Running count/mean/variance/min/max over a stream of chunks.
+
+    Sum-based accumulation in float64: each pushed block contributes its
+    ``sum`` and ``sum of squares`` once, so memory is O(1) regardless of
+    stream length and two accumulators over the same stream merge by
+    simple addition (the property the obs layer uses to fold worker-side
+    histograms into the parent registry).
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, values: np.ndarray) -> None:
+        """Fold one chunk of values into the running moments."""
+        block = np.asarray(values, dtype=np.float64).ravel()
+        if block.size == 0:
+            return
+        self.count += block.size
+        self._sum += float(block.sum(dtype=np.float64))
+        self._sumsq += float(np.square(block).sum(dtype=np.float64))
+        self.minimum = min(self.minimum, float(block.min()))
+        self.maximum = max(self.maximum, float(block.max()))
+
+    def push_value(self, value: float) -> None:
+        """Fold a single scalar (cheaper than a one-element array push)."""
+        v = float(value)
+        self.count += 1
+        self._sum += v
+        self._sumsq += v * v
+        if v < self.minimum:
+            self.minimum = v
+        if v > self.maximum:
+            self.maximum = v
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator's stream into this one."""
+        self.count += other.count
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ExperimentError("no values pushed")
+        return self._sum / self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (ddof=0), clamped at zero against rounding."""
+        mean = self.mean
+        return max(0.0, self._sumsq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
 @dataclass(frozen=True)
 class StreamingTraceStats:
     """Single-pass latency/constraint aggregates of one fleet trace."""

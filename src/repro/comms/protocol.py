@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Dict
 
 from repro.errors import ProtocolError
+from repro.obs import bus as _obs
 
 
 class MessageKind(str, enum.Enum):
@@ -49,7 +50,7 @@ class Message:
 def encode_message(message: Message) -> bytes:
     """Encode a message to UTF-8 JSON bytes."""
     try:
-        return json.dumps(
+        data = json.dumps(
             {
                 "kind": message.kind.value,
                 "sequence": message.sequence,
@@ -59,6 +60,10 @@ def encode_message(message: Message) -> bytes:
         ).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"payload is not JSON-serialisable: {exc}") from exc
+    if _obs.active():
+        _obs.inc("comms.messages_encoded", kind=message.kind.value)
+        _obs.observe("comms.message_bytes", len(data))
+    return data
 
 
 def decode_message(data: bytes) -> Message:
@@ -73,4 +78,5 @@ def decode_message(data: bytes) -> Message:
         payload = dict(raw["payload"])
     except (KeyError, ValueError, TypeError) as exc:
         raise ProtocolError(f"message missing required fields: {exc}") from exc
+    _obs.inc("comms.messages_decoded", kind=kind.value)
     return Message(kind=kind, payload=payload, sequence=sequence)

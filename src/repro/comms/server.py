@@ -31,6 +31,7 @@ from repro.env.environment import (
 )
 from repro.env.policy import FrequencyDecision, Policy
 from repro.errors import ProtocolError
+from repro.obs import bus as _obs
 
 #: Default maximum retransmissions per message before giving up.
 DEFAULT_MAX_RETRIES = 12
@@ -116,6 +117,7 @@ class RemotePolicy(Policy):
         for _ in range(copies):
             if sequence <= self._last_seen_sequence:
                 self._duplicates_discarded += 1
+                _obs.inc("comms.duplicates_discarded")
             else:
                 self._last_seen_sequence = sequence
 
@@ -138,6 +140,10 @@ class RemotePolicy(Policy):
             backoff_ms = self.retry_timeout_ms * (2.0**attempt)
             latency_ms += backoff_ms
             self._retry_wait_ms += backoff_ms
+            if _obs.active():
+                _obs.inc("comms.retries")
+                _obs.inc("comms.drops")
+                _obs.inc("comms.backoff_wait_ms", backoff_ms)
         raise ProtocolError(
             f"message {message.sequence} undeliverable after "
             f"{self.max_retries} retries"
@@ -201,7 +207,7 @@ class RemotePolicy(Policy):
         frames = max(self._frames, 1)
         decisions = max(self._decisions, 1)
         stats = self.channel.stats
-        return OverheadReport(
+        report = OverheadReport(
             frames=self._frames,
             agent_compute_ms_per_decision=self._agent_compute_ms / decisions,
             channel_ms_per_message=stats.mean_message_latency_ms,
@@ -212,3 +218,5 @@ class RemotePolicy(Policy):
             duplicates_discarded=self._duplicates_discarded,
             retry_wait_ms_per_frame=self._retry_wait_ms / frames,
         )
+        _obs.record_report("comms.overhead", report)
+        return report

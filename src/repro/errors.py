@@ -91,3 +91,9 @@ class FaultError(LotusError):
     """A fault plan is invalid, failed to (de)serialise, or a fault event
     references sessions, frames or shards outside the run it is attached
     to."""
+
+
+class ObsError(LotusError):
+    """The observability layer was misused or a run artifact is missing:
+    reading spans/metrics with no registry active, malformed worker metric
+    snapshots, or asking ``obs report`` for a run that was never written."""

@@ -31,6 +31,7 @@ from repro.env.fleet import (
 from repro.env.environment import FrameResult, FrameStartObservation, MidFrameObservation
 from repro.env.policy import FrequencyDecision, Policy
 from repro.faults.plan import FaultSchedule
+from repro.obs import bus as _obs
 
 #: Observation fields treated as remote sensor readings (maskable).
 SENSOR_FIELDS = (
@@ -85,6 +86,8 @@ class FaultedFleetPolicy(FleetPolicy):
             }
             replaced = dataclasses.replace(observation, **fields)
             self.degraded[frame] |= drop
+            if _obs.active():
+                _obs.inc("faults.dropout_cells", int(drop.sum()))
         # Last-known-good holds the final reading *before* the outage: only
         # non-dropped sessions refresh the snapshot.
         if good is None:
@@ -98,6 +101,8 @@ class FaultedFleetPolicy(FleetPolicy):
             }
             replaced = dataclasses.replace(replaced, **fields)
             self.degraded[frame] |= spike != 0.0
+            if _obs.active():
+                _obs.inc("faults.spike_cells", int(np.count_nonzero(spike != 0.0)))
         return replaced
 
     def _clamp(self, decision: Optional[FleetDecision]) -> Optional[FleetDecision]:
@@ -108,6 +113,8 @@ class FaultedFleetPolicy(FleetPolicy):
         if not storm.any():
             return decision
         self.degraded[frame] |= storm
+        if _obs.active():
+            _obs.inc("faults.storm_cells", int(storm.sum()))
         num_sessions = self.schedule.num_sessions
         if decision is None:
             return FleetDecision(
@@ -221,6 +228,7 @@ class FaultedPolicy(Policy):
         if drop and good is not None:
             replaced = dataclasses.replace(observation, **good)
             self.degraded[frame] = True
+            _obs.inc("faults.dropout_cells")
         if not drop or good is None:
             setattr(self, good_key, snapshot)
         if spike != 0.0:
@@ -229,6 +237,7 @@ class FaultedPolicy(Policy):
             }
             replaced = dataclasses.replace(replaced, **fields)
             self.degraded[frame] = True
+            _obs.inc("faults.spike_cells")
         return replaced
 
     def _clamp(self, decision: Optional[FrequencyDecision]):
@@ -238,6 +247,7 @@ class FaultedPolicy(Policy):
         if not self.schedule.storm[frame, self.column]:
             return decision
         self.degraded[frame] = True
+        _obs.inc("faults.storm_cells")
         return FrequencyDecision(cpu_level=0, gpu_level=0)
 
     def begin_frame(self, observation: FrameStartObservation):

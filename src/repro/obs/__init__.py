@@ -1,0 +1,72 @@
+"""Zero-overhead-when-off observability: tracing, metrics, profiling.
+
+* :mod:`repro.obs.bus` — the process-local event bus: span-based tracing
+  with parent ids, typed counters/gauges, and histograms with exact
+  p50/p99 in bounded memory.  Off by default; the ``REPRO_OBS=1`` switch
+  (or :func:`enable`) turns it on, and every helper is a single
+  ``is None`` check when it is off.
+* :mod:`repro.obs.sink` — JSONL event logs and JSON run summaries written
+  next to the result cache, plus loaders for ``obs report``.
+* :mod:`repro.obs.report` — the text rendering of a run summary.
+
+Instrumentation never touches RNG state or numerics: traces produced
+with observation on are byte-identical to traces produced with it off.
+"""
+
+from repro.obs.bus import (
+    OBS_ENV,
+    Histogram,
+    ObsRegistry,
+    active,
+    disable,
+    enable,
+    event,
+    gauge,
+    inc,
+    kernel_call,
+    obs_enabled,
+    observe,
+    record_report,
+    registry,
+    span,
+)
+from repro.obs.report import render_summary
+from repro.obs.sink import (
+    OBS_DIR_ENV,
+    default_obs_dir,
+    format_metric,
+    iter_events,
+    latest_run,
+    list_runs,
+    load_summary,
+    summarize_registry,
+    write_run,
+)
+
+__all__ = [
+    "Histogram",
+    "OBS_DIR_ENV",
+    "OBS_ENV",
+    "ObsRegistry",
+    "active",
+    "default_obs_dir",
+    "disable",
+    "enable",
+    "event",
+    "format_metric",
+    "gauge",
+    "inc",
+    "iter_events",
+    "kernel_call",
+    "latest_run",
+    "list_runs",
+    "load_summary",
+    "obs_enabled",
+    "observe",
+    "record_report",
+    "registry",
+    "render_summary",
+    "span",
+    "summarize_registry",
+    "write_run",
+]

@@ -26,6 +26,10 @@ bench`` from the microbenchmarks in this package.
   matrix re-renders, the fused-vs-NumPy ``lotus-fleet`` train step, and
   the aggregate frames/s headline against the 1M+ target
   (``BENCH_PR9.json``).
+* :mod:`repro.perf.obs_benchmarks` — the observability suite: per-call
+  cost of disabled and enabled obs hooks, and the obs-on vs obs-off wall
+  time of a warm sharded episode against the ≤ 5 % overhead ceiling
+  (``BENCH_PR10.json``).
 * :mod:`repro.perf.legacy` — the RL reference: the original deque replay
   and mask-padded DQN update, kept verbatim as baseline and equivalence
   oracle.
@@ -57,6 +61,13 @@ from repro.perf.pool_benchmarks import (
     run_pool_bench_suite,
     write_pool_report,
 )
+from repro.perf.obs_benchmarks import (
+    DEFAULT_OBS_OUTPUT,
+    OBS_BENCH_LABEL,
+    OBS_OVERHEAD_TARGET_PCT,
+    run_obs_bench_suite,
+    write_obs_report,
+)
 from repro.perf.fleet_benchmarks import (
     DEFAULT_FLEET_OUTPUT,
     DEFAULT_SHARD_OUTPUT,
@@ -74,10 +85,13 @@ __all__ = [
     "BenchResult",
     "DEFAULT_FAULTS_OUTPUT",
     "DEFAULT_FLEET_OUTPUT",
+    "DEFAULT_OBS_OUTPUT",
     "DEFAULT_POOL_OUTPUT",
     "DEFAULT_SHARD_OUTPUT",
     "DEFAULT_STORE_OUTPUT",
     "DEFAULT_OUTPUT",
+    "OBS_BENCH_LABEL",
+    "OBS_OVERHEAD_TARGET_PCT",
     "POOL_BENCH_LABEL",
     "POOL_THROUGHPUT_TARGET_FPS",
     "FLEET_SIZE",
@@ -92,11 +106,13 @@ __all__ = [
     "run_bench_suite",
     "run_fault_bench_suite",
     "run_fleet_bench_suite",
+    "run_obs_bench_suite",
     "run_pool_bench_suite",
     "run_shard_bench_suite",
     "run_store_bench_suite",
     "write_fault_report",
     "write_fleet_report",
+    "write_obs_report",
     "write_pool_report",
     "write_shard_report",
     "write_store_report",

@@ -40,6 +40,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import bus as _obs
+
 _SOURCE = r"""
 #include <math.h>
 
@@ -498,6 +500,7 @@ class _FusedAdam:
         bc1: float,
         bc2: float,
     ) -> None:
+        _obs.kernel_call("step_multi")
         self._multi(
             plan.k, plan.rows, plan.cols, plan.strides,
             plan.ps, plan.gs, plan.ms, plan.vs,
@@ -506,10 +509,12 @@ class _FusedAdam:
 
     def relu_mask(self, grad: np.ndarray, pre: np.ndarray) -> None:
         """``grad *= pre > 0`` over contiguous same-sized arrays."""
+        _obs.kernel_call("relu_mask")
         self._relu_mask(grad.size, self._ptr(grad), self._ptr(pre))
 
     def relu_mask_raw(self, n: int, grad_addr: int, pre_addr: int) -> None:
         """:meth:`relu_mask` with precomputed buffer addresses."""
+        _obs.kernel_call("relu_mask_raw")
         self._relu_mask(n, grad_addr, pre_addr)
 
     def huber_prep(
@@ -522,6 +527,7 @@ class _FusedAdam:
         grad: np.ndarray,
     ) -> None:
         """Per-element Huber losses and clipped gradient (contiguous 1-D)."""
+        _obs.kernel_call("huber_prep")
         self._huber_prep(
             predictions.size, self._ptr(predictions), self._ptr(targets),
             delta, count, self._ptr(losses), self._ptr(grad),
@@ -538,6 +544,7 @@ class _FusedAdam:
         grad_addr: int,
     ) -> None:
         """:meth:`huber_prep` with precomputed buffer addresses."""
+        _obs.kernel_call("huber_prep_raw")
         self._huber_prep(
             n, predictions_addr, targets_addr, delta, count,
             losses_addr, grad_addr,
@@ -567,6 +574,7 @@ class _FusedAdam:
         work buffers.  All arrays must be C-contiguous float64 (coupling
         endpoint indices int64).
         """
+        _obs.kernel_call("fleet_thermal_advance")
         nodes, n = temps.shape
         self._fleet_thermal(
             nodes, n, self._ptr(temps), self._ptr(power), self._ptr(ambient),
@@ -586,6 +594,7 @@ class _FusedAdam:
         maximum: np.ndarray,
     ) -> None:
         """One clipped AR(1) step over per-session streams, in place."""
+        _obs.kernel_call("fleet_ar1_advance")
         self._fleet_ar1(
             current.size, self._ptr(current), self._ptr(mean),
             self._ptr(corr), self._ptr(innovations),
@@ -602,6 +611,7 @@ class _FusedAdam:
         out: np.ndarray,
     ) -> None:
         """rint/clip tail of the batched proposal draw into int64 ``out``."""
+        _obs.kernel_call("fleet_proposal_tail")
         self._proposal_tail(
             scene_candidates.size, self._ptr(scene_candidates), keep_ratio,
             0 if factor is None else 1,
@@ -615,6 +625,7 @@ class _FusedAdam:
         ``z`` and ``act`` are ``(batch, units)`` C-contiguous float64 and may
         be the same array; ``b`` is the contiguous active bias slice.
         """
+        _obs.kernel_call("bias_relu")
         rows, cols = z.shape
         self._bias_relu(rows, cols, self._ptr(z), self._ptr(b), self._ptr(act))
 
@@ -626,6 +637,7 @@ class _FusedAdam:
         bias view, whose two halves sit ``b.strides[0]`` bytes apart in the
         shared pair parameter buffer.
         """
+        _obs.kernel_call("pair_bias_relu")
         _, batch, units = z.shape
         b0 = b.ctypes.data
         self._pair_bias_relu(
@@ -647,6 +659,7 @@ class _FusedAdam:
         ``(2, 1, actions)`` pair bias view.  Writes
         ``(target_q[argmax online_q] * discount) + rewards`` into ``out``.
         """
+        _obs.kernel_call("pair_q_targets")
         _, batch, actions = z.shape
         b0 = b.ctypes.data
         self._pair_q_targets(
@@ -673,6 +686,7 @@ class _FusedAdam:
         against ``targets`` with the exact ``huber_prep`` op sequence, and
         scatters the gradient back at ``flat_index[i]``.
         """
+        _obs.kernel_call("q_huber_scatter_raw")
         self._q_huber_scatter(
             n, actions, outputs_addr, flat_index_addr, targets_addr,
             delta, count, losses_addr, grad_flat_addr,
@@ -691,6 +705,7 @@ class _FusedAdam:
         bc1: float,
         bc2: float,
     ) -> None:
+        _obs.kernel_call("step_flat")
         self._flat(
             params.size, self._ptr(params), self._ptr(grads),
             self._ptr(m), self._ptr(v), lr, beta1, beta2, eps, bc1, bc2,
@@ -710,6 +725,7 @@ class _FusedAdam:
         bc2: float,
     ) -> None:
         """Update a (rows, cols) row-strided view from a contiguous gradient."""
+        _obs.kernel_call("step_region")
         if param_view.ndim == 1:
             rows, cols = 1, param_view.shape[0]
             stride = cols
@@ -1068,6 +1084,7 @@ def fused_adam() -> _FusedAdam | None:
         return _kernel
     _resolved = True
     if os.environ.get("REPRO_FUSED", "1") == "0":
+        _obs.event("fused.resolved", status="disabled")
         return None
     try:
         lib = _compile()
@@ -1077,6 +1094,9 @@ def fused_adam() -> _FusedAdam | None:
                 _kernel = kernel
     except Exception:
         _kernel = None
+    _obs.event(
+        "fused.resolved", status="fused" if _kernel is not None else "numpy"
+    )
     return _kernel
 
 
@@ -1092,3 +1112,19 @@ def fused_fleet() -> _FusedAdam | None:
     optimizer.
     """
     return fused_adam()
+
+
+def kernel_status() -> str:
+    """Kernel selection state without forcing a compile.
+
+    One of ``"disabled"`` (``REPRO_FUSED=0``), ``"unresolved"`` (no call
+    site has asked for a kernel yet this process), ``"fused"`` (compiled
+    and bitwise-verified) or ``"numpy"`` (resolution ran and fell back).
+    Used by the obs sink to stamp run summaries; unlike
+    :func:`fused_adam` it never triggers compilation.
+    """
+    if os.environ.get("REPRO_FUSED", "1") == "0":
+        return "disabled"
+    if not _resolved:
+        return "unresolved"
+    return "fused" if _kernel is not None else "numpy"

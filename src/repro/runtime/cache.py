@@ -37,6 +37,7 @@ from typing import Iterator, List, Optional
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.trace import FrameRecord, Trace
 from repro.errors import ExperimentError, StoreError
+from repro.obs import bus as _obs
 from repro.runtime.job import CACHE_SCHEMA_VERSION
 from repro.store import read_scalar_trace, write_scalar_trace
 
@@ -208,6 +209,8 @@ class ResultCache:
                 raise
             payload["trace_blob"] = blob_dir.name
             payload["num_frames"] = len(result.trace)
+            if _obs.active():
+                _obs.inc("cache.blob_bytes_written", _tree_bytes(blob_dir))
         else:
             payload["records"] = [
                 [getattr(record, name) for name in _TRACE_FIELDS]
@@ -226,6 +229,7 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
             raise
+        _obs.inc("cache.stores")
         if not use_blob:
             # A smaller re-store under the same key supersedes any stale
             # sidecar blob from a previous schema or threshold.
@@ -264,6 +268,8 @@ class ResultCache:
                 trace = read_scalar_trace(path.parent / blob_name)
             except StoreError:
                 return None
+            if _obs.active():
+                _obs.inc("cache.blob_bytes_read", _tree_bytes(path.parent / blob_name))
             if len(trace) != payload.get("num_frames", len(trace)):
                 return None
         else:

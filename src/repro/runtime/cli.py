@@ -1,6 +1,6 @@
 """Command-line interface of the experiment runtime (``python -m repro``).
 
-Ten subcommands drive the engine without writing any code:
+Eleven subcommands drive the engine without writing any code:
 
 * ``run`` — execute one experiment cell and print its summary metrics.
 * ``sweep`` — expand a (devices × detectors × datasets × methods × seeds)
@@ -28,8 +28,11 @@ Ten subcommands drive the engine without writing any code:
   what prune would remove without deleting anything).
 * ``bench`` — run a :mod:`repro.perf` microbenchmark suite (``--suite rl``,
   ``--suite fleet``, ``--suite shards``, ``--suite faults``,
-  ``--suite store`` or ``--suite pool``) and write the ``BENCH_*.json``
-  perf-trajectory report.
+  ``--suite store``, ``--suite pool`` or ``--suite obs``) and write the
+  ``BENCH_*.json`` perf-trajectory report.
+* ``obs`` — inspect recorded observability runs: ``obs list`` names the
+  runs under the obs directory, ``obs report`` renders one run's spans,
+  counters and exact percentiles (default: the latest run).
 
 Fault injection: ``scenario run`` and ``fleet run`` accept ``--faults
 PLAN.json`` (a serialised :class:`~repro.faults.FaultPlan`) to run the
@@ -37,6 +40,12 @@ scenario under injected faults; ``fleet run --supervised`` additionally
 runs the crash-recovering supervisor (``--checkpoint-every`` frames
 between spooled checkpoints) and ``--report PATH`` writes the degraded-
 operation metrics as JSON.
+
+Observability: ``run``, ``fleet`` and ``scenario run`` accept ``--obs``
+(equivalently ``REPRO_OBS=1``) to collect spans, counters and histograms
+while the command runs — traces stay byte-identical — then write the run
+under the obs directory (``REPRO_OBS_DIR`` or ``<cache>/obs``) and print
+its summary table.
 
 ``python -m repro --version`` prints the package version; an unknown
 subcommand exits non-zero with a one-line message.  Every library error
@@ -67,6 +76,9 @@ Examples::
     python -m repro fleet run cctv-burst --shards 2 --supervised \
         --faults plan.json --report resilience.json
     python -m repro bench --suite faults --quick
+    python -m repro fleet run cctv-burst --shards 2 --obs
+    python -m repro obs report
+    python -m repro bench --suite obs --quick
 """
 
 from __future__ import annotations
@@ -189,6 +201,36 @@ def _print_sweep_tables(spec: SweepSpec, jobs, results, use_steady: bool) -> Non
         )
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Start metric collection when ``--obs`` or ``REPRO_OBS=1`` asks for it.
+
+    Returns whether collection is active (the caller pairs this with
+    :func:`_obs_finish`).  A fresh registry is installed so one CLI
+    invocation maps to exactly one obs run.
+    """
+    from repro.obs import bus
+
+    if not getattr(args, "obs", False) and not bus.obs_enabled():
+        return False
+    bus.enable(fresh=True)
+    return True
+
+
+def _obs_finish(active: bool, label: str) -> None:
+    """Persist the collected run, print its summary, and stop collecting."""
+    if not active:
+        return
+    from repro.obs import bus
+    from repro.obs.report import render_summary
+    from repro.obs.sink import write_run
+
+    run_dir, summary = write_run(bus.registry(), label=label)
+    bus.disable()
+    print()
+    print(render_summary(summary))
+    print(f"obs: wrote {run_dir}")
+
+
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
@@ -209,6 +251,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     job = ExperimentJob(setting=setting, method=args.method)
     runtime = ExperimentRuntime(max_workers=1, cache=_cache_from(args))
+    observing = _obs_begin(args)
     result = runtime.run(job)
     report = runtime.last_report
     source = "cache" if report.cache_hits else "fresh run"
@@ -218,6 +261,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(_summary_line("whole episode", result.metrics))
     print(_summary_line("steady state", result.steady_metrics))
+    _obs_finish(observing, label=f"run:{args.method}")
     return 0
 
 
@@ -344,6 +388,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         from repro.runtime.shards import run_supervised_scenario
 
         scenario = args.scenario
+        observing = _obs_begin(args)
         plan = _load_fault_plan(args.faults)
         if plan is not None:
             from repro.scenarios import build_scenario
@@ -388,10 +433,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             )
         if args.supervised or plan is not None:
             _print_resilience(result, args.report)
+        _obs_finish(observing, label=f"fleet:{args.scenario}")
         return 0
 
     sessions = args.sessions if args.sessions is not None else 64
     frames = args.frames if args.frames is not None else 1000
+    observing = _obs_begin(args)
     setting = ExperimentSetting(
         device=args.device,
         detector=args.detector,
@@ -415,6 +462,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         for i, session in enumerate(result.sessions):
             print(_summary_line(f"session {i} (seed {setting.seed + i})", session.metrics))
     _print_fleet_aggregate(result)
+    _obs_finish(observing, label=f"fleet:{args.method}")
     return 0
 
 
@@ -455,6 +503,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     from repro.runtime.fleet import run_scenario
 
     target = args.name
+    observing = _obs_begin(args)
     plan = _load_fault_plan(args.faults)
     if plan is not None:
         from repro.scenarios import build_scenario
@@ -486,6 +535,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     )
     if plan is not None:
         _print_resilience(result, args.report)
+    _obs_finish(observing, label=f"scenario:{args.name}")
     return 0
 
 
@@ -521,10 +571,36 @@ def _cmd_detectors(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.report import render_summary
+    from repro.obs.sink import default_obs_dir, latest_run, list_runs, load_summary
+
+    obs_dir = Path(args.obs_dir).expanduser() if args.obs_dir else default_obs_dir()
+    if args.action == "list":
+        runs = list_runs(obs_dir)
+        for run_id in runs:
+            summary = load_summary(run_id, obs_dir)
+            label = summary.get("label") or "-"
+            print(
+                f"{run_id:<22s} {label:<28s} "
+                f"{summary.get('num_events', 0):5d} events  "
+                f"{len(summary.get('histograms', {})):3d} histograms"
+            )
+        print(f"{len(runs)} run(s) under {obs_dir}")
+        return 0
+    run_id = args.run if args.run else latest_run(obs_dir)
+    print(render_summary(load_summary(run_id, obs_dir)))
+    print(f"\nrun directory: {obs_dir / run_id}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         DEFAULT_FAULTS_OUTPUT,
         DEFAULT_FLEET_OUTPUT,
+        DEFAULT_OBS_OUTPUT,
         DEFAULT_OUTPUT,
         DEFAULT_POOL_OUTPUT,
         DEFAULT_SHARD_OUTPUT,
@@ -534,18 +610,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench_suite,
         run_fault_bench_suite,
         run_fleet_bench_suite,
+        run_obs_bench_suite,
         run_pool_bench_suite,
         run_shard_bench_suite,
         run_store_bench_suite,
         write_fault_report,
         write_fleet_report,
+        write_obs_report,
         write_pool_report,
         write_report,
         write_shard_report,
         write_store_report,
     )
 
-    if args.suite == "faults":
+    if args.suite == "obs":
+        report, extra = run_obs_bench_suite(quick=args.quick)
+        print(format_report(report))
+        print(
+            f"\nobs-on overhead: {extra['overhead_pct']:.2f} % "
+            f"({'within' if extra['within_target'] else 'OVER'} the "
+            f"{extra['overhead_target_pct']:.0f} % target)"
+        )
+        path = write_obs_report(report, extra, args.output or DEFAULT_OBS_OUTPUT)
+    elif args.suite == "faults":
         report, extra = run_fault_bench_suite(quick=args.quick)
         print(format_report(report))
         path = write_fault_report(report, extra, args.output or DEFAULT_FAULTS_OUTPUT)
@@ -768,6 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cell_arguments(run, plural=False)
     _add_cache_arguments(run)
     run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    run.add_argument(
+        "--obs", action="store_true",
+        help="collect obs metrics/spans for this run (same as REPRO_OBS=1) "
+        "and print the summary",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser(
@@ -836,6 +928,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the degraded-operation metrics as JSON (supervised or "
         "faulted scenario runs)",
     )
+    fleet.add_argument(
+        "--obs", action="store_true",
+        help="collect obs metrics/spans for this run (same as REPRO_OBS=1) "
+        "and print the summary",
+    )
     fleet.set_defaults(func=_cmd_fleet, frames=None)
 
     scenario = subparsers.add_parser(
@@ -879,6 +976,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--report", default=None, metavar="PATH",
         help="write the degraded-operation metrics as JSON (faulted runs)",
+    )
+    scenario_run.add_argument(
+        "--obs", action="store_true",
+        help="collect obs metrics/spans for this run (same as REPRO_OBS=1) "
+        "and print the summary",
     )
     scenario_run.set_defaults(func=_cmd_scenario_run)
 
@@ -1021,18 +1123,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_dir(policy_matrix)
     policy_matrix.set_defaults(func=_cmd_policy_eval_matrix)
 
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect recorded observability runs (written by --obs / "
+        "REPRO_OBS=1)",
+    )
+    obs_actions = obs.add_subparsers(dest="action", required=True)
+    obs_list = obs_actions.add_parser(
+        "list", help="list recorded obs runs, oldest first"
+    )
+    obs_list.add_argument(
+        "--obs-dir", default=None,
+        help="obs run directory (default: REPRO_OBS_DIR or <cache>/obs)",
+    )
+    obs_list.set_defaults(func=_cmd_obs)
+    obs_report = obs_actions.add_parser(
+        "report", help="render one run's spans, counters and exact percentiles"
+    )
+    obs_report.add_argument(
+        "--run", default=None, metavar="ID",
+        help="run id to render (default: the latest run)",
+    )
+    obs_report.add_argument(
+        "--obs-dir", default=None,
+        help="obs run directory (default: REPRO_OBS_DIR or <cache>/obs)",
+    )
+    obs_report.set_defaults(func=_cmd_obs)
+
     bench = subparsers.add_parser(
         "bench",
         help="run a perf microbenchmark suite and write BENCH_*.json",
     )
     bench.add_argument(
         "--suite",
-        choices=("rl", "fleet", "shards", "faults", "store", "pool"),
+        choices=("rl", "fleet", "shards", "faults", "store", "pool", "obs"),
         default="rl",
         help="which suite to run: the RL hot path (BENCH_PR2.json), the "
         "fleet engine (BENCH_PR3.json), shard scaling (BENCH_PR6.json), "
         "fault tolerance (BENCH_PR7.json), the trace store "
-        "(BENCH_PR8.json) or the persistent worker pool (BENCH_PR9.json)",
+        "(BENCH_PR8.json), the persistent worker pool (BENCH_PR9.json) "
+        "or the obs overhead suite (BENCH_PR10.json)",
     )
     bench.add_argument(
         "--quick", action="store_true",

@@ -27,6 +27,7 @@ from repro.core.training import SessionResult
 from repro.errors import ExperimentError
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import ExperimentJob
+from repro.obs import bus as _obs
 from repro.runtime.pool import PoolTask, pool_enabled, shared_pool
 
 #: Environment variable consulted by :func:`default_worker_count`.
@@ -60,6 +61,21 @@ def execute_job(job: ExperimentJob) -> SessionResult:
         domain_datasets=job.domain_datasets,
         faults=job.faults,
     )
+
+
+def _execute_job_observed(job: ExperimentJob):
+    """Pool-executor wrapper: run a job and return its obs snapshot too.
+
+    Used by the :class:`ProcessPoolExecutor` fallback when the parent is
+    observing — executor workers have no pipe protocol to ride the obs
+    flag on, so it travels in the submitted callable instead.
+    """
+    _obs.enable(fresh=True)
+    try:
+        result = execute_job(job)
+        return result, _obs.registry().snapshot()
+    finally:
+        _obs.disable()
 
 
 def scenario_jobs(scenario, num_sessions: int | None = None) -> List[ExperimentJob]:
@@ -198,53 +214,74 @@ class ExperimentRuntime:
         pending: List[int] = []
         done = 0
 
-        for index, job in enumerate(jobs):
-            key = job.cache_key() if self.cache is not None else None
-            if self.cache is not None and key is None:
-                report.uncacheable += 1
-            keys[index] = key
-            cached = self.cache.load(key) if (self.cache is not None and key) else None
-            if cached is not None:
-                results[index] = cached
-                report.cache_hits += 1
+        with _obs.span("runtime.run_jobs", jobs=len(jobs)):
+            for index, job in enumerate(jobs):
+                key = job.cache_key() if self.cache is not None else None
+                if self.cache is not None and key is None:
+                    report.uncacheable += 1
+                    _obs.inc("cache.uncacheable")
+                keys[index] = key
+                cached = (
+                    self.cache.load(key) if (self.cache is not None and key) else None
+                )
+                if cached is not None:
+                    results[index] = cached
+                    report.cache_hits += 1
+                    _obs.inc("cache.hits")
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(jobs), job, True)
+                else:
+                    if self.cache is not None and key:
+                        _obs.inc("cache.misses")
+                    pending.append(index)
+
+            def finish(index: int, result: SessionResult) -> None:
+                nonlocal done
+                results[index] = result
+                if self.cache is not None and keys[index]:
+                    self.cache.store(keys[index], result)
+                report.executed += 1
                 done += 1
                 if progress is not None:
-                    progress(done, len(jobs), job, True)
-            else:
-                pending.append(index)
+                    progress(done, len(jobs), jobs[index], False)
 
-        def finish(index: int, result: SessionResult) -> None:
-            nonlocal done
-            results[index] = result
-            if self.cache is not None and keys[index]:
-                self.cache.store(keys[index], result)
-            report.executed += 1
-            done += 1
-            if progress is not None:
-                progress(done, len(jobs), jobs[index], False)
-
-        if self.max_workers == 1 or len(pending) <= 1:
-            for index in pending:
-                finish(index, execute_job(jobs[index]))
-        elif pool_enabled():
-            # The shared persistent pool: spawned once per process, reused
-            # across run() calls, clamped to the CPU count and scheduled
-            # in waves when pending jobs exceed workers.
-            pool = shared_pool()
-            pool.ensure_workers(min(self.max_workers, len(pending)))
-            tasks = [PoolTask(kind="job", args=(jobs[index],)) for index in pending]
-            pool.run_tasks(
-                tasks,
-                on_result=lambda position, result: finish(pending[position], result),
-            )
-        else:
-            workers = min(
-                self.max_workers, len(pending), max(1, os.cpu_count() or 1)
-            )
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {index: pool.submit(execute_job, jobs[index]) for index in pending}
+            if self.max_workers == 1 or len(pending) <= 1:
                 for index in pending:
-                    finish(index, futures[index].result())
+                    finish(index, execute_job(jobs[index]))
+            elif pool_enabled():
+                # The shared persistent pool: spawned once per process, reused
+                # across run() calls, clamped to the CPU count and scheduled
+                # in waves when pending jobs exceed workers.
+                pool = shared_pool()
+                pool.ensure_workers(min(self.max_workers, len(pending)))
+                tasks = [
+                    PoolTask(kind="job", args=(jobs[index],)) for index in pending
+                ]
+                pool.run_tasks(
+                    tasks,
+                    on_result=lambda position, result: finish(
+                        pending[position], result
+                    ),
+                )
+            else:
+                workers = min(
+                    self.max_workers, len(pending), max(1, os.cpu_count() or 1)
+                )
+                observing = _obs.active()
+                target = _execute_job_observed if observing else execute_job
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        index: pool.submit(target, jobs[index]) for index in pending
+                    }
+                    for index in pending:
+                        outcome = futures[index].result()
+                        if observing:
+                            result, snapshot = outcome
+                            _obs.registry().merge(snapshot, origin="executor")
+                        else:
+                            result = outcome
+                        finish(index, result)
 
         if any(result is None for result in results):
             raise ExperimentError("internal error: not every job produced a result")

@@ -75,6 +75,7 @@ from multiprocessing import connection, get_context
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ShardError
+from repro.obs import bus as _obs
 
 #: Environment variable: ``0`` disables the shared persistent pool.
 POOL_ENV = "REPRO_POOL"
@@ -384,13 +385,23 @@ def _worker_main(conn) -> None:
                 conn.send(("ERR", None, _pickle_error(exc)))
             continue
         if command == "RUN":
-            _, index, kind, fingerprint, args = message
+            # The observe flag rides in the message (not the environment):
+            # long-lived workers forked before REPRO_OBS was set must still
+            # collect, and stale registries must not leak between tasks.
+            _, index, kind, fingerprint, args, collect = message
+            if collect:
+                _obs.enable(fresh=True)
+            else:
+                _obs.disable()
             try:
                 result, meta = _execute_task(kind, fingerprint, args, pinned)
             except Exception as exc:  # noqa: BLE001 - forwarded to the parent
                 conn.send(("ERR", index, _pickle_error(exc)))
                 continue
             meta["pins"] = tuple(pinned.keys())
+            if collect:
+                meta["obs"] = _obs.registry().snapshot()
+                _obs.disable()
             conn.send(("DONE", index, meta, _export_payload(result)))
             continue
         conn.send(("ERR", None, _pickle_error(ShardError(f"bad command {command!r}"))))
@@ -479,6 +490,8 @@ class FleetWorkerPool:
         self.lifetime_rebuilds = 0
         self.lifetime_respawns = 0
         self.lifetime_tasks = 0
+        self.lifetime_shm_blocks = 0
+        self.lifetime_shm_bytes = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -519,6 +532,8 @@ class FleetWorkerPool:
             handle.process.join(timeout=1.0)
         self._spawn(handle)
         self.lifetime_respawns += 1
+        _obs.event("pool.respawn", slot=handle.slot, spawned=handle.spawned)
+        _obs.inc("pool.respawns")
 
     @property
     def num_workers(self) -> int:
@@ -607,24 +622,35 @@ class FleetWorkerPool:
         report = PoolRunReport(results=[None] * len(tasks))
         if not tasks:
             return report
-        self.ensure_workers(len(tasks))
-        pending: List[int] = list(range(len(tasks)))
-        attempts = [0] * len(tasks)
-        recovered: set = set()
-        done = 0
-        try:
-            while done < len(tasks):
-                self._dispatch(tasks, pending, attempts, report)
-                done += self._collect(
-                    tasks, pending, attempts, max_restarts, recovered, report, on_result
-                )
-        except Exception:
-            self._drain()
-            raise
-        report.recovered = tuple(sorted(recovered))
-        self.lifetime_warm_hits += report.warm_hits
-        self.lifetime_rebuilds += report.rebuilds
-        self.lifetime_tasks += len(tasks)
+        with _obs.span("pool.run_tasks", tasks=len(tasks)):
+            self.ensure_workers(len(tasks))
+            _obs.gauge("pool.workers", self.num_workers)
+            if len(tasks) > self.num_workers:
+                # Wave scheduling: more tasks than slots queue and run in
+                # waves as workers free up.
+                _obs.inc("pool.waves", -(-len(tasks) // self.num_workers))
+                _obs.inc("pool.queued_tasks", len(tasks) - self.num_workers)
+            else:
+                _obs.inc("pool.waves")
+            pending: List[int] = list(range(len(tasks)))
+            attempts = [0] * len(tasks)
+            recovered: set = set()
+            done = 0
+            try:
+                while done < len(tasks):
+                    self._dispatch(tasks, pending, attempts, report)
+                    done += self._collect(
+                        tasks, pending, attempts, max_restarts, recovered,
+                        report, on_result,
+                    )
+            except Exception:
+                self._drain(report)
+                raise
+            report.recovered = tuple(sorted(recovered))
+            self.lifetime_warm_hits += report.warm_hits
+            self.lifetime_rebuilds += report.rebuilds
+            self.lifetime_tasks += len(tasks)
+            _obs.record_report("pool.report", report)
         return report
 
     def _dispatch(
@@ -643,16 +669,21 @@ class FleetWorkerPool:
                 self._respawn(handle)
             position = self._pick_task(handle, tasks, pending)
             task = tasks[position]
+            collect = _obs.active()
             try:
                 handle.conn.send(
-                    ("RUN", position, task.kind, task.fingerprint, task.args)
+                    ("RUN", position, task.kind, task.fingerprint, task.args, collect)
                 )
             except (OSError, BrokenPipeError):
                 # The worker died while idle; respawn and retry the send.
                 report.crashes_detected += 1
+                if report.first_death is None:
+                    report.first_death = time.perf_counter()
+                _obs.event("pool.crash", slot=handle.slot, state="idle")
+                _obs.inc("pool.crashes_detected")
                 self._respawn(handle)
                 handle.conn.send(
-                    ("RUN", position, task.kind, task.fingerprint, task.args)
+                    ("RUN", position, task.kind, task.fingerprint, task.args, collect)
                 )
             pending.remove(position)
             handle.busy_task = position
@@ -718,11 +749,26 @@ class FleetWorkerPool:
                 result, blocks, nbytes = _import_payload(descriptor)
                 report.shm_blocks += blocks
                 report.shm_bytes += nbytes
+                self.lifetime_shm_blocks += blocks
+                self.lifetime_shm_bytes += nbytes
                 report.results[position] = result
+                fingerprint = tasks[position].fingerprint
                 if meta.get("warm"):
                     report.warm_hits += 1
+                    if fingerprint is not None:
+                        _obs.inc("pool.warm_hits", fingerprint=fingerprint[:12])
                 if meta.get("built"):
                     report.rebuilds += 1
+                    if fingerprint is not None:
+                        _obs.inc("pool.rebuilds", fingerprint=fingerprint[:12])
+                if nbytes:
+                    _obs.inc("pool.shm_bytes", nbytes)
+                    _obs.inc("pool.shm_blocks", blocks)
+                worker_obs = meta.get("obs")
+                if worker_obs is not None and _obs.active():
+                    _obs.registry().merge(
+                        worker_obs, origin=f"worker-{handle.slot}"
+                    )
                 handle.pins = tuple(meta.get("pins", ()))
                 if attempts[position] > 1:
                     task = tasks[position]
@@ -754,6 +800,8 @@ class FleetWorkerPool:
         report.crashes_detected += 1
         if report.first_death is None:
             report.first_death = time.perf_counter()
+        _obs.event("pool.crash", slot=handle.slot, task=handle.busy_task)
+        _obs.inc("pool.crashes_detected")
         position = handle.busy_task
         self._respawn(handle)
         if position is None:
@@ -765,9 +813,10 @@ class FleetWorkerPool:
                 f"{attempts[position] - 1} restart(s); giving up"
             )
         report.restarts += 1
+        _obs.inc("pool.restarts")
         pending.insert(0, position)
 
-    def _drain(self) -> None:
+    def _drain(self, report: Optional[PoolRunReport] = None) -> None:
         """Absorb in-flight replies after an error so the pool stays usable."""
         for handle in self._workers:
             if handle.busy_task is None:
@@ -777,8 +826,14 @@ class FleetWorkerPool:
                     message = handle.conn.recv()
                     if message[0] in ("DONE", "ERR"):
                         if message[0] == "DONE":
-                            # Discard the payload (and free its shm block).
-                            _import_payload(message[3])
+                            # Discard the payload (and free its shm block),
+                            # still accounting for the transport it used.
+                            _, blocks, nbytes = _import_payload(message[3])
+                            self.lifetime_shm_blocks += blocks
+                            self.lifetime_shm_bytes += nbytes
+                            if report is not None:
+                                report.shm_blocks += blocks
+                                report.shm_bytes += nbytes
                             handle.pins = tuple(message[2].get("pins", ()))
                         break
             except (EOFError, OSError):
@@ -789,7 +844,7 @@ class FleetWorkerPool:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Lifetime counters: tasks, warm hits, rebuilds, respawns, workers."""
+        """Lifetime counters: tasks, warm hits, rebuilds, respawns, workers, shm."""
         return {
             "tasks": self.lifetime_tasks,
             "warm_hits": self.lifetime_warm_hits,
@@ -797,6 +852,8 @@ class FleetWorkerPool:
             "respawns": self.lifetime_respawns,
             "workers": self.num_workers,
             "max_workers": self.max_workers,
+            "shm_blocks": self.lifetime_shm_blocks,
+            "shm_bytes": self.lifetime_shm_bytes,
         }
 
 

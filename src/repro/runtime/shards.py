@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import FaultError, ShardError
+from repro.obs import bus as _obs
 from repro.core.training import SessionResult, session_result_from_trace
 from repro.env.fleet import (
     _FRAME_RESULT_ARRAY_FIELDS,
@@ -255,9 +256,10 @@ def _build_scenario_shard(
     persistent pool (:mod:`repro.runtime.pool`) can pin the constructed
     groups and skip this step on a warm fingerprint hit.
     """
-    assignments = scenario.session_assignments(num_sessions)[start:stop]
-    frames = scenario.num_frames
-    session_groups, grouped = _shard_session_groups(assignments, frames, start)
+    with _obs.span("shard.build", kind="scenario", start=start, stop=stop):
+        assignments = scenario.session_assignments(num_sessions)[start:stop]
+        frames = scenario.num_frames
+        session_groups, grouped = _shard_session_groups(assignments, frames, start)
     return session_groups, grouped, frames
 
 
@@ -279,15 +281,16 @@ def _execute_scenario_shard(
     returned directly.
     """
     count = stop - start
-    if spool_dir is None:
-        payload = run_grouped_fleet_episode(session_groups, frames)
-    else:
-        writer = FleetTraceWriter(_spool_store_path(spool_dir, start, stop), count)
-        run_grouped_fleet_episode(session_groups, frames, sink=writer)
-        payload = str(writer.close())
-    losses, rewards, names = _collect_shard_histories(
-        session_groups, grouped, start, count
-    )
+    with _obs.span("shard.run", kind="scenario", start=start, stop=stop):
+        if spool_dir is None:
+            payload = run_grouped_fleet_episode(session_groups, frames)
+        else:
+            writer = FleetTraceWriter(_spool_store_path(spool_dir, start, stop), count)
+            run_grouped_fleet_episode(session_groups, frames, sink=writer)
+            payload = str(writer.close())
+        losses, rewards, names = _collect_shard_histories(
+            session_groups, grouped, start, count
+        )
     return payload, losses, rewards, names
 
 
@@ -328,11 +331,12 @@ def _build_fleet_shard(
     ``default_rng(seed + offset + i + 1)`` — exactly sessions
     ``offset..offset+count-1`` of the full fleet (and of the scalar runs).
     """
-    shard_setting = setting.with_overrides(seed=setting.seed + offset)
-    environment = make_fleet_environment(shard_setting, count, ambient=ambient)
-    policy = make_fleet_policy(
-        method, environment, setting.num_frames, seed=shard_setting.seed
-    )
+    with _obs.span("shard.build", kind="fleet", offset=offset, count=count):
+        shard_setting = setting.with_overrides(seed=setting.seed + offset)
+        environment = make_fleet_environment(shard_setting, count, ambient=ambient)
+        policy = make_fleet_policy(
+            method, environment, setting.num_frames, seed=shard_setting.seed
+        )
     return environment, policy
 
 
@@ -350,16 +354,17 @@ def _execute_fleet_shard(
     return payload from an in-memory trace to the manifest path of a
     spooled columnar chunk store.
     """
-    if spool_dir is None:
-        payload = run_fleet_episode(environment, policy, num_frames)
-    else:
-        writer = FleetTraceWriter(
-            _spool_store_path(spool_dir, offset, offset + count), count
-        )
-        run_fleet_episode(environment, policy, num_frames, sink=writer)
-        payload = str(writer.close())
-    losses, rewards = _session_histories(policy, count)
-    names = _session_policy_names(policy, count)
+    with _obs.span("shard.run", kind="fleet", offset=offset, count=count):
+        if spool_dir is None:
+            payload = run_fleet_episode(environment, policy, num_frames)
+        else:
+            writer = FleetTraceWriter(
+                _spool_store_path(spool_dir, offset, offset + count), count
+            )
+            run_fleet_episode(environment, policy, num_frames, sink=writer)
+            payload = str(writer.close())
+        losses, rewards = _session_histories(policy, count)
+        names = _session_policy_names(policy, count)
     return payload, losses, rewards, names, policy.name
 
 
@@ -423,6 +428,8 @@ def _interleave_shard_traces(
     loop uses, so a sharded trace is indistinguishable from (bitwise equal
     to) a single-process one.
     """
+    merge_span = _obs.span("shard.merge", shards=len(shards))
+    merge_span.__enter__()
     targets = validate_session_partition(
         [shard.session_indices for shard in shards], num_sessions
     )
@@ -480,6 +487,7 @@ def _interleave_shard_traces(
         for trace, opened in normalised:
             if opened:
                 trace.close()
+        merge_span.__exit__(None, None, None)
 
 
 # ---------------------------------------------------------------------------
@@ -588,6 +596,10 @@ def run_sharded_scenario(
     total = len(assignments)
     shards = tuple(plan_shards(assignments, num_shards))
 
+    run_span = _obs.span(
+        "runtime.run_sharded_scenario", shards=len(shards), sessions=total
+    )
+    run_span.__enter__()
     start_time = time.perf_counter()
     if len(shards) == 1:
         # A single planned shard runs inline and already covers every
@@ -620,6 +632,7 @@ def run_sharded_scenario(
                 pool.shutdown()
             shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
+    run_span.__exit__(None, None, None)
 
     sessions: List[SessionResult] = [None] * total  # type: ignore[list-item]
     for shard, (_, losses, rewards, names) in zip(shards, shard_results):
@@ -675,6 +688,10 @@ def run_sharded_fleet(
         if block.size
     ]
 
+    run_span = _obs.span(
+        "runtime.run_sharded_fleet", shards=len(blocks), sessions=num_sessions
+    )
+    run_span.__enter__()
     start_time = time.perf_counter()
     shards = tuple(
         ShardPlan(index=k, start=int(block[0]), stop=int(block[-1]) + 1)
@@ -718,6 +735,7 @@ def run_sharded_fleet(
                 pool.shutdown()
             shutil.rmtree(spool, ignore_errors=True)
     elapsed_s = time.perf_counter() - start_time
+    run_span.__exit__(None, None, None)
 
     sessions: List[SessionResult] = []
     for shard, (_, losses, rewards, names, _) in zip(shards, shard_results):
@@ -845,9 +863,12 @@ def _run_supervised_shard(
     checkpoints and only its manifest path is returned, so the supervisor
     merges memory-mapped columns instead of unpickling frame lists.
     """
-    assignments = scenario.session_assignments(num_sessions)[start:stop]
-    num_frames = scenario.num_frames
-    session_groups, grouped = _shard_session_groups(assignments, num_frames, start)
+    run_span = _obs.span("shard.run", kind="supervised", shard=shard_index)
+    run_span.__enter__()
+    with _obs.span("shard.build", kind="supervised", shard=shard_index):
+        assignments = scenario.session_assignments(num_sessions)[start:stop]
+        num_frames = scenario.num_frames
+        session_groups, grouped = _shard_session_groups(assignments, num_frames, start)
     count = stop - start
     targets = validate_session_partition(
         [group.session_indices for group in session_groups], count
@@ -872,6 +893,8 @@ def _run_supervised_shard(
                 group.policy.load_state_dict(policy_state)
         frames = payload["frames"]
         first_frame = payload["frame"]
+        _obs.event("checkpoint.restore", shard=shard_index, frame=first_frame)
+        _obs.inc("checkpoint.restores")
 
     for frame in range(first_frame, num_frames):
         if (
@@ -915,6 +938,8 @@ def _run_supervised_shard(
                     "frames": frames,
                 },
             )
+            _obs.event("checkpoint.write", shard=shard_index, frame=completed)
+            _obs.inc("checkpoint.writes")
 
     losses: List[List[float]] = [[] for _ in range(count)]
     rewards: List[List[float]] = [[] for _ in range(count)]
@@ -942,6 +967,7 @@ def _run_supervised_shard(
     for frame_result in frames:
         writer.append(frame_result)
     manifest = writer.close()
+    run_span.__exit__(None, None, None)
     return str(manifest), losses, rewards, names, degraded
 
 
@@ -1012,6 +1038,10 @@ def run_supervised_scenario(
     spool = Path(tempfile.mkdtemp(prefix="repro-spool-")) if own_spool else Path(spool_dir)
     spool.mkdir(parents=True, exist_ok=True)
 
+    run_span = _obs.span(
+        "runtime.run_supervised_scenario", shards=len(shards), sessions=total
+    )
+    run_span.__enter__()
     start_time = time.perf_counter()
     tasks = [
         PoolTask(
@@ -1045,6 +1075,7 @@ def run_supervised_scenario(
         [payload for payload, _, _, _, _ in ordered], shards, total
     )
     elapsed_s = time.perf_counter() - start_time
+    run_span.__exit__(None, None, None)
     recovery_s = (
         0.0
         if run_report.first_death is None
@@ -1077,6 +1108,14 @@ def run_supervised_scenario(
         # checkpoint and marker files.
         shutil.rmtree(spool, ignore_errors=True)
 
+    recovery = RecoveryReport(
+        crashes_detected=crashes_detected,
+        restarts=restarts,
+        recovered_shards=tuple(sorted(recovered)),
+        checkpoint_every=checkpoint_every,
+        recovery_s=recovery_s,
+    )
+    _obs.record_report("recovery.report", recovery)
     return SupervisedScenarioResult(
         scenario=scenario,
         assignments=assignments,
@@ -1084,12 +1123,6 @@ def run_supervised_scenario(
         sessions=tuple(sessions),
         fleet_trace=fleet_trace,
         elapsed_s=elapsed_s,
-        recovery=RecoveryReport(
-            crashes_detected=crashes_detected,
-            restarts=restarts,
-            recovered_shards=tuple(sorted(recovered)),
-            checkpoint_every=checkpoint_every,
-            recovery_s=recovery_s,
-        ),
+        recovery=recovery,
         degraded=degraded,
     )

@@ -1,8 +1,8 @@
-"""Documentation lint as a tier-1 test.
+"""Repository lints as tier-1 tests.
 
-Imports ``tools/check_docs.py`` and asserts the committed documentation
-passes, plus a negative check proving the lint actually catches stale
-references (so it cannot rot into a no-op).
+Imports ``tools/check_docs.py`` and ``tools/check_no_print.py`` and
+asserts the committed tree passes both, plus negative checks proving each
+lint actually catches violations (so they cannot rot into no-ops).
 """
 
 from __future__ import annotations
@@ -14,14 +14,18 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def load_check_docs():
+def _load_tool(name: str):
     spec = importlib.util.spec_from_file_location(
-        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+        name, REPO_ROOT / "tools" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
-    sys.modules["check_docs"] = module
+    sys.modules[name] = module
     spec.loader.exec_module(module)
     return module
+
+
+def load_check_docs():
+    return _load_tool("check_docs")
 
 
 def test_committed_docs_pass_the_lint():
@@ -57,3 +61,31 @@ def test_lint_reports_missing_files(tmp_path, monkeypatch):
     monkeypatch.setattr(check_docs, "DOC_FILES", (tmp_path / "README.md",))
     problems = check_docs.check()
     assert problems and "missing" in problems[0]
+
+
+def test_committed_library_has_no_stray_prints():
+    check_no_print = _load_tool("check_no_print")
+    assert check_no_print.check() == []
+    assert check_no_print.main() == 0
+
+
+def test_print_lint_detects_stray_prints(tmp_path):
+    check_no_print = _load_tool("check_no_print")
+    package = tmp_path / "repro"
+    (package / "runtime").mkdir(parents=True)
+    (package / "perf").mkdir()
+    (package / "core.py").write_text(
+        '"""print("in a docstring") is fine."""\n'
+        "# print(\"in a comment\") is fine\n"
+        "def helper(out=print):  # a reference, not a call\n"
+        "    print('stray')\n",
+        encoding="utf-8",
+    )
+    (package / "runtime" / "cli.py").write_text(
+        "print('the CLI is allowed to print')\n", encoding="utf-8"
+    )
+    (package / "perf" / "bench.py").write_text(
+        "print('benchmarks are allowed to print')\n", encoding="utf-8"
+    )
+    problems = check_no_print.check(package)
+    assert problems == ["src/repro/core.py:4"]
